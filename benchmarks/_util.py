@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment from EXPERIMENTS.md, prints its
+result table (visible under ``pytest benchmarks/ --benchmark-only -s``)
+and writes it to ``benchmarks/results/<experiment>.txt`` so the numbers
+recorded in EXPERIMENTS.md can be reproduced and diffed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, content: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print()
+    print(content)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The heavyweight experiment benches measure end-to-end wall time of
+    a full scenario; repeating them dozens of times would make the
+    suite unusably slow without changing the verdicts, so we pin
+    rounds/iterations to 1.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

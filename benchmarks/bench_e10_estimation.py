@@ -1,0 +1,87 @@
+"""E10 — Section 3.1 optimization: min-of-k round-trip estimation.
+
+"A common method ... to decrease the error in estimating the peer's
+clock (at the expense of worse timeliness) is to repeatedly ping the
+other processor and choose the estimation given from the ping with the
+least round trip time" (as in NTP).  On a jittery link, we sweep the
+number of pings per peer and measure the mean self-reported error
+bound ``a`` and the achieved cluster deviation.  Expected shape: the
+mean error bound falls monotonically with k (toward the 2x base-delay
+floor) and the deviation improves correspondingly, while message cost
+rises linearly.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from _util import emit, once
+
+from repro.core.sync import SyncProcess
+from repro.net.links import JitteredDelay
+from repro.runner.builders import benign_scenario, default_params, warmup_for
+from repro.runner.experiment import run
+from repro.metrics.report import table
+
+
+PINGS = [1, 2, 4, 8]
+
+
+def make_factory(pings_per_peer, accuracies):
+    def factory(node_id, sim, network, clock, params, start_phase):
+        process = SyncProcess(node_id, sim, network, clock, params,
+                              start_phase=start_phase,
+                              pings_per_peer=pings_per_peer)
+
+        original = process._complete_sync
+
+        def wrapped():
+            session = process._session
+            if session is not None:
+                for estimate in session._best.values():
+                    accuracies.append(estimate.accuracy)
+            original()
+
+        process._complete_sync = wrapped
+        return process
+
+    return factory
+
+
+def run_e10():
+    params = default_params(n=7, f=2, pi=4.0)
+    delay = JitteredDelay(params.delta, base=0.05 * params.delta,
+                          jitter_mean=0.4 * params.delta)
+    rows = []
+    for pings in PINGS:
+        accuracies: list[float] = []
+        scenario = benign_scenario(params, duration=10.0, seed=10,
+                                   protocol=make_factory(pings, accuracies),
+                                   delay_model=delay)
+        result = run(scenario)
+        rows.append([
+            pings,
+            statistics.mean(accuracies),
+            statistics.median(accuracies),
+            result.max_deviation(warmup_for(params)),
+            result.messages_delivered,
+        ])
+    return rows, params
+
+
+def test_e10_min_of_k_estimation(benchmark):
+    rows, params = once(benchmark, run_e10)
+    emit("e10_estimation", table(
+        ["pings_per_peer", "mean_error_bound", "median_error_bound",
+         "measured_dev", "messages"],
+        rows,
+        title="E10: min-of-k round-trip estimation on a jittery link "
+              f"(delta={params.delta:g}, heavy one-sided jitter)",
+        precision=4,
+    ))
+    mean_errors = [row[1] for row in rows]
+    assert all(b < a for a, b in zip(mean_errors, mean_errors[1:])), \
+        "more pings must tighten the mean error bound"
+    assert rows[-1][3] <= rows[0][3] * 1.1, "deviation should not degrade"
+    messages = [row[4] for row in rows]
+    assert messages[-1] > 4 * messages[0] * 0.8, "message cost ~ linear in k"

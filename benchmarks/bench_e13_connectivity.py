@@ -1,0 +1,123 @@
+"""E13 — Section 5 conjecture: which incomplete graphs suffice?
+
+The paper conjectures "it is sufficient that the non-faulty processors
+form a sufficiently connected subgraph", proves nothing either way, and
+gives one counterexample (two cliques + matching, see E6).  This
+experiment maps the empirical boundary with worst-case (extremal)
+drift populations:
+
+* random connected graphs over an edge-probability sweep — the
+  well-expanding regime the conjecture hopes for;
+* the ring — minimum degree that still feeds the f+1 statistics;
+* the two-clique counterexample and a barbell (two cliques, ONE bridge
+  edge) — high local connectivity, no expansion;
+* the full mesh control.
+
+Expected shape: every topology with decent *expansion* stays within the
+Theorem 5 bound (supporting the conjecture), while the clique-pair
+family diverges regardless of its (3f+1) connectivity — expansion, not
+connectivity, looks like the right hypothesis.  Node connectivity is
+reported via networkx for context.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+from _util import emit, once
+
+from repro.metrics.report import table
+from repro.net.topology import Topology, full_mesh, random_connected, ring, two_cliques
+from repro.runner.builders import benign_scenario, default_params, warmup_for
+from repro.runner.experiment import run
+from repro.clocks.hardware import FixedRateClock
+
+
+def half_split_clocks(n: int):
+    """Worst-case drift *assignment*: the first half of the nodes runs
+    fast, the second half slow, aligning the drift boundary with the
+    sparse cut of the clique-family topologies (node labels 0..n/2-1
+    form one clique).  For random graphs the labels carry no structure,
+    so the same assignment lands on a dense random cut."""
+
+    def factory(node, params, rng, horizon):
+        rate = (1.0 + params.rho) if node < n // 2 else 1.0 / (1.0 + params.rho)
+        return FixedRateClock(params.rho, rate=rate)
+
+    return factory
+
+
+def barbell(clique: int) -> Topology:
+    """Two cliques joined by a single bridge edge."""
+    topo = Topology(2 * clique)
+    for base in (0, clique):
+        for u in range(base, base + clique):
+            for v in range(u + 1, base + clique):
+                topo.add_edge(u, v)
+    topo.add_edge(0, clique)
+    return topo
+
+
+def to_networkx(topo: Topology) -> "nx.Graph":
+    graph = nx.Graph()
+    graph.add_nodes_from(range(topo.n))
+    for u in range(topo.n):
+        for v in topo.neighbors(u):
+            if u < v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def run_e13():
+    f = 1
+    duration = 30.0
+    rows = []
+
+    def measure(label, topo, n, rho=2e-3, seed=1):
+        params = default_params(n=n, f=f, rho=rho, pi=2.0)
+        bound = params.bounds().max_deviation
+        scenario = benign_scenario(params, duration=duration, seed=seed,
+                                   topology=topo,
+                                   clock_factory=half_split_clocks(n))
+        result = run(scenario)
+        deviation = result.max_deviation(warmup_for(params))
+        graph = to_networkx(topo)
+        rows.append([
+            label, n, min(topo.degree(u) for u in range(n)),
+            nx.node_connectivity(graph),
+            deviation, bound,
+            "BOUNDED" if deviation <= bound else "DIVERGED",
+        ])
+
+    n = 10
+    for p in (0.35, 0.5, 0.8):
+        topo = random_connected(n, p, random.Random(42), min_degree=2 * f + 1)
+        measure(f"random p={p}", topo, n)
+    measure("ring", ring(n), n)
+    measure("full mesh", full_mesh(n), n)
+    measure("two cliques + matching (Sec. 5)", two_cliques(f), 2 * (3 * f + 1))
+    measure("barbell (one bridge)", barbell(3 * f + 1), 2 * (3 * f + 1))
+    return rows
+
+
+def test_e13_connectivity_boundary(benchmark):
+    rows = once(benchmark, run_e13)
+    emit("e13_connectivity", table(
+        ["topology", "n", "min_degree", "node_connectivity", "measured_dev",
+         "bound", "verdict"],
+        rows,
+        title="E13: topology sweep under worst-case drift (f=1) — expansion, "
+              "not bare connectivity, separates bounded from diverged",
+        precision=4,
+    ))
+    by_name = {row[0]: row for row in rows}
+    assert by_name["full mesh"][6] == "BOUNDED"
+    for p in (0.35, 0.5, 0.8):
+        assert by_name[f"random p={p}"][6] == "BOUNDED"
+    assert by_name["two cliques + matching (Sec. 5)"][6] == "DIVERGED"
+    assert by_name["barbell (one bridge)"][6] == "DIVERGED"
+    # The counterexample has HIGHER node connectivity than the random
+    # graphs that succeed — bare k-connectivity is the wrong measure.
+    assert (by_name["two cliques + matching (Sec. 5)"][3]
+            >= by_name["random p=0.35"][3] - 1)

@@ -1,0 +1,62 @@
+"""E2 — Theorem 5(ii): accuracy (logical drift + discontinuity).
+
+Regenerates the accuracy table: measured logical drift ``rho~`` and
+discontinuity ``alpha`` of good processors against the Theorem 5(ii)
+bounds ``rho + C/(2T)`` and ``epsilon + C/2``, across benign and
+Byzantine workloads and both clock populations.  Expected shape: both
+measured quantities below their bounds everywhere; drift approaches the
+hardware ``rho`` (the Section 4.1 remark) since C is tiny at K = 10+.
+"""
+
+from __future__ import annotations
+
+from _util import emit, once
+
+from repro.metrics.report import check_mark, table
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+from repro.runner.scenario import extremal_clocks, wander_clocks
+
+
+def run_e2():
+    params = default_params(n=7, f=2, pi=4.0)
+    cases = [
+        ("benign/wander", benign_scenario(params, duration=16.0, seed=1)),
+        ("benign/extremal", benign_scenario(params, duration=16.0, seed=1,
+                                            clock_factory=extremal_clocks)),
+        ("byzantine/wander", mobile_byzantine_scenario(params, duration=16.0, seed=2)),
+        ("byzantine/extremal", mobile_byzantine_scenario(
+            params, duration=16.0, seed=2, clock_factory=extremal_clocks)),
+    ]
+    bounds = params.bounds()
+    rows = []
+    for label, scenario in cases:
+        result = run(scenario)
+        accuracy = result.accuracy()
+        rows.append([
+            label,
+            accuracy.implied_drift, bounds.logical_drift,
+            check_mark(accuracy.implied_drift <= bounds.logical_drift),
+            accuracy.max_discontinuity, bounds.discontinuity,
+            check_mark(accuracy.max_discontinuity <= bounds.discontinuity),
+        ])
+    rows.append(["(hardware rho)", params.rho, "-", "-", "-", "-", "-"])
+    return rows
+
+
+def test_e2_accuracy_vs_bounds(benchmark):
+    rows = once(benchmark, run_e2)
+    emit("e2_accuracy", table(
+        ["workload", "drift_meas", "drift_bound", "5(ii)a",
+         "disc_meas", "disc_bound", "5(ii)b"],
+        rows,
+        title="E2: logical drift and discontinuity vs Theorem 5(ii) bounds",
+        precision=4,
+    ))
+    for row in rows[:-1]:
+        assert row[3] == "OK" and row[6] == "OK"

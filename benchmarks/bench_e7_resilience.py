@@ -1,0 +1,105 @@
+"""E7 — Definition 2 boundary: what happens past the model's limits.
+
+Regenerates the resilience table: the guarantee holds for an f-limited
+adversary on n >= 3f+1 processors, and is void just beyond — (f+1)
+simultaneous colluding liars break an n = 3f+1 network, while the same
+attack with only f liars does not.  Also shows that the plan auditor
+refuses plans that hop faster than PI allows.  Expected shape: OK
+exactly inside the model boundary, BROKEN/ REJECTED outside.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from _util import emit, once
+
+from repro.adversary.mobile import MobileAdversary, single_burst_plan
+from repro.adversary.strategies import TwoFacedStrategy
+from repro.errors import AdversaryError
+from repro.metrics.report import table
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def colluding_burst_scenario(params, liars, seed):
+    """`liars` colluding two-faced nodes split the rest of the network:
+    each good node with id below the median is told "low", the others
+    "high"."""
+    threshold = params.n - 1
+
+    def plan(scenario, clocks):
+        return single_burst_plan(
+            list(range(liars)), start=1.0, dwell=scenario.duration - 1.5,
+            strategy_factory=lambda n, e: TwoFacedStrategy(
+                magnitude=50.0 * params.way_off,
+                split=lambda recipient: recipient >= threshold),
+        )
+
+    scenario = benign_scenario(params, duration=10.0, seed=seed)
+    return dataclasses.replace(scenario, plan_builder=plan, enforce_f_limit=False)
+
+
+def run_e7():
+    rows = []
+    # 1. f-limited rotation on n = 3f+1: guaranteed, holds.
+    for n, f in ((4, 1), (7, 2)):
+        params = default_params(n=n, f=f, pi=4.0)
+        bound = params.bounds().max_deviation
+        result = run(mobile_byzantine_scenario(params, duration=12.0, seed=7))
+        deviation = result.max_deviation(warmup_for(params))
+        rows.append([f"n={n}", f"f={f} rotating", "inside model",
+                     deviation, bound, "OK" if deviation <= bound else "BROKEN"])
+
+    # 2. f simultaneous colluders: still inside the model, holds.
+    params = default_params(n=4, f=1, pi=4.0)
+    bound = params.bounds().max_deviation
+    result = run(colluding_burst_scenario(params, liars=1, seed=8))
+    deviation = result.max_deviation(warmup_for(params))
+    rows.append(["n=4", "f=1 colluding burst", "inside model",
+                 deviation, bound, "OK" if deviation <= bound else "BROKEN"])
+
+    # 3. f+1 simultaneous colluders: outside the model, breaks.
+    result = run(colluding_burst_scenario(params, liars=2, seed=8))
+    deviation = result.max_deviation(warmup_for(params))
+    rows.append(["n=4", "f+1=2 colluding burst", "OUTSIDE model",
+                 deviation, bound, "OK" if deviation <= bound else "BROKEN"])
+
+    # 4. Hop faster than PI: the auditor rejects the plan outright.
+    from repro.adversary.strategies import SilentStrategy
+    from repro.adversary.mobile import PlannedCorruption
+    fast_hop = [
+        PlannedCorruption(node=0, start=0.0, end=1.0, strategy=SilentStrategy()),
+        PlannedCorruption(node=1, start=1.5, end=2.5, strategy=SilentStrategy()),
+    ]
+    try:
+        import repro.sim.engine as engine
+        from repro.net.links import UniformDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+        sim = engine.Simulator(seed=0)
+        network = Network(sim, full_mesh(params.n), UniformDelay(params.delta))
+        MobileAdversary(sim, network, fast_hop, f=params.f, pi=params.pi)
+        rows.append(["n=4", "hop gap < PI", "OUTSIDE model", "-", "-", "NOT-REJECTED"])
+    except AdversaryError:
+        rows.append(["n=4", "hop gap < PI", "OUTSIDE model", "-", "-", "REJECTED"])
+    return rows
+
+
+def test_e7_resilience_boundary(benchmark):
+    rows = once(benchmark, run_e7)
+    emit("e7_resilience", table(
+        ["network", "adversary", "regime", "measured_dev", "bound", "verdict"],
+        rows,
+        title="E7: the Definition 2 boundary — guarantees hold exactly inside "
+              "the model",
+        precision=4,
+    ))
+    assert rows[0][-1] == "OK" and rows[1][-1] == "OK" and rows[2][-1] == "OK"
+    assert rows[3][-1] == "BROKEN"
+    assert rows[4][-1] == "REJECTED"

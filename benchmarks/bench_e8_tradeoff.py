@@ -1,0 +1,65 @@
+"""E8 — the Section 4.1 tradeoff: sync rate K vs achieved bounds.
+
+The theorem's constants depend on K = floor(PI / T): the residue
+``C = (17e + 18pT) / (2^K - 3)`` vanishes geometrically in K, so "if we
+choose T to be small compared to PI (for instance T = PI/20) then C is
+very small and we get almost perfect accuracy (rho~ ~ rho) and the
+significant term in the maximum deviation bound is 16*epsilon."
+
+We sweep target K with PI fixed and report the theoretical bounds plus
+the measured deviation under the Byzantine workload.  Expected shape:
+the deviation bound collapses toward ``16e + 18pT`` and the drift bound
+toward ``rho`` as K grows; measured deviation stays below the bound at
+every K; message cost grows linearly in K.
+"""
+
+from __future__ import annotations
+
+from _util import emit, once
+
+from repro.metrics.report import check_mark, table
+from repro.runner.builders import default_params, mobile_byzantine_scenario, warmup_for
+from repro.runner.experiment import run
+
+
+TARGET_KS = [5, 6, 8, 10, 15, 20]
+
+
+def run_e8():
+    rows = []
+    pi = 4.0
+    for target_k in TARGET_KS:
+        params = default_params(n=7, f=2, pi=pi, target_k=target_k)
+        bounds = params.bounds()
+        result = run(mobile_byzantine_scenario(params, duration=14.0, seed=8))
+        measured = result.max_deviation(warmup_for(params))
+        floor = 16 * params.epsilon + 18 * params.rho * bounds.t_interval
+        rows.append([
+            bounds.k, bounds.t_interval, bounds.c,
+            bounds.max_deviation, floor,
+            bounds.logical_drift / params.rho,
+            measured, check_mark(measured <= bounds.max_deviation),
+            result.messages_delivered,
+        ])
+    return rows
+
+
+def test_e8_k_tradeoff(benchmark):
+    rows = once(benchmark, run_e8)
+    emit("e8_tradeoff", table(
+        ["K", "T", "C", "dev_bound", "dev_floor_16e+18pT", "drift_bound/rho",
+         "measured_dev", "thm5(i)", "messages"],
+        rows,
+        title="E8: K = PI/T tradeoff — bounds tighten geometrically in K, "
+              "message cost grows linearly",
+        precision=4,
+    ))
+    ks = [row[0] for row in rows]
+    assert ks == sorted(ks)
+    cs = [row[2] for row in rows]
+    assert all(b < a for a, b in zip(cs, cs[1:])), "C must shrink with K"
+    drift_ratio = [row[5] for row in rows]
+    assert drift_ratio[-1] < 1.001, "drift bound approaches hardware rho"
+    assert all(row[7] == "OK" for row in rows)
+    messages = [row[8] for row in rows]
+    assert messages[-1] > messages[0], "higher K costs more messages"

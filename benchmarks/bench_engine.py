@@ -1,0 +1,76 @@
+"""Substrate microbenchmarks: simulator and network throughput.
+
+Not a paper experiment — these keep the simulator's performance visible
+so that regressions in the substrate (which every experiment's wall
+time depends on) are caught.  Run with normal pytest-benchmark
+statistics (many rounds), unlike the one-shot experiment benches.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.net.links import FixedDelay
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.runner.builders import benign_scenario, default_params
+from repro.runner.experiment import run
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run 10k chained timer events."""
+
+    def chain_events():
+        sim = Simulator(seed=0)
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(chain_events)
+    assert events == 10_000
+
+
+class _Echo(Process):
+    def on_message(self, message):
+        if message.payload < 20:
+            self.send(message.sender, message.payload + 1)
+
+
+def test_message_roundtrip_throughput(benchmark):
+    """Ping-pong bursts across a 10-node mesh."""
+
+    def run_mesh():
+        sim = Simulator(seed=0)
+        network = Network(sim, full_mesh(10), FixedDelay(delta=0.01, value=0.001))
+        for i in range(10):
+            network.bind(_Echo(i, sim, network,
+                               LogicalClock(FixedRateClock(rho=0.0))))
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    network.send(i, j, 0)
+        sim.run()
+        return network.messages_delivered
+
+    delivered = benchmark(run_mesh)
+    assert delivered > 900
+
+
+def test_full_scenario_wall_time(benchmark):
+    """End-to-end cost of a standard benign run (n=7, 5 simulated s)."""
+
+    def scenario_run():
+        result = run(benign_scenario(default_params(), duration=5.0, seed=1))
+        return result.events_processed
+
+    events = benchmark.pedantic(scenario_run, rounds=3, iterations=1)
+    assert events > 1000

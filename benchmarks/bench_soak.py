@@ -1,0 +1,87 @@
+"""Soak — long-horizon stability under randomized f-limited corruption.
+
+Not a paper table: a stability check over many adversary periods.  One
+long run (~60 PI-windows) with a randomized corruption plan (random
+victim groups, dwells, gaps — f-limited by construction) and the full
+strategy mix.  Expected shape: the deviation's 50th/95th/100th
+percentiles are flat across the run's thirds (no slow degradation), the
+Theorem 5 bound holds globally, and every one of the dozens of released
+victims recovers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from _util import emit, once
+
+from repro.adversary.mobile import random_plan
+from repro.metrics.report import check_mark, table
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    standard_strategy_mix,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def run_soak():
+    params = default_params(n=7, f=2, pi=2.0)
+    duration = 120.0  # 60 adversary periods
+
+    def plan(scenario, clocks):
+        return random_plan(n=params.n, f=params.f, pi=params.pi,
+                           duration=scenario.duration,
+                           strategy_factory=standard_strategy_mix(params, 99),
+                           rng=random.Random(0x50AC))
+
+    scenario = benign_scenario(params, duration=duration, seed=99)
+    scenario = dataclasses.replace(scenario, plan_builder=plan, name="soak")
+    result = run(scenario)
+
+    bound = params.bounds().max_deviation
+    warmup = warmup_for(params)
+    thirds = []
+    for i in range(3):
+        lo = warmup + i * (duration - warmup) / 3
+        series = [dev for tau, dev in result.deviation_series(warmup)
+                  if lo <= tau < lo + (duration - warmup) / 3]
+        ordered = sorted(series)
+        thirds.append([
+            f"third {i + 1}",
+            ordered[len(ordered) // 2],
+            ordered[int(len(ordered) * 0.95)],
+            ordered[-1],
+            check_mark(ordered[-1] <= bound),
+        ])
+    recovery = result.recovery()
+    summary = [
+        "whole run",
+        result.deviation_percentiles(warmup)[50.0],
+        result.deviation_percentiles(warmup)[95.0],
+        result.max_deviation(warmup),
+        check_mark(result.max_deviation(warmup) <= bound),
+    ]
+    return thirds + [summary], result, bound
+
+
+def test_soak_long_horizon(benchmark):
+    rows, result, bound = once(benchmark, run_soak)
+    recovery = result.recovery()
+    emit("soak", table(
+        ["window", "p50_dev", "p95_dev", "max_dev", "thm5(i)"],
+        rows,
+        title=(f"Soak: 120 s (~60 PI-windows), randomized f-limited plan, "
+               f"{len(result.corruptions)} corruption episodes, bound "
+               f"{bound:.4g}"),
+        precision=4,
+    ) + f"\n\nreleases: {len(recovery.events)}, all recovered: "
+        f"{recovery.all_recovered}, worst recovery "
+        f"{recovery.max_recovery_time:.3f}s")
+    for row in rows:
+        assert row[4] == "OK"
+    assert recovery.events and recovery.all_recovered
+    # No slow degradation: the last third's p95 is within 3x the first's.
+    assert rows[2][2] <= 3 * rows[0][2] + 1e-6

@@ -1,0 +1,72 @@
+"""Statistics — headline measures with confidence intervals over seeds.
+
+The experiment tables elsewhere report single-seed (deterministic)
+numbers; this bench establishes that they are not seed-lottery
+artifacts: the three headline measures of the standard n=7, f=2
+Byzantine workload are replicated over seeds and reported as
+mean ± 95% CI.  Expected shape: tight intervals, all comfortably on the
+correct side of their bounds.
+"""
+
+from __future__ import annotations
+
+from _util import emit, once
+
+from repro.metrics.report import check_mark, table
+from repro.runner.builders import (
+    default_params,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    warmup_for,
+)
+from repro.runner.stats import replicate_measure
+
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def run_stats():
+    params = default_params(n=7, f=2, pi=4.0)
+    bounds = params.bounds()
+    warmup = warmup_for(params)
+
+    deviation = replicate_measure(
+        lambda seed: mobile_byzantine_scenario(params, duration=14.0, seed=seed),
+        lambda result: result.max_deviation(warmup),
+        seeds=SEEDS)
+    drift = replicate_measure(
+        lambda seed: mobile_byzantine_scenario(params, duration=14.0, seed=seed),
+        lambda result: result.accuracy().implied_drift,
+        seeds=SEEDS)
+    recovery = replicate_measure(
+        lambda seed: recovery_scenario(params, duration=10.0, seed=seed),
+        lambda result: result.recovery().max_recovery_time,
+        seeds=SEEDS)
+
+    rows = [
+        ["max deviation", deviation.mean, deviation.half_width,
+         deviation.ci_high, bounds.max_deviation,
+         check_mark(deviation.ci_high <= bounds.max_deviation)],
+        ["implied drift", drift.mean, drift.half_width, drift.ci_high,
+         bounds.logical_drift,
+         check_mark(drift.ci_high <= bounds.logical_drift)],
+        ["recovery time", recovery.mean, recovery.half_width,
+         recovery.ci_high, params.pi,
+         check_mark(recovery.ci_high <= params.pi)],
+    ]
+    return rows
+
+
+def test_headline_measures_with_cis(benchmark):
+    rows = once(benchmark, run_stats)
+    emit("stats_cis", table(
+        ["measure", "mean", "±95% CI", "CI upper", "bound", "upper < bound"],
+        rows,
+        title=f"Headline measures, mean ± 95% CI over seeds {SEEDS} "
+              "(n=7, f=2, rotating Byzantine workload)",
+        precision=4,
+    ))
+    for row in rows:
+        assert row[-1] == "OK", row
+        # Tight replication: the CI half-width is well under the mean's
+        # distance to the bound.
+        assert row[2] < row[4] - row[1], row

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Parameter tuning: pick SyncInt / MaxWait / WayOff for a deployment.
+
+Given a deployment's physical facts — network delay bound delta, clock
+drift rho, how fast the adversary can move (PI), how many simultaneous
+faults to tolerate (f) — this example walks the Section 3.2 / Theorem 5
+math to answer the operator's questions:
+
+1. What deviation bound do I get, and how does it split into the
+   epsilon / drift / residue terms?
+2. How fast do I have to sync (K) before the residue term C stops
+   mattering?
+3. What is the message cost of tightening the bound?
+4. What if I can only *overestimate* delta and rho (Section 3.3)?
+
+It then validates the chosen configuration with a short adversarial
+simulation.
+
+Usage:
+    python examples/parameter_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import ProtocolParams, default_params, mobile_byzantine_scenario, run
+from repro.metrics.report import check_mark, table
+from repro.runner.builders import warmup_for
+
+# ----------------------------------------------------------------------
+# The deployment's physical facts (edit these for your network).
+# ----------------------------------------------------------------------
+N = 7          # processors
+F = 2          # simultaneous faults to tolerate (needs n >= 3f+1)
+DELTA = 0.005  # message delivery bound, seconds
+RHO = 5e-4     # hardware drift bound
+PI = 4.0       # adversary period: min time between corruption waves
+
+
+def main() -> int:
+    print("Step 1 — sweep the sync rate K and read the Theorem 5 bounds:\n")
+    rows = []
+    for target_k in (5, 8, 12, 20, 40):
+        params = ProtocolParams.derive(n=N, f=F, delta=DELTA, rho=RHO, pi=PI,
+                                       target_k=target_k)
+        bounds = params.bounds()
+        msgs_per_sec = N * (N - 1) * 2 / params.sync_interval
+        rows.append([
+            bounds.k, params.sync_interval, bounds.c,
+            16 * params.epsilon, 18 * params.rho * bounds.t_interval,
+            4 * bounds.c, bounds.max_deviation, int(msgs_per_sec),
+        ])
+    print(table(
+        ["K", "SyncInt", "C", "16e term", "18pT term", "4C term",
+         "deviation bound", "msgs/s"],
+        rows,
+        title="Theorem 5(i) bound = 16e + 18pT + 4C, by sync rate",
+        precision=4,
+    ))
+    print("\n=> past K ~ 10 the 4C residue is negligible; the bound is "
+          "dominated by 16*epsilon, i.e. by your network delay. Sync "
+          "faster only if you need the drift term down.\n")
+
+    print("Step 2 — what if delta/rho are only known as overestimates?\n")
+    base = ProtocolParams.derive(n=N, f=F, delta=DELTA, rho=RHO, pi=PI)
+    rows = []
+    for factor in (1.0, 2.0, 4.0):
+        inflated = base.scaled(delta_factor=factor)
+        rows.append([factor, inflated.max_wait, inflated.way_off,
+                     inflated.bounds().max_deviation])
+    print(table(
+        ["delta overestimate", "MaxWait", "WayOff", "deviation bound"],
+        rows,
+        title="Section 3.3: tunables from inflated delta (true network unchanged)",
+        precision=4,
+    ))
+    print("\n=> the achieved bound degrades linearly in the overestimate — "
+          "no cliff, no failure (bench E9 validates this empirically).\n")
+
+    print("Step 3 — validate the chosen configuration under attack:\n")
+    chosen = ProtocolParams.derive(n=N, f=F, delta=DELTA, rho=RHO, pi=PI,
+                                   target_k=12)
+    result = run(mobile_byzantine_scenario(chosen, duration=16.0, seed=7))
+    verdict = result.verdict(warmup=warmup_for(chosen))
+    recovery = result.recovery()
+    print(table(
+        ["check", "measured", "bound", "holds"],
+        [
+            ["deviation", verdict.measured_deviation,
+             verdict.bounds.max_deviation, check_mark(verdict.deviation_ok)],
+            ["drift", verdict.measured_drift,
+             verdict.bounds.logical_drift, check_mark(verdict.drift_ok)],
+            ["discontinuity", verdict.measured_discontinuity,
+             verdict.bounds.discontinuity, check_mark(verdict.discontinuity_ok)],
+            ["recovery < PI", recovery.max_recovery_time, chosen.pi,
+             check_mark(recovery.max_recovery_time < chosen.pi)],
+        ],
+        precision=4,
+    ))
+    print(f"\nChosen: SyncInt={chosen.sync_interval:.4f}s, "
+          f"MaxWait={chosen.max_wait:.4f}s, WayOff={chosen.way_off:.4f}s "
+          f"(K={chosen.k}).")
+    return 0 if verdict.all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Proactive security on top of Sync: clock-driven key refresh, live.
+
+The paper's motivating application (Section 1): proactive security
+protocols periodically refresh secrets so that whatever an attacker
+stole becomes useless — but "the security and reliability of such
+periodical protocols depend on securely synchronized clocks."  This
+example runs that missing layer end-to-end using
+:class:`repro.service.RefreshingSyncProcess`:
+
+* every processor runs Sync under a rotating f-limited Byzantine
+  adversary that eventually corrupts *all* of them;
+* on top, each processor rotates its (simulated) key share whenever its
+  logical clock crosses an epoch boundary, gossiping announcements;
+* the epoch is *derived from the clock* — a recovered processor
+  re-derives the correct epoch with no detection signal.
+
+The security property checked live: all good processors' key epochs
+agree to within one at every instant, so a threshold of combinable
+fresh shares always exists and exposed shares age out on schedule.
+The same workload on free-running clocks is shown to break it.
+
+Usage:
+    python examples/proactive_refresh.py
+"""
+
+from __future__ import annotations
+
+from repro import default_params, mobile_byzantine_scenario, run
+from repro.metrics.report import table
+from repro.metrics.sampler import good_set
+from repro.service import make_refreshing
+
+EPOCH_LEN = 0.5  # logical-clock seconds per key epoch
+
+
+def epoch_agreement(result, warmup: float):
+    """(#instants checked, #violations, worst spread) over good nodes."""
+    params = result.params
+    checked = violations = worst = 0
+    for i, tau in enumerate(result.samples.times):
+        if tau < warmup:
+            continue
+        good = good_set(result.corruptions, tau, params.pi, params.n)
+        if len(good) < 2:
+            continue
+        epochs = [int(result.samples.clocks[node][i] // EPOCH_LEN)
+                  for node in good]
+        spread = max(epochs) - min(epochs)
+        checked += 1
+        worst = max(worst, spread)
+        if spread > 1:
+            violations += 1
+    return checked, violations, worst
+
+
+def main() -> int:
+    params = default_params(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+    warmup = 2.0
+    duration = 24.0
+    print(f"Key epochs of {EPOCH_LEN}s logical time; n={params.n}, "
+          f"f={params.f}, PI={params.pi}.")
+    print("Rotating Byzantine adversary corrupts every processor over "
+          "the run.\n")
+
+    rows = []
+    live = None
+    for protocol in (make_refreshing(EPOCH_LEN), "drift-only"):
+        label = "sync + refresh layer" if callable(protocol) else protocol
+        result = run(mobile_byzantine_scenario(params, duration=duration,
+                                               seed=3, protocol=protocol))
+        checked, violations, worst = epoch_agreement(result, warmup)
+        rows.append([label, checked, violations, worst,
+                     "SECURE" if violations == 0 else "STALLED/INSECURE"])
+        if callable(protocol):
+            live = result
+
+    print(table(
+        ["clock layer", "instants", "epoch violations", "worst spread",
+         "proactive refresh"],
+        rows,
+        title="Epoch agreement among good processors (violation = good "
+              "epochs differ by > 1)",
+    ))
+
+    if live is not None:
+        rotations = {node: len(p.rotations)
+                     for node, p in live.processes.items()}
+        final = {node: p.key_epoch for node, p in live.processes.items()}
+        print(f"\nlive rotations per node: {list(rotations.values())}")
+        print(f"final key epochs:        {list(final.values())} "
+              f"(spread {max(final.values()) - min(final.values())})")
+
+    ok = rows[0][2] == 0 and rows[1][2] > 0
+    print("\nWith Sync underneath, refresh stays on schedule through "
+          "unbounded total corruptions —\nrecovered nodes re-derive their "
+          "epoch from the clock, no detection needed; without it,\none "
+          "scrambled clock permanently desynchronizes the epochs." if ok else
+          "\nUnexpected outcome — inspect the series above.")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

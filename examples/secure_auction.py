@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bids with expiration dates: the paper's e-commerce motivation, live.
+
+Section 1: "some security tasks require securely synchronized clocks by
+their very definition, for example time-stamping and e-commerce
+applications such as payments and bids with expiration dates."
+
+This example runs a sealed-bid auction across a cluster whose clocks
+are kept synchronized by Sync *while a mobile Byzantine adversary works
+through the membership*.  Each replica independently decides, from its
+own clock (applying the skew allowance that
+:class:`repro.service.SecureTimeService` codifies), which bids arrived
+before the deadline.  The security property at stake: **all
+good replicas accept exactly the same set of bids** — a replica whose
+clock an attacker had scrambled must not disagree about which bids made
+the cut (that disagreement is how a malicious "late" bid gets accepted
+by part of the cluster).
+
+We check the property across many auction rounds, and contrast with the
+same cluster running drift-only clocks, where scrambled clocks make
+replicas disagree.
+
+Usage:
+    python examples/secure_auction.py
+"""
+
+from __future__ import annotations
+
+from repro import default_params, mobile_byzantine_scenario, run
+from repro.metrics.report import table
+from repro.metrics.sampler import good_set
+
+
+BID_TIMES = [0.15, 0.35, 0.48, 0.52, 0.71, 0.93]  # offsets into each round
+ROUND_LEN = 1.0
+DEADLINE = 0.6  # bids with issue clock < round_start + DEADLINE are on time
+
+
+def auction_decisions(result, warmup: float):
+    """Replay auction rounds over the sampled clocks.
+
+    Round ``r`` has an absolute deadline at clock value
+    ``r * ROUND_LEN + DEADLINE`` — deadlines live in the shared clock
+    coordinate, which is the whole point of synchronized time.  Each
+    replica accepts a bid iff, at the bid's arrival, the replica's own
+    clock has not passed the deadline (plus the Theorem 5 skew allowance
+    a correct implementation must grant).  Bids arrive everywhere at the
+    same real time, isolating clock disagreement from network skew.
+
+    Returns (#rounds checked, #rounds where good replicas disagreed).
+    """
+    params = result.params
+    service_skew = params.bounds().max_deviation
+    rounds = disagreements = 0
+    horizon = result.samples.times[-1]
+    round_no = int(warmup // ROUND_LEN) + 1
+    while (round_no + 1) * ROUND_LEN <= horizon:
+        round_start = round_no * ROUND_LEN
+        deadline_clock = round_start + DEADLINE
+        good = good_set(result.corruptions, round_start + ROUND_LEN,
+                        params.pi, params.n)
+        if len(good) >= 2:
+            verdicts = {}
+            for node in good:
+                accepted = []
+                for k, offset in enumerate(BID_TIMES):
+                    index = result.samples.index_at_or_before(round_start + offset)
+                    clock_at_bid = result.samples.clocks[node][index]
+                    if clock_at_bid <= deadline_clock + service_skew:
+                        accepted.append(k)
+                verdicts[node] = tuple(accepted)
+            rounds += 1
+            if len(set(verdicts.values())) > 1:
+                disagreements += 1
+        round_no += 1
+    return rounds, disagreements
+
+
+def main() -> int:
+    params = default_params(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+    warmup = 2.0
+    duration = 30.0
+    print(f"Auction rounds of {ROUND_LEN}s, deadline at {DEADLINE}s, "
+          f"{len(BID_TIMES)} bids per round;")
+    print(f"skew allowance = Theorem 5 bound = "
+          f"{params.bounds().max_deviation:.4f}s; rotating Byzantine "
+          f"adversary throughout.\n")
+
+    rows = []
+    for protocol in ("sync", "drift-only"):
+        result = run(mobile_byzantine_scenario(params, duration=duration,
+                                               seed=21, protocol=protocol))
+        rounds, disagreements = auction_decisions(result, warmup)
+        rows.append([protocol, rounds, disagreements,
+                     "CONSISTENT" if disagreements == 0 else "SPLIT DECISIONS"])
+
+    print(table(
+        ["clock layer", "auction rounds", "rounds with disagreement", "verdict"],
+        rows,
+        title="Do all good replicas accept the same bid set?",
+    ))
+
+    ok = rows[0][2] == 0 and rows[1][2] > 0
+    print("\nWith Sync, every good replica reaches the same accept/reject "
+          "decision in every round,\neven right after recovering from a "
+          "break-in; with free-running clocks, scrambled\nreplicas "
+          "disagree — the attack the paper's 'secure time' exists to prevent."
+          if ok else "\nUnexpected outcome — inspect above.")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Secure time-stamping: the Haber-Stornetta motivation [14], live.
+
+Section 1: "some security tasks require securely synchronized clocks
+by their very definition, for example time-stamping [14]".  A
+time-stamping service certifies *when* a document existed; its security
+reduces to two clock properties across the (distributed, periodically
+corrupted) notary cluster:
+
+1. **Monotone certification**: if document A was submitted strictly
+   after document B plus the deviation window, then every good notary's
+   timestamp for A exceeds its timestamp for B — corrupted-and-recovered
+   notaries must not certify time inversions.
+2. **Cross-notary comparability**: two good notaries' timestamps for
+   the *same* submission differ by at most the Theorem 5 bound, so any
+   verifier can compare certificates from different notaries with a
+   known tolerance.
+
+We submit a stream of documents to all notaries while a mobile
+Byzantine adversary rotates through them, then audit both properties
+over the (Definition 3) good notaries — and contrast with free-running
+clocks, which violate them after the first scramble.
+
+Usage:
+    python examples/timestamping.py
+"""
+
+from __future__ import annotations
+
+from repro import default_params, mobile_byzantine_scenario, run
+from repro.metrics.report import table
+from repro.metrics.sampler import good_set
+
+
+SUBMISSION_SPACING = 0.35  # real seconds between document submissions
+
+
+def collect_certificates(result, warmup: float):
+    """Timestamp every document at every notary good at submission time.
+
+    Returns ``[(doc_index, submit_time, {notary: stamp})]``.
+    """
+    params = result.params
+    certificates = []
+    horizon = result.samples.times[-1]
+    t = warmup
+    doc = 0
+    while t <= horizon:
+        index = result.samples.index_at_or_before(t)
+        good = good_set(result.corruptions, t, params.pi, params.n)
+        stamps = {node: result.samples.clocks[node][index] for node in good}
+        if len(stamps) >= 2:
+            certificates.append((doc, t, stamps))
+        doc += 1
+        t += SUBMISSION_SPACING
+    return certificates
+
+
+def audit(certificates, tolerance):
+    """Count violations of the two time-stamping properties."""
+    inversions = comparability = 0
+    for (_, t_a, stamps_a) in certificates:
+        for (_, t_b, stamps_b) in certificates:
+            if t_a <= t_b + tolerance:
+                continue
+            # A submitted after B (beyond tolerance): every notary good
+            # for both must order them correctly.
+            for node in stamps_a.keys() & stamps_b.keys():
+                if stamps_a[node] <= stamps_b[node]:
+                    inversions += 1
+    for (_, _, stamps) in certificates:
+        values = list(stamps.values())
+        if max(values) - min(values) > tolerance:
+            comparability += 1
+    return inversions, comparability
+
+
+def main() -> int:
+    params = default_params(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+    tolerance = params.bounds().max_deviation
+    warmup = 2.0
+    print(f"Notary cluster n={params.n}, f={params.f}; documents every "
+          f"{SUBMISSION_SPACING}s; comparability tolerance = Theorem 5 "
+          f"bound = {tolerance:.4f}s.\n")
+
+    rows = []
+    for protocol in ("sync", "drift-only"):
+        result = run(mobile_byzantine_scenario(params, duration=30.0, seed=33,
+                                               protocol=protocol))
+        certificates = collect_certificates(result, warmup)
+        inversions, comparability = audit(certificates, tolerance)
+        rows.append([protocol, len(certificates), inversions, comparability,
+                     "SOUND" if inversions == comparability == 0 else "BROKEN"])
+
+    print(table(
+        ["clock layer", "documents", "time inversions",
+         "incomparable certificates", "verdict"],
+        rows,
+        title="Time-stamping audit over good notaries (mobile Byzantine "
+              "adversary active)",
+    ))
+    ok = rows[0][4] == "SOUND" and rows[1][4] == "BROKEN"
+    print("\nSynchronized notaries never certify an inversion and always "
+          "issue comparable stamps;\nfree-running notaries break both "
+          "properties once a scrambled clock rejoins." if ok
+          else "\nUnexpected outcome — inspect above.")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The Section 5 counterexample, live: when connectivity is not enough.
+
+The paper proves the full-mesh case and conjectures weaker topologies
+suffice — but gives one explicit counterexample: two cliques of 3f+1
+nodes joined by a perfect matching.  The graph is (3f+1)-connected,
+yet each node hears 3f same-clique clocks and only ONE cross-clique
+clock, so the f+1-st order statistics never let the single cross voice
+move the clique.  With the cliques' hardware drifting in opposite
+directions, they sail apart while each stays internally perfect.
+
+This example runs the counterexample and the full-mesh control and
+prints both gap trajectories side by side.
+
+Usage:
+    python examples/two_clique_failure.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import run, two_clique_scenario
+from repro.metrics.report import table
+
+
+def gaps(result, checkpoints):
+    params = result.params
+    half = params.n // 2
+    rows = []
+    for t in checkpoints:
+        index = result.samples.index_at_or_before(t)
+        c1 = [result.samples.clocks[i][index] for i in range(half)]
+        c2 = [result.samples.clocks[i][index] for i in range(half, params.n)]
+        rows.append((max(c1) - min(c1),
+                     abs(statistics.mean(c1) - statistics.mean(c2))))
+    return rows
+
+
+def main() -> int:
+    duration = 40.0
+    checkpoints = [5.0, 10.0, 20.0, 30.0, 40.0]
+
+    clique_run = run(two_clique_scenario(f=1, duration=duration, seed=6))
+    mesh_scenario = two_clique_scenario(f=1, duration=duration, seed=6)
+    mesh_scenario.topology = None  # same nodes, full mesh
+    mesh_run = run(mesh_scenario)
+
+    params = clique_run.params
+    bound = params.bounds().max_deviation
+    print(f"n = {params.n} (two cliques of {params.n // 2}, f = 1), "
+          f"Theorem 5 deviation bound = {bound:.4f}s")
+    print("Clique 1 drifts fast (+rho), clique 2 slow (-rho); "
+          "each node has exactly one cross-clique link.\n")
+
+    rows = []
+    for t, (w1, gap_c), (_, gap_m) in zip(checkpoints,
+                                          gaps(clique_run, checkpoints),
+                                          gaps(mesh_run, checkpoints)):
+        rows.append([t, w1, gap_c,
+                     "DIVERGED" if gap_c > bound else "ok",
+                     gap_m,
+                     "ok" if gap_m <= bound else "DIVERGED"])
+    print(table(
+        ["time", "intra-clique dev", "two-clique gap", "", "full-mesh gap", ""],
+        rows,
+        title="Cross-clique clock gap: matching topology vs full mesh",
+        precision=4,
+    ))
+
+    final_gap = rows[-1][2]
+    print(f"\nOn the two-clique graph the gap reached {final_gap:.4f}s "
+          f"({final_gap / bound:.1f}x the bound) and keeps growing at the "
+          f"mutual drift rate;\nthe same clocks on a full mesh never exceeded "
+          f"{max(r[4] for r in rows):.4f}s.")
+    print("(3f+1)-connectivity alone is NOT sufficient for this protocol — "
+          "exactly as Section 5 warns.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

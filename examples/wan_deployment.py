@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Capstone: a 'production' WAN deployment, everything composed.
+
+One scenario exercising the whole library the way a deployment would:
+
+* 10 processors across two sites — intra-site LAN links (fast), cross-
+  site WAN links (slow) under one global ``delta``
+  (:class:`~repro.net.links.HeterogeneousDelay`);
+* 2% random message loss;
+* min-of-3 round-trip estimation (the Section 3.1 / NTP optimization);
+* the drift-compensating Sync extension;
+* a rotating f-limited Byzantine adversary (f = 3) with the standard
+  strategy mix;
+* per-node health monitors watching the sync records;
+* replication statistics: the headline deviation as mean ± 95% CI over
+  seeds.
+
+Usage:
+    python examples/wan_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import default_params, mobile_byzantine_scenario, run
+from repro.metrics.report import check_mark, table
+from repro.net.links import HeterogeneousDelay
+from repro.protocols.drift_compensation import DriftCompensatingProcess
+from repro.runner.builders import warmup_for
+from repro.runner.stats import replicate_measure
+from repro.service import SyncHealthMonitor
+
+
+N, F = 10, 3
+SEEDS = [1, 2, 3]
+
+
+def site_classifier(delta):
+    """Nodes 0-4 are site A, 5-9 site B: LAN within, WAN across."""
+
+    def classify(a: int, b: int) -> tuple[float, float]:
+        same_site = (a < N // 2) == (b < N // 2)
+        if same_site:
+            return (0.05 * delta, 0.15 * delta)
+        return (0.6 * delta, delta)
+
+    return classify
+
+
+def build_scenario(params, seed, monitors):
+    def factory(node_id, sim, network, clock, params_, start_phase):
+        process = DriftCompensatingProcess(node_id, sim, network, clock,
+                                           params_, start_phase=start_phase)
+        process.pings_per_peer = 3  # min-of-k estimation on jittery WAN
+        monitor = SyncHealthMonitor(params_, node_id)
+        process.sync_listeners.append(monitor.on_sync)
+        monitors[node_id] = monitor
+        return process
+
+    return mobile_byzantine_scenario(
+        params, duration=20.0, seed=seed, protocol=factory,
+        delay_model=HeterogeneousDelay(params.delta,
+                                       classifier=site_classifier(params.delta)),
+        loss_rate=0.02,
+    )
+
+
+def main() -> int:
+    params = default_params(n=N, f=F, delta=0.01, rho=5e-4, pi=2.0)
+    bounds = params.bounds()
+    warmup = warmup_for(params)
+    print(f"Two-site WAN deployment: n={N}, f={F}, global delta="
+          f"{params.delta * 1000:.0f}ms (LAN ~1ms, WAN ~6-10ms), 2% loss,\n"
+          f"min-of-3 estimation, drift compensation, rotating Byzantine "
+          f"adversary.\n")
+
+    monitors: dict[int, SyncHealthMonitor] = {}
+    result = run(build_scenario(params, SEEDS[0], monitors))
+    verdict = result.verdict(warmup=warmup)
+    recovery = result.recovery()
+    pct = result.deviation_percentiles(warmup)
+
+    print(table(
+        ["check", "measured", "bound", "holds"],
+        [
+            ["max deviation", verdict.measured_deviation,
+             bounds.max_deviation, check_mark(verdict.deviation_ok)],
+            ["p95 deviation", pct[95.0], bounds.max_deviation, "-"],
+            ["logical drift", verdict.measured_drift, bounds.logical_drift,
+             check_mark(verdict.drift_ok)],
+            ["discontinuity", verdict.measured_discontinuity,
+             bounds.discontinuity, check_mark(verdict.discontinuity_ok)],
+            ["worst recovery", recovery.max_recovery_time, params.pi,
+             check_mark(recovery.max_recovery_time < params.pi)],
+        ],
+        title=f"Run (seed {SEEDS[0]}): {len(result.corruptions)} corruption "
+              f"episodes, {result.messages_delivered} messages",
+        precision=4,
+    ))
+
+    alert_totals: dict[str, int] = {}
+    for monitor in monitors.values():
+        for kind, count in monitor.alert_counts().items():
+            alert_totals[kind] = alert_totals.get(kind, 0) + count
+    print(f"\nhealth alerts across the fleet: {alert_totals or 'none'}")
+    print("(way-off alerts are the monitors noticing their own nodes "
+          "recovering — advisory only,\n the protocol never consumes them)")
+
+    print("\nReplicating the headline deviation over seeds "
+          f"{SEEDS} ...")
+    summary = replicate_measure(
+        lambda seed: build_scenario(params, seed, {}),
+        lambda r: r.max_deviation(warmup),
+        seeds=SEEDS)
+    print(f"max deviation = {summary} vs bound {bounds.max_deviation:.4f}")
+
+    ok = verdict.all_ok and recovery.all_recovered \
+        and summary.ci_high < bounds.max_deviation
+    print("\nDeployment meets every Theorem 5 guarantee with margin."
+          if ok else "\nGUARANTEE AT RISK — see above.")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

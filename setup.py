@@ -1,0 +1,7 @@
+"""Setup shim so `pip install -e .` works on environments whose
+setuptools lacks the PEP 660 wheel path (no `wheel` package installed).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

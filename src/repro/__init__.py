@@ -1,0 +1,91 @@
+"""repro — reproduction of "Clock Synchronization with Faults and Recoveries".
+
+Barak, Halevi, Herzberg, Naor (PODC 2000): a convergence-function clock
+synchronization protocol tolerating a *mobile* Byzantine adversary —
+unbounded total faults, at most ``f`` of ``n >= 3f+1`` processors
+faulty within any window of length ``PI`` — with automatic recovery and
+no fault detection.
+
+Quickstart::
+
+    from repro import mobile_byzantine_scenario, run
+
+    result = run(mobile_byzantine_scenario(duration=20.0, seed=1))
+    verdict = result.verdict(warmup=1.0)
+    print("max deviation:", verdict.measured_deviation,
+          "bound:", verdict.bounds.max_deviation, "ok:", verdict.all_ok)
+
+Layout:
+
+* :mod:`repro.core` — the Sync protocol, parameters/bounds, analysis.
+* :mod:`repro.sim` — deterministic discrete-event simulator.
+* :mod:`repro.clocks` — drift-bounded hardware clocks.
+* :mod:`repro.net` — authenticated bounded-delay links, topologies.
+* :mod:`repro.adversary` — mobile f-limited Byzantine adversary.
+* :mod:`repro.protocols` — comparison baselines.
+* :mod:`repro.metrics` — Definition 3 measurement pipeline.
+* :mod:`repro.runner` — scenarios, runs, sweeps.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    PaperConvergence,
+    ProtocolParams,
+    SyncProcess,
+    Theorem5Bounds,
+    theorem5_verdict,
+)
+from repro.errors import (
+    AdversaryError,
+    ClockError,
+    ConfigurationError,
+    MeasurementError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.runner import (
+    RunResult,
+    Scenario,
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    replicate,
+    run,
+    split_world_scenario,
+    sweep,
+    two_clique_scenario,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "ProtocolParams",
+    "Theorem5Bounds",
+    "SyncProcess",
+    "PaperConvergence",
+    "theorem5_verdict",
+    # runner
+    "Scenario",
+    "RunResult",
+    "run",
+    "sweep",
+    "replicate",
+    "default_params",
+    "benign_scenario",
+    "mobile_byzantine_scenario",
+    "recovery_scenario",
+    "split_world_scenario",
+    "two_clique_scenario",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ParameterError",
+    "TopologyError",
+    "SimulationError",
+    "ClockError",
+    "AdversaryError",
+    "MeasurementError",
+]

@@ -1,0 +1,51 @@
+"""Mobile Byzantine adversary: f-limited scheduling plus attack strategies.
+
+Implements the adversary model of Section 2.2 / Definition 2: arbitrary
+(Byzantine) control of at most ``f`` processors during any window of
+length ``PI``, with no fault or recovery detection available to the
+protocol.
+"""
+
+from repro.adversary.base import ByzantineStrategy
+from repro.adversary.mobile import (
+    MobileAdversary,
+    PlannedCorruption,
+    audit_f_limited,
+    random_plan,
+    rotating_plan,
+    round_robin_plan,
+    single_burst_plan,
+)
+from repro.adversary.strategies import (
+    LiarStrategy,
+    MalformedStrategy,
+    ReplayStrategy,
+    NearBoundaryResetStrategy,
+    NoisyStrategy,
+    RandomClockStrategy,
+    SilentStrategy,
+    SplitWorldStrategy,
+    StealthDriftStrategy,
+    TwoFacedStrategy,
+)
+
+__all__ = [
+    "ByzantineStrategy",
+    "MobileAdversary",
+    "PlannedCorruption",
+    "audit_f_limited",
+    "rotating_plan",
+    "random_plan",
+    "round_robin_plan",
+    "single_burst_plan",
+    "SilentStrategy",
+    "RandomClockStrategy",
+    "LiarStrategy",
+    "ReplayStrategy",
+    "MalformedStrategy",
+    "NoisyStrategy",
+    "TwoFacedStrategy",
+    "SplitWorldStrategy",
+    "NearBoundaryResetStrategy",
+    "StealthDriftStrategy",
+]

@@ -1,0 +1,59 @@
+"""Adversary primitives: the Byzantine strategy interface.
+
+The paper's adversary (Section 2.2) can, while controlling a processor
+``p``: read ``p``'s internal state, modify it (including the adjustment
+variable ``adj_p``), and send messages *as* ``p``.  It can also observe
+all network traffic.  It cannot modify messages between good
+processors, and loses all access to ``p`` once it leaves.
+
+A :class:`ByzantineStrategy` encodes one behaviour of a controlled
+processor.  The :class:`~repro.adversary.mobile.MobileAdversary`
+schedules break-ins and releases per an f-limited plan and routes the
+victim's message traffic to the strategy while control lasts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.message import Message
+    from repro.sim.process import Process
+
+
+class ByzantineStrategy:
+    """One behaviour for a controlled processor.
+
+    Subclasses override any of the three hooks.  The ``process`` handed
+    to the hooks is the *victim's* process object: strategies send
+    messages via ``process.send`` (authenticated as the victim), read
+    and overwrite its clock via ``process.clock``, and can consult
+    ``process.sim`` for time and randomness.
+
+    Attributes:
+        name: Strategy label recorded in corruption traces.
+    """
+
+    name = "abstract"
+
+    def on_break_in(self, process: "Process", rng: random.Random) -> None:
+        """Called at the moment of corruption (state capture, sabotage)."""
+
+    def on_message(self, process: "Process", message: "Message",
+                   rng: random.Random) -> None:
+        """Handle a message delivered to the controlled node.
+
+        The default drops it (a silent fault).
+        """
+
+    def on_leave(self, process: "Process", rng: random.Random) -> None:
+        """Called just before the adversary releases the node.
+
+        This is where "leave the clock somewhere nasty" attacks live —
+        whatever ``adj`` holds when this returns is what the recovering
+        protocol must fix.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

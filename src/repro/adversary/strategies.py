@@ -1,0 +1,312 @@
+"""Concrete Byzantine strategies.
+
+Each strategy isolates one attack the analysis must survive:
+
+* :class:`SilentStrategy` — crash/napping fault; peers' estimates of the
+  victim time out (``a = inf``).
+* :class:`RandomClockStrategy` — scrambles the victim's clock on
+  break-in and answers pings honestly *from the scrambled clock*; the
+  basic recovery workload.
+* :class:`LiarStrategy` — answers every ping with a constant enormous
+  offset; breaks unprotected averaging, bounced off by order-statistic
+  selection.
+* :class:`NoisyStrategy` — answers each ping with independent random
+  values; the chaos-monkey fault.
+* :class:`TwoFacedStrategy` — tells low-numbered peers a low clock and
+  high-numbered peers a high clock; the classic Byzantine split attack.
+* :class:`SplitWorldStrategy` — omniscient variant: pushes each
+  *recipient* outward from the current median, the strongest spreading
+  attack we know against convergence averaging; used to probe how tight
+  the Theorem 5(i) bound is.
+* :class:`NearBoundaryResetStrategy` — on leave, plants the victim's
+  clock "just a bit outside the permitted range" (the hard recovery
+  case the paper calls out in Section 1.1 against [10]).
+* :class:`StealthDriftStrategy` — answers with a slowly growing skew,
+  staying plausible while trying to drag the cluster.
+
+Strategies answer pings by sending a :class:`~repro.net.message.Pong`
+with whatever ``clock_value`` the attack calls for; non-ping traffic is
+dropped unless a strategy chooses otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable
+
+from repro.adversary.base import ByzantineStrategy
+from repro.net.message import Message, Ping, Pong
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.sim.process import Process
+
+
+def _reply(process: "Process", message: Message, clock_value: float) -> None:
+    """Send a pong as the victim, reporting ``clock_value``."""
+    ping = message.payload
+    assert isinstance(ping, Ping)
+    process.send(message.sender, Pong(nonce=ping.nonce, clock_value=clock_value))
+
+
+class SilentStrategy(ByzantineStrategy):
+    """Drop all traffic: a crash (napping) fault."""
+
+    name = "silent"
+
+
+class RandomClockStrategy(ByzantineStrategy):
+    """Scramble the victim's clock on break-in; then answer honestly.
+
+    The scrambled clock persists after release, so this is the canonical
+    recovery workload: the node must pull itself back via Sync alone.
+
+    Args:
+        spread: The reset offset is uniform in ``[-spread, spread]``.
+        answer_pings: Whether to keep answering pings (from the bad
+            clock) while controlled; if False the node is also silent.
+    """
+
+    name = "random-clock"
+
+    def __init__(self, spread: float, answer_pings: bool = True) -> None:
+        self.spread = float(spread)
+        self.answer_pings = answer_pings
+
+    def on_break_in(self, process: "Process", rng: random.Random) -> None:
+        offset = rng.uniform(-self.spread, self.spread)
+        process.clock.hijack_set(process.sim.now, process.clock.adj + offset)
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if self.answer_pings and isinstance(message.payload, Ping):
+            _reply(process, message, process.local_now())
+
+
+class LiarStrategy(ByzantineStrategy):
+    """Answer every ping with ``own clock + offset`` (constant big lie).
+
+    Args:
+        offset: The lie magnitude; sign included.
+    """
+
+    name = "liar"
+
+    def __init__(self, offset: float) -> None:
+        self.offset = float(offset)
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if isinstance(message.payload, Ping):
+            _reply(process, message, process.local_now() + self.offset)
+
+
+class NoisyStrategy(ByzantineStrategy):
+    """Answer each ping with an independent uniform random clock value.
+
+    Args:
+        spread: Replies are ``own clock + U[-spread, spread]``, fresh
+            per message.
+    """
+
+    name = "noisy"
+
+    def __init__(self, spread: float) -> None:
+        self.spread = float(spread)
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if isinstance(message.payload, Ping):
+            _reply(process, message,
+                   process.local_now() + rng.uniform(-self.spread, self.spread))
+
+
+class TwoFacedStrategy(ByzantineStrategy):
+    """Report a low clock to one half of the peers, high to the other.
+
+    Args:
+        magnitude: Size of each face's offset.
+        split: Predicate deciding which face a recipient sees; defaults
+            to parity of the node id.
+    """
+
+    name = "two-faced"
+
+    def __init__(self, magnitude: float,
+                 split: Callable[[int], bool] | None = None) -> None:
+        self.magnitude = float(magnitude)
+        self.split = split if split is not None else (lambda node: node % 2 == 0)
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if isinstance(message.payload, Ping):
+            sign = -1.0 if self.split(message.sender) else 1.0
+            _reply(process, message, process.local_now() + sign * self.magnitude)
+
+
+class SplitWorldStrategy(ByzantineStrategy):
+    """Omniscient spread-maximizing attack.
+
+    Knows every clock (a strictly stronger adversary than the paper's,
+    which sees only traffic and broken-into state — using it makes our
+    empirical bounds conservative).  Each recipient is told a value
+    pushing it *away* from the current median of the given clocks: a
+    recipient already below the median is told an extremely low clock,
+    one above is told an extremely high clock.
+
+    Args:
+        clocks: Registry of all logical clocks (by node id).
+        push: Magnitude of the reported offset.
+    """
+
+    name = "split-world"
+
+    def __init__(self, clocks: dict[int, "LogicalClock"], push: float) -> None:
+        self.clocks = clocks
+        self.push = float(push)
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if not isinstance(message.payload, Ping):
+            return
+        tau = process.sim.now
+        values = sorted(clock.read(tau) for clock in self.clocks.values())
+        median = values[len(values) // 2]
+        recipient_clock = self.clocks[message.sender].read(tau)
+        sign = -1.0 if recipient_clock <= median else 1.0
+        _reply(process, message, recipient_clock + sign * self.push)
+
+
+class NearBoundaryResetStrategy(ByzantineStrategy):
+    """On leave, plant the clock just outside (or inside) a boundary.
+
+    The paper highlights (Section 1.1, discussing [10]) that a
+    recovering processor "may have its clock set to a value 'just a
+    bit' outside the permitted range" — the case fault-detection-based
+    protocols stumble on.  This strategy is silent while in control and
+    performs exactly that reset at release time.
+
+    Args:
+        offset: Added to the victim's *current* clock at release; pick
+            ``±(WayOff * (1 ± eps))`` to probe both sides of the
+            Figure 1 threshold.
+    """
+
+    name = "near-boundary-reset"
+
+    def __init__(self, offset: float) -> None:
+        self.offset = float(offset)
+
+    def on_leave(self, process: "Process", rng: random.Random) -> None:
+        process.clock.hijack_set(process.sim.now, process.clock.adj + self.offset)
+
+
+class StealthDriftStrategy(ByzantineStrategy):
+    """Report a skew that grows linearly while control lasts.
+
+    Stays under any single-shot plausibility radar; tests that the
+    order-statistic selection (not outlier rejection) is what protects
+    the good clocks.
+
+    Args:
+        rate: Skew growth in clock units per real-time second.
+    """
+
+    name = "stealth-drift"
+
+    def __init__(self, rate: float) -> None:
+        self.rate = float(rate)
+        self._since: float | None = None
+
+    def on_break_in(self, process: "Process", rng: random.Random) -> None:
+        self._since = process.sim.now
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if isinstance(message.payload, Ping) and self._since is not None:
+            skew = self.rate * (process.sim.now - self._since)
+            _reply(process, message, process.local_now() + skew)
+
+    def on_leave(self, process: "Process", rng: random.Random) -> None:
+        self._since = None
+
+
+class ReplayStrategy(ByzantineStrategy):
+    """Replay old messages (the footnote-3 caveat, weaponized).
+
+    The paper notes its link formulation "does not completely rule out
+    replay of old messages" but that "this does not pause a problem for
+    our application".  This strategy tests that claim: while in control
+    it records every pong delivered to the victim and answers pings
+    honestly (staying stealthy); on leaving, it sprays the recorded
+    stale pongs — old nonces, old clock values — at every peer, and
+    also replays them back mixed with fresh answers while in control.
+    Session-scoped nonces make every replayed message a no-op, which is
+    exactly what the tests assert.
+
+    Args:
+        replay_batch: Maximum recorded pongs replayed per occasion.
+    """
+
+    name = "replay"
+
+    def __init__(self, replay_batch: int = 50) -> None:
+        self.replay_batch = replay_batch
+        self._recorded: list[Pong] = []
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        payload = message.payload
+        if isinstance(payload, Pong):
+            self._recorded.append(payload)
+            return
+        if isinstance(payload, Ping):
+            # Stealth: answer honestly, then bury the answer in replays.
+            _reply(process, message, process.local_now())
+            for stale in self._recorded[-self.replay_batch:]:
+                process.send(message.sender, stale)
+
+    def on_leave(self, process: "Process", rng: random.Random) -> None:
+        for peer in process.network.topology.neighbors(process.node_id):
+            for stale in self._recorded[-self.replay_batch:]:
+                process.send(peer, stale)
+        self._recorded.clear()
+
+
+class MalformedStrategy(ByzantineStrategy):
+    """Answer pings with non-finite clock values (NaN / +-inf).
+
+    A pure implementation-level attack: the paper's model lets the
+    adversary send arbitrary *values*, and nothing about IEEE floats is
+    in scope of the analysis — but a real implementation that feeds NaN
+    into its order-statistic sort gets adversary-steerable selection
+    (NaN's position under sorting depends on input order).  The
+    estimation layer must therefore reject non-finite clock fields at
+    the trust boundary; this strategy exists so tests can prove it does.
+
+    Args:
+        flavor: ``"nan"``, ``"inf"``, or ``"-inf"``; ``"mix"`` cycles
+            through all three.
+    """
+
+    name = "malformed"
+
+    _FLAVORS = {"nan": float("nan"), "inf": float("inf"),
+                "-inf": float("-inf")}
+
+    def __init__(self, flavor: str = "mix") -> None:
+        if flavor not in (*self._FLAVORS, "mix"):
+            raise ValueError(f"unknown flavor {flavor!r}")
+        self.flavor = flavor
+        self._cycle = 0
+
+    def on_message(self, process: "Process", message: Message,
+                   rng: random.Random) -> None:
+        if not isinstance(message.payload, Ping):
+            return
+        if self.flavor == "mix":
+            value = list(self._FLAVORS.values())[self._cycle % 3]
+            self._cycle += 1
+        else:
+            value = self._FLAVORS[self.flavor]
+        _reply(process, message, value)

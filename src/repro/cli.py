@@ -1,0 +1,222 @@
+"""Command-line interface: run scenarios and print the verdict.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro run --scenario mobile-byzantine --duration 20 --seed 1
+    python -m repro run --scenario recovery --protocol minimal-correction
+    python -m repro bounds --n 7 --f 2 --delta 0.005 --rho 5e-4 --pi 4
+    python -m repro list
+
+Subcommands:
+
+* ``run`` — execute a canonical scenario and print the Theorem 5
+  verdict and recovery report.
+* ``bounds`` — evaluate the Theorem 5 formulas for a parameter choice
+  without running anything (the deployment-planning calculator).
+* ``soak`` — long randomized stress run (random f-limited plans,
+  seeds advancing per segment) with per-segment invariant checks;
+  exits non-zero on the first violated guarantee.
+* ``list`` — show the available scenarios and protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.params import ProtocolParams
+from repro.metrics.report import check_mark, table
+from repro.protocols import registered_protocols
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    split_world_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run as run_scenario
+
+SCENARIOS = {
+    "benign": benign_scenario,
+    "mobile-byzantine": mobile_byzantine_scenario,
+    "recovery": recovery_scenario,
+    "split-world": split_world_scenario,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clock synchronization with faults and recoveries "
+                    "(Barak-Halevi-Herzberg-Naor, PODC 2000) — simulator CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a scenario and print the verdict")
+    run_p.add_argument("--config", default=None,
+                       help="JSON scenario config file (overrides the other "
+                            "run options)")
+    run_p.add_argument("--json", dest="json_out", default=None,
+                       help="write the full result record to this JSON file")
+    run_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="mobile-byzantine")
+    run_p.add_argument("--protocol", default="sync",
+                       help="protocol name (see `repro list`)")
+    run_p.add_argument("--duration", type=float, default=20.0,
+                       help="simulated seconds")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--n", type=int, default=7)
+    run_p.add_argument("--f", type=int, default=2)
+    run_p.add_argument("--delta", type=float, default=0.005,
+                       help="message delivery bound (s)")
+    run_p.add_argument("--rho", type=float, default=5e-4, help="drift bound")
+    run_p.add_argument("--pi", type=float, default=2.0,
+                       help="adversary time period PI (s)")
+
+    bounds_p = sub.add_parser("bounds", help="evaluate Theorem 5 bounds only")
+    for flag, kind, default in (("--n", int, 7), ("--f", int, 2),
+                                ("--delta", float, 0.005),
+                                ("--rho", float, 5e-4), ("--pi", float, 2.0)):
+        bounds_p.add_argument(flag, type=kind, default=default)
+    bounds_p.add_argument("--target-k", type=int, default=10)
+
+    soak_p = sub.add_parser("soak", help="randomized long-run invariant check")
+    soak_p.add_argument("--segments", type=int, default=10,
+                        help="number of independent run segments")
+    soak_p.add_argument("--segment-duration", type=float, default=20.0,
+                        help="simulated seconds per segment")
+    soak_p.add_argument("--seed", type=int, default=0)
+    soak_p.add_argument("--n", type=int, default=7)
+    soak_p.add_argument("--f", type=int, default=2)
+
+    sub.add_parser("list", help="list scenarios and protocols")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one scenario and print the Theorem 5 verdict."""
+    if args.config is not None:
+        from repro.runner.config import load_scenario
+        scenario = load_scenario(args.config)
+        params = scenario.params
+    else:
+        params = default_params(n=args.n, f=args.f, delta=args.delta,
+                                rho=args.rho, pi=args.pi)
+        scenario = SCENARIOS[args.scenario](params, duration=args.duration,
+                                            seed=args.seed,
+                                            protocol=args.protocol)
+    result = run_scenario(scenario)
+    verdict = result.verdict(warmup=warmup_for(params))
+    recovery = result.recovery()
+    print(f"scenario={scenario.name} protocol={scenario.protocol} "
+          f"n={params.n} f={params.f} duration={scenario.duration}s "
+          f"seed={scenario.seed}")
+    print(f"events={result.events_processed} messages={result.messages_delivered} "
+          f"corruptions={len(result.corruptions)}\n")
+    print(table(
+        ["guarantee", "measured", "bound", "holds"],
+        [
+            ["max deviation", verdict.measured_deviation,
+             verdict.bounds.max_deviation, check_mark(verdict.deviation_ok)],
+            ["logical drift", verdict.measured_drift,
+             verdict.bounds.logical_drift, check_mark(verdict.drift_ok)],
+            ["discontinuity", verdict.measured_discontinuity,
+             verdict.bounds.discontinuity, check_mark(verdict.discontinuity_ok)],
+        ],
+        title="Theorem 5 verdict", precision=4,
+    ))
+    if recovery.events:
+        print(f"\nrecoveries: {len(recovery.events)}, all recovered: "
+              f"{recovery.all_recovered}, worst: {recovery.max_recovery_time:.3f}s")
+    if args.json_out is not None:
+        from repro.metrics.export import write_result
+        write_result(result, args.json_out, warmup=warmup_for(params))
+        print(f"\nresult record written to {args.json_out}")
+    return 0 if verdict.all_ok else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    """Evaluate and print the Theorem 5 bounds without simulating."""
+    params = ProtocolParams.derive(n=args.n, f=args.f, delta=args.delta,
+                                   rho=args.rho, pi=args.pi,
+                                   target_k=args.target_k)
+    bounds = params.bounds()
+    print(table(
+        ["quantity", "value"],
+        [
+            ["SyncInt", params.sync_interval],
+            ["MaxWait", params.max_wait],
+            ["WayOff", params.way_off],
+            ["epsilon (reading error)", params.epsilon],
+            ["T (analysis interval)", bounds.t_interval],
+            ["K", bounds.k],
+            ["C (residue)", bounds.c],
+            ["max deviation (Thm 5.i)", bounds.max_deviation],
+            ["logical drift (Thm 5.ii)", bounds.logical_drift],
+            ["discontinuity (Thm 5.ii)", bounds.discontinuity],
+            ["recovery intervals (Claim 8)", bounds.recovery_intervals],
+        ],
+        title=f"Theorem 5 bounds for n={args.n}, f={args.f}, "
+              f"delta={args.delta}, rho={args.rho}, PI={args.pi}",
+        precision=6,
+    ))
+    return 0
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run randomized f-limited segments; fail on any violated guarantee."""
+    import dataclasses
+    import random as random_module
+
+    from repro.adversary.mobile import random_plan
+    from repro.runner.builders import standard_strategy_mix
+
+    params = default_params(n=args.n, f=args.f, pi=2.0)
+    bound = params.bounds().max_deviation
+    failures = 0
+    for segment in range(args.segments):
+        seed = args.seed + segment
+
+        def plan(scenario, clocks, seed=seed):
+            return random_plan(
+                n=params.n, f=params.f, pi=params.pi,
+                duration=scenario.duration,
+                strategy_factory=standard_strategy_mix(params, seed),
+                rng=random_module.Random(seed ^ 0x50AC))
+
+        scenario = benign_scenario(params, duration=args.segment_duration,
+                                   seed=seed)
+        scenario = dataclasses.replace(scenario, plan_builder=plan,
+                                       name=f"soak-{segment}")
+        result = run_scenario(scenario)
+        verdict = result.verdict(warmup=warmup_for(params))
+        recovery = result.recovery()
+        ok = verdict.all_ok and recovery.all_recovered
+        failures += 0 if ok else 1
+        print(f"segment {segment:3d} seed={seed}: "
+              f"dev={verdict.measured_deviation:.4f}/{bound:.4f} "
+              f"corruptions={len(result.corruptions)} "
+              f"recovered={recovery.all_recovered} "
+              f"{'OK' if ok else 'VIOLATION'}")
+    print(f"\n{args.segments - failures}/{args.segments} segments clean")
+    return 0 if failures == 0 else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print the available scenarios and registered protocols."""
+    print("scenarios: " + ", ".join(sorted(SCENARIOS)))
+    print("protocols: " + ", ".join(registered_protocols()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
+                "soak": cmd_soak}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Clock substrate: drift-bounded hardware clocks and logical clocks.
+
+Implements Definition 1 and eq. (2) of the paper: hardware clocks are
+smooth monotone functions of real time with rate confined to
+``[1/(1+rho), 1+rho]``; logical clocks add a resettable adjustment.
+"""
+
+from repro.clocks.drift import (
+    alternating_schedule,
+    clamp_rate,
+    constant_rate,
+    wander_schedule,
+)
+from repro.clocks.hardware import (
+    FixedRateClock,
+    HardwareClock,
+    PiecewiseRateClock,
+    QuantizedClock,
+)
+from repro.clocks.logical import LogicalClock
+
+__all__ = [
+    "HardwareClock",
+    "FixedRateClock",
+    "PiecewiseRateClock",
+    "QuantizedClock",
+    "LogicalClock",
+    "constant_rate",
+    "alternating_schedule",
+    "wander_schedule",
+    "clamp_rate",
+]

@@ -1,0 +1,98 @@
+"""Drift-schedule generators for hardware clocks.
+
+These helpers build the ``(start_tau, rate)`` schedules consumed by
+:class:`repro.clocks.hardware.PiecewiseRateClock`.  They cover the three
+drift regimes the experiments exercise:
+
+* **Extremal drift** — the adversary's best case under eq. (2): a clock
+  pinned at ``1+rho`` or ``1/(1+rho)`` (``constant_rate``).
+* **Oscillating drift** — rate flips between the extremes, which
+  maximizes *relative* drift between a pair of clocks over short windows
+  (``alternating_schedule``).
+* **Wander** — a bounded random walk of the rate, the realistic model of
+  crystal-oscillator behaviour (``wander_schedule``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ClockError
+
+
+def clamp_rate(rate: float, rho: float) -> float:
+    """Clamp ``rate`` into the drift envelope ``[1/(1+rho), 1+rho]``."""
+    return min(1.0 + rho, max(1.0 / (1.0 + rho), rate))
+
+
+def constant_rate(rho: float, sign: int = +1) -> list[tuple[float, float]]:
+    """Schedule for a clock pinned at an extreme of the drift envelope.
+
+    Args:
+        rho: Drift bound.
+        sign: ``+1`` for the fast extreme ``1+rho``, ``-1`` for the slow
+            extreme ``1/(1+rho)``, ``0`` for a perfect clock.
+    """
+    if sign > 0:
+        rate = 1.0 + rho
+    elif sign < 0:
+        rate = 1.0 / (1.0 + rho)
+    else:
+        rate = 1.0
+    return [(0.0, rate)]
+
+
+def alternating_schedule(rho: float, period: float, horizon: float,
+                         start_fast: bool = True) -> list[tuple[float, float]]:
+    """Rate flips between the two extremes every ``period`` seconds.
+
+    Two clocks given opposite phases of this schedule achieve the
+    worst-case mutual drift allowed by eq. (2) on every half-period.
+
+    Args:
+        rho: Drift bound.
+        period: Real-time length of each constant-rate stretch.
+        horizon: Generate breakpoints up to this real time.
+        start_fast: Whether the first stretch runs fast.
+    """
+    if period <= 0:
+        raise ClockError(f"period must be positive, got {period}")
+    fast, slow = 1.0 + rho, 1.0 / (1.0 + rho)
+    schedule: list[tuple[float, float]] = []
+    t, fast_now = 0.0, start_fast
+    while t <= horizon:
+        schedule.append((t, fast if fast_now else slow))
+        fast_now = not fast_now
+        t += period
+    return schedule
+
+
+def wander_schedule(rho: float, step: float, horizon: float, rng: random.Random,
+                    sigma: float | None = None) -> list[tuple[float, float]]:
+    """Bounded random walk of the clock rate (oscillator wander).
+
+    Every ``step`` seconds the rate takes a Gaussian increment and is
+    clamped back into the drift envelope, giving a realistic
+    slowly-varying drift that still satisfies eq. (2) everywhere.
+
+    Args:
+        rho: Drift bound.
+        step: Real-time spacing of rate changes.
+        horizon: Generate breakpoints up to this real time.
+        rng: Random stream for the walk.
+        sigma: Standard deviation of each rate increment; defaults to
+            ``rho / 4`` so the walk explores the envelope without
+            saturating instantly.
+    """
+    if step <= 0:
+        raise ClockError(f"step must be positive, got {step}")
+    if sigma is None:
+        sigma = rho / 4.0
+    schedule: list[tuple[float, float]] = []
+    rate = clamp_rate(1.0 + rng.uniform(-rho / 2.0, rho / 2.0), rho)
+    t = 0.0
+    while t <= horizon:
+        schedule.append((t, rate))
+        rate = clamp_rate(rate + rng.gauss(0.0, sigma), rho)
+        t += step
+    return schedule

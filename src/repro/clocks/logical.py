@@ -1,0 +1,71 @@
+"""Logical clocks (the paper's ``C_p = H_p + adj_p``).
+
+Definition 1 decomposes a processor's clock into an unresettable
+hardware clock ``H_p`` and an adjustment variable ``adj_p``.  The only
+operations a processor may perform are reading ``H_p + adj_p`` and
+adding to ``adj_p`` — this class enforces exactly that interface.  The
+adversary, while in control of a node, may also overwrite ``adj``
+arbitrarily (:meth:`LogicalClock.hijack_set`).
+
+For analysis, the *bias* of a clock at real time ``tau`` is
+``B_p(tau) = C_p(tau) - tau`` (Section 4.2); :meth:`LogicalClock.bias`
+computes it directly.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.hardware import HardwareClock
+
+
+class LogicalClock:
+    """A hardware clock plus a resettable adjustment variable.
+
+    Attributes:
+        hardware: The underlying drift-bounded hardware clock.
+        adj: Current adjustment value (``adj_p``).
+        adjustments: History of ``(real_time, delta, new_adj)`` entries,
+            recorded for discontinuity/accuracy measurement.
+    """
+
+    def __init__(self, hardware: HardwareClock, adj: float = 0.0) -> None:
+        self.hardware = hardware
+        self.adj = float(adj)
+        self.adjustments: list[tuple[float, float, float]] = []
+
+    def read(self, tau: float) -> float:
+        """Clock value ``C(tau) = H(tau) + adj``."""
+        return self.hardware.read(tau) + self.adj
+
+    def bias(self, tau: float) -> float:
+        """Bias ``B(tau) = C(tau) - tau`` (Section 4.2)."""
+        return self.read(tau) - tau
+
+    def adjust(self, tau: float, delta: float) -> None:
+        """Add ``delta`` to the adjustment variable (the protocol's move).
+
+        ``tau`` is recorded for the adjustment history; the clock itself
+        only depends on the new ``adj`` value.
+        """
+        self.adj += float(delta)
+        self.adjustments.append((tau, float(delta), self.adj))
+
+    def hijack_set(self, tau: float, new_adj: float) -> None:
+        """Overwrite ``adj`` outright — adversary-only operation.
+
+        Recorded in the history with the implied delta so traces remain
+        a complete account of every clock discontinuity.
+        """
+        delta = float(new_adj) - self.adj
+        self.adj = float(new_adj)
+        self.adjustments.append((tau, delta, self.adj))
+
+    def set_value(self, tau: float, target_clock: float) -> None:
+        """Set ``adj`` so that the clock reads ``target_clock`` at ``tau``.
+
+        Convenience used by adversary strategies ("reset the victim's
+        clock to value X") and by scenario initialization.
+        """
+        self.hijack_set(tau, target_clock - self.hardware.read(tau))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(adj={self.adj:.9f}, hw={type(self.hardware).__name__})"

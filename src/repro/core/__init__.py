@@ -1,0 +1,74 @@
+"""The paper's contribution: the Sync protocol and its analysis tools.
+
+* :mod:`repro.core.params` — parameterization and Theorem 5 bounds.
+* :mod:`repro.core.estimation` — clock estimation (Definition 4).
+* :mod:`repro.core.convergence` — the Figure 1 convergence function and
+  comparison baselines.
+* :mod:`repro.core.sync` — the Sync protocol process.
+* :mod:`repro.core.envelope` — Appendix A envelope calculus.
+* :mod:`repro.core.analysis` — claim checkers (Lemma 7, Claim 8,
+  Theorem 5) run against simulation output.
+"""
+
+from repro.core.analysis import (
+    EnvelopeStep,
+    PropertyCheck,
+    RecoveryStep,
+    Theorem5Verdict,
+    envelope_trajectory,
+    halving_holds,
+    recovery_trajectory,
+    section43_properties,
+    theorem5_verdict,
+    verify_bias_formulation,
+)
+from repro.core.convergence import (
+    ClampedConvergence,
+    ConvergenceFunction,
+    MeanConvergence,
+    MidpointConvergence,
+    PaperConvergence,
+    TrimmedMeanConvergence,
+    paper_order_statistics,
+)
+from repro.core.envelope import Envelope, average, envelope_of_biases, lemma7_shrunk_width
+from repro.core.estimation import (
+    ClockEstimate,
+    EstimationSession,
+    self_estimate,
+    timeout_estimate,
+)
+from repro.core.params import ProtocolParams, Theorem5Bounds
+from repro.core.sync import SyncProcess, SyncRecord
+
+__all__ = [
+    "ProtocolParams",
+    "Theorem5Bounds",
+    "ClockEstimate",
+    "EstimationSession",
+    "self_estimate",
+    "timeout_estimate",
+    "ConvergenceFunction",
+    "PaperConvergence",
+    "ClampedConvergence",
+    "TrimmedMeanConvergence",
+    "MeanConvergence",
+    "MidpointConvergence",
+    "paper_order_statistics",
+    "SyncProcess",
+    "SyncRecord",
+    "Envelope",
+    "average",
+    "envelope_of_biases",
+    "lemma7_shrunk_width",
+    "envelope_trajectory",
+    "EnvelopeStep",
+    "recovery_trajectory",
+    "RecoveryStep",
+    "halving_holds",
+    "theorem5_verdict",
+    "Theorem5Verdict",
+    "verify_bias_formulation",
+    "section43_properties",
+    "PropertyCheck",
+]

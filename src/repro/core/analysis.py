@@ -1,0 +1,407 @@
+"""Analysis tooling: checking the paper's claims against simulation runs.
+
+Three checkers, mirroring the structure of Section 4 / Appendix A:
+
+* :func:`envelope_trajectory` — Lemma 7(i)/(ii): per analysis interval
+  ``T``, the good-set bias envelope must not grow and must shrink
+  toward the ``~16*epsilon`` floor at the lemma's ``7/8`` rate (plus
+  the drift and reading-error allowances).
+* :func:`recovery_trajectory` / :func:`halving_holds` — Lemma 7(iii) /
+  Claim 8(iii): a released processor's distance to the good range at
+  least halves (plus slack) per interval.
+* :func:`theorem5_verdict` — Theorem 5: end-to-end comparison of a
+  run's measured deviation/drift/discontinuity against the bounds.
+
+These are *measurement* tools: they never assume the protocol is
+correct, only that the samples and the audited corruption intervals
+are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.params import ProtocolParams, Theorem5Bounds
+from repro.errors import MeasurementError
+from repro.metrics.measures import AccuracyReport
+from repro.metrics.sampler import ClockSamples, CorruptionInterval
+
+
+@dataclass(frozen=True)
+class EnvelopeStep:
+    """Good-set bias envelope across one analysis interval of length T.
+
+    Attributes:
+        index: Interval number ``i`` (interval is ``[i*T, (i+1)*T]``).
+        t_start: Interval start (real time).
+        t_end: Interval end.
+        width_start: Good-set bias spread at ``t_start``.
+        width_end: Good-set bias spread at ``t_end``.
+        lemma_bound: Lemma 7's guarantee for ``width_end`` given
+            ``width_start``: ``(7/8)*width_start + 2*epsilon + 2*rho*T``.
+        at_floor: True when ``width_start/2 <= 8*epsilon`` so the
+            lemma's shrink clause does not apply (convergence has
+            bottomed out); ``holds`` then checks only non-expansion
+            beyond the floor width.
+        holds: Whether the applicable guarantee held.
+        good_nodes: Size of the good set used.
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    width_start: float
+    width_end: float
+    lemma_bound: float
+    at_floor: bool
+    holds: bool
+    good_nodes: int
+
+
+def _spread(samples: ClockSamples, nodes: Sequence[int], index: int) -> float:
+    biases = [samples.bias(node, index) for node in nodes]
+    return max(biases) - min(biases)
+
+
+def _nodes_quiet_during(corruptions: Sequence[CorruptionInterval], n: int,
+                        lo: float, hi: float) -> list[int]:
+    bad = {c.node for c in corruptions if c.overlaps(lo, hi)}
+    return [node for node in range(n) if node not in bad]
+
+
+def envelope_trajectory(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                        params: ProtocolParams, start: float = 0.0,
+                        floor_slack: float = 0.0) -> list[EnvelopeStep]:
+    """Measure the good-set envelope across consecutive T-intervals.
+
+    For each interval ``[t, t + T]`` the good set is the Lemma 7 ``G``:
+    nodes non-faulty during ``[t - MaxWait, t + T]``.  The measured
+    spreads are compared against the Lemma 7(ii) shrink bound, or — once
+    the spread reaches the lemma's floor (``D <= 8*epsilon``) — against
+    the floor width ``16*epsilon + 2*rho*T`` plus ``floor_slack``.
+
+    Args:
+        samples: Grid clock samples of the run.
+        corruptions: Audited corruption intervals.
+        params: The protocol parameterization (supplies ``T``,
+            ``epsilon``, ``rho``).
+        start: Begin at this real time (skip initial convergence).
+        floor_slack: Extra allowance for the floor check; useful when
+            message jitter makes single-sample spreads noisy.
+
+    Returns:
+        One :class:`EnvelopeStep` per complete interval in the run.
+    """
+    if len(samples) < 2:
+        raise MeasurementError("envelope trajectory needs at least two samples")
+    t_interval = params.t_interval
+    horizon = samples.times[-1]
+    steps: list[EnvelopeStep] = []
+    index = 0
+    t = start
+    while t + t_interval <= horizon + 1e-9:
+        good = _nodes_quiet_during(
+            corruptions, params.n, max(0.0, t - params.max_wait), t + t_interval
+        )
+        if len(good) >= 2:
+            i_start = samples.index_at_or_after(t)
+            i_end = samples.index_at_or_after(t + t_interval)
+            width_start = _spread(samples, good, i_start)
+            width_end = _spread(samples, good, i_end)
+            d_half = width_start / 2.0
+            at_floor = d_half <= 8.0 * params.epsilon
+            shrink_bound = (7.0 / 8.0) * width_start + 2.0 * params.epsilon \
+                + 2.0 * params.rho * t_interval
+            floor_bound = 16.0 * params.epsilon + 2.0 * params.rho * t_interval \
+                + floor_slack
+            lemma_bound = max(shrink_bound, floor_bound) if at_floor else shrink_bound
+            steps.append(EnvelopeStep(
+                index=index, t_start=t, t_end=t + t_interval,
+                width_start=width_start, width_end=width_end,
+                lemma_bound=lemma_bound, at_floor=at_floor,
+                holds=width_end <= lemma_bound + 1e-12,
+                good_nodes=len(good),
+            ))
+        t += t_interval
+        index += 1
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Recovery (Lemma 7(iii) / Claim 8(iii))
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryStep:
+    """Distance of a recovering node to the good bias range, per interval.
+
+    Attributes:
+        index: Intervals elapsed since release.
+        time: Sample real time.
+        distance: Bias distance outside the good range (0 if inside).
+    """
+
+    index: int
+    time: float
+    distance: float
+
+
+def recovery_trajectory(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                        params: ProtocolParams, node: int, release_time: float,
+                        intervals: int | None = None) -> list[RecoveryStep]:
+    """Distance of ``node``'s bias to the good range at interval ends.
+
+    Measured at ``release_time + i*T`` for ``i = 0, 1, ...`` while
+    samples last.  The good range at each time is the bias span of the
+    nodes non-faulty during the preceding interval of length ``T``.
+    """
+    t_interval = params.t_interval
+    horizon = samples.times[-1]
+    steps: list[RecoveryStep] = []
+    i = 0
+    while True:
+        t = release_time + i * t_interval
+        if t > horizon or (intervals is not None and i > intervals):
+            break
+        sample_index = samples.index_at_or_after(t)
+        good = _nodes_quiet_during(
+            corruptions, params.n, max(0.0, t - t_interval), t
+        )
+        good = [g for g in good if g != node]
+        if good:
+            biases = [samples.bias(g, sample_index) for g in good]
+            own = samples.bias(node, sample_index)
+            distance = max(0.0, max(min(biases) - own, own - max(biases)))
+            steps.append(RecoveryStep(index=i, time=t, distance=distance))
+        i += 1
+    return steps
+
+
+def halving_holds(trajectory: Sequence[RecoveryStep], slack: float) -> bool:
+    """Whether each interval at least halves the distance (within slack).
+
+    Claim 8(iii) gives ``dist_{i+1} <= dist_i / 2 + C/2``-style
+    residues; callers pass an appropriate ``slack`` (typically the
+    Theorem 5 deviation bound, since "inside the good range" is only
+    measurable up to the good clocks' own spread).
+    """
+    for earlier, later in zip(trajectory, trajectory[1:]):
+        if later.distance > earlier.distance / 2.0 + slack:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 verdict
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Theorem5Verdict:
+    """Measured-vs-bound comparison for one run.
+
+    Attributes:
+        bounds: The theoretical bounds for the run's parameters.
+        measured_deviation: Max good-set deviation observed.
+        measured_drift: Implied logical drift observed.
+        measured_discontinuity: Largest good-state correction observed.
+        deviation_ok: ``measured <= bound`` for Theorem 5(i).
+        drift_ok: ``measured <= bound`` for the drift half of 5(ii).
+        discontinuity_ok: ``measured <= bound`` for the discontinuity
+            half of 5(ii).
+    """
+
+    bounds: Theorem5Bounds
+    measured_deviation: float
+    measured_drift: float
+    measured_discontinuity: float
+    deviation_ok: bool
+    drift_ok: bool
+    discontinuity_ok: bool
+
+    @property
+    def all_ok(self) -> bool:
+        """All three Theorem 5 guarantees held."""
+        return self.deviation_ok and self.drift_ok and self.discontinuity_ok
+
+
+def theorem5_verdict(params: ProtocolParams, measured_deviation: float,
+                     accuracy: AccuracyReport) -> Theorem5Verdict:
+    """Compare a run's measurements against the Theorem 5 bounds."""
+    bounds = params.bounds()
+    return Theorem5Verdict(
+        bounds=bounds,
+        measured_deviation=measured_deviation,
+        measured_drift=accuracy.implied_drift,
+        measured_discontinuity=accuracy.max_discontinuity,
+        deviation_ok=measured_deviation <= bounds.max_deviation + 1e-12,
+        drift_ok=accuracy.implied_drift <= bounds.logical_drift + 1e-12,
+        discontinuity_ok=accuracy.max_discontinuity <= bounds.discontinuity + 1e-12,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1 / Figure 2 consistency
+# ----------------------------------------------------------------------
+
+def verify_bias_formulation(samples: ClockSamples, sync_records: Sequence,
+                            tolerance: float = 1e-9) -> int:
+    """Check the Figure 2 claim: the bias view is the clock view shifted.
+
+    For every sync record, the clock-value correction applied in
+    Figure 1 must equal the bias correction of Figure 2 — i.e. the
+    node's bias immediately after the sync equals its bias immediately
+    before plus the recorded correction (biases and clock values differ
+    by the same ``tau``, which cancels).
+
+    We verify it from the records themselves: ``local_before`` is the
+    clock just before the adjustment, so the bias before is
+    ``local_before - real_time`` and after is that plus ``correction``;
+    by Definition 1 the clock after must read
+    ``local_before + correction``.  Any mismatch indicates the
+    adjustment was not applied atomically.
+
+    Returns:
+        The number of records checked.
+
+    Raises:
+        MeasurementError: On the first inconsistent record.
+    """
+    checked = 0
+    for record in sync_records:
+        bias_before = record.local_before - record.real_time
+        bias_after = bias_before + record.correction
+        clock_after = record.local_before + record.correction
+        if abs((clock_after - record.real_time) - bias_after) > tolerance:
+            raise MeasurementError(
+                f"bias formulation mismatch at node {record.node_id}, "
+                f"round {record.round_no}"
+            )
+        checked += 1
+    return checked
+
+
+# ----------------------------------------------------------------------
+# Section 4.3 proof sketch: Properties 1-3, checked on real runs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Outcome of one Section 4.3 property over one analysis interval.
+
+    Attributes:
+        name: ``"P1"`` (containment), ``"P2"`` (one-sided bounds), or
+            ``"P3"`` (7/8 contraction).
+        holds: Whether the property held within its slack.
+        detail: Human-readable bound-vs-observed summary.
+    """
+
+    name: str
+    holds: bool
+    detail: str
+
+
+def section43_properties(samples: ClockSamples,
+                         corruptions: Sequence[CorruptionInterval],
+                         params: ProtocolParams, interval_start: float,
+                         slack_epsilons: float = 4.0) -> list[PropertyCheck]:
+    """Check the three properties of the Section 4.3 proof overview.
+
+    The paper proves Lemma 7 via three steps over an interval
+    ``[tau0, tau0 + T]`` with good set ``G`` whose biases start in
+    ``[-D, D]`` (we translate to the measured range, median ``Z``):
+
+    * **Property 1** — biases of ``G`` remain in the starting range
+      throughout the interval;
+    * **Property 2** — nodes starting below the median stay bounded by
+      ``(Z + 3D)/4`` above, and nodes starting above it by
+      ``(Z - 3D)/4`` below;
+    * **Property 3** — at the interval's end every bias of ``G`` lies in
+      ``[(Z - 7D)/8, (Z + 7D)/8]``.
+
+    The paper proves these for the idealized ``rho = epsilon = 0``
+    setting; on a real run we allow ``slack_epsilons * epsilon`` plus
+    the drift widening ``2 * rho * (tau - tau0)`` on each bound.
+
+    Args:
+        interval_start: ``tau0`` (should be at least one interval into
+            the run so startup transients have settled).
+        slack_epsilons: Reading-error multiples granted to each bound.
+
+    Returns:
+        Three :class:`PropertyCheck` entries (P1, P2, P3).
+
+    Raises:
+        MeasurementError: If the good set is too small or the samples
+            do not cover the interval.
+    """
+    t_interval = params.t_interval
+    tau0 = interval_start
+    tau1 = tau0 + t_interval
+    good = _nodes_quiet_during(corruptions, params.n,
+                               max(0.0, tau0 - params.max_wait), tau1)
+    if len(good) < 2:
+        raise MeasurementError(
+            f"good set too small ({len(good)}) for interval [{tau0}, {tau1}]")
+    i0 = samples.index_at_or_after(tau0)
+    i1 = samples.index_at_or_after(tau1)
+
+    start = {node: samples.bias(node, i0) for node in good}
+    lo, hi = min(start.values()), max(start.values())
+    center = (lo + hi) / 2.0
+    d_half = (hi - lo) / 2.0
+    ordered = sorted(start.values())
+    median = ordered[len(ordered) // 2]
+    z_rel = median - center  # the paper's Z in the centered frame
+    slack0 = slack_epsilons * params.epsilon
+
+    # Property 1: containment throughout the interval.
+    p1_holds, p1_worst = True, 0.0
+    for i in range(i0, i1 + 1):
+        tau = samples.times[i]
+        allow = slack0 + 2.0 * params.rho * (tau - tau0)
+        for node in good:
+            bias = samples.bias(node, i)
+            excess = max(bias - (hi + allow), (lo - allow) - bias)
+            if excess > 0:
+                p1_holds = False
+                p1_worst = max(p1_worst, excess)
+    checks = [PropertyCheck(
+        "P1", p1_holds,
+        f"G stays in [{lo:.4g}, {hi:.4g}] (+slack); worst excess "
+        f"{p1_worst:.4g}")]
+
+    # Property 2: one-sided bounds for the low/high halves.
+    low_nodes = [n for n in good if start[n] <= median]
+    high_nodes = [n for n in good if start[n] >= median]
+    upper_for_low = center + (z_rel + 3.0 * d_half) / 4.0
+    lower_for_high = center + (z_rel - 3.0 * d_half) / 4.0
+    p2_holds, p2_worst = True, 0.0
+    for i in range(i0, i1 + 1):
+        tau = samples.times[i]
+        allow = slack0 + 2.0 * params.rho * (tau - tau0)
+        for node in low_nodes:
+            excess = samples.bias(node, i) - (upper_for_low + allow)
+            if excess > 0:
+                p2_holds, p2_worst = False, max(p2_worst, excess)
+        for node in high_nodes:
+            excess = (lower_for_high - allow) - samples.bias(node, i)
+            if excess > 0:
+                p2_holds, p2_worst = False, max(p2_worst, excess)
+    checks.append(PropertyCheck(
+        "P2", p2_holds,
+        f"low half <= {upper_for_low:.4g}, high half >= "
+        f"{lower_for_high:.4g} (+slack); worst excess {p2_worst:.4g}"))
+
+    # Property 3: 7/8 contraction at the interval end.
+    allow_end = slack0 + 2.0 * params.rho * t_interval
+    p3_lo = center + (z_rel - 7.0 * d_half) / 8.0 - allow_end
+    p3_hi = center + (z_rel + 7.0 * d_half) / 8.0 + allow_end
+    end_biases = [samples.bias(node, i1) for node in good]
+    p3_holds = all(p3_lo <= b <= p3_hi for b in end_biases)
+    checks.append(PropertyCheck(
+        "P3", p3_holds,
+        f"end biases in [{min(end_biases):.4g}, {max(end_biases):.4g}] vs "
+        f"bound [{p3_lo:.4g}, {p3_hi:.4g}]"))
+    return checks

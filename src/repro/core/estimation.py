@@ -1,0 +1,182 @@
+"""Clock estimation (Section 3.1, Definition 4).
+
+A processor ``p`` estimates how far peer ``q``'s clock is from its own
+by a ping/pong exchange: ``p`` stamps its local send time ``S``, ``q``
+answers with its current clock ``C``, ``p`` stamps its local receive
+time ``R`` and computes::
+
+    d = C - (R + S) / 2        # estimated C_q - C_p at local midpoint
+    a = (R - S) / 2            # self-reported error bound
+
+If no reply arrives within ``MaxWait`` local time, the estimate is
+``(d, a) = (0, +inf)`` — an estimate so weak the convergence function's
+order statistics push it to the extremes, where the ``f+1``-st
+selection discards it.
+
+The module also implements the Section 3.1 optimization of sending
+``k`` pings and keeping the answer with the smallest round trip, which
+tightens ``a`` on jittery links (experiment E10).
+
+:class:`EstimationSession` is the bookkeeping object a protocol process
+uses to run all of its per-peer estimations in parallel, as the paper's
+analysis assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.message import Message, Ping, Pong
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class ClockEstimate:
+    """Result of estimating one peer's clock (Definition 4).
+
+    Attributes:
+        peer: The estimated processor.
+        distance: ``d`` — estimated ``C_peer - C_self``.
+        accuracy: ``a`` — error bound; ``math.inf`` encodes a timeout.
+        round_trip: Local round-trip time ``R - S`` of the winning ping
+            (``math.inf`` on timeout); kept for diagnostics.
+    """
+
+    peer: int
+    distance: float
+    accuracy: float
+    round_trip: float = math.inf
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether this estimate is the timeout placeholder ``(0, inf)``."""
+        return math.isinf(self.accuracy)
+
+    @property
+    def overestimate(self) -> float:
+        """``d + a``: upper bound on the peer's clock distance."""
+        return self.distance + self.accuracy
+
+    @property
+    def underestimate(self) -> float:
+        """``d - a``: lower bound on the peer's clock distance."""
+        return self.distance - self.accuracy
+
+
+def timeout_estimate(peer: int) -> ClockEstimate:
+    """The Definition-4 fallback when a peer does not answer in time."""
+    return ClockEstimate(peer=peer, distance=0.0, accuracy=math.inf)
+
+
+def self_estimate(node_id: int) -> ClockEstimate:
+    """A processor's trivially exact estimate of its own clock."""
+    return ClockEstimate(peer=node_id, distance=0.0, accuracy=0.0, round_trip=0.0)
+
+
+_session_counter = itertools.count(1)
+
+
+class EstimationSession:
+    """One parallel round of clock estimations by a single processor.
+
+    Lifecycle: construct, :meth:`begin` (sends the pings), feed every
+    arriving :class:`Pong` to :meth:`on_pong`, and when the ``MaxWait``
+    timer fires call :meth:`finish` to obtain one
+    :class:`ClockEstimate` per peer (timeouts filled in).
+
+    Args:
+        owner: The process running the estimation.
+        peers: Peers to estimate (usually all neighbors).
+        pings_per_peer: Number of pings per peer; with ``k > 1`` the
+            reply with the smallest local round trip wins (Section 3.1's
+            NTP-style optimization).
+
+    Attributes:
+        complete: True once every peer has produced at least one reply.
+    """
+
+    def __init__(self, owner: "Process", peers: list[int], pings_per_peer: int = 1) -> None:
+        if pings_per_peer < 1:
+            raise ValueError(f"pings_per_peer must be >= 1, got {pings_per_peer}")
+        self.owner = owner
+        self.peers = list(peers)
+        self.pings_per_peer = pings_per_peer
+        self.session_id = next(_session_counter)
+        self._send_times: dict[int, tuple[int, float]] = {}  # nonce -> (peer, S)
+        self._best: dict[int, ClockEstimate] = {}
+        self._replies_seen: dict[int, int] = {peer: 0 for peer in self.peers}
+        self._nonce_counter = itertools.count()
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def begin(self, round_no: int = 0) -> None:
+        """Send all pings, stamping each with the local send time ``S``."""
+        self._started = True
+        for peer in self.peers:
+            for _ in range(self.pings_per_peer):
+                nonce = self._make_nonce()
+                self._send_times[nonce] = (peer, self.owner.local_now())
+                self.owner.send(peer, Ping(nonce=nonce, round_no=round_no))
+
+    def _make_nonce(self) -> int:
+        # Globally unique across sessions of this process: sessions never
+        # accept each other's (or their own stale) replies.
+        return (self.session_id << 20) | next(self._nonce_counter)
+
+    def on_pong(self, message: Message) -> bool:
+        """Process a reply; returns True if it belonged to this session.
+
+        A reply is only accepted from the peer the ping was addressed to
+        (link authentication) and only once per nonce.
+        """
+        pong = message.payload
+        if not isinstance(pong, Pong):
+            return False
+        if not isinstance(pong.clock_value, (int, float)) \
+                or not math.isfinite(pong.clock_value):
+            # Trust boundary: a Byzantine peer can put anything in the
+            # clock field.  NaN is the dangerous case — its position
+            # under sorting is input-order dependent, which would make
+            # the f+1 order statistics adversary-steerable.  Malformed
+            # replies are treated as no reply at all (the nonce stays
+            # pending, so an honest retransmission could still land).
+            return False
+        entry = self._send_times.pop(pong.nonce, None)
+        if entry is None:
+            return False
+        peer, sent_local = entry
+        if peer != message.sender:
+            # Authenticated links make this impossible for good peers; a
+            # Byzantine peer echoing someone else's nonce is ignored.
+            return False
+        receive_local = self.owner.local_now()
+        round_trip = receive_local - sent_local
+        estimate = ClockEstimate(
+            peer=peer,
+            distance=pong.clock_value - (receive_local + sent_local) / 2.0,
+            accuracy=round_trip / 2.0,
+            round_trip=round_trip,
+        )
+        best = self._best.get(peer)
+        if best is None or estimate.accuracy < best.accuracy:
+            self._best[peer] = estimate
+        self._replies_seen[peer] += 1
+        return True
+
+    def finish(self) -> dict[int, ClockEstimate]:
+        """Return the per-peer estimates, inserting timeout placeholders."""
+        results: dict[int, ClockEstimate] = {}
+        for peer in self.peers:
+            results[peer] = self._best.get(peer, timeout_estimate(peer))
+        return results
+
+    @property
+    def complete(self) -> bool:
+        """True once every peer has at least one accepted reply."""
+        return self._started and all(count > 0 for count in self._replies_seen.values())

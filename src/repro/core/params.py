@@ -1,0 +1,259 @@
+"""Protocol parameters and the Theorem 5 bound calculator.
+
+Section 3.2 of the paper constrains the protocol's three tunables:
+
+* ``SyncInt`` — local time between Sync executions, with
+  ``SyncInt >= 2 * MaxWait``;
+* ``MaxWait`` — estimation timeout, ``MaxWait >= 2 * delta`` (we default
+  to ``2 * delta * (1 + rho)`` so the timeout spans ``2 * delta`` of
+  *real* time even on a fast local clock);
+* ``WayOff`` — the "my clock is hopeless" threshold,
+  ``WayOff >= Delta + epsilon`` where ``Delta`` is the target maximum
+  deviation; Appendix A pins it to ``WayOff = 16e + 18pT + Delta``.
+
+Section 4 then derives (Theorem 5), with
+``T = (1 + rho) * SyncInt + 2 * MaxWait`` and ``K = floor(PI / T) >= 5``
+and ``C = (17 * epsilon + 18 * rho * T) / (2**K - 3)``:
+
+* maximum deviation ``Delta = 16 * epsilon + 18 * rho * T + 4 * C``;
+* logical drift ``rho~ = rho + C / (2 * T)``;
+* discontinuity ``alpha = epsilon + C / 2``.
+
+:class:`ProtocolParams` validates the constraints eagerly and exposes
+the bounds through :meth:`ProtocolParams.bounds`.  Section 3.3 notes the
+protocol itself never *uses* ``delta``, ``rho``, or ``epsilon`` — they
+enter only through the derived tunables, which may overestimate them;
+experiment E9 measures the cost of such overestimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Theorem5Bounds:
+    """The guarantees of Theorem 5 for a concrete parameter choice.
+
+    Attributes:
+        t_interval: The analysis interval ``T``.
+        k: ``K = floor(PI / T)``, the number of analysis intervals per
+            adversary period.
+        c: The convergence residue ``C = (17e + 18pT) / (2**K - 3)``.
+        max_deviation: Theorem 5(i) bound on ``|C_p - C_q|`` for good
+            ``p, q``.
+        logical_drift: Theorem 5(ii) drift bound ``rho~``.
+        discontinuity: Theorem 5(ii) discontinuity bound ``alpha``.
+        d_half_width: Appendix A's ``D = 8e + 8pT + 2C``; the inductive
+            envelopes have width ``2D`` and ``Delta = 2D + 2pT``.
+        way_off_required: Appendix A's prescription
+            ``WayOff = 16e + 18pT + Delta``.
+        recovery_intervals: Number of ``T``-intervals within which a
+            released processor provably rejoins: per Claim 8(iii) its
+            residual distance is ``WayOff / 2**j``, which drops below
+            ``C/2`` after ``ceil(log2(2 * WayOff / C))`` intervals.
+    """
+
+    t_interval: float
+    k: int
+    c: float
+    max_deviation: float
+    logical_drift: float
+    discontinuity: float
+    d_half_width: float
+    way_off_required: float
+    recovery_intervals: int
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Complete parameterization of a Sync deployment.
+
+    Attributes:
+        n: Number of processors; must satisfy ``n >= 3f + 1``.
+        f: Maximum processors faulty within any window of length ``pi``.
+        delta: Message delivery bound (real time).
+        rho: Hardware drift bound (eq. 2).
+        pi: The adversary's time period ``PI`` (Definition 2).
+        sync_interval: ``SyncInt`` — local time between Syncs.
+        max_wait: ``MaxWait`` — estimation timeout (local time).
+        way_off: ``WayOff`` — threshold for discarding own clock.
+        epsilon: Reading-error bound of the estimation procedure
+            (Definition 4); for one-shot ping/pong this is
+            ``delta * (1 + rho)``.
+        include_self: Whether a processor estimates its own clock with
+            ``(d, a) = (0, 0)`` — the literal reading of Figure 1's loop
+            over ``q in {1..n}``.
+        strict: Validate the Section 3.2 constraints at construction.
+    """
+
+    n: int
+    f: int
+    delta: float
+    rho: float
+    pi: float
+    sync_interval: float
+    max_wait: float
+    way_off: float
+    epsilon: float = field(default=-1.0)
+    include_self: bool = True
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            object.__setattr__(self, "epsilon", self.delta * (1.0 + self.rho))
+        if self.strict:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation (Section 3.2 constraints)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every constraint the analysis relies on.
+
+        Raises:
+            ParameterError: Describing the first violated constraint.
+        """
+        if self.f < 1:
+            raise ParameterError(f"f must be at least 1, got f={self.f}")
+        if self.n < 3 * self.f + 1:
+            raise ParameterError(
+                f"need n >= 3f + 1 for f-limited Byzantine tolerance; "
+                f"got n={self.n}, f={self.f} (minimum n={3 * self.f + 1})"
+            )
+        if self.delta <= 0:
+            raise ParameterError(f"delta must be positive, got {self.delta}")
+        if self.rho < 0:
+            raise ParameterError(f"rho must be non-negative, got {self.rho}")
+        if self.pi <= 0:
+            raise ParameterError(f"pi must be positive, got {self.pi}")
+        if self.max_wait < 2.0 * self.delta:
+            raise ParameterError(
+                f"MaxWait must be at least 2*delta={2 * self.delta}; got {self.max_wait}"
+            )
+        if self.sync_interval < 2.0 * self.max_wait:
+            raise ParameterError(
+                f"SyncInt must be at least 2*MaxWait={2 * self.max_wait}; "
+                f"got {self.sync_interval}"
+            )
+        if self.k < 5:
+            raise ParameterError(
+                f"Theorem 5 requires K = floor(PI/T) >= 5; got K={self.k} "
+                f"(PI={self.pi}, T={self.t_interval:.6g}). Increase PI or "
+                f"decrease SyncInt."
+            )
+        bounds = self.bounds()
+        if self.way_off < bounds.max_deviation + self.epsilon:
+            raise ParameterError(
+                f"WayOff must be at least Delta + epsilon = "
+                f"{bounds.max_deviation + self.epsilon:.6g}; got {self.way_off}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities (Section 4)
+    # ------------------------------------------------------------------
+
+    @property
+    def t_interval(self) -> float:
+        """The analysis interval ``T = (1+rho)*SyncInt + 2*MaxWait``.
+
+        Any non-faulty processor completes at least one and at most two
+        full Syncs within any window of length ``T``.
+        """
+        return (1.0 + self.rho) * self.sync_interval + 2.0 * self.max_wait
+
+    @property
+    def k(self) -> int:
+        """``K = floor(PI / T)``: analysis intervals per adversary period."""
+        return int(math.floor(self.pi / self.t_interval))
+
+    def bounds(self) -> Theorem5Bounds:
+        """Evaluate the Theorem 5 / Appendix A formulas for these params.
+
+        The formulas are evaluated even when ``K < 5`` (the guarantee is
+        then vacuous but the numbers remain useful for sweeps); callers
+        that need the guarantee should check :attr:`k` or construct with
+        ``strict=True``.
+        """
+        t = self.t_interval
+        k = self.k
+        base = 17.0 * self.epsilon + 18.0 * self.rho * t
+        denominator = 2.0 ** k - 3.0
+        c = base / denominator if denominator > 0 else math.inf
+        max_deviation = 16.0 * self.epsilon + 18.0 * self.rho * t + 4.0 * c
+        way_off_required = 16.0 * self.epsilon + 18.0 * self.rho * t + max_deviation
+        if c > 0 and math.isfinite(c) and math.isfinite(self.way_off):
+            recovery_intervals = max(1, math.ceil(math.log2(max(2.0 * self.way_off / c, 2.0))))
+        else:
+            recovery_intervals = 0
+        return Theorem5Bounds(
+            t_interval=t,
+            k=k,
+            c=c,
+            max_deviation=max_deviation,
+            logical_drift=self.rho + c / (2.0 * t),
+            discontinuity=self.epsilon + c / 2.0,
+            d_half_width=8.0 * self.epsilon + 8.0 * self.rho * t + 2.0 * c,
+            way_off_required=way_off_required,
+            recovery_intervals=recovery_intervals,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def derive(cls, n: int, f: int, delta: float, rho: float, pi: float,
+               target_k: int = 20, include_self: bool = True) -> "ProtocolParams":
+        """Derive a full parameterization from the network model alone.
+
+        Picks ``MaxWait = 2*delta*(1+rho)``, chooses ``SyncInt`` so that
+        ``K ~ target_k`` (the Section 4.1 remark suggests ``T = PI/20``
+        gives near-optimal accuracy), and sets ``WayOff`` to the
+        Appendix A prescription.
+
+        Raises:
+            ParameterError: If ``pi`` is too short to fit ``K >= 5``
+                Sync intervals, or any base constraint fails.
+        """
+        max_wait = 2.0 * delta * (1.0 + rho)
+        target_t = pi / float(max(target_k, 5))
+        sync_interval = (target_t - 2.0 * max_wait) / (1.0 + rho)
+        sync_interval = max(sync_interval, 2.0 * max_wait)
+        draft = cls(
+            n=n, f=f, delta=delta, rho=rho, pi=pi,
+            sync_interval=sync_interval, max_wait=max_wait,
+            way_off=math.inf, include_self=include_self, strict=False,
+        )
+        if draft.k < 5:
+            raise ParameterError(
+                f"cannot fit K >= 5 Sync intervals of T >= "
+                f"{draft.t_interval:.6g} into PI={pi}; increase PI or "
+                f"decrease delta"
+            )
+        way_off = draft.bounds().way_off_required
+        return replace(draft, way_off=way_off, strict=True)
+
+    def scaled(self, *, delta_factor: float = 1.0, rho_factor: float = 1.0) -> "ProtocolParams":
+        """Return params whose tunables assume inflated ``delta``/``rho``.
+
+        Models the Section 3.3 "known values" scenario: the deployer
+        only knows overestimates of the physical constants.  The derived
+        ``MaxWait``/``SyncInt``/``WayOff`` grow accordingly while the
+        *actual* network keeps the true ``delta`` and ``rho``.
+        """
+        inflated = ProtocolParams.derive(
+            n=self.n, f=self.f,
+            delta=self.delta * delta_factor,
+            rho=self.rho * rho_factor,
+            pi=self.pi, include_self=self.include_self,
+        )
+        return replace(
+            inflated, delta=self.delta, rho=self.rho,
+            epsilon=self.delta * delta_factor * (1.0 + self.rho * rho_factor),
+            strict=False,
+        )

@@ -1,0 +1,189 @@
+"""The Sync protocol (Figure 1) as a simulation process.
+
+Each :class:`SyncProcess`:
+
+* answers every :class:`~repro.net.message.Ping` immediately with its
+  *current* clock value — the "no rounds" property of Section 3.3;
+* every ``SyncInt`` units of local time runs one Sync: pings all peers
+  in parallel, waits at most ``MaxWait`` local time (finishing early if
+  everyone answered), and applies the convergence function's correction
+  to its adjustment variable;
+* on recovery from a break-in, restarts its Sync alarm (the paper's
+  note that the alarm "must be recovered after a break-in") while
+  keeping whatever clock value the adversary left — re-synchronizing
+  that value is the protocol's own job.
+
+The convergence function is pluggable (default
+:class:`~repro.core.convergence.PaperConvergence`), which is how the
+baseline protocols in :mod:`repro.protocols` reuse this machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.convergence import (
+    ConvergenceFunction,
+    PaperConvergence,
+    paper_order_statistics,
+)
+from repro.core.estimation import ClockEstimate, EstimationSession, self_estimate
+from repro.core.params import ProtocolParams
+from repro.net.message import Message, Ping, Pong
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class SyncRecord:
+    """Trace record of one completed Sync execution.
+
+    Attributes:
+        node_id: The processor that synced.
+        round_no: Its local Sync counter.
+        real_time: Simulated real time at completion.
+        local_before: Clock value just before the correction.
+        correction: Signed amount added to ``adj``.
+        m: Figure 1's low statistic (``f+1``-st smallest overestimate).
+        big_m: Figure 1's high statistic (``f+1``-st largest underestimate).
+        own_discarded: True when the WayOff branch fired and the
+            processor ignored its own clock.
+        replies: Number of peers that answered before the deadline.
+    """
+
+    node_id: int
+    round_no: int
+    real_time: float
+    local_before: float
+    correction: float
+    m: float
+    big_m: float
+    own_discarded: bool
+    replies: int
+
+
+class SyncProcess(Process):
+    """A processor running the paper's Sync protocol.
+
+    Args:
+        node_id: This processor's identity.
+        sim: The simulator.
+        network: Message fabric.
+        clock: This processor's logical clock.
+        params: Protocol parameterization (Section 3.2).
+        convergence: Convergence function; defaults to the paper's.
+        pings_per_peer: Pings per peer per Sync (Section 3.1
+            optimization; 1 reproduces the paper's basic procedure).
+        start_phase: Local-time delay before the first Sync, used to
+            de-synchronize the processors' Sync schedules (the paper
+            makes no assumption about relative Sync times).
+
+    Attributes:
+        sync_records: Completed-Sync trace (grows over the run).
+        sync_listeners: Callbacks invoked with each new record.
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: ProtocolParams,
+                 convergence: ConvergenceFunction | None = None,
+                 pings_per_peer: int = 1, start_phase: float = 0.0) -> None:
+        super().__init__(node_id, sim, network, clock)
+        self.params = params
+        self.convergence = convergence if convergence is not None else PaperConvergence()
+        self.pings_per_peer = pings_per_peer
+        self.start_phase = float(start_phase)
+        self.sync_records: list[SyncRecord] = []
+        self.sync_listeners: list[Callable[[SyncRecord], None]] = []
+        self._round = 0
+        self._session: EstimationSession | None = None
+        self._deadline = None
+
+    # ------------------------------------------------------------------
+    # Protocol lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the first Sync alarm (also called on recovery)."""
+        self._session = None
+        self._deadline = None
+        first_delay = self.start_phase if self._round == 0 else self.params.sync_interval
+        self.set_local_timer(first_delay, self._begin_sync, tag="sync-alarm")
+
+    def _begin_sync(self) -> None:
+        """Figure 1 line 1: start one execution of sync()."""
+        self._round += 1
+        peers = self.network.topology.neighbors(self.node_id)
+        self._session = EstimationSession(self, peers, self.pings_per_peer)
+        self._session.begin(self._round)
+        self._deadline = self.set_local_timer(
+            self.params.max_wait, self._complete_sync, tag="sync-deadline"
+        )
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Ping):
+            # Always answer with the live clock value: no rounds (3.3).
+            self.send(message.sender, Pong(nonce=payload.nonce, clock_value=self.local_now()))
+        elif isinstance(payload, Pong):
+            if self._session is not None and self._session.on_pong(message):
+                if self._session.complete:
+                    # Everyone answered; no reason to sit out MaxWait.
+                    if self._deadline is not None:
+                        self._deadline.cancel()
+                    self._complete_sync()
+
+    def _complete_sync(self) -> None:
+        """Figure 1 lines 6-12: select order statistics, adjust the clock."""
+        session = self._session
+        if session is None:
+            return
+        self._session = None
+        self._deadline = None
+
+        estimates: list[ClockEstimate] = list(session.finish().values())
+        replies = sum(1 for e in estimates if not e.timed_out)
+        if self.params.include_self:
+            estimates.append(self_estimate(self.node_id))
+
+        local_before = self.local_now()
+        correction = self.convergence.correction(
+            estimates, self.params.f, self.params.way_off
+        )
+        self.clock.adjust(self.sim.now, correction)
+
+        m, big_m = paper_order_statistics(estimates, self.params.f)
+        own_discarded = bool(
+            math.isfinite(m) and math.isfinite(big_m)
+            and not (m >= -self.params.way_off and big_m <= self.params.way_off)
+        )
+        record = SyncRecord(
+            node_id=self.node_id,
+            round_no=self._round,
+            real_time=self.sim.now,
+            local_before=local_before,
+            correction=correction,
+            m=m,
+            big_m=big_m,
+            own_discarded=own_discarded,
+            replies=replies,
+        )
+        self.sync_records.append(record)
+        for listener in self.sync_listeners:
+            listener(record)
+
+        # Set the alarm for the next execution (Section 3.3: "set up an
+        # alarm at the end of each execution").
+        self.set_local_timer(self.params.sync_interval, self._begin_sync, tag="sync-alarm")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of Sync executions completed so far."""
+        return len(self.sync_records)

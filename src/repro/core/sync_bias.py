@@ -1,0 +1,113 @@
+"""The Figure 2 bias formulation as a second, independent implementation.
+
+The paper presents the protocol twice: Figure 1 over clock values, and
+Figure 2 over biases (``B = C - tau``), stressing that Figure 2 "is
+just an alternative view of the real protocol" and "cannot be
+implemented as it is described ... since a processor does not know its
+bias".  In a simulator the real time *is* available, so the bias
+formulation **can** be implemented literally — which makes the paper's
+equivalence claim checkable by experiment rather than by reading:
+
+:class:`BiasSyncProcess` executes Figure 2 verbatim (over/underestimate
+``B_q``, select the f+1-st statistics of biases, update ``B_p``), and
+``tests/test_core_sync_bias.py`` runs it against the Figure 1
+implementation under identical seeds, asserting *bitwise identical*
+correction sequences and clock trajectories.
+
+This class is an analysis artifact: it reads ``sim.now`` (real time) to
+compute biases, which no deployable processor could.  Everything else —
+message flow, timers, estimation — is shared with
+:class:`~repro.core.sync.SyncProcess`, so the only difference under
+test is the arithmetic of Figure 1 vs Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core.convergence import kth_largest, kth_smallest
+from repro.core.estimation import ClockEstimate, self_estimate
+from repro.core.sync import SyncProcess, SyncRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+
+class BiasSyncProcess(SyncProcess):
+    """Figure 2, implemented literally over biases.
+
+    Inherits the entire message/timer machinery of
+    :class:`~repro.core.sync.SyncProcess`; only ``_complete_sync`` is
+    replaced with the bias-space arithmetic of Figure 2:
+
+    * ``B_up(q) = B_p + d_q + a_q`` (line 6: overestimate of ``B_q``),
+    * ``B_dn(q) = B_p + d_q - a_q`` (line 7: underestimate),
+    * ``B(m)`` = f+1-st smallest ``B_up``; ``B(M)`` = f+1-st largest
+      ``B_dn`` (lines 8-9),
+    * lines 10-12 select the new ``B_p`` and the clock is set so that
+      its bias equals it.
+    """
+
+    def _complete_sync(self) -> None:
+        session = self._session
+        if session is None:
+            return
+        self._session = None
+        self._deadline = None
+
+        estimates: list[ClockEstimate] = list(session.finish().values())
+        replies = sum(1 for e in estimates if not e.timed_out)
+        if self.params.include_self:
+            estimates.append(self_estimate(self.node_id))
+
+        tau = self.sim.now
+        local_before = self.local_now()
+        bias_p = local_before - tau  # B_p: the simulator-only read
+
+        # Figure 2 lines 6-9, in absolute bias space.
+        b_up = [bias_p + e.distance + e.accuracy for e in estimates]
+        b_dn = [bias_p + e.distance - e.accuracy for e in estimates]
+        b_m = kth_smallest(b_up, self.params.f)
+        b_big_m = kth_largest(b_dn, self.params.f)
+
+        if not (math.isfinite(b_m) and math.isfinite(b_big_m)):
+            new_bias = bias_p  # too many timeouts: refuse to move
+        elif (bias_p - b_m <= self.params.way_off
+                and b_big_m - bias_p <= self.params.way_off):
+            # Line 11: B_p <- (min(B(m), B_p) + max(B(M), B_p)) / 2.
+            new_bias = (min(b_m, bias_p) + max(b_big_m, bias_p)) / 2.0
+        else:
+            # Line 12: B_p <- (B(m) + B(M)) / 2.
+            new_bias = (b_m + b_big_m) / 2.0
+
+        correction = new_bias - bias_p
+        self.clock.adjust(tau, correction)
+
+        record = SyncRecord(
+            node_id=self.node_id,
+            round_no=self._round,
+            real_time=tau,
+            local_before=local_before,
+            correction=correction,
+            m=b_m - bias_p,          # back to Figure 1's relative frame
+            big_m=b_big_m - bias_p,
+            own_discarded=bool(
+                math.isfinite(b_m) and math.isfinite(b_big_m)
+                and not (bias_p - b_m <= self.params.way_off
+                         and b_big_m - bias_p <= self.params.way_off)),
+            replies=replies,
+        )
+        self.sync_records.append(record)
+        for listener in self.sync_listeners:
+            listener(record)
+
+        self.set_local_timer(self.params.sync_interval, self._begin_sync,
+                             tag="sync-alarm")
+
+
+def make_bias_sync(node_id, sim, network, clock, params, start_phase):
+    """Factory for the Figure 2 twin (not registered by default — it is
+    an analysis artifact, not a deployable protocol)."""
+    return BiasSyncProcess(node_id, sim, network, clock, params,
+                           start_phase=start_phase)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+violations of the paper's model assumptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, protocol, or network was configured inconsistently.
+
+    Raised eagerly, at construction time, so that a misconfigured
+    experiment fails before any simulation work is done.
+    """
+
+
+class ParameterError(ConfigurationError):
+    """Protocol parameters violate the constraints of Section 3.2.
+
+    Examples: ``n < 3f + 1``, ``SyncInt < 2 * MaxWait``,
+    ``MaxWait < 2 * delta``, or ``K < 5`` when Theorem 5 bounds are
+    requested.
+    """
+
+
+class TopologyError(ConfigurationError):
+    """A topology operation referenced a missing node or edge."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that was already finalized.
+    """
+
+
+class ClockError(ReproError):
+    """A hardware-clock model was queried outside its valid domain.
+
+    Examples: reading a clock before its origin time, or asking for the
+    inverse of a hardware value the clock never reaches within its
+    generated horizon.
+    """
+
+
+class AdversaryError(ReproError):
+    """An adversary plan violates the model of Definition 2.
+
+    Raised by the f-limit auditor when a corruption plan controls more
+    than ``f`` processors within some window of length ``PI``, or when a
+    strategy touches a processor it does not currently control.
+    """
+
+
+class MeasurementError(ReproError):
+    """A metric was requested over an empty or inconsistent sample set."""

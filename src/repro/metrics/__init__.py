@@ -1,0 +1,53 @@
+"""Measurement pipeline: sampling, Definition 3 measures, traces, tables."""
+
+from repro.metrics.measures import (
+    AccuracyReport,
+    RecoveryEvent,
+    RecoveryReport,
+    accuracy_report,
+    deviation_percentiles,
+    deviation_series,
+    good_stretches,
+    max_deviation,
+    recovery_report,
+)
+from repro.metrics.export import result_to_dict, write_result
+from repro.metrics.plots import bias_plane, sparkline, strip_chart
+from repro.metrics.report import check_mark, format_value, ratio, table
+from repro.metrics.sampler import (
+    ClockSampler,
+    ClockSamples,
+    CorruptionInterval,
+    faulty_at,
+    good_set,
+)
+from repro.metrics.trace import CorruptionRecord, MessageRecord, TraceRecorder
+
+__all__ = [
+    "ClockSampler",
+    "ClockSamples",
+    "CorruptionInterval",
+    "good_set",
+    "faulty_at",
+    "deviation_series",
+    "deviation_percentiles",
+    "max_deviation",
+    "accuracy_report",
+    "AccuracyReport",
+    "good_stretches",
+    "recovery_report",
+    "RecoveryReport",
+    "RecoveryEvent",
+    "TraceRecorder",
+    "MessageRecord",
+    "CorruptionRecord",
+    "table",
+    "sparkline",
+    "strip_chart",
+    "bias_plane",
+    "result_to_dict",
+    "write_result",
+    "format_value",
+    "ratio",
+    "check_mark",
+]

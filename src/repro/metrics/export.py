@@ -1,0 +1,118 @@
+"""JSON export of run results.
+
+Serializes the interesting parts of a :class:`~repro.runner.experiment.
+RunResult` — parameters, bounds, measures, verdict, corruption history,
+and (optionally) the raw clock samples — into a plain-JSON dict, so
+experiment pipelines can archive runs and diff them across versions.
+Used by ``python -m repro run --json out.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner.experiment import RunResult
+
+
+def _finite(value: float) -> float | str:
+    """JSON has no inf/nan; encode them as strings."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+def result_to_dict(result: "RunResult", warmup: float = 0.0,
+                   include_samples: bool = False) -> dict[str, Any]:
+    """Serialize a run result to a JSON-compatible dict.
+
+    Args:
+        result: The run to export.
+        warmup: Warmup passed to the measures.
+        include_samples: Include the full clock sample arrays (large).
+    """
+    params = result.params
+    bounds = params.bounds()
+    verdict = result.verdict(warmup=warmup)
+    recovery = result.recovery()
+
+    payload: dict[str, Any] = {
+        "scenario": {
+            "name": result.scenario.name,
+            "seed": result.scenario.seed,
+            "duration": result.scenario.duration,
+            "protocol": (result.scenario.protocol
+                         if isinstance(result.scenario.protocol, str)
+                         else getattr(result.scenario.protocol, "__name__",
+                                      "custom")),
+            "loss_rate": result.scenario.loss_rate,
+        },
+        "params": {
+            "n": params.n, "f": params.f, "delta": params.delta,
+            "rho": params.rho, "pi": params.pi,
+            "sync_interval": params.sync_interval,
+            "max_wait": params.max_wait, "way_off": params.way_off,
+            "epsilon": params.epsilon,
+        },
+        "bounds": {
+            "t_interval": bounds.t_interval, "k": bounds.k,
+            "c": _finite(bounds.c),
+            "max_deviation": _finite(bounds.max_deviation),
+            "logical_drift": _finite(bounds.logical_drift),
+            "discontinuity": _finite(bounds.discontinuity),
+            "recovery_intervals": bounds.recovery_intervals,
+        },
+        "verdict": {
+            "measured_deviation": _finite(verdict.measured_deviation),
+            "measured_drift": _finite(verdict.measured_drift),
+            "measured_discontinuity": _finite(verdict.measured_discontinuity),
+            "deviation_ok": verdict.deviation_ok,
+            "drift_ok": verdict.drift_ok,
+            "discontinuity_ok": verdict.discontinuity_ok,
+            "all_ok": verdict.all_ok,
+            "warmup": warmup,
+        },
+        "recovery": {
+            "tolerance": _finite(recovery.tolerance),
+            "all_recovered": recovery.all_recovered,
+            "max_recovery_time": _finite(recovery.max_recovery_time),
+            "events": [
+                {
+                    "node": event.node,
+                    "released_at": event.released_at,
+                    "rejoined_at": _finite(event.rejoined_at),
+                    "initial_distance": _finite(event.initial_distance),
+                }
+                for event in recovery.events
+            ],
+        },
+        "corruptions": [
+            {"node": c.node, "start": c.start, "end": _finite(c.end)}
+            for c in result.corruptions
+        ],
+        "counters": {
+            "events_processed": result.events_processed,
+            "messages_delivered": result.messages_delivered,
+            "sync_executions": len(result.trace.syncs),
+        },
+    }
+    if include_samples:
+        payload["samples"] = {
+            "times": list(result.samples.times),
+            "clocks": {str(node): list(values)
+                       for node, values in result.samples.clocks.items()},
+        }
+    return payload
+
+
+def write_result(result: "RunResult", path: str | pathlib.Path,
+                 warmup: float = 0.0, include_samples: bool = False) -> None:
+    """Serialize and write a run result as JSON."""
+    payload = result_to_dict(result, warmup=warmup,
+                             include_samples=include_samples)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -1,0 +1,354 @@
+"""Measurements matching the paper's Definition 3 requirements.
+
+Three families of measures, one per requirement:
+
+* **Synchronization** — :func:`deviation_series` / :func:`max_deviation`:
+  the maximum clock difference over the Definition 3 good set, per
+  sample and overall (checked against Theorem 5(i)).
+* **Accuracy** — :func:`accuracy_report`: measured logical drift and
+  discontinuity over good stretches (checked against Theorem 5(ii)).
+* **Recovery** — :func:`recovery_report`: for every adversary release,
+  how long until the victim's clock re-enters (and stays in) the good
+  range (checked against Claim 8(iii)'s geometric convergence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import MeasurementError
+from repro.metrics.sampler import ClockSamples, CorruptionInterval, faulty_at, good_set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+
+
+# ----------------------------------------------------------------------
+# Synchronization (Definition 3 i)
+# ----------------------------------------------------------------------
+
+def deviation_series(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                     pi: float, n: int, warmup: float = 0.0) -> list[tuple[float, float]]:
+    """Per-sample maximum clock deviation over the good set.
+
+    Args:
+        samples: Grid samples of every clock.
+        corruptions: Audited corruption intervals.
+        pi: The adversary period ``PI`` (defines the good set window).
+        n: Total number of processors.
+        warmup: Skip samples before this real time (initial convergence).
+
+    Returns:
+        ``(tau, max |C_p - C_q| over good p, q)`` per retained sample;
+        samples whose good set has fewer than two members are skipped.
+    """
+    series: list[tuple[float, float]] = []
+    for i, tau in enumerate(samples.times):
+        if tau < warmup:
+            continue
+        good = good_set(corruptions, tau, pi, n)
+        if len(good) < 2:
+            continue
+        values = [samples.clocks[node][i] for node in good]
+        series.append((tau, max(values) - min(values)))
+    return series
+
+
+def max_deviation(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                  pi: float, n: int, warmup: float = 0.0) -> float:
+    """Maximum good-set deviation over the run (Theorem 5(i) subject)."""
+    series = deviation_series(samples, corruptions, pi, n, warmup)
+    if not series:
+        raise MeasurementError("no samples with a non-trivial good set after warmup")
+    return max(dev for _, dev in series)
+
+
+# ----------------------------------------------------------------------
+# Accuracy (Definition 3 ii)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Measured accuracy of good processors (Theorem 5(ii) subject).
+
+    Attributes:
+        max_discontinuity: Largest single clock correction applied by a
+            processor while non-faulty.
+        implied_drift: Smallest ``rho~`` making eq. (3) hold over every
+            measured good stretch, given ``alpha = max_discontinuity``.
+        stretches: Number of (node, good-stretch) pairs measured.
+    """
+
+    max_discontinuity: float
+    implied_drift: float
+    stretches: int
+
+
+def good_stretches(corruptions: Sequence[CorruptionInterval], pi: float, n: int,
+                   horizon: float) -> list[tuple[int, float, float]]:
+    """Maximal stretches ``(node, t1, t2)`` where Definition 3(ii) applies.
+
+    A stretch requires the node to be non-faulty during
+    ``[t1 - PI, t2]``; stretches are clipped to ``[0, horizon]`` and the
+    window requirement is clipped at time 0 like :func:`good_set`.
+
+    Boundary convention: a stretch may start at exactly
+    ``release + PI``, where the half-open reading of "non-faulty during"
+    applies — the corruption *ends* at the instant the window begins, a
+    measure-zero touch that cannot affect any clock reading.  (This is
+    one instant more permissive than :func:`good_set`'s closed-interval
+    reading, and strictly conservative for the accuracy measurement
+    since recovery completes well within PI.)
+    """
+    stretches: list[tuple[int, float, float]] = []
+    for node in range(n):
+        bad = sorted((c.start, c.end) for c in corruptions if c.node == node)
+        # Candidate quiet gaps between corruption intervals (plus the
+        # run's edges).
+        edges = [0.0]
+        for start, end in bad:
+            edges.extend((start, min(end, horizon)))
+        edges.append(horizon)
+        quiet: list[tuple[float, float]] = []
+        cursor = 0.0
+        for start, end in bad:
+            if start > cursor:
+                quiet.append((cursor, min(start, horizon)))
+            cursor = max(cursor, end)
+        if cursor < horizon:
+            quiet.append((cursor, horizon))
+        for lo, hi in quiet:
+            t1 = lo + pi if lo > 0.0 else 0.0  # need [t1 - PI, t2] non-faulty
+            if t1 < hi:
+                stretches.append((node, t1, hi))
+    return stretches
+
+
+def accuracy_report(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                    clocks: dict[int, "LogicalClock"], pi: float, n: int,
+                    min_span: float = 0.0) -> AccuracyReport:
+    """Measure discontinuity and implied logical drift over good stretches.
+
+    ``alpha`` (discontinuity) is taken as the largest adjustment a node
+    applied while not faulty.  Given that ``alpha``, the implied drift is
+    the smallest ``rho~`` for which eq. (3) holds across each measured
+    stretch's endpoints.
+
+    Args:
+        samples: Grid samples.
+        corruptions: Audited corruption intervals.
+        clocks: Logical clocks (for their adjustment histories).
+        pi: Adversary period.
+        n: Number of processors.
+        min_span: Ignore stretches shorter than this (drift estimates
+            over tiny spans are dominated by the discontinuity term).
+    """
+    if not samples.times:
+        raise MeasurementError("cannot measure accuracy with no samples")
+    horizon = samples.times[-1]
+
+    alpha = 0.0
+    for node, clock in clocks.items():
+        for tau, delta, _ in clock.adjustments:
+            # Definition 3(ii) covers a correction at time tau only if
+            # the node was non-faulty throughout [tau - PI, tau]; both
+            # adversary resets and post-release recovery jumps fall
+            # outside the guarantee.
+            if node not in good_set(corruptions, tau, pi, n):
+                continue
+            alpha = max(alpha, abs(delta))
+
+    implied = 0.0
+    measured = 0
+    for node, t1, t2 in good_stretches(corruptions, pi, n, horizon):
+        if t2 - t1 < max(min_span, 2 * (samples.times[1] - samples.times[0]) if len(samples.times) > 1 else 0.0):
+            continue
+        i1 = samples.index_at_or_after(t1)
+        # The end sample must not cross into the next corruption (the
+        # break-in may scramble the clock at exactly t2).
+        i2 = samples.index_at_or_before(t2) if t2 < horizon else len(samples.times) - 1
+        tau1, tau2 = samples.times[i1], samples.times[i2]
+        if tau2 <= tau1:
+            continue
+        span = tau2 - tau1
+        advance = samples.clocks[node][i2] - samples.clocks[node][i1]
+        measured += 1
+        # eq. (3): advance <= span * (1 + rho~) + alpha
+        #          advance >= span / (1 + rho~) - alpha
+        up = (advance - alpha) / span - 1.0
+        down = span / (advance + alpha) - 1.0 if advance + alpha > 0 else math.inf
+        implied = max(implied, up, down, 0.0)
+
+    return AccuracyReport(max_discontinuity=alpha, implied_drift=implied, stretches=measured)
+
+
+# ----------------------------------------------------------------------
+# Recovery (the paper's third requirement)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """Recovery measurement for one adversary release.
+
+    Attributes:
+        node: The released processor.
+        released_at: Real time the adversary left.
+        rejoined_at: First sample time after release at which the node's
+            clock is within ``tolerance`` of the good range and remains
+            so for the rest of the observation window (``inf`` if never).
+        initial_distance: Clock distance to the good range at release.
+    """
+
+    node: int
+    released_at: float
+    rejoined_at: float
+    initial_distance: float
+
+    @property
+    def recovery_time(self) -> float:
+        """Elapsed real time from release to stable rejoin."""
+        return self.rejoined_at - self.released_at
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """All recovery events of a run.
+
+    Attributes:
+        events: One entry per adversary release observed in-sample.
+        tolerance: Distance-to-good-range threshold used.
+    """
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def max_recovery_time(self) -> float:
+        """Worst recovery time (``inf`` when some node never rejoined)."""
+        if not self.events:
+            return 0.0
+        return max(event.recovery_time for event in self.events)
+
+    @property
+    def all_recovered(self) -> bool:
+        """Whether every released node stably rejoined."""
+        return all(math.isfinite(event.recovery_time) for event in self.events)
+
+
+def _good_range(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                pi: float, n: int, index: int,
+                exclude: int | None = None) -> tuple[float, float] | None:
+    """Clock range of the good set, optionally excluding one node.
+
+    Recovery measurement excludes the recovering node itself: once PI
+    has passed since its release it formally re-enters the good set,
+    and a still-lost clock would otherwise widen the very range it is
+    measured against.
+    """
+    good = good_set(corruptions, samples.times[index], pi, n)
+    good.discard(exclude)
+    if not good:
+        return None
+    values = [samples.clocks[node][index] for node in good]
+    return min(values), max(values)
+
+
+def recovery_report(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                    pi: float, n: int, tolerance: float,
+                    settle: float | None = None) -> RecoveryReport:
+    """Measure the recovery time of every released processor.
+
+    A node counts as rejoined at the first sample after its release
+    where its clock is within ``tolerance`` of the good range and stays
+    within it for the following ``settle`` seconds (default ``PI``), or
+    to the end of the run if less remains.
+
+    Args:
+        samples: Grid samples.
+        corruptions: Audited corruption intervals (finite ends only are
+            measured).
+        pi: Adversary period.
+        n: Number of processors.
+        tolerance: Maximum distance from the good range that counts as
+            recovered; typically the Theorem 5 deviation bound.
+        settle: Stability window; default ``pi``.
+    """
+    if settle is None:
+        settle = pi
+    events: list[RecoveryEvent] = []
+    horizon = samples.times[-1] if samples.times else 0.0
+    for corruption in corruptions:
+        if not math.isfinite(corruption.end) or corruption.end >= horizon:
+            continue
+        start_index = samples.index_at_or_after(corruption.end)
+        bounds0 = _good_range(samples, corruptions, pi, n, start_index,
+                              exclude=corruption.node)
+        node_values = samples.clocks[corruption.node]
+        if bounds0 is None:
+            continue
+        initial = max(0.0, max(bounds0[0] - node_values[start_index],
+                               node_values[start_index] - bounds0[1]))
+        rejoined = math.inf
+        for i in range(start_index, len(samples.times)):
+            if _stably_within(samples, corruptions, pi, n, corruption.node, i,
+                              tolerance, settle):
+                rejoined = samples.times[i]
+                break
+        events.append(RecoveryEvent(
+            node=corruption.node,
+            released_at=corruption.end,
+            rejoined_at=rejoined,
+            initial_distance=initial,
+        ))
+    return RecoveryReport(events=events, tolerance=tolerance)
+
+
+def _stably_within(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
+                   pi: float, n: int, node: int, start_index: int,
+                   tolerance: float, settle: float) -> bool:
+    end_time = samples.times[start_index] + settle
+    for i in range(start_index, len(samples.times)):
+        if samples.times[i] > end_time:
+            break
+        bounds = _good_range(samples, corruptions, pi, n, i, exclude=node)
+        if bounds is None:
+            continue
+        value = samples.clocks[node][i]
+        if value < bounds[0] - tolerance or value > bounds[1] + tolerance:
+            return False
+    return True
+
+
+def deviation_percentiles(samples: ClockSamples,
+                          corruptions: Sequence[CorruptionInterval],
+                          pi: float, n: int, warmup: float = 0.0,
+                          percentiles: Sequence[float] = (50.0, 95.0, 99.0, 100.0),
+                          ) -> dict[float, float]:
+    """Percentiles of the good-set deviation series.
+
+    The paper's bounds are worst-case; practical protocols are judged on
+    typical behaviour too ("practical protocols ... may provide better
+    results in typical cases", Section 5).  This reports both: the
+    median/tails of the per-sample deviation alongside the max that
+    Theorem 5(i) bounds.
+
+    Args:
+        percentiles: Values in ``(0, 100]``; 100 is the maximum.
+
+    Raises:
+        MeasurementError: On an empty series or bad percentile.
+    """
+    series = [dev for _, dev in deviation_series(samples, corruptions, pi, n,
+                                                 warmup)]
+    if not series:
+        raise MeasurementError("no deviation samples after warmup")
+    ordered = sorted(series)
+    result: dict[float, float] = {}
+    for p in percentiles:
+        if not (0.0 < p <= 100.0):
+            raise MeasurementError(f"percentile must be in (0, 100], got {p}")
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        result[p] = ordered[rank]
+    return result

@@ -1,0 +1,169 @@
+"""ASCII time-series rendering for examples and reports.
+
+The environment has no plotting stack, and the examples want to *show*
+trajectories — deviation decaying under attack, a recovering bias
+homing in on the good envelope.  These renderers produce aligned ASCII
+charts: sparklines for one-liners, multi-row strip charts for series,
+and a bias-plane view that draws several nodes' biases against the
+envelope, the closest textual analogue of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import MeasurementError
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-character-per-value density strip.
+
+    Args:
+        values: The series (NaNs render as ``?``).
+        lo: Bottom of the scale; defaults to the series minimum.
+        hi: Top of the scale; defaults to the series maximum.
+    """
+    if not values:
+        return ""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "?" * len(values)
+    lo = min(finite) if lo is None else lo
+    hi = max(finite) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append("?")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        frac = min(1.0, max(0.0, (value - lo) / span))
+        chars.append(_SPARK_LEVELS[min(len(_SPARK_LEVELS) - 1,
+                                       int(frac * (len(_SPARK_LEVELS) - 1)))])
+    return "".join(chars)
+
+
+def strip_chart(series: Sequence[tuple[float, float]], width: int = 64,
+                height: int = 10, title: str | None = None,
+                hline: float | None = None,
+                hline_label: str = "bound") -> str:
+    """A multi-row ASCII chart of a ``(x, y)`` series.
+
+    Args:
+        series: Points, assumed x-sorted.
+        width: Chart columns (series is bucket-averaged to fit).
+        height: Chart rows.
+        hline: Optional horizontal reference line (e.g. the Theorem 5
+            bound), drawn with ``-`` and labelled.
+        title: Optional title line.
+
+    Raises:
+        MeasurementError: On an empty series.
+    """
+    if not series:
+        raise MeasurementError("cannot chart an empty series")
+    xs = [x for x, _ in series]
+    ys = [y for _, y in series]
+
+    # Bucket-average into `width` columns.
+    buckets: list[list[float]] = [[] for _ in range(width)]
+    x_lo, x_hi = xs[0], xs[-1]
+    x_span = max(x_hi - x_lo, 1e-12)
+    for x, y in series:
+        column = min(width - 1, int((x - x_lo) / x_span * width))
+        buckets[column].append(y)
+    column_values = [sum(b) / len(b) if b else math.nan for b in buckets]
+
+    finite = [v for v in column_values if math.isfinite(v)]
+    y_lo = min(finite + ([hline] if hline is not None else []))
+    y_hi = max(finite + ([hline] if hline is not None else []))
+    y_lo = min(y_lo, 0.0)
+    y_span = max(y_hi - y_lo, 1e-12)
+
+    def row_of(value: float) -> int:
+        frac = (value - y_lo) / y_span
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    if hline is not None:
+        hrow = row_of(hline)
+        for col in range(width):
+            grid[hrow][col] = "-"
+    for col, value in enumerate(column_values):
+        if math.isfinite(value):
+            grid[row_of(value)][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        label = ""
+        if hline is not None and r == row_of(hline):
+            label = f"{hline:.3g} {hline_label}"
+        elif r == height - 1:
+            label = f"{y_hi:.3g}"
+        elif r == 0:
+            label = f"{y_lo:.3g}"
+        lines.append(f"{label:>12} |" + "".join(grid[r]))
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(f"{'':13}{x_lo:<10.3g}{'':{max(0, width - 20)}}{x_hi:>10.3g}")
+    return "\n".join(lines)
+
+
+def bias_plane(samples, nodes: Sequence[int], lo_index: int = 0,
+               hi_index: int | None = None, width: int = 64,
+               height: int = 12, title: str | None = None) -> str:
+    """Figure 3's (tau, beta)-plane as ASCII: one glyph per node.
+
+    Args:
+        samples: A :class:`~repro.metrics.sampler.ClockSamples`.
+        nodes: Which nodes' bias trajectories to draw (max 10, each
+            gets the glyph of its index digit).
+        lo_index: First sample index to draw.
+        hi_index: One past the last sample index (default: end).
+        width: Chart columns.
+        height: Chart rows.
+    """
+    if hi_index is None:
+        hi_index = len(samples.times)
+    indices = range(lo_index, hi_index)
+    if not indices or not nodes:
+        raise MeasurementError("bias_plane needs samples and nodes")
+    if len(nodes) > 10:
+        raise MeasurementError("bias_plane draws at most 10 nodes")
+
+    biases = {node: [samples.bias(node, i) for i in indices] for node in nodes}
+    all_values = [b for series in biases.values() for b in series]
+    y_lo, y_hi = min(all_values), max(all_values)
+    y_span = max(y_hi - y_lo, 1e-12)
+    count = len(list(indices))
+
+    grid = [[" "] * width for _ in range(height)]
+    for rank, node in enumerate(nodes):
+        glyph = str(rank % 10)
+        for j, value in enumerate(biases[node]):
+            col = min(width - 1, int(j / max(count - 1, 1) * (width - 1)))
+            row = min(height - 1, max(0, int(round(
+                (value - y_lo) / y_span * (height - 1)))))
+            if grid[row][col] == " " or grid[row][col] == glyph:
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = "#"  # overlap marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):
+        label = f"{y_hi:.3g}" if r == height - 1 else (
+            f"{y_lo:.3g}" if r == 0 else "")
+        lines.append(f"{label:>12} |" + "".join(grid[r]))
+    lines.append(" " * 13 + "+" + "-" * width)
+    t_lo, t_hi = samples.times[lo_index], samples.times[hi_index - 1]
+    lines.append(f"{'':13}{t_lo:<10.3g}{'':{max(0, width - 20)}}{t_hi:>10.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Plain-text result tables for the benchmark harness.
+
+The benches regenerate the paper's (implied) evaluation as aligned text
+tables — the same rows EXPERIMENTS.md records.  No plotting dependency:
+tables print under ``pytest -s`` and are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_value(value: object, precision: int = 6) -> str:
+    """Render one cell: floats compactly, infinities symbolically."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+          title: str | None = None, precision: int = 6) -> str:
+    """Format an aligned text table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; rendered with :func:`format_value`.
+        title: Optional title line printed above the table.
+        precision: Significant digits for float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def ratio(measured: float, bound: float) -> float:
+    """``measured / bound`` with infinities handled (0 bound -> inf)."""
+    if bound == 0:
+        return math.inf if measured > 0 else 0.0
+    return measured / bound
+
+
+def check_mark(holds: bool) -> str:
+    """ASCII pass/fail marker for table cells."""
+    return "OK" if holds else "VIOLATED"

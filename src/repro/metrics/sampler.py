@@ -1,0 +1,146 @@
+"""Clock sampling and good-set tracking.
+
+Theorem 5's guarantees quantify over the *good set* of Definition 3:
+at time ``tau`` the synchronization bound applies to processors that
+were non-faulty throughout ``[tau - PI, tau]``.  The sampler records
+every processor's clock on a real-time grid; :func:`good_set` computes
+the Definition 3 set from the audited corruption intervals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import MeasurementError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class CorruptionInterval:
+    """One adversary occupation of one node.
+
+    Attributes:
+        node: The corrupted processor.
+        start: Real time of break-in.
+        end: Real time of release (``inf`` if never released).
+    """
+
+    node: int
+    start: float
+    end: float
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        """Whether this corruption intersects the window ``[lo, hi]``."""
+        return self.start <= hi and self.end >= lo
+
+
+def good_set(corruptions: Sequence[CorruptionInterval], tau: float, pi: float,
+             n: int) -> set[int]:
+    """Definition 3's good set: nodes non-faulty during ``[tau - PI, tau]``.
+
+    Windows are clipped at time 0 (nothing was faulty before the run).
+    """
+    window_lo = max(0.0, tau - pi)
+    bad = {c.node for c in corruptions if c.overlaps(window_lo, tau)}
+    return set(range(n)) - bad
+
+
+def faulty_at(corruptions: Sequence[CorruptionInterval], tau: float) -> set[int]:
+    """Nodes controlled by the adversary at the instant ``tau``."""
+    return {c.node for c in corruptions if c.start <= tau <= c.end}
+
+
+@dataclass
+class ClockSamples:
+    """Clock readings of every node on a shared real-time grid.
+
+    Attributes:
+        times: Strictly increasing sample times.
+        clocks: ``clocks[node][i]`` is ``C_node(times[i])``.
+    """
+
+    times: list[float] = field(default_factory=list)
+    clocks: dict[int, list[float]] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Number of sampled nodes."""
+        return len(self.clocks)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def bias(self, node: int, index: int) -> float:
+        """Bias ``B_node = C_node - tau`` at sample ``index``."""
+        return self.clocks[node][index] - self.times[index]
+
+    def biases_at(self, index: int, nodes: Sequence[int] | None = None) -> dict[int, float]:
+        """Biases of ``nodes`` (default: all) at sample ``index``."""
+        chosen = self.clocks.keys() if nodes is None else nodes
+        return {node: self.bias(node, index) for node in chosen}
+
+    def index_at_or_after(self, tau: float) -> int:
+        """Index of the first sample at or after ``tau``.
+
+        Raises:
+            MeasurementError: If ``tau`` is past the last sample.
+        """
+        i = bisect.bisect_left(self.times, tau - 1e-12)
+        if i >= len(self.times):
+            raise MeasurementError(
+                f"no sample at or after tau={tau}; run ends at {self.times[-1] if self.times else None}"
+            )
+        return i
+
+    def index_at_or_before(self, tau: float) -> int:
+        """Index of the last sample at or before ``tau``.
+
+        Raises:
+            MeasurementError: If ``tau`` precedes the first sample.
+        """
+        i = bisect.bisect_right(self.times, tau + 1e-12) - 1
+        if i < 0:
+            raise MeasurementError(
+                f"no sample at or before tau={tau}; run starts at {self.times[0] if self.times else None}"
+            )
+        return i
+
+
+class ClockSampler:
+    """Schedules periodic clock sampling on a simulator.
+
+    Args:
+        sim: The simulator whose real time drives the grid.
+        clocks: Logical clocks by node id.
+        interval: Grid spacing in real time.
+
+    Attributes:
+        samples: The accumulating :class:`ClockSamples`.
+    """
+
+    def __init__(self, sim: "Simulator", clocks: dict[int, "LogicalClock"],
+                 interval: float) -> None:
+        if interval <= 0:
+            raise MeasurementError(f"sampling interval must be positive, got {interval}")
+        self.sim = sim
+        self.clocks = clocks
+        self.interval = float(interval)
+        self.samples = ClockSamples(times=[], clocks={node: [] for node in clocks})
+
+    def start(self, until: float) -> None:
+        """Schedule sampling events on the grid ``0, dt, 2dt, ... <= until``."""
+        t = 0.0
+        while t <= until + 1e-12:
+            self.sim.schedule_at(t, self._sample, tag="sample")
+            t += self.interval
+
+    def _sample(self) -> None:
+        tau = self.sim.now
+        self.samples.times.append(tau)
+        for node, clock in self.clocks.items():
+            self.samples.clocks[node].append(clock.read(tau))

@@ -1,0 +1,109 @@
+"""Run-trace recording: messages, corruptions, and sync executions.
+
+The trace recorder is a passive observer wired into the network tap and
+the protocol processes' sync listeners.  It exists for three consumers:
+
+* post-hoc debugging of a surprising run;
+* the Figure 1 / Figure 2 consistency checks in
+  :mod:`repro.core.analysis` (which need the full sync history);
+* the examples, which print human-readable timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.sync import SyncRecord
+    from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Compact record of a delivered message.
+
+    Attributes:
+        sender: Authenticated sender.
+        recipient: Addressee.
+        kind: Payload class name (``Ping``, ``Pong``, ...).
+        sent_at: Transmission real time.
+        delivered_at: Delivery real time.
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    sent_at: float
+    delivered_at: float
+
+
+@dataclass(frozen=True)
+class CorruptionRecord:
+    """A break-in or release performed by the adversary.
+
+    Attributes:
+        node: The affected processor.
+        time: Real time of the action.
+        action: ``"break_in"`` or ``"release"``.
+        strategy: Name of the Byzantine strategy involved.
+    """
+
+    node: int
+    time: float
+    action: str
+    strategy: str
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates the observable history of one run.
+
+    Attributes:
+        messages: Delivered messages (only if ``record_messages``).
+        syncs: Every completed Sync execution, all nodes, time-ordered.
+        corruptions: Break-in/release actions.
+        record_messages: Message recording is opt-in — long runs deliver
+            millions of messages.
+    """
+
+    record_messages: bool = False
+    messages: list[MessageRecord] = field(default_factory=list)
+    syncs: list["SyncRecord"] = field(default_factory=list)
+    corruptions: list[CorruptionRecord] = field(default_factory=list)
+
+    # -- wiring hooks ------------------------------------------------------
+
+    def on_message(self, message: "Message") -> None:
+        """Network tap callback."""
+        if not self.record_messages:
+            return
+        self.messages.append(MessageRecord(
+            sender=message.sender,
+            recipient=message.recipient,
+            kind=type(message.payload).__name__,
+            sent_at=message.sent_at,
+            delivered_at=message.delivered_at,
+        ))
+
+    def on_sync(self, record: "SyncRecord") -> None:
+        """Sync-listener callback."""
+        self.syncs.append(record)
+
+    def on_corruption(self, node: int, time: float, action: str, strategy: str) -> None:
+        """Adversary action callback."""
+        self.corruptions.append(CorruptionRecord(node, time, action, strategy))
+
+    # -- queries -----------------------------------------------------------
+
+    def syncs_for(self, node: int) -> list["SyncRecord"]:
+        """All sync records of one node, in execution order."""
+        return [r for r in self.syncs if r.node_id == node]
+
+    def syncs_between(self, lo: float, hi: float) -> list["SyncRecord"]:
+        """All sync records completed in the real-time window ``[lo, hi]``."""
+        return [r for r in self.syncs if lo <= r.real_time <= hi]
+
+    def discarded_own_clock(self) -> list["SyncRecord"]:
+        """Sync records where the WayOff branch fired (recovery jumps)."""
+        return [r for r in self.syncs if r.own_discarded]

@@ -1,0 +1,36 @@
+"""Network substrate: authenticated bounded-delay links over topologies.
+
+Implements the communication model of Section 2 of the paper: reliable
+authenticated point-to-point links with delivery bound ``delta``, over a
+full mesh or any explicit graph (including the Section 5 two-clique
+counterexample).
+"""
+
+from repro.net.links import (
+    AsymmetricDelay,
+    DelayModel,
+    FixedDelay,
+    JitteredDelay,
+    UniformDelay,
+)
+from repro.net.message import AppPayload, Message, Ping, Pong
+from repro.net.network import Network
+from repro.net.topology import Topology, from_edges, full_mesh, ring, two_cliques
+
+__all__ = [
+    "Message",
+    "Ping",
+    "Pong",
+    "AppPayload",
+    "Network",
+    "Topology",
+    "full_mesh",
+    "two_cliques",
+    "ring",
+    "from_edges",
+    "DelayModel",
+    "FixedDelay",
+    "UniformDelay",
+    "AsymmetricDelay",
+    "JitteredDelay",
+]

@@ -1,0 +1,161 @@
+"""Link delay models.
+
+The paper's network assumption is a single bound ``delta``: a message
+between good processors is delivered within ``[tau, tau + delta]``.
+*Which* delay inside that bound each message experiences is left to the
+environment — and a malicious network can pick delays adversarially to
+skew ping/pong estimates (the estimate's error bound ``(R-S)/2`` still
+holds, but the actual error is maximized by asymmetric delays).
+
+Each :class:`DelayModel` maps ``(sender, recipient, rng)`` to a delay in
+``(0, delta]``.  Models provided:
+
+* :class:`FixedDelay` — every message takes the same time; symmetric
+  round trips make ping/pong exact.
+* :class:`UniformDelay` — i.i.d. uniform in ``[lo, hi]``.
+* :class:`AsymmetricDelay` — direction-dependent fixed delays; the
+  classic worst case for round-trip estimation.
+* :class:`JitteredDelay` — a base delay plus heavy one-sided jitter,
+  modelling congested links; motivates the min-of-k RTT optimization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class DelayModel:
+    """Abstract per-message delay chooser, bounded by ``delta``.
+
+    Attributes:
+        delta: The paper's message delivery bound; every sampled delay
+            is validated against it.
+    """
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        """Return the delay for one message from ``sender`` to ``recipient``."""
+        raise NotImplementedError
+
+    def _bounded(self, delay: float) -> float:
+        if not (0.0 < delay <= self.delta * (1.0 + 1e-12)):
+            raise ConfigurationError(
+                f"delay model produced {delay}, outside (0, delta={self.delta}]"
+            )
+        return min(delay, self.delta)
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``value`` (default ``delta / 2``)."""
+
+    def __init__(self, delta: float, value: float | None = None) -> None:
+        super().__init__(delta)
+        self.value = self.delta / 2.0 if value is None else float(value)
+        self._bounded(self.value)
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        return self.value
+
+
+class UniformDelay(DelayModel):
+    """I.i.d. uniform delay in ``[lo, hi]`` with ``hi <= delta``.
+
+    Defaults to ``[0.1 * delta, delta]``.
+    """
+
+    def __init__(self, delta: float, lo: float | None = None, hi: float | None = None) -> None:
+        super().__init__(delta)
+        self.lo = 0.1 * self.delta if lo is None else float(lo)
+        self.hi = self.delta if hi is None else float(hi)
+        if not (0.0 < self.lo <= self.hi <= self.delta):
+            raise ConfigurationError(
+                f"uniform delay range [{self.lo}, {self.hi}] invalid for delta={self.delta}"
+            )
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        return self._bounded(rng.uniform(self.lo, self.hi))
+
+
+class AsymmetricDelay(DelayModel):
+    """Direction-dependent fixed delays: worst case for RTT estimation.
+
+    Messages from a lower-numbered to a higher-numbered node take
+    ``forward``; the reverse direction takes ``backward``.  With
+    ``forward != backward`` a ping/pong estimate is off by
+    ``(backward - forward) / 2`` — still within its self-reported error
+    bound, but maximally biased.
+    """
+
+    def __init__(self, delta: float, forward: float | None = None,
+                 backward: float | None = None) -> None:
+        super().__init__(delta)
+        self.forward = self.delta if forward is None else float(forward)
+        self.backward = 0.05 * self.delta if backward is None else float(backward)
+        self._bounded(self.forward)
+        self._bounded(self.backward)
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        return self.forward if sender < recipient else self.backward
+
+
+class JitteredDelay(DelayModel):
+    """Base delay plus exponential one-sided jitter, truncated at ``delta``.
+
+    Most messages arrive near ``base``; a tail of them arrive late.  The
+    min-of-k round-trip optimization (Section 3.1) exists exactly to cut
+    through this tail, and experiment E10 measures how well it does.
+    """
+
+    def __init__(self, delta: float, base: float | None = None,
+                 jitter_mean: float | None = None) -> None:
+        super().__init__(delta)
+        self.base = 0.1 * self.delta if base is None else float(base)
+        self.jitter_mean = 0.3 * self.delta if jitter_mean is None else float(jitter_mean)
+        if self.base <= 0 or self.base > self.delta:
+            raise ConfigurationError(f"base delay {self.base} invalid for delta={self.delta}")
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        return self._bounded(min(self.delta, self.base + rng.expovariate(1.0 / self.jitter_mean)))
+
+
+class HeterogeneousDelay(DelayModel):
+    """Per-link delay classes: a LAN/WAN mix under one global bound.
+
+    The paper's model has a single ``delta`` for every link; real
+    deployments mix fast local links with slow wide-area ones.  This
+    model assigns each (unordered) node pair a delay class and keeps
+    every sample under the global ``delta``, so the paper's analysis
+    still applies with ``epsilon`` driven by the *slowest* links —
+    which the heterogeneous-deployment tests measure.
+
+    Args:
+        delta: Global delivery bound (the slowest class's ceiling).
+        classifier: Maps an unordered pair ``(min_id, max_id)`` to a
+            ``(lo, hi)`` uniform delay range; defaults to "same parity =
+            fast LAN (5-10% of delta), different parity = slow WAN
+            (50-100% of delta)".
+    """
+
+    def __init__(self, delta: float, classifier=None) -> None:
+        super().__init__(delta)
+
+        def default_classifier(a: int, b: int) -> tuple[float, float]:
+            if a % 2 == b % 2:
+                return (0.05 * self.delta, 0.10 * self.delta)
+            return (0.5 * self.delta, self.delta)
+
+        self.classifier = classifier if classifier is not None else default_classifier
+
+    def sample(self, sender: int, recipient: int, rng: random.Random) -> float:
+        lo, hi = self.classifier(min(sender, recipient), max(sender, recipient))
+        if not (0.0 < lo <= hi <= self.delta):
+            raise ConfigurationError(
+                f"classifier returned invalid range ({lo}, {hi}) for "
+                f"delta={self.delta}")
+        return self._bounded(rng.uniform(lo, hi))

@@ -1,0 +1,171 @@
+"""Communication topologies.
+
+The paper's model is a fully connected graph (Section 2.1), but its
+Section 5 discusses which *incomplete* graphs the protocol can and
+cannot survive — including an explicit counterexample: a
+``(3f+1)``-connected graph of ``6f+2`` nodes (two ``(3f+1)``-cliques
+joined by a perfect matching) on which the protocol fails.  Topologies
+here support both, plus arbitrary undirected graphs for exploration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+
+
+class Topology:
+    """An undirected communication graph over nodes ``0..n-1``.
+
+    Attributes:
+        n: Number of nodes.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise TopologyError(f"topology needs at least one node, got n={n}")
+        self.n = int(n)
+        self._adj: list[set[int]] = [set() for _ in range(self.n)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}``.
+
+        Raises:
+            TopologyError: On self-loops or out-of-range nodes.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise TopologyError(f"self-loop at node {u} is not allowed")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``{u, v}`` (no-op if absent)."""
+        self._check_node(u)
+        self._check_node(v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are directly connected."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adj[u]
+
+    def neighbors(self, u: int) -> list[int]:
+        """Sorted neighbor list of ``u``."""
+        self._check_node(u)
+        return sorted(self._adj[u])
+
+    def degree(self, u: int) -> int:
+        """Number of neighbors of ``u``."""
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj) // 2
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from node 0)."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.n
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.n):
+            raise TopologyError(f"node {u} out of range for n={self.n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(n={self.n}, edges={self.edge_count()})"
+
+
+def full_mesh(n: int) -> Topology:
+    """The paper's standard model: a complete graph on ``n`` nodes."""
+    topo = Topology(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            topo.add_edge(u, v)
+    return topo
+
+
+def two_cliques(f: int) -> Topology:
+    """The Section 5 counterexample graph.
+
+    Two cliques of ``3f+1`` nodes each (nodes ``0..3f`` and
+    ``3f+1..6f+1``), with node ``i`` of the first clique joined to node
+    ``i`` of the second.  The graph is ``(3f+1)``-connected, yet the
+    Sync protocol cannot stop the cliques' clocks from drifting apart.
+
+    Returns:
+        A :class:`Topology` on ``6f+2`` nodes.
+    """
+    if f < 1:
+        raise TopologyError(f"two_cliques needs f >= 1, got f={f}")
+    size = 3 * f + 1
+    topo = Topology(2 * size)
+    for base in (0, size):
+        for u in range(base, base + size):
+            for v in range(u + 1, base + size):
+                topo.add_edge(u, v)
+    for i in range(size):
+        topo.add_edge(i, size + i)
+    return topo
+
+
+def ring(n: int) -> Topology:
+    """A cycle on ``n`` nodes — far below the connectivity the protocol
+    needs; used in negative tests."""
+    topo = Topology(n)
+    for u in range(n):
+        topo.add_edge(u, (u + 1) % n)
+    return topo
+
+
+def from_edges(n: int, edges: list[tuple[int, int]]) -> Topology:
+    """Build a topology from an explicit undirected edge list."""
+    topo = Topology(n)
+    for u, v in edges:
+        topo.add_edge(u, v)
+    return topo
+
+
+def random_connected(n: int, p: float, rng, min_degree: int = 1,
+                     max_tries: int = 200) -> Topology:
+    """A connected Erdos-Renyi-style graph with a minimum-degree floor.
+
+    Used by the Section 5 connectivity study (experiment E13): the paper
+    conjectures the protocol works when the non-faulty processors form a
+    "sufficiently connected" subgraph; this generator produces the
+    random test topologies.
+
+    Args:
+        n: Number of nodes.
+        p: Independent edge probability.
+        rng: Random stream (``random.Random``).
+        min_degree: Resample until every node has at least this degree.
+        max_tries: Give up after this many attempts.
+
+    Raises:
+        TopologyError: If no graph satisfying the constraints is found
+            (``p`` too small for the requested degree floor).
+    """
+    for _ in range(max_tries):
+        topo = Topology(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    topo.add_edge(u, v)
+        if topo.is_connected() and all(topo.degree(u) >= min_degree
+                                       for u in range(n)):
+            return topo
+    raise TopologyError(
+        f"could not sample a connected graph with min degree {min_degree} "
+        f"at p={p} after {max_tries} tries"
+    )

@@ -1,0 +1,58 @@
+"""Baseline protocols and the protocol registry.
+
+Importing this package registers every protocol, including the paper's
+own Sync under the name ``"sync"``.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.core.sync import SyncProcess
+from repro.protocols.averaging import AveragingProcess
+from repro.protocols.broadcast_based import BroadcastSyncProcess
+from repro.protocols.cached_estimation import CachedEstimationProcess
+from repro.protocols.base import (
+    ProtocolFactory,
+    protocol_factory,
+    register_protocol,
+    registered_protocols,
+)
+from repro.protocols.drift_compensation import DriftCompensatingProcess
+from repro.protocols.driftonly import DriftOnlyProcess
+from repro.protocols.interactive_convergence import InteractiveConvergenceProcess
+from repro.protocols.minimal_correction import MinimalCorrectionProcess, default_max_step
+from repro.protocols.round_based import RoundBasedProcess
+from repro.protocols.srikanth_toueg import SrikanthTouegProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+@register_protocol("sync")
+def make_sync(node_id: int, sim: "Simulator", network: "Network",
+              clock: "LogicalClock", params: "ProtocolParams",
+              start_phase: float) -> SyncProcess:
+    """Factory for the paper's Sync protocol."""
+    return SyncProcess(node_id, sim, network, clock, params, start_phase=start_phase)
+
+
+__all__ = [
+    "ProtocolFactory",
+    "protocol_factory",
+    "register_protocol",
+    "registered_protocols",
+    "make_sync",
+    "SyncProcess",
+    "DriftOnlyProcess",
+    "DriftCompensatingProcess",
+    "CachedEstimationProcess",
+    "BroadcastSyncProcess",
+    "InteractiveConvergenceProcess",
+    "AveragingProcess",
+    "MinimalCorrectionProcess",
+    "default_max_step",
+    "RoundBasedProcess",
+    "SrikanthTouegProcess",
+]

@@ -1,0 +1,43 @@
+"""Unprotected averaging (NTP-flavoured) baseline.
+
+Identical machinery to the paper's Sync — same ping/pong estimation,
+same schedule — but the convergence function is a plain mean over all
+answering peers.  Against benign drift it performs beautifully; a
+single Byzantine liar drags the whole cluster, which is exactly the
+point of experiment E5.  The paper notes (Section 1) that existing
+"secure time" protocols merely authenticate this kind of exchange and
+"may not withstand a malicious attack, even if the authentication is
+secure" — this baseline is that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.convergence import MeanConvergence
+from repro.core.sync import SyncProcess
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+class AveragingProcess(SyncProcess):
+    """Sync machinery with an unprotected mean convergence function."""
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0) -> None:
+        super().__init__(node_id, sim, network, clock, params,
+                         convergence=MeanConvergence(), start_phase=start_phase)
+
+
+@register_protocol("averaging")
+def make_averaging(node_id: int, sim: "Simulator", network: "Network",
+                   clock: "LogicalClock", params: "ProtocolParams",
+                   start_phase: float) -> AveragingProcess:
+    """Factory for the unprotected averaging baseline."""
+    return AveragingProcess(node_id, sim, network, clock, params, start_phase)

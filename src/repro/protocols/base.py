@@ -1,0 +1,67 @@
+"""Protocol factory registry.
+
+Every protocol in this package (and the paper's own
+:class:`~repro.core.sync.SyncProcess`) is constructed through a common
+factory signature, so scenarios and sweeps can switch protocols by
+name.  The registry is the single place benchmarks look protocols up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+    from repro.sim.process import Process
+
+
+class ProtocolFactory(Protocol):
+    """Builds one node's protocol process.
+
+    Args mirror :class:`~repro.core.sync.SyncProcess`; ``start_phase``
+    staggers the first Sync so processors are not round-aligned.
+    """
+
+    def __call__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float) -> "Process": ...
+
+
+_REGISTRY: dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(name: str) -> Callable[[ProtocolFactory], ProtocolFactory]:
+    """Class/function decorator adding a factory to the registry."""
+
+    def deco(factory: ProtocolFactory) -> ProtocolFactory:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"protocol {name!r} registered twice")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def protocol_factory(name: str) -> ProtocolFactory:
+    """Look up a registered protocol factory by name.
+
+    Raises:
+        ConfigurationError: Listing the known names if absent.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; registered: {known}"
+        ) from None
+
+
+def registered_protocols() -> list[str]:
+    """Sorted names of all registered protocols."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,243 @@
+"""Broadcast-based clock synchronization (Dolev-Halpern-Simons-Strong
+[10] style) — the paper's other comparator family.
+
+Section 1.1 contrasts Sync with [10] at length.  [10] is built on
+authenticated *broadcast*: processors sign and forward resynchronization
+messages, and a message carrying ``f+1`` distinct signatures is
+trusted (at least one signer was good).  That design buys a better
+resilience threshold — only a **majority** of good processors is needed
+(``n >= 2f+1``), vs Sync's two-thirds — but the paper identifies the
+operational costs this module makes measurable:
+
+* **fault detection is assumed**: "in that work it is assumed that
+  faults are detected.  In practice, faults are often undetected —
+  especially malicious faults."  A recovering processor here must
+  *know* it recovered to run the join rule; an undetected victim whose
+  epoch counter was scrambled waits forever for an epoch that never
+  comes (``detection=False`` reproduces this, the default models the
+  realistic undetected case).
+* **global broadcast flow**: every processor relays every epoch
+  message with its signature appended — message complexity per
+  resynchronization is ``O(n^2)`` relays carrying ``O(n)``-size
+  signature chains, vs Sync's fixed-size point-to-point pings.
+
+Protocol sketch (simplified from [10] to its load-bearing mechanism):
+
+* time is divided into epochs ``k`` with target clock values
+  ``k * resync_period``;
+* when a processor's clock reaches epoch ``k``'s target it broadcasts
+  ``Resync(k)`` signed by itself;
+* a received ``Resync(k, signers)`` is *believable* if it carries
+  ``f+1`` distinct signatures, or if the receiver's own clock is within
+  ``accept_window`` of the epoch target (so the timely majority
+  bootstraps the chain);
+* on first believing epoch ``k``, a processor sets its clock to the
+  epoch target plus the expected one-hop latency, appends its
+  signature, rebroadcasts once, and starts waiting for ``k+1``.
+
+Signatures are modelled structurally: only the process bound to a node
+(or the adversary controlling it) can extend a chain with that node's
+id — i.e. unforgeable signatures, exactly assumption A4's good half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ParameterError
+from repro.net.message import Message
+from repro.protocols.base import register_protocol
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Resync:
+    """A (chain-)signed resynchronization message.
+
+    Attributes:
+        epoch: The epoch number ``k`` being announced.
+        signers: Ordered tuple of node ids whose signatures the chain
+            carries; structural unforgeability means each entry was
+            appended by (whoever controlled) that node.
+    """
+
+    epoch: int
+    signers: tuple[int, ...]
+
+
+class BroadcastSyncProcess(Process):
+    """A [10]-style broadcast/signature clock synchronizer.
+
+    Args:
+        resync_period: Clock time between epochs; defaults to
+            ``4 * sync_interval`` (broadcast protocols resync less often
+            — each resync floods the network).
+        accept_window: How close the own clock must be to an epoch
+            target to believe an under-signed announcement; defaults to
+            ``way_off``.
+        detection: Whether recovery is *detected* — [10]'s assumption.
+            When True, a released processor knows it must rejoin and
+            accepts the next fully-signed epoch unconditionally.  When
+            False (default: the realistic undetected case the paper
+            argues for), the victim keeps waiting for its scrambled
+            epoch counter.
+
+    Attributes:
+        epoch: Next epoch this node expects.
+        resyncs_accepted: Count of accepted epochs (diagnostics).
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0, resync_period: float | None = None,
+                 accept_window: float | None = None,
+                 detection: bool = False) -> None:
+        super().__init__(node_id, sim, network, clock)
+        self.params = params
+        if params.n < 2 * params.f + 1:
+            raise ParameterError(
+                f"broadcast protocol needs a good majority: n >= 2f+1, "
+                f"got n={params.n}, f={params.f}"
+            )
+        self.resync_period = (4.0 * params.sync_interval if resync_period is None
+                              else float(resync_period))
+        self.accept_window = (params.way_off if accept_window is None
+                              else float(accept_window))
+        self.detection = detection
+        self.epoch = 1
+        self.joining = False
+        self.resyncs_accepted = 0
+        self.sync_records: list = []   # interface parity with SyncProcess
+        self.sync_listeners: list = []
+        self._initiated_epochs: set[int] = set()
+        # Per epoch, the incoming-chain lengths we have already signed
+        # and relayed: one relay per (epoch, length) caps traffic at
+        # O(f * n) sends per node per epoch while still letting chains
+        # grow past f+1 signatures.
+        self._signed_lengths: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.detection and self.resyncs_accepted > 0:
+            # Detected recovery: [10]'s join rule — forget the epoch
+            # counter and trust the next fully-signed announcement.
+            self.joining = True
+        self._arm_epoch_timer()
+
+    def _arm_epoch_timer(self) -> None:
+        epoch = self.epoch
+        target_clock = epoch * self.resync_period
+        remaining = target_clock - self.local_now()
+        # Bind the epoch into the callback: a stale timer armed for an
+        # epoch we have since accepted must not initiate the next one
+        # early.
+        self.set_local_timer(max(0.0, remaining),
+                             lambda: self._initiate_epoch(epoch), tag="epoch")
+
+    def _initiate_epoch(self, epoch: int) -> None:
+        if epoch != self.epoch or epoch in self._initiated_epochs:
+            return
+        self._initiated_epochs.add(epoch)
+        self.network.broadcast(self.node_id, Resync(epoch=epoch,
+                                                    signers=(self.node_id,)))
+        self._accept(epoch, initiated=True)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, Resync):
+            return
+        epoch, signers = payload.epoch, payload.signers
+        fully_signed = len(set(signers)) >= self.params.f + 1
+
+        if self.joining and fully_signed:
+            # Join rule (requires detection): adopt the announced epoch.
+            self.joining = False
+            self.epoch = epoch
+            self._believe_and_relay(epoch, signers)
+            return
+
+        if fully_signed and epoch >= self.epoch:
+            # f+1 distinct signatures include a good one: the epoch is
+            # real, even if our counter lags (we napped through some
+            # epochs).  Counters scrambled *ahead* remain stuck — that
+            # is the undetected-fault hazard the paper points at.
+            self.epoch = epoch
+            self._believe_and_relay(epoch, signers)
+            return
+
+        if epoch == self.epoch - 1:
+            # Already accepted this epoch (e.g. we initiated it); still
+            # contribute our signature so chains reach f+1 for laggards.
+            self._relay(epoch, signers)
+            return
+        if epoch != self.epoch:
+            return  # stale, or future without a believable chain
+        timely = abs(self.local_now() - epoch * self.resync_period) \
+            <= self.accept_window
+        if timely:
+            self._believe_and_relay(epoch, signers)
+
+    def _believe_and_relay(self, epoch: int, signers: tuple[int, ...]) -> None:
+        self._relay(epoch, signers)
+        self._accept(epoch)
+
+    def _relay(self, epoch: int, signers: tuple[int, ...]) -> None:
+        """Sign and forward a chain we have not contributed to yet.
+
+        Chains longer than ``f+1`` are already believable everywhere, so
+        extending them buys nothing; one relay per (epoch, incoming
+        length) bounds traffic while letting chains accumulate the
+        ``f+1`` distinct signatures laggards need.
+        """
+        length = len(set(signers))
+        if self.node_id in signers or length > self.params.f + 1:
+            return
+        seen = self._signed_lengths.setdefault(epoch, set())
+        if length in seen:
+            return
+        seen.add(length)
+        self.network.broadcast(
+            self.node_id, Resync(epoch=epoch,
+                                 signers=signers + (self.node_id,)))
+
+    def _accept(self, epoch: int, initiated: bool = False) -> None:
+        if epoch < self.epoch:
+            return
+        # Set the clock to the epoch target plus expected one-hop latency.
+        target = epoch * self.resync_period + (0.0 if initiated
+                                               else self.params.delta / 2.0)
+        self.clock.set_value(self.sim.now, target)
+        self.resyncs_accepted += 1
+        self.epoch = epoch + 1
+        if len(self._initiated_epochs) > 8:
+            self._initiated_epochs = {e for e in self._initiated_epochs
+                                      if e >= epoch - 2}
+        for old in [e for e in self._signed_lengths if e < epoch - 2]:
+            del self._signed_lengths[old]
+        self._arm_epoch_timer()
+
+
+@register_protocol("broadcast-detected")
+def make_broadcast_detected(node_id: int, sim: "Simulator", network: "Network",
+                            clock: "LogicalClock", params: "ProtocolParams",
+                            start_phase: float) -> BroadcastSyncProcess:
+    """[10]-style broadcast sync WITH the fault-detection assumption."""
+    return BroadcastSyncProcess(node_id, sim, network, clock, params,
+                                start_phase=start_phase, detection=True)
+
+
+@register_protocol("broadcast-undetected")
+def make_broadcast_undetected(node_id: int, sim: "Simulator", network: "Network",
+                              clock: "LogicalClock", params: "ProtocolParams",
+                              start_phase: float) -> BroadcastSyncProcess:
+    """[10]-style broadcast sync in the realistic undetected-fault world."""
+    return BroadcastSyncProcess(node_id, sim, network, clock, params,
+                                start_phase=start_phase, detection=False)

@@ -1,0 +1,203 @@
+"""Cached (separate-thread) clock estimation — the Section 3.1 caveat.
+
+The paper discusses reducing network load by performing clock probes
+"in a different thread which will spread them across a time interval",
+and immediately warns: "when implemented this way, we cannot guarantee
+the conditions of Definition 4 anymore, since the separate thread may
+return an old cached value which was measured before the call to the
+clock estimation procedure. (Hence, the analysis in this paper cannot
+be applied 'right out of the box' ...)".
+
+This module implements exactly that design so the caveat can be
+*measured* (bench A2):
+
+* a probe loop pings one peer every ``probe_interval`` of local time,
+  round-robin, refreshing a per-peer cache of ``(d, a, measured_at)``;
+* the Sync alarm consumes the cache instantly instead of running a
+  fresh parallel estimation;
+* per the mobile-adversary note in the paper, the protocol re-arms the
+  probe loop on recovery (the adversary may have killed the thread),
+  and the cache — like all protocol state — is lost.
+
+Two variants:
+
+* **naive** (``compensate=False``) — uses cached ``d`` as-is.  Wrong
+  after the node's own clock was adjusted: ``d`` was measured relative
+  to the *old* own clock.  The recovering node's first syncs act on
+  garbage until the cache refreshes, delaying recovery by up to a full
+  cache-fill period.
+* **compensated** (``compensate=True``) — subtracts the own-clock
+  adjustment accumulated since each entry was measured and inflates the
+  error bound by ``2 * rho * staleness``; this restores a Definition
+  4-like guarantee at the cost of wider ``a`` values.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.estimation import ClockEstimate, timeout_estimate
+from repro.core.sync import SyncProcess
+from repro.net.message import Message, Ping, Pong
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class _CacheEntry:
+    distance: float
+    accuracy: float
+    measured_local: float
+    adj_at_measurement: float
+
+
+class CachedEstimationProcess(SyncProcess):
+    """Sync over a background probe cache instead of fresh estimations.
+
+    Args:
+        probe_interval: Local time between background probes (one peer
+            per probe, round-robin); defaults to
+            ``sync_interval / n`` so the whole cache refreshes about
+            once per sync interval.
+        max_staleness: Cache entries older than this (local time) are
+            treated as timeouts; defaults to ``2 * sync_interval``.
+        compensate: Apply the own-adjustment and staleness corrections
+            (the "right" way); False reproduces the naive design the
+            paper warns about.
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0, probe_interval: float | None = None,
+                 max_staleness: float | None = None,
+                 compensate: bool = False) -> None:
+        super().__init__(node_id, sim, network, clock, params,
+                         start_phase=start_phase)
+        self.probe_interval = (params.sync_interval / max(1, params.n)
+                               if probe_interval is None else float(probe_interval))
+        self.max_staleness = (2.0 * params.sync_interval if max_staleness is None
+                              else float(max_staleness))
+        self.compensate = compensate
+        self._cache: dict[int, _CacheEntry] = {}
+        self._probe_nonces = itertools.count(1)
+        self._pending_probes: dict[int, tuple[int, float, float]] = {}
+        self._probe_targets: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Probe loop (the "separate thread")
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._cache = {}
+        self._pending_probes = {}
+        self._probe_targets = []
+        super().start()
+        self.set_local_timer(self.probe_interval, self._probe_next, tag="probe")
+
+    def _probe_next(self) -> None:
+        if not self._probe_targets:
+            self._probe_targets = self.network.topology.neighbors(self.node_id)
+        if self._probe_targets:
+            peer = self._probe_targets.pop(0)
+            nonce = -next(self._probe_nonces)  # negative: never collides
+            self._pending_probes[nonce] = (peer, self.local_now(), self.clock.adj)
+            self.send(peer, Ping(nonce=nonce))
+        self.set_local_timer(self.probe_interval, self._probe_next, tag="probe")
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Pong) and payload.nonce in self._pending_probes:
+            peer, sent_local, adj_at_send = self._pending_probes.pop(payload.nonce)
+            if peer != message.sender:
+                return
+            receive_local = self.local_now()
+            round_trip = receive_local - sent_local
+            self._cache[peer] = _CacheEntry(
+                distance=payload.clock_value - (receive_local + sent_local) / 2.0,
+                accuracy=round_trip / 2.0,
+                measured_local=receive_local,
+                adj_at_measurement=self.clock.adj,
+            )
+            return
+        super().on_message(message)
+
+    # ------------------------------------------------------------------
+    # Sync consumes the cache
+    # ------------------------------------------------------------------
+
+    def _begin_sync(self) -> None:
+        """Replace the parallel estimation round with a cache read."""
+        self._round += 1
+        self._session = _CacheSession(self)
+        self._complete_sync()
+
+    def cached_estimates(self) -> dict[int, ClockEstimate]:
+        """Read the probe cache as Definition 4-shaped estimates.
+
+        Entries older than ``max_staleness`` become timeout estimates;
+        with ``compensate`` the cached distance is corrected for own
+        adjustments since measurement and the error bound inflated by
+        ``2 * rho * staleness``.
+        """
+        now_local = self.local_now()
+        estimates: dict[int, ClockEstimate] = {}
+        for peer in self.network.topology.neighbors(self.node_id):
+            entry = self._cache.get(peer)
+            if entry is None or now_local - entry.measured_local > self.max_staleness:
+                estimates[peer] = timeout_estimate(peer)
+                continue
+            distance, accuracy = entry.distance, entry.accuracy
+            if self.compensate:
+                # The cached d was relative to the own clock *then*; any
+                # adjustment since shifts the true distance by -delta_adj,
+                # and drift can have moved both clocks by 2*rho*staleness.
+                distance -= (self.clock.adj - entry.adj_at_measurement)
+                staleness = now_local - entry.measured_local
+                accuracy += 2.0 * self.params.rho * staleness
+            estimates[peer] = ClockEstimate(peer=peer, distance=distance,
+                                            accuracy=accuracy,
+                                            round_trip=2 * entry.accuracy)
+        return estimates
+
+
+class _CacheSession:
+    """Duck-typed stand-in for EstimationSession backed by the cache."""
+
+    def __init__(self, owner: CachedEstimationProcess) -> None:
+        self._owner = owner
+
+    def finish(self) -> dict[int, ClockEstimate]:
+        return self._owner.cached_estimates()
+
+    def on_pong(self, message: Message) -> bool:  # pragma: no cover - unused
+        return False
+
+    @property
+    def complete(self) -> bool:  # pragma: no cover - unused
+        return True
+
+
+@register_protocol("cached-naive")
+def make_cached_naive(node_id: int, sim: "Simulator", network: "Network",
+                      clock: "LogicalClock", params: "ProtocolParams",
+                      start_phase: float) -> CachedEstimationProcess:
+    """Factory for the naive cached-estimation variant (the caveat)."""
+    return CachedEstimationProcess(node_id, sim, network, clock, params,
+                                   start_phase=start_phase, compensate=False)
+
+
+@register_protocol("cached-compensated")
+def make_cached_compensated(node_id: int, sim: "Simulator", network: "Network",
+                            clock: "LogicalClock", params: "ProtocolParams",
+                            start_phase: float) -> CachedEstimationProcess:
+    """Factory for the adjustment/staleness-compensated cached variant."""
+    return CachedEstimationProcess(node_id, sim, network, clock, params,
+                                   start_phase=start_phase, compensate=True)

@@ -1,0 +1,104 @@
+"""Drift-compensating Sync (a Section 5 future-work feature).
+
+Section 5: "practical protocols such as the Network Time Protocol
+involve many mechanisms which may provide better results in typical
+cases, such as feedback to estimate and compensate for clock drift.
+Such improvements may be needed to our protocol (while making sure to
+retain security!)."
+
+This extension adds exactly that feedback loop on top of the unmodified
+Sync machinery: each processor maintains an estimate of its rate error
+relative to the cluster (an EWMA of ``correction / elapsed local time``
+over its sync history) and pre-compensates by slewing that rate between
+syncs.  Security is retained by construction:
+
+* the compensation rate is **clamped to ``[-2*rho, +2*rho]``** — the
+  largest rate error physically possible under eq. (2) — so Byzantine
+  peers cannot use the feedback loop to drag a clock faster than
+  hardware drift already could;
+* the slew is applied through the ordinary ``adj`` mechanism at sync
+  time, so every Theorem 5 measurement (discontinuity included) sees it;
+* all feedback state is discarded on recovery from a break-in, like any
+  other protocol state.
+
+The ablation bench (`bench_a1_ablations.py`) measures the payoff: on
+clocks pinned at opposite drift extremes, compensation removes most of
+the steady-state deviation that plain Sync re-corrects every round.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.sync import SyncProcess
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+class DriftCompensatingProcess(SyncProcess):
+    """Sync plus a clamped rate-error feedback loop.
+
+    Args:
+        gain: EWMA gain for the rate-error estimate (0 < gain <= 1).
+        comp_limit: Clamp on the compensation rate; defaults to
+            ``2 * rho`` (the maximum possible mutual drift rate).
+
+    Attributes:
+        comp_rate: Current rate-error estimate (clock units per local
+            second); reset on recovery.
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0, gain: float = 0.3,
+                 comp_limit: float | None = None) -> None:
+        super().__init__(node_id, sim, network, clock, params,
+                         start_phase=start_phase)
+        if not (0.0 < gain <= 1.0):
+            raise ValueError(f"gain must be in (0, 1], got {gain}")
+        self.gain = float(gain)
+        self.comp_limit = (2.0 * params.rho if comp_limit is None
+                           else float(comp_limit))
+        self.comp_rate = 0.0
+        self._last_sync_local: float | None = None
+
+    def start(self) -> None:
+        # Feedback state does not survive a break-in (Section 3.3's
+        # rule for all protocol state).
+        self.comp_rate = 0.0
+        self._last_sync_local = None
+        super().start()
+
+    def _complete_sync(self) -> None:
+        local_now = self.local_now()
+        elapsed = (local_now - self._last_sync_local
+                   if self._last_sync_local is not None else 0.0)
+        if elapsed > 0.0:
+            # Slew: apply the predicted drift correction for the elapsed
+            # stretch before measuring, so the measured correction is
+            # the *residual* rate error.
+            self.clock.adjust(self.sim.now, self.comp_rate * elapsed)
+
+        records_before = len(self.sync_records)
+        super()._complete_sync()
+
+        if len(self.sync_records) > records_before and elapsed > 0.0:
+            residual_rate = self.sync_records[-1].correction / elapsed
+            blended = (1.0 - self.gain) * self.comp_rate \
+                + self.gain * (self.comp_rate + residual_rate)
+            self.comp_rate = max(-self.comp_limit, min(self.comp_limit, blended))
+        self._last_sync_local = self.local_now()
+
+
+@register_protocol("drift-compensating")
+def make_drift_compensating(node_id: int, sim: "Simulator", network: "Network",
+                            clock: "LogicalClock", params: "ProtocolParams",
+                            start_phase: float) -> DriftCompensatingProcess:
+    """Factory for the drift-compensating Sync extension."""
+    return DriftCompensatingProcess(node_id, sim, network, clock, params,
+                                    start_phase=start_phase)

@@ -1,0 +1,46 @@
+"""The no-synchronization baseline: clocks free-run on hardware drift.
+
+A :class:`DriftOnlyProcess` answers pings honestly — so it is a valid
+time *source* for other protocols under test — but never adjusts its
+own clock.  Its deviation grows linearly at the mutual drift rate,
+which calibrates every comparison plot's "do nothing" line.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.message import Message, Ping, Pong
+from repro.protocols.base import register_protocol
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+class DriftOnlyProcess(Process):
+    """Answers clock queries, never synchronizes."""
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0) -> None:
+        super().__init__(node_id, sim, network, clock)
+        self.params = params
+        self.sync_records: list = []  # uniform interface with SyncProcess
+        self.sync_listeners: list = []
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Ping):
+            self.send(message.sender, Pong(nonce=payload.nonce, clock_value=self.local_now()))
+
+
+@register_protocol("drift-only")
+def make_drift_only(node_id: int, sim: "Simulator", network: "Network",
+                    clock: "LogicalClock", params: "ProtocolParams",
+                    start_phase: float) -> DriftOnlyProcess:
+    """Factory for the drift-only baseline."""
+    return DriftOnlyProcess(node_id, sim, network, clock, params, start_phase)

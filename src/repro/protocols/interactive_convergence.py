@@ -1,0 +1,51 @@
+"""Interactive convergence baseline (Lamport-Melliar-Smith [19], CNV).
+
+Section 5 notes that "[p]revious clock synchronization protocols
+assuming authenticated channels were able to require only a majority of
+non-faulty processors [19, 27]" — [19]'s *interactive consistency*
+variants do; its simpler interactive *convergence* algorithm (CNV),
+implemented here, needs ``n >= 3f+1`` like the paper's protocol and is
+the classic point of comparison for convergence-function designs: an
+egocentric mean instead of order-statistic selection.
+
+Expected behaviour (and what the tests check): bounded under f-limited
+Byzantine faults, but (a) the adversary can bias the mean by
+``~f * threshold / n`` per sync — a standing offset lever the paper's
+selection rule denies — and (b) recovery of a way-off processor is
+averaged-rate, not the WayOff jump.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.convergence import EgocentricMeanConvergence
+from repro.core.sync import SyncProcess
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+class InteractiveConvergenceProcess(SyncProcess):
+    """Sync machinery with the [19] egocentric-mean convergence."""
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0) -> None:
+        super().__init__(node_id, sim, network, clock, params,
+                         convergence=EgocentricMeanConvergence(),
+                         start_phase=start_phase)
+
+
+@register_protocol("interactive-convergence")
+def make_interactive_convergence(node_id: int, sim: "Simulator",
+                                 network: "Network", clock: "LogicalClock",
+                                 params: "ProtocolParams",
+                                 start_phase: float) -> InteractiveConvergenceProcess:
+    """Factory for the [19] interactive-convergence baseline."""
+    return InteractiveConvergenceProcess(node_id, sim, network, clock, params,
+                                         start_phase)

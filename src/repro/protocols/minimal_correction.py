@@ -1,0 +1,68 @@
+"""Fetzer-Cristian-style minimal-correction baseline ([9]).
+
+The design goal the paper contrasts itself with (Section 1.1): [9]
+minimizes the clock change made at each synchronization.  We isolate
+that feature by running the paper's own convergence function through a
+per-sync correction cap.  Among synchronized processors the cap never
+binds (corrections are tiny), so steady-state behaviour matches [9]'s
+quality.  But a recovering processor that is ``X`` away needs
+``X / max_step`` syncs to crawl back — and when ``max_step`` per sync
+is smaller than what the good clocks can drift in a sync interval, it
+*never* completes recovery, the failure mode the paper predicts
+("with [9] such recovery may never complete").
+
+The default cap mirrors the flavour of [9]'s optimal bound: a small
+multiple of the reading error plus the drift accumulated over one sync
+interval.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.convergence import ClampedConvergence, PaperConvergence
+from repro.core.sync import SyncProcess
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+def default_max_step(params: "ProtocolParams") -> float:
+    """The [9]-flavoured cap: ``4*epsilon + 2*rho*SyncInt``.
+
+    Enough to track drift and reading error among synchronized clocks,
+    deliberately far too small to re-absorb a way-off recoverer quickly.
+    """
+    return 4.0 * params.epsilon + 2.0 * params.rho * params.sync_interval
+
+
+class MinimalCorrectionProcess(SyncProcess):
+    """Sync machinery with the per-sync correction magnitude capped.
+
+    Args:
+        max_step: Cap on ``|correction|`` per sync; defaults to
+            :func:`default_max_step`.
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0, max_step: float | None = None) -> None:
+        step = default_max_step(params) if max_step is None else float(max_step)
+        super().__init__(
+            node_id, sim, network, clock, params,
+            convergence=ClampedConvergence(PaperConvergence(), step),
+            start_phase=start_phase,
+        )
+        self.max_step = step
+
+
+@register_protocol("minimal-correction")
+def make_minimal_correction(node_id: int, sim: "Simulator", network: "Network",
+                            clock: "LogicalClock", params: "ProtocolParams",
+                            start_phase: float) -> MinimalCorrectionProcess:
+    """Factory for the minimal-correction baseline."""
+    return MinimalCorrectionProcess(node_id, sim, network, clock, params, start_phase)

@@ -1,0 +1,94 @@
+"""Round-based convergence baseline (Welch-Lynch / Cristian-Fetzer style).
+
+Many classical convergence-function protocols proceed in *rounds*: each
+processor keeps a logical clock per round, and when asked for a round-i
+clock after having already synchronized into round i+1, it answers "as
+if it didn't do the last synchronization" (Section 3.3's description).
+This baseline implements that discipline on top of the shared ping/pong
+machinery:
+
+* Pings carry the requestor's round number.
+* A responder ahead of the requestor's round answers with its clock
+  minus the corrections it applied after that round (one round of
+  lookback, as in [8, 9]).
+* The convergence function is the fault-tolerant midpoint.
+
+The paper's criticism is operational: round counters and per-round
+clocks are state that "[has] to be recovered from a break-in".  Here,
+as in reality, a released processor restarts with a reset round counter
+and an empty correction history — so its answers to round-tagged
+queries are wrong in exactly the way the paper warns about, and
+experiment E5 measures the resulting recovery lag against the
+stateless Sync.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.convergence import MidpointConvergence
+from repro.core.sync import SyncProcess
+from repro.net.message import Message, Ping, Pong
+from repro.protocols.base import register_protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+
+class RoundBasedProcess(SyncProcess):
+    """Round-disciplined convergence protocol.
+
+    Attributes:
+        corrections_by_round: Correction applied at the end of each of
+            this node's rounds (lost on break-in, like all round state).
+    """
+
+    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
+                 clock: "LogicalClock", params: "ProtocolParams",
+                 start_phase: float = 0.0) -> None:
+        super().__init__(node_id, sim, network, clock, params,
+                         convergence=MidpointConvergence(), start_phase=start_phase)
+        self.corrections_by_round: dict[int, float] = {}
+
+    def start(self) -> None:
+        # Round state does not survive a break-in: the counter and the
+        # correction history restart from scratch (the recovery hazard
+        # the paper calls out for round-based designs).
+        self._round = 0
+        self.corrections_by_round = {}
+        super().start()
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Ping):
+            value = self.local_now()
+            requestor_round = payload.round_no
+            if requestor_round < self._round:
+                # Answer "as if we hadn't done the last synchronization":
+                # undo the corrections applied after the requested round.
+                for round_no in range(requestor_round + 1, self._round + 1):
+                    value -= self.corrections_by_round.get(round_no, 0.0)
+            self.send(message.sender, Pong(nonce=payload.nonce, clock_value=value))
+        else:
+            super().on_message(message)
+
+    def _complete_sync(self) -> None:
+        round_no = self._round
+        before = len(self.sync_records)
+        super()._complete_sync()
+        if len(self.sync_records) > before:
+            self.corrections_by_round[round_no] = self.sync_records[-1].correction
+            # Bounded lookback: keep only the last few rounds.
+            for old in [r for r in self.corrections_by_round if r < round_no - 3]:
+                del self.corrections_by_round[old]
+
+
+@register_protocol("round-based")
+def make_round_based(node_id: int, sim: "Simulator", network: "Network",
+                     clock: "LogicalClock", params: "ProtocolParams",
+                     start_phase: float) -> RoundBasedProcess:
+    """Factory for the round-based baseline."""
+    return RoundBasedProcess(node_id, sim, network, clock, params, start_phase)

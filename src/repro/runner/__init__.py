@@ -1,0 +1,66 @@
+"""Experiment orchestration: scenarios, runs, sweeps, builders."""
+
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    geometric_grid,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    recommended_tolerance,
+    split_world_scenario,
+    standard_strategy_mix,
+    two_clique_scenario,
+    warmup_for,
+)
+from repro.runner.config import load_scenario, scenario_from_config
+from repro.runner.parallel import ConfigRunSummary, run_config, run_configs
+from repro.runner.stats import (
+    ReplicationSummary,
+    replicate_measure,
+    summarize_replications,
+)
+from repro.runner.experiment import (
+    RunResult,
+    replicate,
+    run,
+    run_many,
+    summarize,
+    sweep,
+)
+from repro.runner.scenario import (
+    Scenario,
+    extremal_clocks,
+    perfect_clocks,
+    wander_clocks,
+)
+
+__all__ = [
+    "Scenario",
+    "wander_clocks",
+    "extremal_clocks",
+    "perfect_clocks",
+    "run",
+    "sweep",
+    "replicate",
+    "run_many",
+    "summarize",
+    "RunResult",
+    "default_params",
+    "benign_scenario",
+    "mobile_byzantine_scenario",
+    "recovery_scenario",
+    "split_world_scenario",
+    "two_clique_scenario",
+    "standard_strategy_mix",
+    "warmup_for",
+    "recommended_tolerance",
+    "geometric_grid",
+    "load_scenario",
+    "scenario_from_config",
+    "run_config",
+    "run_configs",
+    "ConfigRunSummary",
+    "summarize_replications",
+    "replicate_measure",
+    "ReplicationSummary",
+]

@@ -1,0 +1,221 @@
+"""Canonical scenario builders used by tests, examples, and benchmarks.
+
+These encode the standard workloads of the evaluation:
+
+* :func:`default_params` — a laptop-scale parameterization with visible
+  drift (``rho`` inflated vs. real crystals so effects show up in
+  seconds of simulated time).
+* :func:`benign_scenario` — drift only, no adversary.
+* :func:`mobile_byzantine_scenario` — the headline workload: a rotating
+  f-limited adversary corrupting every node over time with a mix of
+  strategies.
+* :func:`recovery_scenario` — one corruption burst, for focused
+  recovery measurement.
+* :func:`split_world_scenario` — the omniscient spreading attack, for
+  probing the tightness of the deviation bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.adversary.base import ByzantineStrategy
+from repro.adversary.mobile import PlannedCorruption, rotating_plan, single_burst_plan
+from repro.adversary.strategies import (
+    LiarStrategy,
+    NearBoundaryResetStrategy,
+    NoisyStrategy,
+    RandomClockStrategy,
+    SilentStrategy,
+    SplitWorldStrategy,
+    TwoFacedStrategy,
+)
+from repro.clocks.logical import LogicalClock
+from repro.core.params import ProtocolParams
+from repro.net.topology import two_cliques
+from repro.runner.scenario import Scenario
+
+
+def default_params(n: int = 7, f: int = 2, delta: float = 0.005, rho: float = 5e-4,
+                   pi: float = 2.0, target_k: int = 10) -> ProtocolParams:
+    """A laptop-scale parameterization with strict validation.
+
+    ``rho = 5e-4`` is deliberately ~100x a real crystal's drift so that
+    drift effects are visible within seconds of simulated time; the
+    protocol's guarantees are drift-scale-free, so this only compresses
+    the experiment timescale.
+    """
+    return ProtocolParams.derive(n=n, f=f, delta=delta, rho=rho, pi=pi, target_k=target_k)
+
+
+def benign_scenario(params: ProtocolParams | None = None, duration: float = 10.0,
+                    seed: int = 0, **kwargs) -> Scenario:
+    """Drift and jitter only — no adversary."""
+    params = params if params is not None else default_params()
+    return Scenario(params=params, duration=duration, seed=seed,
+                    name="benign", **kwargs)
+
+
+def standard_strategy_mix(params: ProtocolParams, seed: int = 0) -> "_MixFactory":
+    """The default rotation of attack strategies for mobile workloads.
+
+    Cycles deterministically (per node, episode) through: clock
+    scrambling, silence, constant lies, per-message noise, two-faced
+    answers, and near-boundary parting resets.  Magnitudes are scaled
+    off ``WayOff`` so every attack is in the regime the analysis cares
+    about.
+    """
+    return _MixFactory(params, seed)
+
+
+class _MixFactory:
+    """Deterministic (node, episode) -> strategy rotation."""
+
+    def __init__(self, params: ProtocolParams, seed: int) -> None:
+        self.params = params
+        self.rng = random.Random(seed ^ 0x5DEECE66D)
+
+    def __call__(self, node: int, episode: int) -> ByzantineStrategy:
+        way_off = self.params.way_off
+        choices = (
+            lambda: RandomClockStrategy(spread=4.0 * way_off),
+            lambda: SilentStrategy(),
+            lambda: LiarStrategy(offset=100.0 * way_off),
+            lambda: NoisyStrategy(spread=10.0 * way_off),
+            lambda: TwoFacedStrategy(magnitude=5.0 * way_off),
+            lambda: NearBoundaryResetStrategy(offset=1.05 * way_off),
+        )
+        return choices[(node + episode) % len(choices)]()
+
+
+def mobile_byzantine_scenario(params: ProtocolParams | None = None,
+                              duration: float = 30.0, seed: int = 0,
+                              dwell: float | None = None, **kwargs) -> Scenario:
+    """The headline workload: rotating f-limited Byzantine corruption.
+
+    Over the run, the adversary corrupts group after group of ``f``
+    processors (eventually all of them, repeatedly), each episode using
+    the :func:`standard_strategy_mix`.
+    """
+    params = params if params is not None else default_params()
+
+    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
+                   ) -> Sequence[PlannedCorruption]:
+        return rotating_plan(
+            n=params.n, f=params.f, pi=params.pi, duration=scenario.duration,
+            strategy_factory=standard_strategy_mix(params, scenario.seed),
+            first_start=2.0 * params.t_interval,  # let startup converge first
+        )
+
+    return Scenario(params=params, duration=duration, seed=seed,
+                    plan_builder=build_plan, name="mobile-byzantine", **kwargs)
+
+
+def recovery_scenario(params: ProtocolParams | None = None, duration: float = 12.0,
+                      seed: int = 0, victims: Sequence[int] | None = None,
+                      displacement: float | None = None, burst_at: float | None = None,
+                      dwell: float | None = None, **kwargs) -> Scenario:
+    """One corruption burst that scrambles the victims' clocks.
+
+    After release the victims must recover through Sync alone; the
+    displacement defaults to ``4 * WayOff`` (well into the "ignore own
+    clock" branch of Figure 1).
+    """
+    params = params if params is not None else default_params()
+    victims = list(victims) if victims is not None else list(range(params.f))
+    if len(victims) > params.f:
+        raise ValueError(f"at most f={params.f} simultaneous victims allowed")
+    displacement = 4.0 * params.way_off if displacement is None else displacement
+    burst_at = 2.0 * params.t_interval if burst_at is None else burst_at
+    dwell = params.t_interval if dwell is None else dwell
+
+    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
+                   ) -> Sequence[PlannedCorruption]:
+        return single_burst_plan(
+            victims, start=burst_at, dwell=dwell,
+            strategy_factory=lambda node, episode: NearBoundaryResetStrategy(
+                offset=displacement * (1 if node % 2 == 0 else -1)
+            ),
+        )
+
+    return Scenario(params=params, duration=duration, seed=seed,
+                    plan_builder=build_plan, name="recovery", **kwargs)
+
+
+def split_world_scenario(params: ProtocolParams | None = None, duration: float = 20.0,
+                         seed: int = 0, **kwargs) -> Scenario:
+    """Omniscient spread-maximizing attack (bound-tightness probe)."""
+    params = params if params is not None else default_params()
+
+    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
+                   ) -> Sequence[PlannedCorruption]:
+        return rotating_plan(
+            n=params.n, f=params.f, pi=params.pi, duration=scenario.duration,
+            strategy_factory=lambda node, episode: SplitWorldStrategy(
+                clocks, push=50.0 * params.way_off
+            ),
+            first_start=2.0 * params.t_interval,
+        )
+
+    return Scenario(params=params, duration=duration, seed=seed,
+                    plan_builder=build_plan, name="split-world", **kwargs)
+
+
+def two_clique_scenario(f: int = 1, duration: float = 40.0, seed: int = 0,
+                        pi: float = 2.0, rho: float = 2e-3, **kwargs) -> Scenario:
+    """The Section 5 counterexample: two cliques joined by a matching.
+
+    No adversary is even needed — with clocks drifting at opposite
+    extremes per clique, the cliques' internal synchronization is
+    perfect while the inter-clique deviation grows without bound (at
+    the mutual drift rate ``(1+rho) - 1/(1+rho) ~ 2*rho``, so the
+    default ``rho`` is chosen to cross the Theorem 5 bound within the
+    default duration).
+    """
+    from repro.clocks.hardware import FixedRateClock  # local: avoid cycle at import
+
+    n = 2 * (3 * f + 1)
+    params = ProtocolParams.derive(n=n, f=f, delta=0.005, rho=rho, pi=pi)
+
+    def clique_extremal(node: int, p: ProtocolParams, rng, horizon: float):
+        rate = (1.0 + p.rho) if node < n // 2 else 1.0 / (1.0 + p.rho)
+        return FixedRateClock(p.rho, rate=rate)
+
+    return Scenario(params=params, duration=duration, seed=seed,
+                    topology=two_cliques(f), clock_factory=clique_extremal,
+                    name="two-clique", **kwargs)
+
+
+def warmup_for(params: ProtocolParams, intervals: float = 3.0) -> float:
+    """A standard warmup: a few analysis intervals of settling time."""
+    return intervals * params.t_interval
+
+
+def recommended_tolerance(params: ProtocolParams) -> float:
+    """Recovery tolerance: the Theorem 5 deviation bound."""
+    return params.bounds().max_deviation
+
+
+def effective_horizon(duration: float, pi: float) -> float:
+    """Last time with a full PI-window of history (for good-set math)."""
+    return max(0.0, duration - pi)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Tiny helper used by sweep builders to pick K grids."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def geometric_grid(lo: float, hi: float, points: int) -> list[float]:
+    """``points`` geometrically spaced values from ``lo`` to ``hi``."""
+    if points < 2 or lo <= 0 or hi <= lo:
+        raise ValueError(f"invalid grid spec lo={lo}, hi={hi}, points={points}")
+    step = (hi / lo) ** (1.0 / (points - 1))
+    return [lo * step ** i for i in range(points)]
+
+
+def about_equal(a: float, b: float, rel: float = 1e-9) -> bool:
+    """Relative float comparison helper shared by analysis code."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=1e-12)

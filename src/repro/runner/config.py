@@ -1,0 +1,159 @@
+"""JSON scenario configuration: declarative experiments.
+
+Lets operators describe a run in a config file instead of Python::
+
+    {
+      "params": {"n": 7, "f": 2, "delta": 0.005, "rho": 5e-4, "pi": 4.0},
+      "scenario": "mobile-byzantine",
+      "protocol": "sync",
+      "duration": 20.0,
+      "seed": 1,
+      "clocks": "wander",
+      "delay": {"model": "uniform"},
+      "loss_rate": 0.0
+    }
+
+consumed via ``python -m repro run --config experiment.json`` or
+:func:`scenario_from_config`.  Only canonical scenarios, registered
+protocols, and the named clock/delay models are reachable from configs
+— arbitrary code stays in Python, so configs are safe to accept from
+experiment directories.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.core.params import ProtocolParams
+from repro.errors import ConfigurationError
+from repro.net.links import (
+    AsymmetricDelay,
+    DelayModel,
+    FixedDelay,
+    JitteredDelay,
+    UniformDelay,
+)
+from repro.runner.builders import (
+    benign_scenario,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    split_world_scenario,
+)
+from repro.runner.scenario import (
+    Scenario,
+    extremal_clocks,
+    perfect_clocks,
+    wander_clocks,
+)
+
+_SCENARIOS = {
+    "benign": benign_scenario,
+    "mobile-byzantine": mobile_byzantine_scenario,
+    "recovery": recovery_scenario,
+    "split-world": split_world_scenario,
+}
+
+_CLOCKS = {
+    "wander": wander_clocks,
+    "extremal": extremal_clocks,
+    "perfect": perfect_clocks,
+}
+
+_DELAYS = {
+    "fixed": FixedDelay,
+    "uniform": UniformDelay,
+    "asymmetric": AsymmetricDelay,
+    "jittered": JitteredDelay,
+}
+
+
+def params_from_config(spec: dict[str, Any]) -> ProtocolParams:
+    """Build :class:`ProtocolParams` from the ``params`` config section.
+
+    Either a full explicit parameterization (``sync_interval`` etc.
+    present) or the common derived form (``n, f, delta, rho, pi`` and
+    optional ``target_k``).
+    """
+    required = {"n", "f", "delta", "rho", "pi"}
+    missing = required - spec.keys()
+    if missing:
+        raise ConfigurationError(f"params config missing keys: {sorted(missing)}")
+    if "sync_interval" in spec:
+        return ProtocolParams(**spec)
+    return ProtocolParams.derive(
+        n=int(spec["n"]), f=int(spec["f"]), delta=float(spec["delta"]),
+        rho=float(spec["rho"]), pi=float(spec["pi"]),
+        target_k=int(spec.get("target_k", 10)),
+    )
+
+
+def delay_from_config(spec: dict[str, Any] | None, delta: float) -> DelayModel | None:
+    """Build a delay model from the ``delay`` config section."""
+    if spec is None:
+        return None
+    kind = spec.get("model")
+    if kind not in _DELAYS:
+        raise ConfigurationError(
+            f"unknown delay model {kind!r}; known: {sorted(_DELAYS)}")
+    kwargs = {k: v for k, v in spec.items() if k != "model"}
+    return _DELAYS[kind](delta, **kwargs)
+
+
+def scenario_from_config(config: dict[str, Any]) -> Scenario:
+    """Build a complete :class:`Scenario` from a parsed config dict.
+
+    Raises:
+        ConfigurationError: Naming the offending key on any mistake.
+    """
+    if "params" not in config:
+        raise ConfigurationError("config requires a 'params' section")
+    params = params_from_config(config["params"])
+
+    scenario_name = config.get("scenario", "benign")
+    if scenario_name not in _SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {scenario_name!r}; known: {sorted(_SCENARIOS)}")
+
+    clocks_name = config.get("clocks", "wander")
+    if clocks_name not in _CLOCKS:
+        raise ConfigurationError(
+            f"unknown clock model {clocks_name!r}; known: {sorted(_CLOCKS)}")
+
+    builder = _SCENARIOS[scenario_name]
+    scenario = builder(
+        params,
+        duration=float(config.get("duration", 20.0)),
+        seed=int(config.get("seed", 0)),
+        protocol=config.get("protocol", "sync"),
+        clock_factory=_CLOCKS[clocks_name],
+    )
+    scenario.delay_model = delay_from_config(config.get("delay"), params.delta)
+    scenario.loss_rate = float(config.get("loss_rate", 0.0))
+    if "sample_interval" in config:
+        scenario.sample_interval = float(config["sample_interval"])
+    if "initial_offset_spread" in config:
+        scenario.initial_offset_spread = float(config["initial_offset_spread"])
+    if "stagger_phases" in config:
+        scenario.stagger_phases = bool(config["stagger_phases"])
+    return scenario
+
+
+def load_scenario(path: str | pathlib.Path) -> Scenario:
+    """Read a JSON config file and build its scenario.
+
+    Raises:
+        ConfigurationError: On unreadable files or invalid JSON, with
+            the path in the message.
+    """
+    path = pathlib.Path(path)
+    try:
+        config = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"config file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON in {path}: {exc}") from None
+    if not isinstance(config, dict):
+        raise ConfigurationError(f"config root must be an object: {path}")
+    return scenario_from_config(config)

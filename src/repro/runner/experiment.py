@@ -1,0 +1,210 @@
+"""Run scenarios and collect results; sweep and replicate helpers.
+
+:func:`run` is the package's main entry point: it wires a
+:class:`~repro.runner.scenario.Scenario` into a simulator — topology,
+delay model, clocks, protocol processes, adversary, sampler — executes
+it, and returns a :class:`RunResult` exposing the Definition 3 measures
+and the Theorem 5 verdict.
+
+:func:`sweep` and :func:`replicate` are the thin orchestration layers
+the benchmark harness builds its tables from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import repro.protocols  # noqa: F401  -- importing registers the protocol factories
+from repro.adversary.mobile import MobileAdversary
+from repro.clocks.logical import LogicalClock
+from repro.core.analysis import Theorem5Verdict, theorem5_verdict
+from repro.core.params import ProtocolParams
+from repro.metrics.measures import (
+    AccuracyReport,
+    RecoveryReport,
+    accuracy_report,
+    deviation_percentiles,
+    deviation_series,
+    max_deviation,
+    recovery_report,
+)
+from repro.metrics.sampler import ClockSampler, ClockSamples, CorruptionInterval
+from repro.metrics.trace import TraceRecorder
+from repro.net.network import Network
+from repro.protocols.base import protocol_factory
+from repro.runner.scenario import Scenario
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+@dataclass
+class RunResult:
+    """Everything observable from one simulation run.
+
+    Attributes:
+        scenario: The input scenario.
+        params: Shortcut to ``scenario.params``.
+        samples: Grid clock samples.
+        corruptions: Audited corruption intervals that occurred.
+        trace: Sync/corruption/message trace.
+        clocks: Logical clocks by node (with adjustment histories).
+        processes: Protocol processes by node.
+        events_processed: Simulator event count (performance metric).
+        messages_delivered: Network delivery count.
+    """
+
+    scenario: Scenario
+    params: ProtocolParams
+    samples: ClockSamples
+    corruptions: list[CorruptionInterval]
+    trace: TraceRecorder
+    clocks: dict[int, LogicalClock]
+    processes: dict[int, Process] = field(repr=False, default_factory=dict)
+    events_processed: int = 0
+    messages_delivered: int = 0
+
+    # -- measures ----------------------------------------------------------
+
+    def deviation_series(self, warmup: float = 0.0) -> list[tuple[float, float]]:
+        """Good-set deviation per sample (Definition 3(i) subject)."""
+        return deviation_series(self.samples, self.corruptions, self.params.pi,
+                                self.params.n, warmup)
+
+    def max_deviation(self, warmup: float = 0.0) -> float:
+        """Maximum good-set deviation after ``warmup``."""
+        return max_deviation(self.samples, self.corruptions, self.params.pi,
+                             self.params.n, warmup)
+
+    def deviation_percentiles(self, warmup: float = 0.0,
+                              percentiles=(50.0, 95.0, 99.0, 100.0)
+                              ) -> dict[float, float]:
+        """Median/tail percentiles of the good-set deviation series."""
+        return deviation_percentiles(self.samples, self.corruptions,
+                                     self.params.pi, self.params.n, warmup,
+                                     percentiles)
+
+    def accuracy(self, min_span: float = 0.0) -> AccuracyReport:
+        """Measured drift and discontinuity (Definition 3(ii) subject)."""
+        return accuracy_report(self.samples, self.corruptions, self.clocks,
+                               self.params.pi, self.params.n, min_span)
+
+    def recovery(self, tolerance: float | None = None,
+                 settle: float | None = None) -> RecoveryReport:
+        """Recovery times for every adversary release.
+
+        ``tolerance`` defaults to the Theorem 5 deviation bound — a node
+        counts as recovered when it is within the guarantee of the good
+        range.
+        """
+        if tolerance is None:
+            tolerance = self.params.bounds().max_deviation
+        return recovery_report(self.samples, self.corruptions, self.params.pi,
+                               self.params.n, tolerance, settle)
+
+    def verdict(self, warmup: float = 0.0) -> Theorem5Verdict:
+        """Theorem 5 measured-vs-bound comparison for this run."""
+        return theorem5_verdict(self.params, self.max_deviation(warmup), self.accuracy())
+
+
+def run(scenario: Scenario) -> RunResult:
+    """Execute one scenario to completion.
+
+    Deterministic: identical scenarios (including seed) produce
+    identical results.
+    """
+    params = scenario.params
+    sim = Simulator(seed=scenario.seed)
+    network = Network(sim, scenario.resolved_topology(),
+                      scenario.resolved_delay_model(),
+                      loss_rate=scenario.loss_rate)
+    trace = TraceRecorder(record_messages=scenario.record_messages)
+    network.add_tap(trace.on_message)
+
+    # Clocks: hardware from the factory, initial offsets via adj.
+    clocks: dict[int, LogicalClock] = {}
+    offsets_rng = sim.rngs.stream("initial-offsets")
+    for node in range(params.n):
+        hardware = scenario.clock_factory(
+            node, params, sim.rngs.stream(f"clock:{node}"), scenario.duration
+        )
+        clocks[node] = LogicalClock(hardware, adj=scenario.initial_offset_for(node, offsets_rng))
+
+    # Protocol processes.
+    factory = (protocol_factory(scenario.protocol)
+               if isinstance(scenario.protocol, str) else scenario.protocol)
+    phase_rng = sim.rngs.stream("phases")
+    processes: dict[int, Process] = {}
+    for node in range(params.n):
+        phase = phase_rng.uniform(0.0, params.sync_interval) if scenario.stagger_phases else 0.0
+        process = factory(node, sim, network, clocks[node], params, phase)
+        network.bind(process)
+        processes[node] = process
+        if hasattr(process, "sync_listeners"):
+            process.sync_listeners.append(trace.on_sync)
+
+    # Adversary.
+    corruptions: list[CorruptionInterval] = []
+    if scenario.plan_builder is not None:
+        plan = list(scenario.plan_builder(scenario, clocks))
+        adversary = MobileAdversary(
+            sim, network, plan, f=params.f, pi=params.pi, trace=trace,
+            enforce=scenario.enforce_f_limit,
+        )
+        adversary.install()
+        corruptions = adversary.corruption_intervals()
+
+    # Sampling.
+    sampler = ClockSampler(sim, clocks, scenario.resolved_sample_interval())
+    sampler.start(scenario.duration)
+
+    for process in processes.values():
+        process.start()
+
+    sim.run(until=scenario.duration)
+
+    return RunResult(
+        scenario=scenario,
+        params=params,
+        samples=sampler.samples,
+        corruptions=corruptions,
+        trace=trace,
+        clocks=clocks,
+        processes=processes,
+        events_processed=sim.events_processed,
+        messages_delivered=network.messages_delivered,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweeps and replication
+# ----------------------------------------------------------------------
+
+def sweep(base: Scenario, variations: Iterable[dict]) -> list[RunResult]:
+    """Run ``base`` once per variation dict (fields to replace).
+
+    A variation may replace any :class:`Scenario` field; replacing
+    ``params`` requires passing a full :class:`ProtocolParams`.
+    """
+    results = []
+    for changes in variations:
+        scenario = dataclasses.replace(base, **changes)
+        results.append(run(scenario))
+    return results
+
+
+def replicate(base: Scenario, seeds: Sequence[int]) -> list[RunResult]:
+    """Run ``base`` once per seed (for variance estimates)."""
+    return sweep(base, [{"seed": seed} for seed in seeds])
+
+
+def summarize(values: Sequence[float]) -> tuple[float, float, float]:
+    """``(min, mean, max)`` of a non-empty value sequence."""
+    return (min(values), sum(values) / len(values), max(values))
+
+
+def run_many(scenarios: Sequence[Scenario],
+             measure: Callable[[RunResult], float]) -> list[float]:
+    """Run each scenario and apply ``measure`` to its result."""
+    return [measure(run(scenario)) for scenario in scenarios]

@@ -1,0 +1,136 @@
+"""Scenario descriptions: everything a run is a function of.
+
+A :class:`Scenario` fully determines a simulation run (together with
+its ``seed``): protocol, network model, clock population, adversary
+plan, and sampling grid.  Scenarios are plain data plus small factory
+callables, so sweeps can ``dataclasses.replace`` one field at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence, Union
+
+from repro.clocks.drift import wander_schedule
+from repro.clocks.hardware import FixedRateClock, HardwareClock, PiecewiseRateClock
+from repro.core.params import ProtocolParams
+from repro.net.links import DelayModel, UniformDelay
+from repro.net.topology import Topology, full_mesh
+from repro.protocols.base import ProtocolFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
+    from repro.adversary.mobile import PlannedCorruption
+    from repro.clocks.logical import LogicalClock
+
+
+ClockFactory = Callable[[int, "ProtocolParams", "random.Random", float], HardwareClock]
+"""Builds node ``i``'s hardware clock: ``(node, params, rng, horizon)``."""
+
+PlanBuilder = Callable[["Scenario", dict[int, "LogicalClock"]], "Sequence[PlannedCorruption]"]
+"""Builds the adversary plan once the clocks exist (omniscient
+strategies need the clock registry)."""
+
+
+def wander_clocks(node: int, params: ProtocolParams, rng: "random.Random",
+                  horizon: float) -> HardwareClock:
+    """Default clock population: independent bounded random-walk drift."""
+    schedule = wander_schedule(params.rho, step=params.sync_interval, horizon=horizon, rng=rng)
+    return PiecewiseRateClock(params.rho, schedule)
+
+
+def extremal_clocks(node: int, params: ProtocolParams, rng: "random.Random",
+                    horizon: float) -> HardwareClock:
+    """Worst-case population: clocks pinned at alternating drift extremes.
+
+    Even nodes run at ``1 + rho``, odd nodes at ``1/(1+rho)`` — the
+    maximum mutual drift eq. (2) permits, sustained forever.
+    """
+    rate = (1.0 + params.rho) if node % 2 == 0 else 1.0 / (1.0 + params.rho)
+    return FixedRateClock(params.rho, rate=rate)
+
+
+def perfect_clocks(node: int, params: ProtocolParams, rng: "random.Random",
+                   horizon: float) -> HardwareClock:
+    """Driftless clocks (the Section 4.3 simplified analysis setting)."""
+    return FixedRateClock(params.rho, rate=1.0)
+
+
+@dataclass
+class Scenario:
+    """Complete description of one simulation run.
+
+    Attributes:
+        params: Protocol parameterization (also carries ``n``, ``f``,
+            ``delta``, ``rho``, ``pi``).
+        duration: Real-time length of the run.
+        seed: Root seed for every random stream.
+        protocol: Registered protocol name, or a factory callable.
+        topology: Explicit topology; defaults to the full mesh on ``n``.
+        delay_model: Explicit delay model; defaults to
+            ``UniformDelay(delta)``.
+        clock_factory: Builds each node's hardware clock; defaults to
+            :func:`wander_clocks`.
+        initial_offset_spread: Initial clock values are uniform in
+            ``[-spread/2, +spread/2]`` (applied via ``adj``); keep below
+            ``WayOff`` unless deliberately testing cold-start.
+        initial_offsets: Explicit per-node initial clock offsets,
+            overriding the spread.
+        plan_builder: Builds the adversary plan; ``None`` = no faults.
+        enforce_f_limit: Audit the plan against Definition 2 (E7
+            disables this deliberately).
+        sample_interval: Clock sampling grid spacing; defaults to
+            ``max_wait`` (several samples per sync interval).
+        record_messages: Keep per-message trace records (memory-heavy).
+        loss_rate: Probability of independent message loss (beyond the
+            paper's reliable-link model; lost messages surface as
+            estimation timeouts).
+        stagger_phases: Randomize each node's first-sync phase within
+            one sync interval (the paper assumes nothing about relative
+            Sync times); when False all nodes sync in lockstep.
+        name: Label for reports.
+    """
+
+    params: ProtocolParams
+    duration: float
+    seed: int = 0
+    protocol: Union[str, ProtocolFactory] = "sync"
+    topology: Topology | None = None
+    delay_model: DelayModel | None = None
+    clock_factory: ClockFactory = wander_clocks
+    initial_offset_spread: float = 0.0
+    initial_offsets: Sequence[float] | None = None
+    plan_builder: PlanBuilder | None = None
+    enforce_f_limit: bool = True
+    sample_interval: float | None = None
+    record_messages: bool = False
+    loss_rate: float = 0.0
+    stagger_phases: bool = True
+    name: str = "scenario"
+    extra: dict = field(default_factory=dict)
+
+    def resolved_topology(self) -> Topology:
+        """The scenario topology (full mesh by default)."""
+        return self.topology if self.topology is not None else full_mesh(self.params.n)
+
+    def resolved_delay_model(self) -> DelayModel:
+        """The scenario delay model (uniform by default)."""
+        if self.delay_model is not None:
+            return self.delay_model
+        return UniformDelay(self.params.delta)
+
+    def resolved_sample_interval(self) -> float:
+        """The sampling grid spacing (``max_wait`` by default)."""
+        if self.sample_interval is not None:
+            return self.sample_interval
+        return self.params.max_wait
+
+    def initial_offset_for(self, node: int, rng: "random.Random") -> float:
+        """Initial clock offset of ``node`` (explicit list or sampled)."""
+        if self.initial_offsets is not None:
+            return float(self.initial_offsets[node])
+        if self.initial_offset_spread > 0.0:
+            return rng.uniform(-self.initial_offset_spread / 2.0,
+                               self.initial_offset_spread / 2.0)
+        return 0.0

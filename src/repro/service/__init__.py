@@ -1,0 +1,27 @@
+"""Application-facing secure time services built on Sync.
+
+The paper's Section 1 applications (proactive maintenance epochs,
+freshness validation, expirations) expressed as an API whose tolerances
+derive from the Theorem 5 bounds.
+"""
+
+from repro.service.monitor import Alert, MonitorThresholds, SyncHealthMonitor
+from repro.service.refresh import (
+    KeyAnnouncement,
+    RefreshingSyncProcess,
+    RotationRecord,
+    make_refreshing,
+)
+from repro.service.timeservice import SecureTimeService, Timestamp
+
+__all__ = [
+    "SecureTimeService",
+    "Timestamp",
+    "SyncHealthMonitor",
+    "MonitorThresholds",
+    "Alert",
+    "RefreshingSyncProcess",
+    "make_refreshing",
+    "KeyAnnouncement",
+    "RotationRecord",
+]

@@ -1,0 +1,153 @@
+"""Health monitoring for a synchronized node.
+
+The paper's model has no fault *detection* — the protocol must work
+without it — but an operator still wants telemetry: a node that keeps
+discarding its own clock was probably just corrupted; a node whose
+estimations keep timing out is watching the network degrade.  The
+monitor consumes the node's own :class:`~repro.core.sync.SyncRecord`
+stream (purely local information) and raises typed alerts.
+
+Crucially, alerts are *advisory*: nothing in the protocol consumes
+them, preserving the paper's no-detection-required property.  Tests
+assert both that the interesting conditions raise alerts and that the
+protocol's guarantees never depend on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.params import ProtocolParams
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.sync import SyncRecord
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One health finding.
+
+    Attributes:
+        kind: ``"way-off"``, ``"estimation-starvation"``, or
+            ``"large-corrections"``.
+        node: The node the alert concerns.
+        real_time: When it was raised.
+        detail: Human-readable explanation.
+    """
+
+    kind: str
+    node: int
+    real_time: float
+    detail: str
+
+
+@dataclass
+class MonitorThresholds:
+    """Tunable alert thresholds.
+
+    Attributes:
+        min_replies_fraction: Alert when fewer than this fraction of
+            peers answered a Sync (estimation starvation).
+        correction_factor: Alert when a correction exceeds this multiple
+            of the discontinuity bound while the node believes itself
+            good (not a WayOff jump).
+        window: Number of recent syncs considered for rate-based rules.
+        starvation_streak: Consecutive starved syncs before alerting.
+    """
+
+    min_replies_fraction: float = 0.5
+    correction_factor: float = 2.0
+    window: int = 8
+    starvation_streak: int = 3
+
+
+class SyncHealthMonitor:
+    """Watches one node's sync records and raises advisory alerts.
+
+    Wire it with ``process.sync_listeners.append(monitor.on_sync)``.
+
+    Args:
+        params: Deployment parameters (for bounds-derived thresholds).
+        node_id: The monitored node.
+        thresholds: Alerting knobs.
+        on_alert: Optional callback invoked per alert (e.g. a logger).
+
+    Attributes:
+        alerts: All alerts raised so far.
+    """
+
+    def __init__(self, params: ProtocolParams, node_id: int,
+                 thresholds: MonitorThresholds | None = None,
+                 on_alert: Callable[[Alert], None] | None = None) -> None:
+        self.params = params
+        self.node_id = node_id
+        self.thresholds = thresholds if thresholds is not None else MonitorThresholds()
+        if not (0.0 < self.thresholds.min_replies_fraction <= 1.0):
+            raise ConfigurationError(
+                f"min_replies_fraction must be in (0, 1], got "
+                f"{self.thresholds.min_replies_fraction}")
+        self.on_alert = on_alert
+        self.alerts: list[Alert] = []
+        self._starved_streak = 0
+
+    # ------------------------------------------------------------------
+
+    def on_sync(self, record: "SyncRecord") -> None:
+        """Sync-listener entry point."""
+        if record.node_id != self.node_id:
+            return
+        self._check_way_off(record)
+        self._check_starvation(record)
+        self._check_large_correction(record)
+
+    def _raise(self, kind: str, record: "SyncRecord", detail: str) -> None:
+        alert = Alert(kind=kind, node=self.node_id, real_time=record.real_time,
+                      detail=detail)
+        self.alerts.append(alert)
+        if self.on_alert is not None:
+            self.on_alert(alert)
+
+    def _check_way_off(self, record: "SyncRecord") -> None:
+        if record.own_discarded:
+            self._raise(
+                "way-off", record,
+                f"discarded own clock (correction {record.correction:+.4g}); "
+                f"likely just recovered from a break-in")
+
+    def _check_starvation(self, record: "SyncRecord") -> None:
+        peers = self.params.n - 1
+        if peers <= 0:
+            return
+        if record.replies / peers < self.thresholds.min_replies_fraction:
+            self._starved_streak += 1
+            if self._starved_streak == self.thresholds.starvation_streak:
+                self._raise(
+                    "estimation-starvation", record,
+                    f"{self._starved_streak} consecutive syncs with fewer "
+                    f"than {self.thresholds.min_replies_fraction:.0%} of "
+                    f"peers answering")
+        else:
+            self._starved_streak = 0
+
+    def _check_large_correction(self, record: "SyncRecord") -> None:
+        if record.own_discarded:
+            return  # the WayOff jump is expected to be large
+        limit = self.thresholds.correction_factor \
+            * self.params.bounds().discontinuity
+        if abs(record.correction) > limit:
+            self._raise(
+                "large-corrections", record,
+                f"correction {record.correction:+.4g} exceeds "
+                f"{self.thresholds.correction_factor:g}x the discontinuity "
+                f"bound {self.params.bounds().discontinuity:.4g}")
+
+    # ------------------------------------------------------------------
+
+    def alert_counts(self) -> dict[str, int]:
+        """Alerts grouped by kind."""
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts

@@ -1,0 +1,157 @@
+"""Secure time service: the application-facing API the paper motivates.
+
+Section 1 motivates synchronized clocks with security applications:
+time-stamping, payments and bids with expiration dates, Kerberos-style
+freshness, and above all the periodic maintenance of proactive
+security.  All of those need more than a raw clock value — they need to
+*reason about other processors' clocks* through the synchronization
+guarantee.  :class:`SecureTimeService` packages that reasoning:
+
+* ``now()`` — this node's logical clock;
+* ``epoch(length)`` — the clock-derived epoch number used by proactive
+  refresh protocols, with :meth:`epochs_agree_within` giving the
+  guaranteed cross-node epoch skew;
+* ``validate_timestamp(ts, max_age)`` — Kerberos-style freshness: is a
+  peer-issued timestamp plausibly fresh, given that a *good* peer's
+  clock is within the deviation bound of ours?
+* ``is_expired(expiry)`` / ``safe_expiry(ttl)`` — bid/payment
+  expiration, where "expired for everyone" and "valid for everyone"
+  differ by the deviation window.
+
+All tolerances derive from the Theorem 5 deviation bound of the
+underlying deployment's :class:`~repro.core.params.ProtocolParams`, so
+an application written against this API inherits the paper's guarantee:
+among processors non-faulty per Definition 3, no validation decision
+disagrees by more than the bound's window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.params import ProtocolParams
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class Timestamp:
+    """A clock reading issued by a node, for freshness validation.
+
+    Attributes:
+        value: The issuing node's logical clock at issue time.
+        issuer: Node id (authenticated by the link layer in transit).
+    """
+
+    value: float
+    issuer: int
+
+
+class SecureTimeService:
+    """Application-facing time API over a synchronized node.
+
+    Args:
+        process: The node's protocol process (supplies clock and time).
+        params: Deployment parameters; the Theorem 5 deviation bound
+            becomes the service's skew allowance.
+        extra_allowance: Added slack on top of the bound (e.g. for
+            message latency between issue and validation); defaults to
+            ``delta``.
+    """
+
+    def __init__(self, process: "Process", params: ProtocolParams,
+                 extra_allowance: float | None = None) -> None:
+        self.process = process
+        self.params = params
+        self.skew = params.bounds().max_deviation
+        self.extra = params.delta if extra_allowance is None else float(extra_allowance)
+        if self.extra < 0:
+            raise ConfigurationError(f"extra_allowance must be >= 0, got {self.extra}")
+
+    # ------------------------------------------------------------------
+    # Reading time
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """This node's logical clock value."""
+        return self.process.local_now()
+
+    def timestamp(self) -> Timestamp:
+        """Issue a timestamp as this node."""
+        return Timestamp(value=self.now(), issuer=self.process.node_id)
+
+    # ------------------------------------------------------------------
+    # Epochs (proactive security)
+    # ------------------------------------------------------------------
+
+    def epoch(self, length: float) -> int:
+        """Current epoch number ``floor(now / length)``.
+
+        Raises:
+            ConfigurationError: If ``length`` is not usefully larger
+                than the deviation bound (epochs shorter than the clock
+                disagreement are meaningless).
+        """
+        if length <= 2.0 * self.skew:
+            raise ConfigurationError(
+                f"epoch length {length} must exceed twice the deviation "
+                f"bound {self.skew:.6g} to be meaningful"
+            )
+        return int(math.floor(self.now() / length))
+
+    def epochs_agree_within(self, length: float) -> int:
+        """Max epoch difference between good nodes: the guarantee.
+
+        Two good clocks differ by at most the deviation bound, so their
+        epoch numbers differ by at most ``ceil(bound / length)`` — with
+        the :meth:`epoch` length check, that is always 1.
+        """
+        return max(1, math.ceil(self.skew / length))
+
+    # ------------------------------------------------------------------
+    # Freshness / expiration
+    # ------------------------------------------------------------------
+
+    def validate_timestamp(self, ts: Timestamp, max_age: float) -> bool:
+        """Kerberos-style freshness check on a peer-issued timestamp.
+
+        Accepts iff the timestamp could have been issued within the
+        last ``max_age`` by a processor whose clock is within the
+        deviation bound of ours: ``now - ts in [-skew - extra,
+        max_age + skew + extra]``.  A timestamp from a *good* node
+        issued within ``max_age - extra`` is always accepted; one older
+        than ``max_age + 2*skew`` (by real time) is always rejected.
+        """
+        age = self.now() - ts.value
+        allowance = self.skew + self.extra
+        return -allowance <= age <= max_age + allowance
+
+    def safe_expiry(self, ttl: float) -> float:
+        """Expiry value for an item that must be accepted by every good
+        node for at least ``ttl`` of local time: pad by the skew window."""
+        return self.now() + ttl + self.skew + self.extra
+
+    def is_expired(self, expiry: float, conservative: bool = True) -> bool:
+        """Whether an expiry has passed.
+
+        Args:
+            expiry: The clock-value deadline.
+            conservative: If True (default), only declare expiration
+                when *every* good node agrees it expired (used when
+                expiring causes an irreversible action, e.g. rejecting
+                a payment); if False, declare it as soon as it is
+                possibly expired anywhere (used for conservative
+                acceptance).
+        """
+        margin = self.skew + self.extra
+        if conservative:
+            return self.now() - margin > expiry
+        return self.now() + margin > expiry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SecureTimeService(node={self.process.node_id}, "
+                f"skew={self.skew:.6g}, extra={self.extra:.6g})")

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+This subpackage is the foundation everything else runs on: a
+deterministic event queue (:mod:`repro.sim.events`), the simulation
+engine that owns real time (:mod:`repro.sim.engine`), named random
+streams (:mod:`repro.sim.rng`), and the per-node process abstraction
+(:mod:`repro.sim.process`).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import LocalTimer, Process
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Process",
+    "LocalTimer",
+    "RngRegistry",
+    "derive_seed",
+]

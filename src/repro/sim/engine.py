@@ -1,0 +1,158 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns simulated real time (the paper's ``tau``), the
+event queue, and the registry of named random streams.  Everything else
+in the package — clocks, links, protocol processes, the adversary — is
+driven by callbacks scheduled here.
+
+Simulated time is a float in *seconds of real time*.  The paper treats
+real time as "just another clock"; in this reproduction the simulator
+clock *is* real time, and every hardware clock is defined as a function
+of it (see :mod:`repro.clocks.hardware`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes:
+        now: Current simulated real time (``tau``).
+        rngs: Registry of named deterministic random streams.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [2.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rngs = RngRegistry(seed)
+        self._queue = EventQueue()
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds of real time from now.
+
+        Raises:
+            SimulationError: If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self._queue.push(self.now + delay, callback, tag)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``.
+
+        Raises:
+            SimulationError: If ``time`` is earlier than ``now``.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}; simulator time is already {self.now!r}"
+            )
+        return self._queue.push(time, callback, tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue was
+            empty.
+        """
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self.now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events in time order.
+
+        Args:
+            until: If given, stop once the next event would fire strictly
+                after ``until``; the simulator clock is advanced to exactly
+                ``until`` on return.
+            max_events: If given, stop after this many events (safety
+                valve for runaway schedules).
+
+        Returns:
+            Number of events executed by this call.
+
+        Raises:
+            SimulationError: On re-entrant ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return executed
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` loop exits after this event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not cancelled, not yet fired) events."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.6f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,118 @@
+"""Event primitives for the discrete-event simulator.
+
+The simulator is a classic event-queue design: an :class:`EventQueue`
+orders :class:`Event` objects by simulated real time, breaking ties with
+a monotonically increasing sequence number so that execution order is
+fully deterministic for a given schedule of calls.
+
+Events are *cancellable*: cancelling marks the event dead and the queue
+skips it on pop.  This is how local-clock timers are retargeted when a
+hardware clock's rate changes, and how the adversary kills a victim's
+pending alarms on break-in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback at a simulated real time.
+
+    Instances are created by :class:`EventQueue.push` (normally via
+    :class:`repro.sim.engine.Simulator`), not directly by user code.
+
+    Attributes:
+        time: Simulated real time at which the callback fires.
+        seq: Tie-break sequence number; unique per queue, increasing.
+        callback: Zero-argument callable invoked when the event fires.
+        tag: Free-form label used in traces and debugging output.
+    """
+
+    __slots__ = ("time", "seq", "callback", "tag", "_cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], tag: str = ""):
+        self.time = float(time)
+        self.seq = seq
+        self.callback = callback
+        self.tag = tag
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; it will be skipped when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called on this event."""
+        return self._cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, tag={self.tag!r}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Ordering is by ``(time, seq)``.  The sequence counter belongs to the
+    queue, so two queues built from identical call sequences produce
+    identical execution orders.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``callback`` at simulated time ``time``.
+
+        Returns:
+            The :class:`Event` handle, which supports :meth:`Event.cancel`.
+        """
+        event = Event(time, next(self._counter), callback, tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SimulationError: If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop() from an empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it is still pending in this queue."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

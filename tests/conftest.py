@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.runner.builders import default_params
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    """The canonical laptop-scale parameterization (n=7, f=2)."""
+    return default_params()
+
+
+@pytest.fixture
+def small_params() -> ProtocolParams:
+    """Minimum-size network (n=4, f=1)."""
+    return default_params(n=4, f=1)
+
+
+def make_fast_params(n: int = 4, f: int = 1) -> ProtocolParams:
+    """Parameters tuned for very short integration runs."""
+    return default_params(n=n, f=f, delta=0.002, rho=1e-3, pi=1.0, target_k=8)

@@ -1,0 +1,178 @@
+"""Unit tests for Byzantine strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.strategies import (
+    LiarStrategy,
+    NearBoundaryResetStrategy,
+    NoisyStrategy,
+    RandomClockStrategy,
+    SilentStrategy,
+    SplitWorldStrategy,
+    StealthDriftStrategy,
+    TwoFacedStrategy,
+)
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.net.links import FixedDelay
+from repro.net.message import Message, Ping, Pong
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.sim.process import Process
+
+
+class Inbox(Process):
+    def __init__(self, node_id, sim, network, clock=None):
+        clock = clock or LogicalClock(FixedRateClock(rho=0.0))
+        super().__init__(node_id, sim, network, clock)
+        self.pongs = []
+
+    def on_message(self, message):
+        if isinstance(message.payload, Pong):
+            self.pongs.append(message.payload)
+
+
+def build(sim, n=4):
+    network = Network(sim, full_mesh(n), FixedDelay(delta=0.01, value=0.002))
+    procs = [Inbox(i, sim, network) for i in range(n)]
+    for p in procs:
+        network.bind(p)
+    return network, procs
+
+
+def ping_message(sender: int, recipient: int, nonce: int = 1) -> Message:
+    return Message(sender=sender, recipient=recipient, payload=Ping(nonce=nonce),
+                   sent_at=0.0, delivered_at=0.0, msg_id=0)
+
+
+RNG = random.Random(0)
+
+
+def test_silent_strategy_drops_everything(sim):
+    network, procs = build(sim)
+    strategy = SilentStrategy()
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    sim.run()
+    assert procs[0].pongs == []
+
+
+def test_random_clock_scrambles_within_spread(sim):
+    network, procs = build(sim)
+    strategy = RandomClockStrategy(spread=10.0)
+    before = procs[1].clock.adj
+    strategy.on_break_in(procs[1], random.Random(1))
+    assert procs[1].clock.adj != before
+    assert abs(procs[1].clock.adj - before) <= 10.0
+
+
+def test_random_clock_answers_from_scrambled_clock(sim):
+    network, procs = build(sim)
+    strategy = RandomClockStrategy(spread=10.0)
+    strategy.on_break_in(procs[1], random.Random(1))
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    sim.run()
+    assert len(procs[0].pongs) == 1
+    # The reply was generated at tau=0 with a unit-rate clock, so the
+    # reported value is exactly the scrambled adjustment.
+    assert procs[0].pongs[0].clock_value == pytest.approx(procs[1].clock.adj)
+
+
+def test_random_clock_silent_mode(sim):
+    network, procs = build(sim)
+    strategy = RandomClockStrategy(spread=10.0, answer_pings=False)
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    sim.run()
+    assert procs[0].pongs == []
+
+
+def test_liar_offsets_every_reply(sim):
+    network, procs = build(sim)
+    strategy = LiarStrategy(offset=1e6)
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    sim.run()
+    assert procs[0].pongs[0].clock_value == pytest.approx(1e6, rel=1e-3)
+
+
+def test_noisy_replies_vary(sim):
+    network, procs = build(sim)
+    strategy = NoisyStrategy(spread=100.0)
+    rng = random.Random(2)
+    strategy.on_message(procs[1], ping_message(0, 1, nonce=1), rng)
+    strategy.on_message(procs[1], ping_message(0, 1, nonce=2), rng)
+    sim.run()
+    values = [p.clock_value for p in procs[0].pongs]
+    assert len(values) == 2 and values[0] != values[1]
+
+
+def test_two_faced_gives_opposite_answers(sim):
+    network, procs = build(sim)
+    strategy = TwoFacedStrategy(magnitude=5.0)
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)   # node 0: even -> low
+    strategy.on_message(procs[1], ping_message(3, 1), RNG)   # node 3: odd -> high
+    sim.run()
+    low = procs[0].pongs[0].clock_value
+    high = procs[3].pongs[0].clock_value
+    assert high - low == pytest.approx(10.0, abs=0.1)
+
+
+def test_two_faced_custom_split(sim):
+    network, procs = build(sim)
+    strategy = TwoFacedStrategy(magnitude=5.0, split=lambda node: node < 2)
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    strategy.on_message(procs[1], ping_message(2, 1), RNG)
+    sim.run()
+    assert procs[0].pongs[0].clock_value < procs[2].pongs[0].clock_value
+
+
+def test_split_world_pushes_recipients_outward(sim):
+    network, procs = build(sim)
+    clocks = {i: p.clock for i, p in enumerate(procs)}
+    # Give node 0 a low clock and node 3 a high clock.
+    clocks[0].adjust(0.0, -1.0)
+    clocks[3].adjust(0.0, +1.0)
+    strategy = SplitWorldStrategy(clocks, push=50.0)
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    strategy.on_message(procs[1], ping_message(3, 1), RNG)
+    sim.run()
+    told_low = procs[0].pongs[0].clock_value
+    told_high = procs[3].pongs[0].clock_value
+    assert told_low < clocks[0].read(sim.now)   # pushed further down
+    assert told_high > clocks[3].read(sim.now)  # pushed further up
+
+
+def test_near_boundary_reset_fires_on_leave_only(sim):
+    network, procs = build(sim)
+    strategy = NearBoundaryResetStrategy(offset=3.0)
+    before = procs[1].clock.adj
+    strategy.on_break_in(procs[1], RNG)
+    assert procs[1].clock.adj == before
+    strategy.on_leave(procs[1], RNG)
+    assert procs[1].clock.adj == pytest.approx(before + 3.0)
+
+
+def test_stealth_drift_skew_grows(sim):
+    network, procs = build(sim)
+    strategy = StealthDriftStrategy(rate=2.0)
+    strategy.on_break_in(procs[1], RNG)
+    strategy.on_message(procs[1], ping_message(0, 1, nonce=1), RNG)
+    sim.run(until=1.0)
+    strategy.on_message(procs[1], ping_message(0, 1, nonce=2), RNG)
+    sim.run()
+    first, second = [p.clock_value for p in procs[0].pongs]
+    # Reply at t=0 has no skew; at t=1 skew = 2.0 (minus 1s of clock advance).
+    assert second - first == pytest.approx(1.0 + 2.0, abs=0.1)
+
+
+def test_stealth_drift_resets_on_leave(sim):
+    network, procs = build(sim)
+    strategy = StealthDriftStrategy(rate=2.0)
+    strategy.on_break_in(procs[1], RNG)
+    strategy.on_leave(procs[1], RNG)
+    # No skew state left; replying without break-in does nothing.
+    strategy.on_message(procs[1], ping_message(0, 1), RNG)
+    sim.run()
+    assert procs[0].pongs == []

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mobile-byzantine" in out
+    assert "sync" in out
+    assert "minimal-correction" in out
+
+
+def test_bounds_command(capsys):
+    assert main(["bounds", "--n", "7", "--f", "2", "--pi", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "max deviation" in out
+    assert "WayOff" in out
+
+
+def test_run_benign(capsys):
+    code = main(["run", "--scenario", "benign", "--duration", "3",
+                 "--n", "4", "--f", "1", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Theorem 5 verdict" in out
+    assert "VIOLATED" not in out
+
+
+def test_run_mobile_byzantine_reports_recovery(capsys):
+    code = main(["run", "--scenario", "mobile-byzantine", "--duration", "8",
+                 "--n", "4", "--f", "1", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recoveries:" in out
+    assert "all recovered: True" in out
+
+
+def test_run_with_baseline_protocol(capsys):
+    code = main(["run", "--scenario", "benign", "--duration", "3",
+                 "--n", "4", "--f", "1", "--protocol", "round-based"])
+    assert code == 0
+
+
+def test_parser_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scenario", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_soak_command(capsys):
+    code = main(["soak", "--segments", "2", "--segment-duration", "6",
+                 "--n", "4", "--f", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2/2 segments clean" in out
+    assert "VIOLATION" not in out

@@ -1,0 +1,90 @@
+"""Unit tests for drift-schedule generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.drift import alternating_schedule, clamp_rate, constant_rate, wander_schedule
+from repro.clocks.hardware import PiecewiseRateClock
+from repro.errors import ClockError
+
+
+def test_clamp_rate_inside_envelope_unchanged():
+    assert clamp_rate(1.0, 0.01) == 1.0
+
+
+def test_clamp_rate_clamps_both_sides():
+    rho = 0.01
+    assert clamp_rate(2.0, rho) == pytest.approx(1.01)
+    assert clamp_rate(0.5, rho) == pytest.approx(1.0 / 1.01)
+
+
+def test_constant_rate_signs():
+    rho = 0.02
+    assert constant_rate(rho, +1) == [(0.0, 1.02)]
+    assert constant_rate(rho, -1) == [(0.0, pytest.approx(1.0 / 1.02))]
+    assert constant_rate(rho, 0) == [(0.0, 1.0)]
+
+
+def test_alternating_schedule_flips_each_period():
+    schedule = alternating_schedule(rho=0.1, period=2.0, horizon=7.0)
+    rates = [r for _, r in schedule]
+    assert rates[0] == pytest.approx(1.1)
+    assert rates[1] == pytest.approx(1.0 / 1.1)
+    assert rates[2] == pytest.approx(1.1)
+    assert len(schedule) == 4  # t = 0, 2, 4, 6
+
+
+def test_alternating_schedule_start_slow():
+    schedule = alternating_schedule(rho=0.1, period=1.0, horizon=1.0, start_fast=False)
+    assert schedule[0][1] == pytest.approx(1.0 / 1.1)
+
+
+def test_alternating_schedule_rejects_bad_period():
+    with pytest.raises(ClockError):
+        alternating_schedule(rho=0.1, period=0.0, horizon=1.0)
+
+
+def test_wander_schedule_rates_within_envelope():
+    rho = 0.05
+    schedule = wander_schedule(rho, step=0.5, horizon=50.0, rng=random.Random(1))
+    lo, hi = 1.0 / (1.0 + rho), 1.0 + rho
+    assert all(lo <= rate <= hi for _, rate in schedule)
+
+
+def test_wander_schedule_covers_horizon():
+    schedule = wander_schedule(0.01, step=1.0, horizon=10.0, rng=random.Random(2))
+    assert schedule[0][0] == 0.0
+    assert schedule[-1][0] >= 10.0
+
+
+def test_wander_schedule_deterministic_per_rng_seed():
+    a = wander_schedule(0.01, step=1.0, horizon=5.0, rng=random.Random(3))
+    b = wander_schedule(0.01, step=1.0, horizon=5.0, rng=random.Random(3))
+    assert a == b
+
+
+def test_wander_schedule_rejects_bad_step():
+    with pytest.raises(ClockError):
+        wander_schedule(0.01, step=-1.0, horizon=5.0, rng=random.Random(0))
+
+
+def test_wander_schedule_feeds_piecewise_clock():
+    rho = 0.02
+    schedule = wander_schedule(rho, step=0.25, horizon=20.0, rng=random.Random(4))
+    clock = PiecewiseRateClock(rho, schedule)
+    # eq. (2) over the whole horizon.
+    elapsed = clock.read(20.0) - clock.read(0.0)
+    assert 20.0 / (1 + rho) - 1e-9 <= elapsed <= 20.0 * (1 + rho) + 1e-9
+
+
+def test_opposite_alternating_clocks_achieve_worst_mutual_drift():
+    """Two anti-phase extremal clocks diverge at the full mutual rate."""
+    rho = 0.1
+    fast_first = PiecewiseRateClock(rho, alternating_schedule(rho, 1.0, 4.0, True))
+    slow_first = PiecewiseRateClock(rho, alternating_schedule(rho, 1.0, 4.0, False))
+    gap_at_1 = fast_first.read(1.0) - slow_first.read(1.0)
+    expected = 1.0 * (1 + rho) - 1.0 / (1 + rho)
+    assert gap_at_1 == pytest.approx(expected)

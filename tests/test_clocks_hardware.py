@@ -1,0 +1,179 @@
+"""Unit tests for hardware clock models (Definition 1 / eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock, PiecewiseRateClock
+from repro.errors import ClockError
+
+
+class TestFixedRateClock:
+    def test_perfect_clock_tracks_real_time(self):
+        clock = FixedRateClock(rho=0.01, rate=1.0)
+        assert clock.read(5.0) == pytest.approx(5.0)
+
+    def test_fast_clock_reads_ahead(self):
+        clock = FixedRateClock(rho=0.1, rate=1.1)
+        assert clock.read(10.0) == pytest.approx(11.0)
+
+    def test_offset_shifts_reading(self):
+        clock = FixedRateClock(rho=0.0, rate=1.0, offset=100.0)
+        assert clock.read(2.0) == pytest.approx(102.0)
+
+    def test_inverse_roundtrip(self):
+        clock = FixedRateClock(rho=0.1, rate=1.05, offset=3.0)
+        for tau in (0.0, 1.0, 7.5, 1000.0):
+            assert clock.real_time_at(clock.read(tau)) == pytest.approx(tau)
+
+    def test_rate_outside_envelope_rejected(self):
+        with pytest.raises(ClockError):
+            FixedRateClock(rho=0.01, rate=1.2)
+        with pytest.raises(ClockError):
+            FixedRateClock(rho=0.01, rate=0.9)
+
+    def test_envelope_extremes_accepted(self):
+        FixedRateClock(rho=0.01, rate=1.01)
+        FixedRateClock(rho=0.01, rate=1.0 / 1.01)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ClockError):
+            FixedRateClock(rho=-0.1)
+
+    def test_read_before_origin_rejected(self):
+        clock = FixedRateClock(rho=0.0, origin=5.0)
+        with pytest.raises(ClockError):
+            clock.read(4.0)
+
+    def test_real_time_after_local_duration(self):
+        clock = FixedRateClock(rho=0.1, rate=1.1)
+        # 11 local units elapse in 10 real seconds.
+        assert clock.real_time_after(0.0, 11.0) == pytest.approx(10.0)
+
+    def test_real_time_after_negative_duration_rejected(self):
+        clock = FixedRateClock(rho=0.0)
+        with pytest.raises(ClockError):
+            clock.real_time_after(0.0, -1.0)
+
+
+class TestPiecewiseRateClock:
+    def test_single_segment_matches_fixed(self):
+        piecewise = PiecewiseRateClock(rho=0.1, schedule=[(0.0, 1.05)])
+        fixed = FixedRateClock(rho=0.1, rate=1.05)
+        for tau in (0.0, 3.3, 10.0):
+            assert piecewise.read(tau) == pytest.approx(fixed.read(tau))
+
+    def test_rate_changes_accumulate(self):
+        clock = PiecewiseRateClock(rho=0.5, schedule=[(0.0, 1.0), (10.0, 1.5)])
+        assert clock.read(10.0) == pytest.approx(10.0)
+        assert clock.read(12.0) == pytest.approx(10.0 + 2.0 * 1.5)
+
+    def test_rate_at_segments(self):
+        clock = PiecewiseRateClock(rho=0.5, schedule=[(0.0, 1.0), (10.0, 1.5)])
+        assert clock.rate_at(5.0) == 1.0
+        assert clock.rate_at(10.0) == 1.5
+        assert clock.rate_at(50.0) == 1.5
+
+    def test_inverse_roundtrip_across_breakpoints(self):
+        clock = PiecewiseRateClock(
+            rho=0.5, schedule=[(0.0, 1.2), (5.0, 0.8), (9.0, 1.0)], offset=2.0
+        )
+        for tau in (0.0, 2.5, 5.0, 7.0, 9.0, 20.0):
+            assert clock.real_time_at(clock.read(tau)) == pytest.approx(tau)
+
+    def test_monotonicity(self):
+        clock = PiecewiseRateClock(rho=0.5, schedule=[(0.0, 1.4), (1.0, 0.7), (2.0, 1.1)])
+        taus = [i * 0.1 for i in range(50)]
+        readings = [clock.read(t) for t in taus]
+        assert all(b > a for a, b in zip(readings, readings[1:]))
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ClockError):
+            PiecewiseRateClock(rho=0.1, schedule=[])
+
+    def test_non_increasing_breakpoints_rejected(self):
+        with pytest.raises(ClockError):
+            PiecewiseRateClock(rho=0.1, schedule=[(0.0, 1.0), (0.0, 1.01)])
+
+    def test_out_of_envelope_rate_rejected(self):
+        with pytest.raises(ClockError):
+            PiecewiseRateClock(rho=0.01, schedule=[(0.0, 1.0), (1.0, 1.5)])
+
+    def test_drift_bound_eq2_holds_on_pairs(self):
+        """eq. (2): hardware elapsed between any two times is within the
+        drift envelope of real elapsed."""
+        rho = 0.3
+        clock = PiecewiseRateClock(
+            rho=rho, schedule=[(0.0, 1.3), (2.0, 1.0 / 1.3), (4.0, 1.0), (6.0, 1.25)]
+        )
+        taus = [i * 0.37 for i in range(30)]
+        for i, t1 in enumerate(taus):
+            for t2 in taus[i + 1:]:
+                elapsed = clock.read(t2) - clock.read(t1)
+                assert elapsed >= (t2 - t1) / (1 + rho) - 1e-9
+                assert elapsed <= (t2 - t1) * (1 + rho) + 1e-9
+
+    def test_breakpoints_property_is_copy(self):
+        clock = PiecewiseRateClock(rho=0.1, schedule=[(0.0, 1.0), (1.0, 1.05)])
+        points = clock.breakpoints
+        points.append(99.0)
+        assert clock.breakpoints == [0.0, 1.0]
+
+    def test_real_time_after_spanning_breakpoint(self):
+        clock = PiecewiseRateClock(rho=0.5, schedule=[(0.0, 1.0), (5.0, 1.25)])
+        # Local duration 10 starting at tau=0: 5 local in first 5s, then
+        # 5 local at rate 1.25 -> 4 more real seconds.
+        assert clock.real_time_after(0.0, 10.0) == pytest.approx(9.0)
+
+
+class TestQuantizedClock:
+    def make(self, tick=0.01, rate=1.0):
+        from repro.clocks.hardware import QuantizedClock
+        return QuantizedClock(FixedRateClock(rho=0.1, rate=rate), tick=tick)
+
+    def test_readings_are_multiples_of_tick(self):
+        clock = self.make(tick=0.01)
+        for tau in (0.0, 0.123456, 7.7777):
+            reading = clock.read(tau)
+            assert abs(reading / 0.01 - round(reading / 0.01)) < 1e-9
+
+    def test_reading_error_bounded_by_tick(self):
+        clock = self.make(tick=0.01, rate=1.05)
+        for tau in (0.0, 1.0, 3.21):
+            truth = clock.inner.read(tau)
+            assert 0.0 <= truth - clock.read(tau) < 0.01
+
+    def test_readings_monotone_nondecreasing(self):
+        clock = self.make(tick=0.05)
+        readings = [clock.read(i * 0.013) for i in range(100)]
+        assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+    def test_timers_unaffected_by_quantization(self):
+        """Local durations run off the raw oscillator."""
+        clock = self.make(tick=0.05, rate=1.1)
+        assert clock.real_time_after(0.0, 11.0) == pytest.approx(10.0)
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ClockError):
+            self.make(tick=0.0)
+
+    def test_protocol_survives_quantization(self):
+        """End-to-end: a cluster on quantized clocks still meets the
+        bound computed with epsilon enlarged by the tick."""
+        import dataclasses
+        from repro.clocks.hardware import QuantizedClock
+        from repro.runner.builders import benign_scenario, default_params
+        from repro.runner.experiment import run
+        from repro.runner.scenario import wander_clocks
+
+        tick = 0.002
+        base = default_params(n=4, f=1)
+        params = dataclasses.replace(base, epsilon=base.epsilon + tick,
+                                     strict=False)
+
+        def quantized(node, p, rng, horizon):
+            return QuantizedClock(wander_clocks(node, p, rng, horizon), tick)
+
+        result = run(benign_scenario(params, duration=5.0, seed=60,
+                                     clock_factory=quantized))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation

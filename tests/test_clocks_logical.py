@@ -1,0 +1,68 @@
+"""Unit tests for logical clocks (C = H + adj)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+
+
+def make_clock(rate: float = 1.0, adj: float = 0.0) -> LogicalClock:
+    return LogicalClock(FixedRateClock(rho=0.1, rate=rate), adj=adj)
+
+
+def test_read_is_hardware_plus_adj():
+    clock = make_clock(rate=1.1, adj=5.0)
+    assert clock.read(10.0) == pytest.approx(11.0 + 5.0)
+
+
+def test_adjust_accumulates():
+    clock = make_clock()
+    clock.adjust(1.0, 2.0)
+    clock.adjust(2.0, -0.5)
+    assert clock.adj == pytest.approx(1.5)
+    assert clock.read(2.0) == pytest.approx(3.5)
+
+
+def test_adjust_records_history():
+    clock = make_clock()
+    clock.adjust(1.0, 2.0)
+    clock.adjust(3.0, -1.0)
+    assert clock.adjustments == [(1.0, 2.0, 2.0), (3.0, -1.0, 1.0)]
+
+
+def test_bias_definition():
+    clock = make_clock(rate=1.0, adj=0.25)
+    # C(tau) = tau + 0.25, so bias = 0.25 at every tau.
+    for tau in (0.0, 1.0, 9.0):
+        assert clock.bias(tau) == pytest.approx(0.25)
+
+
+def test_bias_of_drifting_clock_grows():
+    clock = make_clock(rate=1.1)
+    assert clock.bias(0.0) == pytest.approx(0.0)
+    assert clock.bias(10.0) == pytest.approx(1.0)
+
+
+def test_hijack_set_overwrites_adj_and_records_delta():
+    clock = make_clock(adj=1.0)
+    clock.hijack_set(5.0, 10.0)
+    assert clock.adj == 10.0
+    assert clock.adjustments == [(5.0, 9.0, 10.0)]
+
+
+def test_set_value_targets_clock_reading():
+    clock = make_clock(rate=1.1)
+    clock.set_value(10.0, 42.0)
+    assert clock.read(10.0) == pytest.approx(42.0)
+
+
+def test_adjustment_does_not_change_hardware_elapsed():
+    """Definition 1: adj shifts the clock value, not its rate — local
+    durations measured on hardware are unaffected."""
+    clock = make_clock(rate=1.05)
+    before = clock.hardware.read(10.0) - clock.hardware.read(0.0)
+    clock.adjust(5.0, 100.0)
+    after = clock.hardware.read(10.0) - clock.hardware.read(0.0)
+    assert before == after

@@ -1,0 +1,178 @@
+"""Unit tests for the analysis tools (envelopes, recovery, verdicts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    halving_holds,
+    recovery_trajectory,
+    RecoveryStep,
+    theorem5_verdict,
+    verify_bias_formulation,
+    envelope_trajectory,
+)
+from repro.core.sync import SyncRecord
+from repro.errors import MeasurementError
+from repro.metrics.measures import AccuracyReport
+from repro.metrics.sampler import ClockSamples, CorruptionInterval
+from repro.runner.builders import default_params
+
+
+def make_samples(times, clocks):
+    return ClockSamples(times=list(times), clocks={k: list(v) for k, v in clocks.items()})
+
+
+class TestTheorem5Verdict:
+    def test_within_bounds_passes(self):
+        params = default_params()
+        bounds = params.bounds()
+        accuracy = AccuracyReport(max_discontinuity=bounds.discontinuity / 2,
+                                  implied_drift=bounds.logical_drift / 2, stretches=3)
+        verdict = theorem5_verdict(params, bounds.max_deviation / 2, accuracy)
+        assert verdict.all_ok
+
+    def test_violations_flagged_individually(self):
+        params = default_params()
+        bounds = params.bounds()
+        accuracy = AccuracyReport(max_discontinuity=bounds.discontinuity * 2,
+                                  implied_drift=0.0, stretches=1)
+        verdict = theorem5_verdict(params, 0.0, accuracy)
+        assert verdict.deviation_ok
+        assert verdict.drift_ok
+        assert not verdict.discontinuity_ok
+        assert not verdict.all_ok
+
+
+class TestHalving:
+    def steps(self, distances):
+        return [RecoveryStep(index=i, time=float(i), distance=d)
+                for i, d in enumerate(distances)]
+
+    def test_clean_geometric_decay_passes(self):
+        assert halving_holds(self.steps([8.0, 4.0, 2.0, 1.0]), slack=0.0)
+
+    def test_decay_with_residue_needs_slack(self):
+        trajectory = self.steps([8.0, 4.5, 2.7])
+        assert not halving_holds(trajectory, slack=0.0)
+        assert halving_holds(trajectory, slack=0.5)
+
+    def test_stalled_recovery_fails(self):
+        assert not halving_holds(self.steps([8.0, 8.0, 8.0]), slack=0.1)
+
+    def test_single_point_trivially_holds(self):
+        assert halving_holds(self.steps([5.0]), slack=0.0)
+
+
+class TestRecoveryTrajectory:
+    def test_distance_measured_against_others(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [i * t / 2 for i in range(9)]  # 4 T-intervals of samples
+        good = [tau for tau in times]  # biases 0
+        lost = [tau + 1.0 for tau in times]  # bias 1 throughout
+        samples = make_samples(times, {0: lost, 1: good, 2: good, 3: good})
+        steps = recovery_trajectory(samples, [], params, node=0, release_time=0.0)
+        assert all(s.distance == pytest.approx(1.0) for s in steps)
+
+    def test_node_inside_range_distance_zero(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [i * t / 2 for i in range(5)]
+        samples = make_samples(times, {i: [tau for tau in times] for i in range(4)})
+        steps = recovery_trajectory(samples, [], params, node=0, release_time=0.0)
+        assert all(s.distance == 0.0 for s in steps)
+
+    def test_intervals_cap_respected(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [i * t / 4 for i in range(100)]
+        samples = make_samples(times, {i: list(times) for i in range(4)})
+        steps = recovery_trajectory(samples, [], params, node=0, release_time=0.0,
+                                    intervals=3)
+        assert len(steps) == 4  # i = 0..3
+
+
+class TestEnvelopeTrajectory:
+    def test_constant_biases_at_floor(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [i * t / 4 for i in range(30)]
+        # All clocks exactly on real time: width 0, at floor, holds.
+        samples = make_samples(times, {i: list(times) for i in range(4)})
+        steps = envelope_trajectory(samples, [], params)
+        assert steps
+        assert all(s.at_floor and s.holds for s in steps)
+
+    def test_width_shrinks_detected(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [0.0, t / 2, t]
+        # Biases collapse from spread 1.0 to spread 0.1 within one T.
+        samples = make_samples(times, {
+            0: [0.0, 0.2, 0.05 + times[2]][0:3],
+            1: [1.0, 0.8, 0.15],
+            2: [0.0, 0.2, 0.05],
+            3: [0.5, 0.5, 0.10],
+        })
+        # Fix sample values to be clock readings: bias = clock - tau.
+        samples = make_samples(times, {
+            0: [times[i] + b for i, b in enumerate([0.0, 0.2, 0.05])],
+            1: [times[i] + b for i, b in enumerate([1.0, 0.8, 0.15])],
+            2: [times[i] + b for i, b in enumerate([0.0, 0.2, 0.05])],
+            3: [times[i] + b for i, b in enumerate([0.5, 0.5, 0.10])],
+        })
+        steps = envelope_trajectory(samples, [], params)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.width_start == pytest.approx(1.0)
+        assert step.width_end == pytest.approx(0.1)
+        assert step.holds
+
+    def test_expanding_widths_flagged(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [0.0, t]
+        spread_start, spread_end = 1.0, 1.5  # grows: violates the lemma
+        samples = make_samples(times, {
+            0: [0.0, t],
+            1: [spread_start, t + spread_end],
+            2: [0.0, t],
+            3: [0.0, t],
+        })
+        steps = envelope_trajectory(samples, [], params)
+        assert len(steps) == 1
+        assert not steps[0].holds
+
+    def test_corrupted_nodes_excluded_from_g(self):
+        params = default_params(n=4, f=1)
+        t = params.t_interval
+        times = [0.0, t]
+        samples = make_samples(times, {
+            0: [1e6, 1e6],  # corrupted garbage
+            1: [0.0, t],
+            2: [0.0, t],
+            3: [0.0, t],
+        })
+        corr = [CorruptionInterval(0, 0.0, 10 * t)]
+        steps = envelope_trajectory(samples, corr, params)
+        assert steps[0].good_nodes == 3
+        assert steps[0].holds
+
+    def test_too_few_samples_rejected(self):
+        params = default_params()
+        with pytest.raises(MeasurementError):
+            envelope_trajectory(ClockSamples(times=[0.0], clocks={}), [], params)
+
+
+class TestBiasFormulation:
+    def record(self, local_before=5.0, real_time=4.0, correction=0.5):
+        return SyncRecord(node_id=0, round_no=1, real_time=real_time,
+                          local_before=local_before, correction=correction,
+                          m=0.0, big_m=0.0, own_discarded=False, replies=3)
+
+    def test_consistent_records_pass(self):
+        assert verify_bias_formulation(None, [self.record() for _ in range(3)]) == 3
+
+    def test_empty_is_zero(self):
+        assert verify_bias_formulation(None, []) == 0

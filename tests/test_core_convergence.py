@@ -1,0 +1,199 @@
+"""Unit tests for convergence functions (Figure 1 semantics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.convergence import (
+    ClampedConvergence,
+    MeanConvergence,
+    MidpointConvergence,
+    PaperConvergence,
+    TrimmedMeanConvergence,
+    kth_largest,
+    kth_smallest,
+    paper_order_statistics,
+)
+from repro.core.estimation import ClockEstimate, timeout_estimate
+from repro.errors import ParameterError
+
+
+def est(peer: int, d: float, a: float = 0.0) -> ClockEstimate:
+    return ClockEstimate(peer=peer, distance=d, accuracy=a)
+
+
+class TestOrderStatistics:
+    def test_kth_smallest(self):
+        assert kth_smallest([5.0, 1.0, 3.0], 0) == 1.0
+        assert kth_smallest([5.0, 1.0, 3.0], 1) == 3.0
+        assert kth_smallest([5.0, 1.0, 3.0], 2) == 5.0
+
+    def test_kth_largest(self):
+        assert kth_largest([5.0, 1.0, 3.0], 0) == 5.0
+        assert kth_largest([5.0, 1.0, 3.0], 2) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            kth_smallest([1.0], 1)
+        with pytest.raises(ParameterError):
+            kth_largest([1.0], -1)
+
+
+class TestPaperConvergence:
+    def test_all_agree_no_correction(self):
+        cf = PaperConvergence()
+        estimates = [est(i, 0.0) for i in range(7)]
+        assert cf.correction(estimates, f=2, way_off=1.0) == 0.0
+
+    def test_moves_halfway_to_consensus(self):
+        """All peers report +1.0 (exactly): m = M = 1, own clock at 0;
+        correction = (min(1,0) + max(1,0)) / 2 = 0.5 — move half-way."""
+        cf = PaperConvergence()
+        estimates = [est(i, 1.0) for i in range(6)] + [est(6, 0.0)]  # self at 0
+        correction = cf.correction(estimates, f=2, way_off=10.0)
+        assert correction == pytest.approx(0.5)
+
+    def test_f_extreme_liars_are_discarded(self):
+        """f liars at +/- huge cannot move m or M beyond the good range."""
+        cf = PaperConvergence()
+        good = [est(i, 0.0) for i in range(5)]
+        liars = [est(5, 1e9), est(6, -1e9)]
+        correction = cf.correction(good + liars, f=2, way_off=1.0)
+        assert abs(correction) <= 1e-9
+
+    def test_f_colluding_liars_one_side_bounded_by_good_values(self):
+        """f liars pulling one way shift m/M at most to the extreme good
+        value: with goods spread [0, 0.4], correction stays within it."""
+        cf = PaperConvergence()
+        goods = [est(i, 0.1 * i) for i in range(5)]  # 0.0 .. 0.4
+        liars = [est(5, 1e6), est(6, 1e6)]
+        correction = cf.correction(goods + liars, f=2, way_off=10.0)
+        assert 0.0 <= correction <= 0.4
+
+    def test_way_off_branch_jumps_to_midpoint(self):
+        """Own clock hopelessly low: every peer reports ~+10 with
+        WayOff=1 -> ignore own clock, jump to (m + M) / 2."""
+        cf = PaperConvergence()
+        estimates = [est(i, 10.0) for i in range(6)] + [est(6, 0.0)]
+        correction = cf.correction(estimates, f=2, way_off=1.0)
+        assert correction == pytest.approx(10.0)
+
+    def test_inside_way_off_keeps_own_clock_influence(self):
+        """Peers at +2 with WayOff=5: own clock still credible, move
+        half-way (+1), not all the way."""
+        cf = PaperConvergence()
+        estimates = [est(i, 2.0) for i in range(6)] + [est(6, 0.0)]
+        correction = cf.correction(estimates, f=2, way_off=5.0)
+        assert correction == pytest.approx(1.0)
+
+    def test_reading_errors_widen_selection(self):
+        """With accuracy a, overestimates are d+a and underestimates
+        d-a; symmetric spread cancels in the midpoint."""
+        cf = PaperConvergence()
+        estimates = [est(i, 0.5, a=0.1) for i in range(7)]
+        correction = cf.correction(estimates, f=2, way_off=10.0)
+        # m = 0.6 (overestimates), M = 0.4 (underestimates); own clock at
+        # 0 extends the interval: (min(0.6, 0) + max(0.4, 0)) / 2 = 0.2.
+        assert correction == pytest.approx(0.2)
+
+    def test_up_to_f_timeouts_tolerated(self):
+        cf = PaperConvergence()
+        estimates = [est(i, 0.2) for i in range(5)] + [timeout_estimate(5), timeout_estimate(6)]
+        correction = cf.correction(estimates, f=2, way_off=10.0)
+        assert correction == pytest.approx(0.1)
+
+    def test_between_f_and_nf_timeouts_still_safe(self):
+        """With f < timeouts <= n - f - 1 the order statistics remain
+        finite and pinned to good values."""
+        cf = PaperConvergence()
+        estimates = [est(i, 0.2) for i in range(4)] + [timeout_estimate(i) for i in range(4, 7)]
+        assert cf.correction(estimates, f=2, way_off=10.0) == pytest.approx(0.1)
+
+    def test_too_few_finite_estimates_noop(self):
+        """When so many peers time out that the f+1-st statistics are
+        infinite, the protocol refuses to move the clock."""
+        cf = PaperConvergence()
+        estimates = [est(0, 0.2), est(1, 0.2)] + [timeout_estimate(i) for i in range(2, 7)]
+        assert cf.correction(estimates, f=2, way_off=10.0) == 0.0
+
+    def test_too_few_estimates_rejected(self):
+        cf = PaperConvergence()
+        with pytest.raises(ParameterError):
+            cf.correction([est(0, 0.0)], f=2, way_off=1.0)
+
+    def test_order_statistics_helper_matches(self):
+        estimates = [est(i, float(i)) for i in range(7)]
+        m, big_m = paper_order_statistics(estimates, f=2)
+        assert m == 2.0
+        assert big_m == 4.0
+
+
+class TestClampedConvergence:
+    def test_small_corrections_pass_through(self):
+        cf = ClampedConvergence(PaperConvergence(), max_step=1.0)
+        estimates = [est(i, 0.5) for i in range(6)] + [est(6, 0.0)]
+        inner = PaperConvergence().correction(estimates, 2, 10.0)
+        assert cf.correction(estimates, 2, 10.0) == pytest.approx(inner)
+
+    def test_large_corrections_clamped(self):
+        cf = ClampedConvergence(PaperConvergence(), max_step=0.1)
+        estimates = [est(i, 100.0) for i in range(6)] + [est(6, 0.0)]
+        assert cf.correction(estimates, 2, 1.0) == pytest.approx(0.1)
+
+    def test_clamps_negative_side(self):
+        cf = ClampedConvergence(PaperConvergence(), max_step=0.1)
+        estimates = [est(i, -100.0) for i in range(6)] + [est(6, 0.0)]
+        assert cf.correction(estimates, 2, 1.0) == pytest.approx(-0.1)
+
+    def test_bad_max_step_rejected(self):
+        with pytest.raises(ParameterError):
+            ClampedConvergence(PaperConvergence(), max_step=0.0)
+
+
+class TestMeanConvergence:
+    def test_mean_of_finite(self):
+        cf = MeanConvergence()
+        estimates = [est(0, 1.0), est(1, 3.0), timeout_estimate(2)]
+        assert cf.correction(estimates, f=1, way_off=1.0) == pytest.approx(2.0)
+
+    def test_single_liar_hijacks(self):
+        """The vulnerability the paper's CF avoids."""
+        cf = MeanConvergence()
+        estimates = [est(i, 0.0) for i in range(6)] + [est(6, 1e6)]
+        assert cf.correction(estimates, f=2, way_off=1.0) > 1e5
+
+    def test_all_timeouts_noop(self):
+        cf = MeanConvergence()
+        assert cf.correction([timeout_estimate(i) for i in range(3)], 1, 1.0) == 0.0
+
+
+class TestTrimmedMeanConvergence:
+    def test_trims_f_extremes(self):
+        cf = TrimmedMeanConvergence()
+        estimates = [est(0, -1e9), est(1, 1e9)] + [est(i, 0.5) for i in range(2, 7)]
+        assert cf.correction(estimates, f=1, way_off=1.0) == pytest.approx(0.5)
+
+    def test_needs_more_than_2f(self):
+        cf = TrimmedMeanConvergence()
+        with pytest.raises(ParameterError):
+            cf.correction([est(0, 0.0), est(1, 0.0)], f=1, way_off=1.0)
+
+
+class TestMidpointConvergence:
+    def test_midpoint_of_trimmed_range(self):
+        cf = MidpointConvergence()
+        estimates = [est(i, d) for i, d in enumerate([-5.0, 0.0, 1.0, 2.0, 7.0])]
+        # f=1: low = 2nd smallest = 0.0, high = 2nd largest = 2.0.
+        assert cf.correction(estimates, f=1, way_off=1.0) == pytest.approx(1.0)
+
+    def test_timeouts_pushed_to_extremes(self):
+        cf = MidpointConvergence()
+        estimates = [est(i, 1.0) for i in range(4)] + [timeout_estimate(4)]
+        assert cf.correction(estimates, f=1, way_off=1.0) == pytest.approx(1.0)
+
+    def test_infinite_statistics_noop(self):
+        cf = MidpointConvergence()
+        estimates = [est(0, 1.0)] + [timeout_estimate(i) for i in range(1, 5)]
+        assert cf.correction(estimates, f=1, way_off=1.0) == 0.0

@@ -1,0 +1,209 @@
+"""Unit tests for the clock estimation procedure (Definition 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.core.estimation import (
+    ClockEstimate,
+    EstimationSession,
+    self_estimate,
+    timeout_estimate,
+)
+from repro.net.links import AsymmetricDelay, FixedDelay
+from repro.net.message import Ping, Pong
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.sim.process import Process
+
+
+class Responder(Process):
+    """Answers pings honestly with its current clock."""
+
+    def on_message(self, message):
+        if isinstance(message.payload, Ping):
+            self.send(message.sender,
+                      Pong(nonce=message.payload.nonce, clock_value=self.local_now()))
+
+
+class Estimator(Process):
+    """Runs one estimation session against its peers."""
+
+    def __init__(self, node_id, sim, network, clock, pings_per_peer=1):
+        super().__init__(node_id, sim, network, clock)
+        self.pings_per_peer = pings_per_peer
+        self.session = None
+        self.results = None
+
+    def begin(self, peers, max_wait):
+        self.session = EstimationSession(self, peers, self.pings_per_peer)
+        self.session.begin()
+        self.set_local_timer(max_wait, self.finish)
+
+    def finish(self):
+        if self.results is None:
+            self.results = self.session.finish()
+
+    def on_message(self, message):
+        if isinstance(message.payload, Pong) and self.session is not None:
+            self.session.on_pong(message)
+
+
+def build(sim, offsets, rates=None, delay=None, pings_per_peer=1):
+    """Node 0 is the estimator; others respond. offsets[i] is node i's
+    initial clock offset, rates[i] its hardware rate."""
+    n = len(offsets)
+    rates = rates or [1.0] * n
+    network = Network(sim, full_mesh(n), delay or FixedDelay(delta=0.01, value=0.004))
+    clocks = [LogicalClock(FixedRateClock(rho=0.5, rate=rates[i]), adj=offsets[i])
+              for i in range(n)]
+    estimator = Estimator(0, sim, network, clocks[0], pings_per_peer)
+    network.bind(estimator)
+    for i in range(1, n):
+        network.bind(Responder(i, sim, network, clocks[i]))
+    return estimator
+
+
+def test_symmetric_delay_gives_exact_offset(sim):
+    estimator = build(sim, offsets=[0.0, 2.5])
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    assert result.distance == pytest.approx(2.5)
+    assert not result.timed_out
+
+
+def test_error_bound_is_half_round_trip(sim):
+    estimator = build(sim, offsets=[0.0, 0.0])
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    assert result.accuracy == pytest.approx(0.004)  # (R - S) / 2 with 4ms legs
+    assert result.round_trip == pytest.approx(0.008)
+
+
+def test_definition4_guarantee_holds_under_asymmetry(sim):
+    """Asymmetric delays bias the estimate but the true offset must stay
+    within [d - a, d + a] (Definition 4's second clause)."""
+    true_offset = 1.0
+    estimator = build(sim, offsets=[0.0, true_offset],
+                      delay=AsymmetricDelay(delta=0.01, forward=0.009, backward=0.001))
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    assert result.distance != pytest.approx(true_offset)  # biased...
+    assert result.distance - result.accuracy <= true_offset <= result.distance + result.accuracy
+
+
+def test_timeout_produces_placeholder(sim):
+    estimator = build(sim, offsets=[0.0, 0.0])
+    # Peer 1 exists but we ping an unreachable peer list via a dead link.
+    estimator.network.fail_link(0, 1)
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    assert result.timed_out
+    assert result.distance == 0.0
+    assert math.isinf(result.accuracy)
+
+
+def test_min_of_k_keeps_best_round_trip(sim):
+    """With several pings, the smallest-RTT reply wins (Section 3.1)."""
+    estimator = build(sim, offsets=[0.0, 0.0], pings_per_peer=3)
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    # FixedDelay: all RTTs equal; best is still well-formed.
+    assert result.accuracy == pytest.approx(0.004)
+
+
+def test_stale_pong_from_previous_session_ignored(sim):
+    """Nonces are session-scoped: a reply to an old session's ping must
+    not contaminate a new session."""
+    estimator = build(sim, offsets=[0.0, 5.0])
+    estimator.begin([1], max_wait=0.05)
+    sim.run(until=0.002)  # ping sent, reply still in flight
+    old_session = estimator.session
+    # Start a fresh session; the in-flight reply belongs to old_session.
+    estimator.session = EstimationSession(estimator, [1], 1)
+    estimator.session.begin()
+    sim.run()
+    fresh = estimator.session.finish()[1]
+    assert not fresh.timed_out  # the *new* ping was answered too
+    assert old_session is not estimator.session
+
+
+def test_reply_only_accepted_from_addressed_peer(sim):
+    """A Byzantine node echoing someone else's nonce is rejected by the
+    sender check (authenticated links)."""
+    estimator = build(sim, offsets=[0.0, 0.0, 0.0])
+
+    class Echoer(Process):
+        def on_message(self, message):
+            pass
+
+    estimator.begin([1], max_wait=0.05)
+    sim.run(until=0.001)
+    # Node 2 forges a pong with node 1's nonce.
+    nonce = next(iter(estimator.session._send_times))
+    estimator.network.send(2, 0, Pong(nonce=nonce, clock_value=1e9))
+    sim.run()
+    result = estimator.results[1]
+    assert abs(result.distance) < 1.0  # the forgery did not land
+
+
+def test_duplicate_pong_ignored(sim):
+    estimator = build(sim, offsets=[0.0, 1.0])
+    estimator.begin([1], max_wait=0.05)
+    sim.run(until=0.001)
+    nonce = next(iter(estimator.session._send_times))
+    sim.run()
+    first = estimator.results[1]
+    # Replay the same nonce later: session already consumed it.
+    accepted = estimator.session.on_pong(
+        type("M", (), {"payload": Pong(nonce=nonce, clock_value=123.0), "sender": 1})()
+    )
+    assert not accepted
+    assert estimator.results[1] == first
+
+
+def test_complete_flag(sim):
+    estimator = build(sim, offsets=[0.0, 0.0, 0.0])
+    estimator.begin([1, 2], max_wait=0.05)
+    assert not estimator.session.complete
+    sim.run()
+    assert estimator.session.complete
+
+
+def test_helpers():
+    t = timeout_estimate(3)
+    assert t.peer == 3 and t.timed_out
+    s = self_estimate(5)
+    assert s.peer == 5 and s.distance == 0.0 and s.accuracy == 0.0
+    e = ClockEstimate(peer=0, distance=1.0, accuracy=0.25)
+    assert e.overestimate == 1.25 and e.underestimate == 0.75
+
+
+def test_pings_per_peer_validation(sim):
+    estimator = build(sim, offsets=[0.0, 0.0])
+    with pytest.raises(ValueError):
+        EstimationSession(estimator, [1], pings_per_peer=0)
+
+
+def test_drifting_estimator_still_within_bound(sim):
+    """Estimator clock runs fast: midpoint sampling keeps the true
+    offset within [d - a, d + a] at some instant of the exchange."""
+    estimator = build(sim, offsets=[0.0, 3.0], rates=[1.2, 1.0])
+    estimator.begin([1], max_wait=0.05)
+    sim.run()
+    result = estimator.results[1]
+    # True C_q - C_p at the midpoint real time tau_m = 0.004:
+    # C_p = 1.2 * tau_m, C_q = tau_m + 3.
+    tau_m = 0.004
+    true_gap = (tau_m + 3.0) - 1.2 * tau_m
+    assert result.distance - result.accuracy <= true_gap + 1e-6
+    assert result.distance + result.accuracy >= true_gap - 1e-6

@@ -1,0 +1,166 @@
+"""Unit tests for protocol parameters and Theorem 5 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.errors import ParameterError
+
+
+def make(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0, sync_interval=0.18,
+         max_wait=0.0101, way_off=1.0, **kw):
+    return ProtocolParams(n=n, f=f, delta=delta, rho=rho, pi=pi,
+                          sync_interval=sync_interval, max_wait=max_wait,
+                          way_off=way_off, **kw)
+
+
+class TestValidation:
+    def test_valid_params_pass(self):
+        make()
+
+    def test_n_below_3f_plus_1_rejected(self):
+        with pytest.raises(ParameterError, match="3f"):
+            make(n=6, f=2)
+
+    def test_minimum_n_accepted(self):
+        make(n=7, f=2)
+
+    def test_f_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            make(f=0, n=7)
+
+    def test_max_wait_below_2_delta_rejected(self):
+        with pytest.raises(ParameterError, match="MaxWait"):
+            make(max_wait=0.009)
+
+    def test_sync_interval_below_2_max_wait_rejected(self):
+        with pytest.raises(ParameterError, match="SyncInt"):
+            make(sync_interval=0.015, max_wait=0.0101)
+
+    def test_k_below_5_rejected(self):
+        with pytest.raises(ParameterError, match="K"):
+            make(pi=0.5)  # T ~ 0.2 -> K = 2
+
+    def test_way_off_too_small_rejected(self):
+        with pytest.raises(ParameterError, match="WayOff"):
+            make(way_off=0.01)
+
+    def test_strict_false_skips_validation(self):
+        params = make(n=6, f=2, strict=False)
+        assert params.n == 6
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ParameterError):
+            make(delta=-1.0)
+
+    def test_negative_rho_rejected(self):
+        with pytest.raises(ParameterError):
+            make(rho=-0.1)
+
+
+class TestDerivedQuantities:
+    def test_t_interval_formula(self):
+        params = make()
+        expected = (1 + params.rho) * params.sync_interval + 2 * params.max_wait
+        assert params.t_interval == pytest.approx(expected)
+
+    def test_k_is_floor_pi_over_t(self):
+        params = make()
+        assert params.k == math.floor(params.pi / params.t_interval)
+
+    def test_epsilon_defaults_to_delta_times_drift(self):
+        params = make()
+        assert params.epsilon == pytest.approx(params.delta * (1 + params.rho))
+
+    def test_explicit_epsilon_respected(self):
+        params = make(epsilon=0.123, way_off=10.0)
+        assert params.epsilon == 0.123
+
+
+class TestTheorem5Bounds:
+    def test_c_formula(self):
+        params = make()
+        bounds = params.bounds()
+        t = params.t_interval
+        expected = (17 * params.epsilon + 18 * params.rho * t) / (2 ** params.k - 3)
+        assert bounds.c == pytest.approx(expected)
+
+    def test_max_deviation_formula(self):
+        params = make()
+        bounds = params.bounds()
+        expected = 16 * params.epsilon + 18 * params.rho * params.t_interval + 4 * bounds.c
+        assert bounds.max_deviation == pytest.approx(expected)
+
+    def test_logical_drift_formula(self):
+        params = make()
+        bounds = params.bounds()
+        assert bounds.logical_drift == pytest.approx(
+            params.rho + bounds.c / (2 * params.t_interval))
+
+    def test_discontinuity_formula(self):
+        params = make()
+        bounds = params.bounds()
+        assert bounds.discontinuity == pytest.approx(params.epsilon + bounds.c / 2)
+
+    def test_d_half_width_formula(self):
+        params = make()
+        bounds = params.bounds()
+        expected = 8 * params.epsilon + 8 * params.rho * params.t_interval + 2 * bounds.c
+        assert bounds.d_half_width == pytest.approx(expected)
+
+    def test_larger_k_shrinks_c(self):
+        """The Section 4.1 tradeoff: more Syncs per period -> smaller C
+        -> accuracy approaches the hardware drift."""
+        tight = make(pi=8.0)
+        loose = make(pi=2.0)
+        assert tight.k > loose.k
+        assert tight.bounds().c < loose.bounds().c
+        assert tight.bounds().logical_drift < loose.bounds().logical_drift
+
+    def test_c_vanishes_as_k_grows(self):
+        params = make(pi=16.0)
+        assert params.bounds().logical_drift == pytest.approx(params.rho, rel=1e-3)
+
+    def test_recovery_intervals_positive(self):
+        assert make().bounds().recovery_intervals >= 1
+
+
+class TestDerive:
+    def test_derive_produces_valid_params(self):
+        params = ProtocolParams.derive(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+        params.validate()
+
+    def test_derive_hits_target_k(self):
+        params = ProtocolParams.derive(n=7, f=2, delta=0.001, rho=1e-4, pi=10.0,
+                                       target_k=20)
+        assert abs(params.k - 20) <= 1
+
+    def test_derive_way_off_matches_appendix(self):
+        params = ProtocolParams.derive(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+        bounds = params.bounds()
+        assert params.way_off == pytest.approx(bounds.way_off_required)
+
+    def test_derive_rejects_too_short_pi(self):
+        with pytest.raises(ParameterError, match="K >= 5"):
+            ProtocolParams.derive(n=7, f=2, delta=0.1, rho=1e-4, pi=1.0)
+
+    def test_derive_minimum_network(self):
+        params = ProtocolParams.derive(n=4, f=1, delta=0.005, rho=5e-4, pi=2.0)
+        assert params.n == 4
+
+
+class TestScaled:
+    def test_scaled_inflates_tunables_not_truth(self):
+        base = ProtocolParams.derive(n=7, f=2, delta=0.005, rho=5e-4, pi=4.0)
+        inflated = base.scaled(delta_factor=2.0)
+        assert inflated.delta == base.delta            # true network unchanged
+        assert inflated.max_wait > base.max_wait       # tunables grew
+        assert inflated.way_off > base.way_off
+
+    def test_scaled_identity(self):
+        base = ProtocolParams.derive(n=7, f=2, delta=0.005, rho=5e-4, pi=4.0)
+        same = base.scaled()
+        assert same.max_wait == pytest.approx(base.max_wait)

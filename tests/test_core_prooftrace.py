@@ -1,0 +1,91 @@
+"""Tests for the executable Claim 8 induction certificate."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.prooftrace import (
+    build_certificate,
+    check_width_recursion_closes,
+    minimum_viable_d,
+)
+from repro.runner.builders import default_params
+
+
+class TestCertificate:
+    def test_certificate_checks_out_for_default_params(self):
+        cert = build_certificate(default_params())
+        assert cert.all_ok
+        assert cert.consistent
+
+    @pytest.mark.parametrize("n,f,delta,rho,pi", [
+        (4, 1, 0.005, 5e-4, 2.0),
+        (7, 2, 0.001, 1e-4, 4.0),
+        (10, 3, 0.02, 1e-3, 8.0),
+        (16, 5, 0.005, 1e-5, 2.0),
+    ])
+    def test_certificate_across_parameter_space(self, n, f, delta, rho, pi):
+        params = default_params(n=n, f=f, delta=delta, rho=rho, pi=pi)
+        cert = build_certificate(params)
+        assert cert.all_ok and cert.consistent
+
+    def test_implied_deviation_equals_theorem_bound(self):
+        """Independent derivations: 2D + 2pT from the induction vs
+        16e + 18pT + 4C from params.bounds() — identical algebra."""
+        params = default_params()
+        cert = build_certificate(params)
+        assert cert.implied_deviation == pytest.approx(cert.theorem_bound,
+                                                       rel=1e-12)
+
+    def test_widths_never_exceed_2d(self):
+        cert = build_certificate(default_params(), intervals=60)
+        assert all(step.width <= 2 * cert.d_half_width + 1e-12
+                   for step in cert.steps)
+
+    def test_containment_chain(self):
+        cert = build_certificate(default_params())
+        assert all(step.containment_ok for step in cert.steps)
+
+    def test_recovery_allowance_halves(self):
+        cert = build_certificate(default_params())
+        allowances = [s.recovery_allowance for s in cert.steps]
+        for before, after in zip(allowances, allowances[1:]):
+            if after > 0:
+                assert after <= before / 2.0 + 1e-12
+
+    def test_recovery_converges_in_logarithmic_steps(self):
+        params = default_params()
+        cert = build_certificate(params)
+        # WayOff / 2^i < C/2 within ~log2(2*WayOff/C) steps.
+        import math
+        expected = math.ceil(math.log2(2 * params.way_off / params.bounds().c)) + 1
+        assert cert.recovery_steps_to_converge <= expected
+
+    def test_certificate_matches_params_recovery_intervals(self):
+        params = default_params()
+        cert = build_certificate(params)
+        assert abs(cert.recovery_steps_to_converge
+                   - params.bounds().recovery_intervals) <= 1
+
+
+class TestWidthRecursion:
+    def test_closes_for_valid_params(self):
+        assert check_width_recursion_closes(default_params())
+
+    def test_minimum_viable_d_below_appendix_d(self):
+        """The Appendix's D = 8e + 8pT + 2C has headroom over the bare
+        fixed point D = 8e + 7pT + 2C."""
+        params = default_params()
+        assert minimum_viable_d(params) <= params.bounds().d_half_width
+
+    def test_fixed_point_formula(self):
+        """Directly verify the algebra: mapping 2D_min through one
+        interval returns exactly 2D_min."""
+        params = default_params()
+        d_min = minimum_viable_d(params)
+        bounds = params.bounds()
+        mapped = (7 / 8) * (2 * d_min + 2 * params.rho * params.t_interval) \
+            + 2 * params.epsilon + bounds.c / 2
+        assert mapped == pytest.approx(2 * d_min)

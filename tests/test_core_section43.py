@@ -1,0 +1,106 @@
+"""Tests for the Section 4.3 property checker (Properties 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import section43_properties
+from repro.errors import MeasurementError
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    two_clique_scenario,
+)
+from repro.runner.experiment import run
+
+
+def wide_start_run(n=7, f=2, seed=44, duration=4.0, **kwargs):
+    params = default_params(n=n, f=f)
+    scenario = benign_scenario(params, duration=duration, seed=seed,
+                               initial_offset_spread=0.8 * params.way_off,
+                               **kwargs)
+    return run(scenario), params
+
+
+class TestPropertiesHold:
+    def test_all_three_on_wide_start(self):
+        result, params = wide_start_run()
+        for start in (0.0, params.t_interval, 2 * params.t_interval):
+            checks = section43_properties(result.samples, result.corruptions,
+                                          params, start)
+            assert [c.name for c in checks] == ["P1", "P2", "P3"]
+            for check in checks:
+                assert check.holds, (start, check)
+
+    def test_across_seeds(self):
+        for seed in (1, 2, 3):
+            result, params = wide_start_run(seed=seed)
+            checks = section43_properties(result.samples, result.corruptions,
+                                          params, 0.0)
+            assert all(check.holds for check in checks), seed
+
+    def test_under_byzantine_adversary(self):
+        params = default_params(n=7, f=2)
+        result = run(mobile_byzantine_scenario(params, duration=8.0, seed=45))
+        start = 4 * params.t_interval
+        checks = section43_properties(result.samples, result.corruptions,
+                                      params, start)
+        # P1 and P2 must hold; P3's strict 7/8 contraction can bottom out
+        # at the epsilon floor (the slack covers that).
+        for check in checks:
+            assert check.holds, check
+
+    def test_minimum_network(self):
+        result, params = wide_start_run(n=4, f=1)
+        checks = section43_properties(result.samples, result.corruptions,
+                                      params, 0.0)
+        assert all(check.holds for check in checks)
+
+
+class TestViolationsDetected:
+    def test_drift_only_eventually_violates(self):
+        """A non-synchronizing cluster must fail the contraction
+        properties — the checker is not vacuous."""
+        from repro.runner.scenario import extremal_clocks
+
+        params = default_params(n=7, f=2, rho=5e-3)
+        scenario = benign_scenario(params, duration=30.0, seed=46,
+                                   protocol="drift-only",
+                                   clock_factory=extremal_clocks)
+        result = run(scenario)
+        # Late interval: drift has accumulated well past the slack.
+        failures = []
+        t = 20.0
+        checks = section43_properties(result.samples, result.corruptions,
+                                      params, t, slack_epsilons=1.0)
+        failures = [c for c in checks if not c.holds]
+        assert failures, "drift-only should violate P1/P3"
+
+    def test_two_clique_violates_p3(self):
+        """On the Section 5 counterexample the global good set never
+        contracts — P3 fails once the cliques separate."""
+        result = run(two_clique_scenario(f=1, duration=40.0, seed=5))
+        params = result.params
+        checks = section43_properties(result.samples, result.corruptions,
+                                      params, 30.0, slack_epsilons=1.0)
+        by_name = {c.name: c for c in checks}
+        assert not by_name["P3"].holds
+
+
+class TestInputValidation:
+    def test_interval_beyond_samples_rejected(self):
+        result, params = wide_start_run(duration=2.0)
+        with pytest.raises(MeasurementError):
+            section43_properties(result.samples, result.corruptions, params,
+                                 interval_start=10.0)
+
+    def test_empty_good_set_rejected(self):
+        from repro.metrics.sampler import ClockSamples, CorruptionInterval
+
+        params = default_params(n=4, f=1)
+        samples = ClockSamples(times=[0.0, 1.0],
+                               clocks={i: [0.0, 1.0] for i in range(4)})
+        corr = [CorruptionInterval(i, 0.0, 2.0) for i in range(4)]
+        with pytest.raises(MeasurementError):
+            section43_properties(samples, corr, params, 0.0)

@@ -1,0 +1,202 @@
+"""Unit tests for the Sync protocol process (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.core.params import ProtocolParams
+from repro.core.sync import SyncProcess
+from repro.net.links import FixedDelay
+from repro.net.message import Ping, Pong
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+def make_params(n=4, f=1) -> ProtocolParams:
+    return ProtocolParams.derive(n=n, f=f, delta=0.005, rho=5e-4, pi=2.0)
+
+
+def build_cluster(sim, params, offsets=None, rates=None):
+    n = params.n
+    offsets = offsets or [0.0] * n
+    rates = rates or [1.0] * n
+    network = Network(sim, full_mesh(n), FixedDelay(delta=params.delta))
+    procs = []
+    for i in range(n):
+        clock = LogicalClock(FixedRateClock(rho=params.rho, rate=rates[i]), adj=offsets[i])
+        proc = SyncProcess(i, sim, network, clock, params,
+                           start_phase=0.01 * i)
+        network.bind(proc)
+        procs.append(proc)
+    return network, procs
+
+
+def start_all(procs):
+    for p in procs:
+        p.start()
+
+
+def test_sync_runs_periodically(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=1.0)
+    for proc in procs:
+        # Roughly duration / sync_interval rounds, at least a few.
+        assert proc.rounds_completed >= 3
+        # At most two syncs per T window (Section 4 requirement).
+        times = [r.real_time for r in proc.sync_records]
+        for i, t in enumerate(times):
+            in_window = sum(1 for u in times if t <= u < t + params.t_interval)
+            assert in_window <= 2
+
+
+def test_at_least_one_sync_per_t_window(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=2.0)
+    for proc in procs:
+        times = [r.real_time for r in proc.sync_records]
+        # Every window [t, t + T] after startup contains a completion.
+        t = params.t_interval
+        while t + params.t_interval <= 2.0:
+            assert any(t <= u <= t + params.t_interval for u in times)
+            t += params.t_interval
+
+
+def test_ping_answered_with_current_clock(sim):
+    """The no-rounds property: responders report their live clock."""
+    params = make_params()
+    network, procs = build_cluster(sim, params, offsets=[0.0, 7.0, 0.0, 0.0])
+
+    replies = []
+
+    class Probe(Process):
+        def on_message(self, message):
+            if isinstance(message.payload, Pong):
+                replies.append((self.sim.now, message.payload.clock_value))
+
+    # Rebuild with a probe on node 3's slot is complex; instead ping from
+    # node 0's identity via the network and watch node 0's inbox... use a
+    # direct ping from an unused process:
+    sim.schedule(0.5, lambda: network.send(0, 1, Ping(nonce=999)))
+
+    original = procs[0].on_message
+
+    def spy(message):
+        if isinstance(message.payload, Pong) and message.payload.nonce == 999:
+            replies.append((sim.now, message.payload.clock_value))
+            return
+        original(message)
+
+    procs[0].on_message = spy
+    start_all(procs)
+    sim.run(until=1.0)
+    assert len(replies) == 1
+    tau, value = replies[0]
+    # Node 1's clock ~ tau + 7 (it may have synced toward the others by
+    # then, shrinking the offset, but never increased it).
+    assert value <= tau + 7.0 + 0.01
+
+
+def test_identical_clocks_make_tiny_corrections(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=1.0)
+    for proc in procs:
+        for record in proc.sync_records:
+            assert abs(record.correction) <= 2 * params.epsilon
+
+
+def test_outlier_converges_toward_cluster(sim):
+    params = make_params()
+    offset = 0.4 * params.way_off  # inside WayOff: gradual convergence
+    _, procs = build_cluster(sim, params, offsets=[offset, 0.0, 0.0, 0.0])
+    start_all(procs)
+    sim.run(until=2.0)
+    final_gap = procs[0].clock.read(2.0) - procs[1].clock.read(2.0)
+    assert abs(final_gap) < 0.1 * offset
+
+
+def test_way_off_node_jumps_in_one_sync(sim):
+    """Figure 1's else-branch: a clock beyond WayOff discards itself and
+    lands near the cluster after a single Sync."""
+    params = make_params()
+    offset = 5.0 * params.way_off
+    _, procs = build_cluster(sim, params, offsets=[offset, 0.0, 0.0, 0.0])
+    start_all(procs)
+    sim.run(until=2.0)
+    jump_records = [r for r in procs[0].sync_records if r.own_discarded]
+    assert jump_records, "the WayOff branch should have fired"
+    first = jump_records[0]
+    assert first.correction == pytest.approx(-offset, rel=0.05)
+
+
+def test_sync_record_fields(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=0.5)
+    record = procs[0].sync_records[0]
+    assert record.node_id == 0
+    assert record.round_no == 1
+    assert record.replies == params.n - 1
+    assert record.m <= record.big_m + 2 * params.epsilon  # sane statistics
+
+
+def test_sync_listener_invoked(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    seen = []
+    procs[0].sync_listeners.append(seen.append)
+    start_all(procs)
+    sim.run(until=0.5)
+    assert len(seen) == procs[0].rounds_completed
+
+
+def test_early_completion_when_all_reply(sim):
+    """With all peers answering promptly, a Sync should finish well
+    before the MaxWait deadline."""
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=0.5)
+    record = procs[0].sync_records[0]
+    # First sync starts at start_phase ~ 0.0 local; completion should be
+    # around one RTT (~ delta), far below max_wait.
+    assert record.real_time < 0.02 + params.max_wait / 2
+
+
+def test_recovery_restarts_alarm(sim):
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+
+    class Dummy:
+        def on_message(self, process, message):
+            pass
+
+    sim.schedule(0.3, lambda: procs[0].seize(Dummy()))
+    sim.schedule(0.6, lambda: procs[0].release())
+    sim.run(until=1.5)
+    post = [r for r in procs[0].sync_records if r.real_time > 0.6]
+    assert post, "sync must resume after release"
+
+
+def test_adjustments_match_corrections(sim):
+    """Every good-state clock adjustment equals a sync correction: the
+    protocol is the only writer."""
+    params = make_params()
+    _, procs = build_cluster(sim, params)
+    start_all(procs)
+    sim.run(until=1.0)
+    for proc in procs:
+        deltas = [round(d, 12) for _, d, _ in proc.clock.adjustments]
+        corrections = [round(r.correction, 12) for r in proc.sync_records]
+        assert deltas == corrections

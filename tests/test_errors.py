@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy: every package error is a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AdversaryError,
+    ClockError,
+    ConfigurationError,
+    MeasurementError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+ALL_ERRORS = [
+    ConfigurationError,
+    ParameterError,
+    TopologyError,
+    SimulationError,
+    ClockError,
+    AdversaryError,
+    MeasurementError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    with pytest.raises(ReproError):
+        raise error_type("boom")
+
+
+def test_parameter_error_is_configuration_error():
+    """Parameter mistakes are a species of configuration mistake, so a
+    caller guarding scenario setup with ConfigurationError catches both."""
+    assert issubclass(ParameterError, ConfigurationError)
+
+
+def test_topology_error_is_configuration_error():
+    assert issubclass(TopologyError, ConfigurationError)
+
+
+def test_single_catch_covers_package_failures():
+    """The advertised catch-all: a single except ReproError handles any
+    failure the package raises by design."""
+    from repro.core.params import ProtocolParams
+
+    caught = []
+    try:
+        ProtocolParams.derive(n=3, f=1, delta=0.005, rho=5e-4, pi=2.0)
+    except ReproError as exc:
+        caught.append(exc)
+    assert len(caught) == 1
+    assert isinstance(caught[0], ParameterError)

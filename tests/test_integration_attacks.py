@@ -1,0 +1,227 @@
+"""Integration tests: specific attacks, resilience boundaries, and the
+comparison claims of Section 1.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.adversary.mobile import PlannedCorruption, rotating_plan, single_burst_plan
+from repro.adversary.strategies import (
+    LiarStrategy,
+    NoisyStrategy,
+    SilentStrategy,
+    StealthDriftStrategy,
+    TwoFacedStrategy,
+)
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def fast_params(n=4, f=1):
+    return default_params(n=n, f=f)
+
+
+def burst_scenario(params, strategy_factory, duration=10.0, seed=0, dwell=None,
+                   victims=None, **kwargs):
+    """A rotating-corruption scenario with a specific strategy."""
+    def plan(scenario, clocks):
+        return rotating_plan(n=params.n, f=params.f, pi=params.pi,
+                             duration=scenario.duration,
+                             strategy_factory=strategy_factory,
+                             first_start=2.0 * params.t_interval)
+
+    scenario = benign_scenario(params, duration=duration, seed=seed, **kwargs)
+    return dataclasses.replace(scenario, plan_builder=plan)
+
+
+class TestSingleStrategyAttacks:
+    @pytest.mark.parametrize("strategy_factory,label", [
+        (lambda n, e: SilentStrategy(), "silent"),
+        (lambda n, e: LiarStrategy(offset=1e6), "liar"),
+        (lambda n, e: NoisyStrategy(spread=1e3), "noisy"),
+        (lambda n, e: TwoFacedStrategy(magnitude=100.0), "two-faced"),
+        (lambda n, e: StealthDriftStrategy(rate=10.0), "stealth"),
+    ])
+    def test_deviation_bounded_under_attack(self, strategy_factory, label):
+        params = fast_params()
+        result = run(burst_scenario(params, strategy_factory, seed=hash(label) % 1000))
+        deviation = result.max_deviation(warmup_for(params))
+        assert deviation <= params.bounds().max_deviation, (label, deviation)
+
+
+class TestAveragingIsVulnerable:
+    def test_single_liar_breaks_unprotected_averaging(self):
+        """The contrast experiment: the same liar that Sync shrugs off
+        drags plain averaging beyond the bound."""
+        params = fast_params()
+        scenario = burst_scenario(params, lambda n, e: LiarStrategy(offset=1e3),
+                                  seed=1, protocol="averaging")
+        result = run(scenario)
+        deviation = result.max_deviation(warmup_for(params))
+        assert deviation > params.bounds().max_deviation
+
+    def test_sync_shrugs_off_the_same_liar(self):
+        params = fast_params()
+        scenario = burst_scenario(params, lambda n, e: LiarStrategy(offset=1e3),
+                                  seed=1, protocol="sync")
+        result = run(scenario)
+        assert result.max_deviation(warmup_for(params)) <= params.bounds().max_deviation
+
+
+class TestResilienceBoundary:
+    def test_f_plus_one_simultaneous_faults_can_break_sync(self):
+        """Beyond Definition 2's limit the guarantee is void: f+1
+        simultaneous colluding two-faced liars in an n=3f+1 network can
+        drive the two remaining good clocks apart (each good node now
+        hears f+1 coordinated lies, so the f+1-st order statistic is
+        adversary-controlled)."""
+        params = fast_params()  # n=4, f=1 -> 2 simultaneous liars
+
+        def plan(scenario, clocks):
+            # Both liars tell node 2 "very high" and node 3 "very low".
+            return single_burst_plan(
+                [0, 1], start=1.0, dwell=scenario.duration - 1.5,
+                strategy_factory=lambda n, e: TwoFacedStrategy(
+                    magnitude=50.0 * params.way_off,
+                    split=lambda recipient: recipient == 3),
+            )
+
+        scenario = benign_scenario(params, duration=10.0, seed=3)
+        scenario = dataclasses.replace(scenario, plan_builder=plan,
+                                       enforce_f_limit=False)
+        result = run(scenario)
+        # Good set here = nodes 2, 3; with two liars out of four, the
+        # f+1 order statistics are adversary-controlled.
+        deviation = result.max_deviation(warmup_for(params))
+        assert deviation > params.bounds().max_deviation
+
+    def test_exactly_f_faults_fine(self):
+        params = fast_params()
+        result = run(mobile_byzantine_scenario(params, duration=10.0, seed=4))
+        assert result.max_deviation(warmup_for(params)) <= params.bounds().max_deviation
+
+
+class TestLinkFailures:
+    def test_few_link_outages_tolerated(self):
+        """Beyond the paper's model: short outages look like timeouts
+        (a = inf) and are absorbed by the f+1 selection."""
+        params = default_params(n=7, f=2)
+        scenario = benign_scenario(params, duration=8.0, seed=5)
+        result_scenario = dataclasses.replace(scenario)
+        # Fail two links for a stretch mid-run via a plan-less hook:
+        from repro.runner.experiment import run as run_fn
+
+        # Use a custom protocol factory wrapper to access the network.
+        outages = []
+
+        from repro.protocols.base import protocol_factory
+        inner = protocol_factory("sync")
+
+        def factory(node_id, sim, network, clock, params_, start_phase):
+            if not outages:
+                network.schedule_outage(0, 1, start=2.0, end=4.0)
+                network.schedule_outage(2, 3, start=3.0, end=5.0)
+                outages.append(True)
+            return inner(node_id, sim, network, clock, params_, start_phase)
+
+        result = run_fn(dataclasses.replace(result_scenario, protocol=factory))
+        assert result.max_deviation(warmup_for(params)) <= params.bounds().max_deviation
+
+
+class TestLossyNetwork:
+    """Beyond the paper's reliable-link model: random message loss
+    surfaces as estimation timeouts, which the f+1 selection absorbs."""
+
+    @pytest.mark.parametrize("loss", [0.02, 0.10])
+    def test_deviation_bounded_under_loss(self, loss):
+        params = default_params(n=7, f=2)
+        result = run(mobile_byzantine_scenario(params, duration=10.0, seed=6,
+                                               loss_rate=loss))
+        assert result.max_deviation(warmup_for(params)) <= params.bounds().max_deviation
+
+    def test_recovery_still_works_under_loss(self):
+        from repro.runner.builders import recovery_scenario
+        params = default_params(n=7, f=2)
+        result = run(recovery_scenario(params, duration=10.0, seed=6,
+                                       loss_rate=0.05))
+        assert result.recovery().all_recovered
+
+
+class TestReplayAttack:
+    """Footnote 3: replay of old messages 'does not pause a problem for
+    our application' — session-scoped nonces make stale pongs no-ops."""
+
+    def test_replayed_pongs_do_not_move_clocks(self):
+        from repro.adversary.strategies import ReplayStrategy
+        params = default_params(n=7, f=2)
+        result = run(burst_scenario(params, lambda n, e: ReplayStrategy(),
+                                    duration=12.0, seed=8))
+        assert result.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+
+    def test_replay_storm_is_pure_overhead(self):
+        """The replay traffic inflates message counts but every stale
+        pong is rejected at the session layer."""
+        from repro.adversary.strategies import ReplayStrategy
+        params = default_params(n=4, f=1)
+        clean = run(burst_scenario(params, lambda n, e: SilentStrategy(),
+                                   duration=8.0, seed=9))
+        noisy = run(burst_scenario(params, lambda n, e: ReplayStrategy(),
+                                   duration=8.0, seed=9))
+        assert noisy.messages_delivered > clean.messages_delivered
+        assert noisy.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+
+
+class TestScale:
+    def test_n25_f8_bounded(self):
+        """A larger deployment (n = 3f+1 = 25) under rotating Byzantine
+        faults still meets the bound."""
+        params = default_params(n=25, f=8)
+        result = run(mobile_byzantine_scenario(params, duration=4.0, seed=10))
+        assert result.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+
+
+class TestMalformedPayloads:
+    """Implementation-level robustness: non-finite clock values from
+    Byzantine peers must be rejected at the trust boundary, not fed
+    into the order-statistic sort (NaN ordering is input-dependent)."""
+
+    @pytest.mark.parametrize("flavor", ["nan", "inf", "-inf", "mix"])
+    def test_nonfinite_replies_bounced(self, flavor):
+        from repro.adversary.strategies import MalformedStrategy
+        params = default_params(n=7, f=2)
+        result = run(burst_scenario(
+            params, lambda n, e: MalformedStrategy(flavor), seed=30))
+        deviation = result.max_deviation(warmup_for(params))
+        assert deviation <= params.bounds().max_deviation
+        # And no clock was ever NaN-poisoned.
+        import math
+        for values in result.samples.clocks.values():
+            assert all(math.isfinite(v) for v in values)
+
+    def test_nan_estimate_yields_noop_correction(self):
+        """Defense in depth: even if a NaN reached the convergence
+        function, the correction is a no-op, never NaN."""
+        import math
+        from repro.core.convergence import PaperConvergence
+        from repro.core.estimation import ClockEstimate
+
+        cf = PaperConvergence()
+        for position in range(7):
+            estimates = [ClockEstimate(peer=i, distance=0.0, accuracy=0.0)
+                         for i in range(7)]
+            estimates[position] = ClockEstimate(peer=position,
+                                                distance=float("nan"),
+                                                accuracy=0.0)
+            correction = cf.correction(estimates, f=2, way_off=1.0)
+            assert math.isfinite(correction)

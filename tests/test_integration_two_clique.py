@@ -1,0 +1,71 @@
+"""Integration test: the Section 5 two-clique counterexample.
+
+The paper: "(3f+1)-connectivity is not sufficient ... two cliques of
+3f+1 nodes [joined by a matching] ... our protocol cannot guarantee
+that the clocks in one clique do not drift apart from those in the
+other."  Each node hears 3f same-clique clocks plus one cross-clique
+clock; the f+1 order statistics discard the single cross voice, so each
+clique converges internally while the cliques free-run apart.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.runner.builders import two_clique_scenario, warmup_for
+from repro.runner.experiment import run
+
+
+class TestTwoCliqueCounterexample:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(two_clique_scenario(f=1, duration=40.0, seed=5))
+
+    def test_cliques_internally_synchronized(self, result):
+        """Within each clique the protocol works perfectly."""
+        params = result.params
+        half = params.n // 2
+        last = len(result.samples.times) - 1
+        for clique in (range(half), range(half, params.n)):
+            values = [result.samples.clocks[i][last] for i in clique]
+            assert max(values) - min(values) <= params.bounds().max_deviation
+
+    def test_cliques_drift_apart(self, result):
+        """The cross-clique gap grows roughly at the mutual drift rate —
+        synchronization across the matching fails."""
+        params = result.params
+        half = params.n // 2
+
+        def gap_at(index):
+            c1 = [result.samples.clocks[i][index] for i in range(half)]
+            c2 = [result.samples.clocks[i][index] for i in range(half, params.n)]
+            return statistics.mean(c1) - statistics.mean(c2)
+
+        early = gap_at(result.samples.index_at_or_after(5.0))
+        late = gap_at(len(result.samples.times) - 1)
+        assert abs(late) > abs(early)
+        assert abs(late) > params.bounds().max_deviation
+
+    def test_gap_growth_rate_matches_mutual_drift(self, result):
+        """The cliques free-run: gap ~ duration * ((1+rho) - 1/(1+rho))."""
+        params = result.params
+        half = params.n // 2
+        last = len(result.samples.times) - 1
+        horizon = result.samples.times[last]
+        c1 = [result.samples.clocks[i][last] for i in range(half)]
+        c2 = [result.samples.clocks[i][last] for i in range(half, params.n)]
+        gap = statistics.mean(c1) - statistics.mean(c2)
+        expected = horizon * ((1 + params.rho) - 1 / (1 + params.rho))
+        assert gap == pytest.approx(expected, rel=0.35)
+
+    def test_full_mesh_same_parameters_does_not_drift(self):
+        """Control: identical clock population on a full mesh stays
+        synchronized — the topology, not the drift, is the problem."""
+        scenario = two_clique_scenario(f=1, duration=40.0, seed=5)
+        scenario.topology = None  # full mesh default
+        result = run(scenario)
+        params = result.params
+        deviation = result.max_deviation(warmup_for(params))
+        assert deviation <= params.bounds().max_deviation

@@ -1,0 +1,68 @@
+"""Tests for the JSON result exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.export import result_to_dict, write_result
+from repro.runner.builders import (
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def make_result():
+    params = default_params(n=4, f=1)
+    return run(mobile_byzantine_scenario(params, duration=6.0, seed=20))
+
+
+def test_round_trips_through_json():
+    result = make_result()
+    payload = result_to_dict(result, warmup=warmup_for(result.params))
+    encoded = json.dumps(payload)
+    decoded = json.loads(encoded)
+    assert decoded["params"]["n"] == 4
+    assert decoded["verdict"]["all_ok"] is True
+    assert decoded["counters"]["messages_delivered"] > 0
+    assert len(decoded["corruptions"]) == len(result.corruptions)
+
+
+def test_infinities_encoded_as_strings():
+    result = make_result()
+    payload = result_to_dict(result)
+    # Force an infinity through the encoder path.
+    from repro.metrics.export import _finite
+    assert _finite(float("inf")) == "inf"
+    assert _finite(float("-inf")) == "-inf"
+    assert _finite(float("nan")) == "nan"
+    json.dumps(payload)  # no ValueError from non-finite floats
+
+
+def test_samples_opt_in():
+    result = make_result()
+    lean = result_to_dict(result)
+    fat = result_to_dict(result, include_samples=True)
+    assert "samples" not in lean
+    assert len(fat["samples"]["times"]) == len(result.samples.times)
+    assert set(fat["samples"]["clocks"]) == {"0", "1", "2", "3"}
+
+
+def test_write_result(tmp_path):
+    result = make_result()
+    path = tmp_path / "run.json"
+    write_result(result, path, warmup=1.0)
+    decoded = json.loads(path.read_text())
+    assert decoded["verdict"]["warmup"] == 1.0
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "cli.json"
+    code = main(["run", "--scenario", "benign", "--duration", "2",
+                 "--n", "4", "--f", "1", "--json", str(out_path)])
+    assert code == 0
+    decoded = json.loads(out_path.read_text())
+    assert decoded["scenario"]["name"] == "benign"

@@ -1,0 +1,192 @@
+"""Unit tests for deviation / accuracy / recovery measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.errors import MeasurementError
+from repro.metrics.measures import (
+    accuracy_report,
+    deviation_series,
+    good_stretches,
+    max_deviation,
+    recovery_report,
+)
+from repro.metrics.sampler import ClockSamples, CorruptionInterval
+
+
+def grid_samples(times, per_node_values):
+    return ClockSamples(times=list(times),
+                        clocks={n: list(v) for n, v in per_node_values.items()})
+
+
+class TestDeviation:
+    def test_constant_gap_measured(self):
+        samples = grid_samples([0.0, 1.0], {0: [0.0, 1.0], 1: [0.3, 1.3], 2: [0.1, 1.1]})
+        series = deviation_series(samples, [], pi=1.0, n=3)
+        assert series == [(0.0, pytest.approx(0.3)), (1.0, pytest.approx(0.3))]
+
+    def test_faulty_node_excluded(self):
+        samples = grid_samples([0.0, 1.0], {0: [0.0, 1.0], 1: [99.0, 99.0], 2: [0.1, 1.1]})
+        corruption = [CorruptionInterval(1, 0.0, 5.0)]
+        assert max_deviation(samples, corruption, pi=1.0, n=3) == pytest.approx(0.1)
+
+    def test_warmup_skips_early_samples(self):
+        samples = grid_samples([0.0, 1.0], {0: [5.0, 1.0], 1: [0.0, 1.0]})
+        assert max_deviation(samples, [], pi=1.0, n=2, warmup=0.5) == pytest.approx(0.0)
+
+    def test_small_good_set_skipped(self):
+        samples = grid_samples([0.0], {0: [0.0], 1: [1.0]})
+        corr = [CorruptionInterval(0, 0.0, 1.0)]
+        assert deviation_series(samples, corr, pi=1.0, n=2) == []
+
+    def test_empty_after_warmup_raises(self):
+        samples = grid_samples([0.0], {0: [0.0], 1: [0.0]})
+        with pytest.raises(MeasurementError):
+            max_deviation(samples, [], pi=1.0, n=2, warmup=5.0)
+
+
+class TestGoodStretches:
+    def test_no_faults_whole_run(self):
+        stretches = good_stretches([], pi=1.0, n=2, horizon=10.0)
+        assert stretches == [(0, 0.0, 10.0), (1, 0.0, 10.0)]
+
+    def test_stretch_starts_pi_after_release(self):
+        corr = [CorruptionInterval(0, 2.0, 3.0)]
+        stretches = good_stretches(corr, pi=1.0, n=1, horizon=10.0)
+        assert stretches == [(0, 0.0, 2.0), (0, 4.0, 10.0)]
+
+    def test_short_gap_yields_no_stretch(self):
+        corr = [CorruptionInterval(0, 2.0, 3.0), CorruptionInterval(0, 3.5, 4.0)]
+        stretches = good_stretches(corr, pi=1.0, n=1, horizon=10.0)
+        # The [3.0, 3.5] gap is shorter than PI: no stretch inside it.
+        assert (0, 0.0, 2.0) in stretches
+        assert (0, 5.0, 10.0) in stretches
+        assert len(stretches) == 2
+
+
+class TestAccuracy:
+    def test_perfect_clock_zero_drift(self):
+        times = [float(i) for i in range(6)]
+        samples = grid_samples(times, {0: times})
+        clocks = {0: LogicalClock(FixedRateClock(rho=0.0))}
+        report = accuracy_report(samples, [], clocks, pi=1.0, n=1)
+        assert report.implied_drift == pytest.approx(0.0)
+        assert report.max_discontinuity == 0.0
+
+    def test_drifting_clock_measured(self):
+        times = [float(i) for i in range(6)]
+        samples = grid_samples(times, {0: [t * 1.01 for t in times]})
+        clocks = {0: LogicalClock(FixedRateClock(rho=0.02, rate=1.01))}
+        report = accuracy_report(samples, [], clocks, pi=1.0, n=1)
+        assert report.implied_drift == pytest.approx(0.01, rel=0.05)
+
+    def test_good_adjustment_counts_as_discontinuity(self):
+        times = [0.0, 1.0, 2.0]
+        samples = grid_samples(times, {0: [0.0, 1.0, 2.0]})
+        clock = LogicalClock(FixedRateClock(rho=0.0))
+        clock.adjust(1.0, 0.25)
+        report = accuracy_report(samples, [], {0: clock}, pi=1.0, n=1)
+        assert report.max_discontinuity == pytest.approx(0.25)
+
+    def test_adjustment_during_recovery_window_excluded(self):
+        """Corrections within PI of a corruption are outside the
+        Definition 3(ii) guarantee and must not count."""
+        times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        samples = grid_samples(times, {0: times})
+        clock = LogicalClock(FixedRateClock(rho=0.0))
+        clock.adjust(2.1, 500.0)  # huge recovery jump just after release
+        corr = [CorruptionInterval(0, 1.5, 2.0)]
+        report = accuracy_report(samples, corr, {0: clock}, pi=1.0, n=1)
+        assert report.max_discontinuity == 0.0
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(MeasurementError):
+            accuracy_report(ClockSamples(), [], {}, pi=1.0, n=0)
+
+
+class TestRecovery:
+    def make_run(self, recovered_values):
+        """Node 1 is corrupted during [1, 2]; node 0 and 2 are good and
+        track real time. recovered_values gives node 1's clock at the
+        sample times after release."""
+        times = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        good = times
+        samples = grid_samples(times, {
+            0: good,
+            1: [0.0, 0.0] + recovered_values,
+            2: good,
+        })
+        corr = [CorruptionInterval(1, 1.0, 2.0)]
+        return samples, corr
+
+    def test_immediate_recovery(self):
+        samples, corr = self.make_run([2.0, 3.0, 4.0, 5.0])
+        report = recovery_report(samples, corr, pi=1.0, n=3, tolerance=0.1, settle=1.0)
+        assert len(report.events) == 1
+        event = report.events[0]
+        assert event.rejoined_at == pytest.approx(2.0)
+        assert event.recovery_time == pytest.approx(0.0)
+        assert report.all_recovered
+
+    def test_delayed_recovery(self):
+        samples, corr = self.make_run([50.0, 50.0, 4.0, 5.0])
+        report = recovery_report(samples, corr, pi=1.0, n=3, tolerance=0.1, settle=1.0)
+        assert report.events[0].rejoined_at == pytest.approx(4.0)
+        assert report.events[0].recovery_time == pytest.approx(2.0)
+        assert report.events[0].initial_distance == pytest.approx(48.0)
+
+    def test_never_recovers(self):
+        samples, corr = self.make_run([50.0, 50.0, 50.0, 50.0])
+        report = recovery_report(samples, corr, pi=1.0, n=3, tolerance=0.1, settle=1.0)
+        assert not report.all_recovered
+        assert math.isinf(report.max_recovery_time)
+
+    def test_unstable_rejoin_not_counted(self):
+        """Dipping into the good range then leaving again does not count
+        as recovered at the dip."""
+        samples, corr = self.make_run([3.0, 50.0, 4.0, 5.0])
+        report = recovery_report(samples, corr, pi=1.0, n=3, tolerance=0.1, settle=1.0)
+        assert report.events[0].rejoined_at == pytest.approx(4.0)
+
+    def test_unreleased_corruption_not_measured(self):
+        times = [0.0, 1.0, 2.0]
+        samples = grid_samples(times, {0: times, 1: times})
+        corr = [CorruptionInterval(1, 1.0, math.inf)]
+        report = recovery_report(samples, corr, pi=1.0, n=2, tolerance=0.1)
+        assert report.events == []
+
+
+class TestPercentiles:
+    def test_percentiles_of_known_series(self):
+        from repro.metrics.measures import deviation_percentiles
+        times = [float(i) for i in range(10)]
+        # node 1 is `i * 0.01` ahead at sample i: deviations 0.00..0.09.
+        samples = grid_samples(times, {
+            0: times,
+            1: [t + 0.01 * i for i, t in enumerate(times)],
+        })
+        result = deviation_percentiles(samples, [], pi=1.0, n=2,
+                                       percentiles=(50.0, 100.0))
+        assert result[100.0] == pytest.approx(0.09)
+        assert result[50.0] == pytest.approx(0.04)
+
+    def test_bad_percentile_rejected(self):
+        from repro.metrics.measures import deviation_percentiles
+        samples = grid_samples([0.0], {0: [0.0], 1: [0.0]})
+        with pytest.raises(MeasurementError):
+            deviation_percentiles(samples, [], pi=1.0, n=2, percentiles=(0.0,))
+
+    def test_max_percentile_equals_max_deviation(self):
+        from repro.metrics.measures import deviation_percentiles
+        from repro.runner.builders import benign_scenario, default_params
+        from repro.runner.experiment import run
+        result = run(benign_scenario(default_params(n=4, f=1), duration=3.0,
+                                     seed=2))
+        pct = result.deviation_percentiles(warmup=1.0)
+        assert pct[100.0] == pytest.approx(result.max_deviation(warmup=1.0))
+        assert pct[50.0] <= pct[95.0] <= pct[100.0]

@@ -1,0 +1,99 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics.plots import bias_plane, sparkline, strip_chart
+from repro.metrics.sampler import ClockSamples
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        levels = " .:-=+*#%@"
+        ranks = [levels.index(c) for c in line]
+        assert ranks == sorted(ranks)
+        assert ranks[0] < ranks[-1]
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "   "
+
+    def test_nan_renders_question_mark(self):
+        assert sparkline([0.0, math.nan, 1.0])[1] == "?"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_scale(self):
+        clipped = sparkline([0.0, 10.0], lo=0.0, hi=100.0)
+        assert clipped[1] != "@"  # 10 of 100 is low on the scale
+
+
+class TestStripChart:
+    def test_basic_render(self):
+        series = [(float(i), float(i % 5)) for i in range(50)]
+        chart = strip_chart(series, width=40, height=8, title="zigzag")
+        lines = chart.splitlines()
+        assert lines[0] == "zigzag"
+        assert len(lines) == 1 + 8 + 2  # title + rows + axis + labels
+        assert any("*" in line for line in lines)
+
+    def test_hline_drawn_and_labelled(self):
+        series = [(float(i), 1.0) for i in range(10)]
+        chart = strip_chart(series, hline=3.0, hline_label="limit")
+        assert "limit" in chart
+        assert any(line.count("-") > 10 for line in chart.splitlines())
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(MeasurementError):
+            strip_chart([])
+
+    def test_single_point(self):
+        chart = strip_chart([(0.0, 1.0)], width=10, height=4)
+        assert "*" in chart
+
+
+class TestBiasPlane:
+    def make_samples(self):
+        times = [float(i) for i in range(20)]
+        return ClockSamples(
+            times=times,
+            clocks={
+                0: [t + 0.5 for t in times],          # bias +0.5
+                1: [t - 0.5 for t in times],          # bias -0.5
+                2: [t + 0.5 - 0.05 * t for t in times],  # converging
+            },
+        )
+
+    def test_draws_each_node_glyph(self):
+        chart = bias_plane(self.make_samples(), nodes=[0, 1, 2])
+        assert "0" in chart and "1" in chart and "2" in chart
+
+    def test_range_slicing(self):
+        samples = self.make_samples()
+        chart = bias_plane(samples, nodes=[0], lo_index=5, hi_index=15)
+        assert "5" in chart.splitlines()[-1]  # x-axis start label
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(MeasurementError):
+            bias_plane(self.make_samples(), nodes=list(range(11)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            bias_plane(self.make_samples(), nodes=[])
+
+    def test_real_run_renders(self):
+        from repro.runner.builders import benign_scenario, default_params
+        from repro.runner.experiment import run
+
+        result = run(benign_scenario(default_params(n=4, f=1), duration=2.0,
+                                     seed=1, initial_offset_spread=0.05))
+        chart = bias_plane(result.samples, nodes=[0, 1, 2, 3],
+                           title="startup convergence")
+        assert chart.startswith("startup convergence")
+        assert len(chart.splitlines()) == 1 + 12 + 2

@@ -1,0 +1,55 @@
+"""Unit tests for the text-table reporter."""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.report import check_mark, format_value, ratio, table
+
+
+def test_format_float_compact():
+    assert format_value(0.123456789) == "0.123457"
+    assert format_value(1.0) == "1"
+
+
+def test_format_infinities_and_nan():
+    assert format_value(math.inf) == "inf"
+    assert format_value(-math.inf) == "-inf"
+    assert format_value(math.nan) == "nan"
+
+
+def test_format_bool_and_str():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value("abc") == "abc"
+    assert format_value(42) == "42"
+
+
+def test_table_alignment():
+    out = table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows equal width
+
+
+def test_table_title():
+    out = table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+    assert out.splitlines()[1] == "========"
+
+
+def test_table_precision():
+    out = table(["v"], [[0.123456789]], precision=3)
+    assert "0.123" in out and "0.123457" not in out
+
+
+def test_ratio():
+    assert ratio(1.0, 2.0) == 0.5
+    assert ratio(1.0, 0.0) == math.inf
+    assert ratio(0.0, 0.0) == 0.0
+
+
+def test_check_mark():
+    assert check_mark(True) == "OK"
+    assert check_mark(False) == "VIOLATED"

@@ -1,0 +1,68 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.core.sync import SyncRecord
+from repro.metrics.trace import TraceRecorder
+from repro.net.message import Message, Ping
+
+
+def sync_record(node=0, round_no=1, real_time=1.0, own_discarded=False):
+    return SyncRecord(node_id=node, round_no=round_no, real_time=real_time,
+                      local_before=real_time, correction=0.0, m=0.0, big_m=0.0,
+                      own_discarded=own_discarded, replies=3)
+
+
+def message(sender=0, recipient=1):
+    return Message(sender=sender, recipient=recipient, payload=Ping(nonce=1),
+                   sent_at=0.0, delivered_at=0.001, msg_id=0)
+
+
+def test_messages_recorded_only_when_enabled():
+    off = TraceRecorder(record_messages=False)
+    off.on_message(message())
+    assert off.messages == []
+
+    on = TraceRecorder(record_messages=True)
+    on.on_message(message())
+    assert len(on.messages) == 1
+    assert on.messages[0].kind == "Ping"
+
+
+def test_sync_records_accumulate():
+    trace = TraceRecorder()
+    trace.on_sync(sync_record(node=0, real_time=1.0))
+    trace.on_sync(sync_record(node=1, real_time=2.0))
+    assert len(trace.syncs) == 2
+
+
+def test_syncs_for_filters_by_node():
+    trace = TraceRecorder()
+    trace.on_sync(sync_record(node=0))
+    trace.on_sync(sync_record(node=1))
+    trace.on_sync(sync_record(node=0, round_no=2))
+    assert [r.round_no for r in trace.syncs_for(0)] == [1, 2]
+
+
+def test_syncs_between_window():
+    trace = TraceRecorder()
+    for t in (0.5, 1.5, 2.5):
+        trace.on_sync(sync_record(real_time=t))
+    assert [r.real_time for r in trace.syncs_between(1.0, 2.0)] == [1.5]
+
+
+def test_discarded_own_clock_filter():
+    trace = TraceRecorder()
+    trace.on_sync(sync_record(own_discarded=False))
+    trace.on_sync(sync_record(own_discarded=True))
+    assert len(trace.discarded_own_clock()) == 1
+
+
+def test_corruption_actions_recorded():
+    trace = TraceRecorder()
+    trace.on_corruption(3, 1.0, "break_in", "silent")
+    trace.on_corruption(3, 2.0, "release", "silent")
+    assert [(r.node, r.time, r.action, r.strategy) for r in trace.corruptions] == [
+        (3, 1.0, "break_in", "silent"),
+        (3, 2.0, "release", "silent"),
+    ]

@@ -1,0 +1,142 @@
+"""Unit tests for link delay models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.links import AsymmetricDelay, FixedDelay, JitteredDelay, UniformDelay
+
+
+RNG = random.Random(99)
+
+
+def test_delta_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        FixedDelay(delta=0.0)
+
+
+class TestFixedDelay:
+    def test_default_is_half_delta(self):
+        model = FixedDelay(delta=0.01)
+        assert model.sample(0, 1, RNG) == pytest.approx(0.005)
+
+    def test_explicit_value(self):
+        model = FixedDelay(delta=0.01, value=0.002)
+        assert model.sample(0, 1, RNG) == 0.002
+
+    def test_value_above_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(delta=0.01, value=0.02)
+
+    def test_zero_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(delta=0.01, value=0.0)
+
+
+class TestUniformDelay:
+    def test_samples_within_range(self):
+        model = UniformDelay(delta=0.01, lo=0.001, hi=0.009)
+        rng = random.Random(5)
+        for _ in range(200):
+            assert 0.001 <= model.sample(0, 1, rng) <= 0.009
+
+    def test_defaults_within_delta(self):
+        model = UniformDelay(delta=0.01)
+        rng = random.Random(5)
+        assert all(0 < model.sample(0, 1, rng) <= 0.01 for _ in range(100))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(delta=0.01, lo=0.009, hi=0.001)
+
+    def test_hi_above_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(delta=0.01, lo=0.001, hi=0.02)
+
+
+class TestAsymmetricDelay:
+    def test_direction_dependence(self):
+        model = AsymmetricDelay(delta=0.01, forward=0.009, backward=0.001)
+        assert model.sample(0, 5, RNG) == 0.009  # low -> high
+        assert model.sample(5, 0, RNG) == 0.001  # high -> low
+
+    def test_defaults_are_maximally_skewed(self):
+        model = AsymmetricDelay(delta=0.01)
+        assert model.sample(0, 1, RNG) > model.sample(1, 0, RNG)
+
+    def test_direction_values_bounded(self):
+        with pytest.raises(ConfigurationError):
+            AsymmetricDelay(delta=0.01, forward=0.05)
+
+
+class TestJitteredDelay:
+    def test_never_exceeds_delta(self):
+        model = JitteredDelay(delta=0.01, base=0.001, jitter_mean=0.02)
+        rng = random.Random(6)
+        assert all(model.sample(0, 1, rng) <= 0.01 for _ in range(500))
+
+    def test_at_least_base(self):
+        model = JitteredDelay(delta=0.01, base=0.002, jitter_mean=0.001)
+        rng = random.Random(6)
+        assert all(model.sample(0, 1, rng) >= 0.002 for _ in range(100))
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JitteredDelay(delta=0.01, base=0.05)
+
+    def test_jitter_tail_exists(self):
+        """With heavy jitter, some samples should land well above base —
+        the regime the min-of-k estimation optimization targets."""
+        model = JitteredDelay(delta=0.01, base=0.001, jitter_mean=0.005)
+        rng = random.Random(7)
+        samples = [model.sample(0, 1, rng) for _ in range(300)]
+        assert max(samples) > 0.005
+        assert min(samples) < 0.002
+
+
+class TestHeterogeneousDelay:
+    def test_default_classes(self):
+        from repro.net.links import HeterogeneousDelay
+        model = HeterogeneousDelay(delta=0.01)
+        rng = random.Random(3)
+        lan = [model.sample(0, 2, rng) for _ in range(50)]   # same parity
+        wan = [model.sample(0, 1, rng) for _ in range(50)]   # mixed parity
+        assert max(lan) <= 0.10 * 0.01 + 1e-12
+        assert min(wan) >= 0.5 * 0.01 - 1e-12
+        assert max(wan) <= 0.01
+
+    def test_symmetric_classification(self):
+        from repro.net.links import HeterogeneousDelay
+        model = HeterogeneousDelay(delta=0.01)
+        rng_a, rng_b = random.Random(4), random.Random(4)
+        assert model.sample(1, 4, rng_a) == model.sample(4, 1, rng_b)
+
+    def test_custom_classifier(self):
+        from repro.net.links import HeterogeneousDelay
+        model = HeterogeneousDelay(
+            delta=0.01, classifier=lambda a, b: (0.001, 0.002))
+        rng = random.Random(5)
+        assert 0.001 <= model.sample(0, 1, rng) <= 0.002
+
+    def test_bad_classifier_rejected(self):
+        from repro.net.links import HeterogeneousDelay
+        model = HeterogeneousDelay(
+            delta=0.01, classifier=lambda a, b: (0.0, 0.5))
+        with pytest.raises(ConfigurationError):
+            model.sample(0, 1, random.Random(6))
+
+    def test_protocol_on_lan_wan_mix(self):
+        """End-to-end: the Theorem 5 bound (driven by the global delta)
+        holds on a LAN/WAN mix, and typical deviation is better than the
+        all-WAN worst case would suggest."""
+        from repro.net.links import HeterogeneousDelay
+        from repro.runner.builders import benign_scenario, default_params
+        from repro.runner.experiment import run
+
+        params = default_params(n=6, f=1)
+        result = run(benign_scenario(params, duration=6.0, seed=61,
+                                     delay_model=HeterogeneousDelay(params.delta)))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation

@@ -1,0 +1,225 @@
+"""Unit tests for the network fabric: delivery, authentication, outages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.links import FixedDelay
+from repro.net.network import Network
+from repro.net.topology import from_edges, full_mesh
+from repro.sim.process import Process
+
+
+class Recorder(Process):
+    """Minimal process that records every delivered message."""
+
+    def __init__(self, node_id, sim, network):
+        clock = LogicalClock(FixedRateClock(rho=0.0))
+        super().__init__(node_id, sim, network, clock)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+def build(sim, n=3, edges=None, delay=None):
+    topology = full_mesh(n) if edges is None else from_edges(n, edges)
+    network = Network(sim, topology, delay or FixedDelay(delta=0.01, value=0.004))
+    processes = [Recorder(i, sim, network) for i in range(n)]
+    for process in processes:
+        network.bind(process)
+    return network, processes
+
+
+def test_message_delivered_with_delay(sim):
+    network, procs = build(sim)
+    network.send(0, 1, "hello")
+    sim.run()
+    assert len(procs[1].received) == 1
+    message = procs[1].received[0]
+    assert message.payload == "hello"
+    assert message.sender == 0
+    assert message.delivered_at == pytest.approx(0.004)
+
+
+def test_delivery_within_delta_bound(sim):
+    network, procs = build(sim)
+    network.send(0, 1, "x")
+    sim.run()
+    message = procs[1].received[0]
+    assert 0.0 < message.delivered_at - message.sent_at <= network.delta
+
+
+def test_no_edge_drops_message(sim):
+    network, procs = build(sim, edges=[(0, 1)])
+    network.send(0, 2, "lost")
+    sim.run()
+    assert procs[2].received == []
+    assert network.messages_dropped == 1
+
+
+def test_self_send_rejected(sim):
+    network, _ = build(sim)
+    with pytest.raises(ConfigurationError):
+        network.send(1, 1, "me")
+
+
+def test_broadcast_reaches_all_neighbors(sim):
+    network, procs = build(sim, n=4)
+    network.broadcast(0, "fanout")
+    sim.run()
+    for proc in procs[1:]:
+        assert [m.payload for m in proc.received] == ["fanout"]
+    assert procs[0].received == []
+
+
+def test_bind_duplicate_rejected(sim):
+    network, procs = build(sim)
+    with pytest.raises(ConfigurationError):
+        network.bind(procs[0])
+
+
+def test_bind_out_of_range_rejected(sim):
+    network, _ = build(sim, n=2)
+    stray = Recorder(5, sim, network)
+    with pytest.raises(ConfigurationError):
+        network.bind(stray)
+
+
+def test_process_for_unbound_raises(sim):
+    network = Network(sim, full_mesh(2), FixedDelay(delta=0.01))
+    with pytest.raises(ConfigurationError):
+        network.process_for(0)
+
+
+def test_down_link_drops(sim):
+    network, procs = build(sim)
+    network.fail_link(0, 1)
+    network.send(0, 1, "x")
+    sim.run()
+    assert procs[1].received == []
+
+
+def test_restore_link_resumes_delivery(sim):
+    network, procs = build(sim)
+    network.fail_link(0, 1)
+    network.restore_link(0, 1)
+    network.send(0, 1, "x")
+    sim.run()
+    assert len(procs[1].received) == 1
+
+
+def test_fail_nonexistent_link_rejected(sim):
+    network, _ = build(sim, edges=[(0, 1)])
+    with pytest.raises(TopologyError):
+        network.fail_link(0, 2)
+
+
+def test_in_flight_message_dropped_when_link_fails(sim):
+    network, procs = build(sim)
+    network.send(0, 1, "doomed")
+    sim.schedule(0.001, lambda: network.fail_link(0, 1))
+    sim.run()
+    assert procs[1].received == []
+    assert network.messages_dropped == 1
+
+
+def test_scheduled_outage_window(sim):
+    network, procs = build(sim)
+    network.schedule_outage(0, 1, start=0.01, end=0.02)
+    sim.schedule(0.011, lambda: network.send(0, 1, "during"))
+    sim.schedule(0.03, lambda: network.send(0, 1, "after"))
+    sim.run()
+    assert [m.payload for m in procs[1].received] == ["after"]
+
+
+def test_outage_empty_window_rejected(sim):
+    network, _ = build(sim)
+    with pytest.raises(ConfigurationError):
+        network.schedule_outage(0, 1, start=2.0, end=1.0)
+
+
+def test_tap_sees_deliveries(sim):
+    network, _ = build(sim)
+    seen = []
+    network.add_tap(seen.append)
+    network.send(0, 1, "observed")
+    sim.run()
+    assert len(seen) == 1
+    assert seen[0].payload == "observed"
+
+
+def test_counters(sim):
+    network, _ = build(sim, edges=[(0, 1)])
+    network.send(0, 1, "a")
+    network.send(0, 2, "b")  # no edge
+    sim.run()
+    assert network.messages_sent == 2
+    assert network.messages_delivered == 1
+    assert network.messages_dropped == 1
+
+
+def test_message_ids_unique(sim):
+    network, procs = build(sim)
+    for _ in range(5):
+        network.send(0, 1, "x")
+    sim.run()
+    ids = [m.msg_id for m in procs[1].received]
+    assert len(set(ids)) == 5
+
+
+def test_sender_identity_is_authenticated(sim):
+    """The recipient sees the true sender id — the link-authentication
+    assumption of Section 2.2, enforced structurally."""
+    network, procs = build(sim)
+    network.send(2, 1, "signed")
+    sim.run()
+    assert procs[1].received[0].sender == 2
+
+
+class TestLossyLinks:
+    def test_loss_rate_validated(self, sim):
+        with pytest.raises(ConfigurationError):
+            Network(sim, full_mesh(2), FixedDelay(delta=0.01), loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            Network(sim, full_mesh(2), FixedDelay(delta=0.01), loss_rate=-0.1)
+
+    def test_loss_rate_drops_expected_fraction(self, sim):
+        network = Network(sim, full_mesh(2), FixedDelay(delta=0.01, value=0.001),
+                          loss_rate=0.3)
+        receiver = Recorder(1, sim, network)
+        network.bind(Recorder(0, sim, network))
+        network.bind(receiver)
+        for _ in range(500):
+            network.send(0, 1, "x")
+        sim.run()
+        delivered = len(receiver.received)
+        assert 250 < delivered < 450  # ~70% of 500, with slack
+
+    def test_zero_loss_by_default(self, sim):
+        network, procs = build(sim)
+        for _ in range(50):
+            network.send(0, 1, "x")
+        sim.run()
+        assert len(procs[1].received) == 50
+
+    def test_loss_is_deterministic_per_seed(self):
+        from repro.sim.engine import Simulator
+
+        def delivered(seed):
+            sim = Simulator(seed=seed)
+            network = Network(sim, full_mesh(2), FixedDelay(delta=0.01, value=0.001),
+                              loss_rate=0.5)
+            receiver = Recorder(1, sim, network)
+            network.bind(Recorder(0, sim, network))
+            network.bind(receiver)
+            for _ in range(100):
+                network.send(0, 1, "x")
+            sim.run()
+            return len(receiver.received)
+
+        assert delivered(7) == delivered(7)
+        assert delivered(7) != delivered(8) or delivered(7) != delivered(9)

@@ -1,0 +1,95 @@
+"""Property-based tests for the Definition 2 f-limit auditor.
+
+The auditor must match a brute-force check of the definition: for every
+window ``[tau, tau + PI]``, the number of distinct nodes whose
+corruption intersects the window is at most ``f``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.mobile import PlannedCorruption, audit_f_limited, rotating_plan
+from repro.adversary.strategies import SilentStrategy
+from repro.errors import AdversaryError
+
+
+@st.composite
+def corruption_plans(draw):
+    count = draw(st.integers(0, 8))
+    plan = []
+    for _ in range(count):
+        node = draw(st.integers(0, 4))
+        start = draw(st.floats(0.0, 20.0, allow_nan=False))
+        length = draw(st.floats(0.1, 5.0, allow_nan=False))
+        plan.append(PlannedCorruption(node=node, start=start, end=start + length,
+                                      strategy=SilentStrategy()))
+    return plan
+
+
+def brute_force_ok(plan, f, pi):
+    """Check Definition 2 directly at every critical window position."""
+    if not plan:
+        return True
+    # Candidate window starts: every inflated-interval endpoint.
+    candidates = set()
+    for c in plan:
+        candidates.add(c.start - pi)
+        candidates.add(c.start)
+        candidates.add(c.end)
+    for tau in candidates:
+        touched = {c.node for c in plan
+                   if c.start <= tau + pi and c.end >= tau}
+        if len(touched) > f:
+            return False
+    return True
+
+
+@settings(max_examples=200)
+@given(plan=corruption_plans(), f=st.integers(1, 4),
+       pi=st.floats(0.1, 5.0, allow_nan=False))
+def test_auditor_matches_brute_force(plan, f, pi):
+    expected_ok = brute_force_ok(plan, f, pi)
+    if expected_ok:
+        audit_f_limited(plan, f, pi)
+    else:
+        with pytest.raises(AdversaryError):
+            audit_f_limited(plan, f, pi)
+
+
+@settings(max_examples=50)
+@given(n=st.integers(4, 10), f=st.integers(1, 3),
+       pi=st.floats(0.5, 3.0, allow_nan=False),
+       duration=st.floats(5.0, 50.0, allow_nan=False),
+       dwell_frac=st.floats(0.2, 2.0, allow_nan=False))
+def test_rotating_plans_always_pass_audit(n, f, pi, duration, dwell_frac):
+    """The generator's claim: every rotating plan is f-limited."""
+    if n < 3 * f + 1:
+        n = 3 * f + 1
+    plan = rotating_plan(n=n, f=f, pi=pi, duration=duration,
+                         strategy_factory=lambda node, ep: SilentStrategy(),
+                         dwell=dwell_frac * pi)
+    audit_f_limited(plan, f, pi)
+    assert brute_force_ok(plan, f, pi)
+
+
+@settings(max_examples=60)
+@given(n=st.integers(4, 12), f=st.integers(1, 3),
+       pi=st.floats(0.5, 3.0, allow_nan=False),
+       duration=st.floats(5.0, 40.0, allow_nan=False),
+       seed=st.integers(0, 10_000),
+       intensity=st.floats(0.1, 1.0, allow_nan=False))
+def test_random_plans_always_f_limited(n, f, pi, duration, seed, intensity):
+    """random_plan's by-construction claim, checked both ways."""
+    import random as random_module
+    from repro.adversary.mobile import random_plan
+
+    if n < 3 * f + 1:
+        n = 3 * f + 1
+    plan = random_plan(n=n, f=f, pi=pi, duration=duration,
+                       strategy_factory=lambda node, ep: SilentStrategy(),
+                       rng=random_module.Random(seed), intensity=intensity)
+    audit_f_limited(plan, f, pi)
+    assert brute_force_ok(plan, f, pi)

@@ -1,0 +1,90 @@
+"""Property-based tests for hardware clocks: eq. (2) and inversion."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.drift import clamp_rate, wander_schedule
+from repro.clocks.hardware import FixedRateClock, PiecewiseRateClock
+
+rhos = st.floats(min_value=1e-6, max_value=0.5, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def piecewise_clock(draw):
+    rho = draw(rhos)
+    n_segments = draw(st.integers(1, 6))
+    starts = sorted(draw(st.lists(
+        st.floats(0.0, 100.0, allow_nan=False), min_size=n_segments,
+        max_size=n_segments, unique=True)))
+    if starts[0] != 0.0:
+        starts[0] = 0.0
+    rates = [clamp_rate(draw(st.floats(0.5, 2.0, allow_nan=False)), rho)
+             for _ in range(n_segments)]
+    offset = draw(st.floats(-100.0, 100.0, allow_nan=False))
+    return PiecewiseRateClock(rho, list(zip(starts, rates)), offset=offset), rho
+
+
+@given(clock_rho=piecewise_clock(), t1=times, t2=times)
+def test_eq2_drift_bound(clock_rho, t1, t2):
+    """eq. (2) holds for every pair of real times."""
+    clock, rho = clock_rho
+    lo, hi = min(t1, t2), max(t1, t2)
+    elapsed = clock.read(hi) - clock.read(lo)
+    span = hi - lo
+    assert elapsed >= span / (1 + rho) - 1e-6 * (1 + span)
+    assert elapsed <= span * (1 + rho) + 1e-6 * (1 + span)
+
+
+@given(clock_rho=piecewise_clock(), tau=times)
+def test_inverse_roundtrip(clock_rho, tau):
+    clock, _ = clock_rho
+    assert abs(clock.real_time_at(clock.read(tau)) - tau) <= 1e-6 * (1 + tau)
+
+
+@given(clock_rho=piecewise_clock(), tau=times,
+       duration=st.floats(0.0, 100.0, allow_nan=False))
+def test_real_time_after_is_consistent(clock_rho, tau, duration):
+    """real_time_after advances the hardware reading by exactly the
+    requested local duration."""
+    clock, _ = clock_rho
+    fire_at = clock.real_time_after(tau, duration)
+    assert fire_at >= tau - 1e-9
+    advanced = clock.read(fire_at) - clock.read(tau)
+    assert abs(advanced - duration) <= 1e-6 * (1 + duration)
+
+
+@given(clock_rho=piecewise_clock(), t1=times, t2=times)
+def test_monotonicity(clock_rho, t1, t2):
+    clock, _ = clock_rho
+    if t1 < t2:
+        assert clock.read(t1) <= clock.read(t2)
+        if t2 - t1 > 1e-9 * (1 + t2):  # beyond float round-off
+            assert clock.read(t1) < clock.read(t2)
+
+
+@settings(max_examples=25)
+@given(rho=rhos, seed=st.integers(0, 2**31), step=st.floats(0.1, 5.0))
+def test_wander_clock_satisfies_eq2(rho, seed, step):
+    schedule = wander_schedule(rho, step=step, horizon=50.0,
+                               rng=random.Random(seed))
+    clock = PiecewiseRateClock(rho, schedule)
+    for t1, t2 in [(0.0, 50.0), (10.0, 11.0), (3.3, 47.0)]:
+        elapsed = clock.read(t2) - clock.read(t1)
+        span = t2 - t1
+        assert span / (1 + rho) - 1e-9 <= elapsed <= span * (1 + rho) + 1e-9
+
+
+@given(rho=rhos, rate_seed=st.floats(0.0, 1.0), tau=times,
+       adj=st.floats(-1e3, 1e3, allow_nan=False))
+def test_logical_clock_bias_identity(rho, rate_seed, tau, adj):
+    """B(tau) = C(tau) - tau for any clock and adjustment."""
+    from repro.clocks.logical import LogicalClock
+
+    rate = clamp_rate(1.0 + (rate_seed - 0.5) * rho, rho)
+    clock = LogicalClock(FixedRateClock(rho, rate=rate), adj=adj)
+    assert abs(clock.bias(tau) - (clock.read(tau) - tau)) < 1e-9

@@ -1,0 +1,141 @@
+"""Property-based tests for the Figure 1 convergence function.
+
+These encode the invariants the Appendix A proof leans on, checked over
+randomized estimate sets: validity (the correction targets a point
+pinned by good values), Byzantine-independence (liars can't push the
+statistics past good extremes), and the contraction behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import PaperConvergence, paper_order_statistics
+from repro.core.estimation import ClockEstimate
+
+CF = PaperConvergence()
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+small = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+accuracy = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def est(peer, d, a=0.0):
+    return ClockEstimate(peer=peer, distance=d, accuracy=a)
+
+
+@given(distances=st.lists(small, min_size=7, max_size=7), way_off=st.floats(0.1, 1e4))
+def test_correction_always_finite(distances, way_off):
+    estimates = [est(i, d) for i, d in enumerate(distances)]
+    correction = CF.correction(estimates, f=2, way_off=way_off)
+    assert math.isfinite(correction)
+
+
+@given(
+    good=st.lists(small, min_size=5, max_size=5),
+    liars=st.lists(finite, min_size=2, max_size=2),
+)
+def test_statistics_pinned_by_good_values_with_f_liars(good, liars):
+    """With f=2 liars among 7, m is at most the largest good value and
+    M at least the smallest good value — the selection lemma."""
+    estimates = [est(i, d) for i, d in enumerate(good)]
+    estimates += [est(len(good) + i, d) for i, d in enumerate(liars)]
+    m, big_m = paper_order_statistics(estimates, f=2)
+    assert m <= max(good) + 1e-9
+    assert big_m >= min(good) - 1e-9
+
+
+@given(
+    good=st.lists(small, min_size=5, max_size=5),
+    liars=st.lists(finite, min_size=2, max_size=2),
+    way_off=st.floats(1.0, 1e4),
+)
+def test_correction_lands_in_good_hull_with_own_clock(good, liars, way_off):
+    """Validity: the new clock position (correction) lies within the
+    convex hull of {good distances} U {0} — liars cannot drag the clock
+    outside what good processors and the own clock span."""
+    estimates = [est(i, d) for i, d in enumerate(good)]
+    estimates += [est(len(good) + i, d) for i, d in enumerate(liars)]
+    correction = CF.correction(estimates, f=2, way_off=way_off)
+    lo = min(min(good), 0.0)
+    hi = max(max(good), 0.0)
+    assert lo - 1e-9 <= correction <= hi + 1e-9
+
+
+@given(offsets=st.lists(small, min_size=7, max_size=7))
+def test_translation_equivariance(offsets):
+    """Shifting every estimate by a constant shifts the correction by
+    the same constant (clock-frame independence), provided both runs
+    take the same branch — guaranteed here by a huge WayOff."""
+    shift = 13.25
+    base = [est(i, d) for i, d in enumerate(offsets)]
+    shifted = [est(i, d + shift) for i, d in enumerate(offsets)]
+    c0 = CF.correction(base, f=2, way_off=1e9)
+    c1 = CF.correction(shifted, f=2, way_off=1e9)
+    # The own-clock term (the 0 in min/max) breaks exact equivariance;
+    # but the branch condition makes the correction differ by at most
+    # the shift.
+    assert c1 - c0 <= shift + 1e-6
+    assert c1 - c0 >= -1e-6
+
+
+@given(value=small)
+def test_unanimous_estimates_move_at_most_halfway(value):
+    """If every peer reports the same offset x (and own clock is
+    credible), the correction is x/2 for x outside [0,0] — never
+    overshooting the peers."""
+    estimates = [est(i, value) for i in range(7)]
+    correction = CF.correction(estimates, f=2, way_off=abs(value) + 1.0)
+    if value >= 0:
+        assert correction == max(value, 0.0) / 2.0 or math.isclose(correction, value / 2.0)
+    assert abs(correction) <= abs(value) / 2.0 + 1e-9
+
+
+@given(
+    distances=st.lists(small, min_size=7, max_size=7),
+    accuracies=st.lists(accuracy, min_size=7, max_size=7),
+)
+def test_way_off_jump_lands_between_statistics(distances, accuracies):
+    """In the else-branch, the new position (m+M)/2 is the midpoint of
+    the selected interval."""
+    estimates = [est(i, d, a) for i, (d, a) in enumerate(zip(distances, accuracies))]
+    m, big_m = paper_order_statistics(estimates, f=2)
+    correction = CF.correction(estimates, f=2, way_off=1e-12)
+    if not (m >= -1e-12 and big_m <= 1e-12):
+        assert math.isclose(correction, (m + big_m) / 2.0)
+
+
+@given(
+    distances=st.lists(small, min_size=7, max_size=7),
+    accuracies=st.lists(accuracy, min_size=7, max_size=7),
+)
+def test_m_at_most_big_m_plus_spread(distances, accuracies):
+    """Sanity of the statistics: m <= M whenever at least f+1
+    processors' intervals overlap; in general m can exceed M only due
+    to disjoint reading windows, never by more than the data allows."""
+    estimates = [est(i, d, a) for i, (d, a) in enumerate(zip(distances, accuracies))]
+    m, big_m = paper_order_statistics(estimates, f=2)
+    overs = sorted(e.overestimate for e in estimates)
+    unders = sorted((e.underestimate for e in estimates), reverse=True)
+    assert m == overs[2]
+    assert big_m == unders[2]
+
+
+@settings(max_examples=30)
+@given(
+    biases=st.lists(st.floats(-10.0, 10.0, allow_nan=False), min_size=7, max_size=7),
+)
+def test_contraction_of_span_without_errors(biases):
+    """Driftless, error-free network: applying the convergence function
+    at every node simultaneously never increases the bias span (the
+    Property 1/3 contraction of Section 4.3)."""
+    n, f = 7, 2
+    new_biases = []
+    for p in range(n):
+        estimates = [est(q, biases[q] - biases[p]) for q in range(n)]
+        correction = CF.correction(estimates, f=f, way_off=1e9)
+        new_biases.append(biases[p] + correction)
+    assert max(new_biases) - min(new_biases) <= max(biases) - min(biases) + 1e-9

@@ -1,0 +1,91 @@
+"""End-to-end property test: Theorem 5 over a fuzzed model space.
+
+The heavyweight hypothesis suite: random (but model-respecting)
+parameterizations, clock populations, delay models, and f-limited
+corruption plans — the deviation guarantee must hold in every one.
+Durations are kept short and example counts modest so the suite stays
+in CI budget; nightly runs can crank ``max_examples``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.mobile import rotating_plan
+from repro.adversary.strategies import (
+    LiarStrategy,
+    NoisyStrategy,
+    RandomClockStrategy,
+    SilentStrategy,
+    TwoFacedStrategy,
+)
+from repro.net.links import AsymmetricDelay, FixedDelay, JitteredDelay, UniformDelay
+from repro.runner.builders import benign_scenario, default_params, warmup_for
+from repro.runner.experiment import run
+from repro.runner.scenario import extremal_clocks, perfect_clocks, wander_clocks
+
+
+STRATEGY_FACTORIES = [
+    lambda params: (lambda n, e: SilentStrategy()),
+    lambda params: (lambda n, e: LiarStrategy(offset=50.0 * params.way_off)),
+    lambda params: (lambda n, e: NoisyStrategy(spread=20.0 * params.way_off)),
+    lambda params: (lambda n, e: TwoFacedStrategy(magnitude=10.0 * params.way_off)),
+    lambda params: (lambda n, e: RandomClockStrategy(spread=5.0 * params.way_off)),
+]
+
+DELAY_FACTORIES = [
+    lambda delta: FixedDelay(delta),
+    lambda delta: UniformDelay(delta),
+    lambda delta: AsymmetricDelay(delta),
+    lambda delta: JitteredDelay(delta),
+]
+
+CLOCK_FACTORIES = [wander_clocks, extremal_clocks, perfect_clocks]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    f=st.integers(1, 2),
+    extra_nodes=st.integers(0, 2),
+    delta_exp=st.integers(-3, -2),          # delta in [1e-3, 1e-2]
+    rho_exp=st.integers(-4, -3),            # rho in [1e-4, 1e-3]
+    seed=st.integers(0, 10_000),
+    strategy_index=st.integers(0, len(STRATEGY_FACTORIES) - 1),
+    delay_index=st.integers(0, len(DELAY_FACTORIES) - 1),
+    clock_index=st.integers(0, len(CLOCK_FACTORIES) - 1),
+)
+def test_theorem5_deviation_holds_over_model_space(
+        f, extra_nodes, delta_exp, rho_exp, seed, strategy_index,
+        delay_index, clock_index):
+    n = 3 * f + 1 + extra_nodes
+    delta = 10.0 ** delta_exp
+    rho = 10.0 ** rho_exp
+    params = default_params(n=n, f=f, delta=delta, rho=rho, pi=2.0)
+
+    strategy_factory = STRATEGY_FACTORIES[strategy_index](params)
+
+    def plan(scenario, clocks):
+        return rotating_plan(
+            n=params.n, f=params.f, pi=params.pi, duration=scenario.duration,
+            strategy_factory=strategy_factory,
+            first_start=2.0 * params.t_interval)
+
+    scenario = benign_scenario(
+        params, duration=8.0, seed=seed,
+        delay_model=DELAY_FACTORIES[delay_index](delta),
+        clock_factory=CLOCK_FACTORIES[clock_index],
+    )
+    scenario = dataclasses.replace(scenario, plan_builder=plan)
+    result = run(scenario)
+
+    bound = params.bounds().max_deviation
+    deviation = result.max_deviation(warmup_for(params))
+    assert deviation <= bound, (
+        f"deviation {deviation} > bound {bound} for n={n}, f={f}, "
+        f"delta={delta}, rho={rho}, seed={seed}, "
+        f"strategy={strategy_index}, delay={delay_index}, "
+        f"clocks={clock_index}")

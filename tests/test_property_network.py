@@ -1,0 +1,117 @@
+"""Property-based tests for the network and simulator substrates."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.net.links import FixedDelay, UniformDelay
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+class Collector(Process):
+    """Records (sender, payload, delivered_at) triples."""
+
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network,
+                         LogicalClock(FixedRateClock(rho=0.0)))
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append((message.sender, message.payload,
+                              message.delivered_at))
+
+
+def build(seed, n=4, delta=0.01):
+    sim = Simulator(seed=seed)
+    network = Network(sim, full_mesh(n), UniformDelay(delta))
+    procs = [Collector(i, sim, network) for i in range(n)]
+    for p in procs:
+        network.bind(p)
+    return sim, network, procs
+
+
+sends = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.floats(0.0, 5.0,
+                                                              allow_nan=False)),
+    min_size=0, max_size=30)
+
+
+@settings(max_examples=60)
+@given(seed=st.integers(0, 10_000), plan=sends)
+def test_exactly_once_within_delta(seed, plan):
+    """Every message between distinct nodes is delivered exactly once,
+    within (0, delta] of its send time, to the right recipient."""
+    sim, network, procs = build(seed)
+    expected = []
+    for index, (sender, recipient, at) in enumerate(plan):
+        if sender == recipient:
+            continue
+        expected.append((index, sender, recipient, at))
+        sim.schedule_at(at, lambda s=sender, r=recipient, i=index:
+                        network.send(s, r, i))
+    sim.run()
+    total_delivered = sum(len(p.received) for p in procs)
+    assert total_delivered == len(expected)
+    for index, sender, recipient, at in expected:
+        matches = [d for d in procs[recipient].received
+                   if d[0] == sender and d[1] == index]
+        assert len(matches) == 1
+        delivered_at = matches[0][2]
+        assert at < delivered_at <= at + network.delta + 1e-12
+
+
+@settings(max_examples=60)
+@given(seed=st.integers(0, 10_000),
+       times=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1,
+                      max_size=40))
+def test_simulator_executes_in_time_order(seed, times):
+    sim = Simulator(seed=seed)
+    fired = []
+    for t in times:
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == sorted(times)
+    assert sim.events_processed == len(times)
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 10_000),
+       times=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=2,
+                      max_size=20),
+       cancel_mask=st.lists(st.booleans(), min_size=2, max_size=20))
+def test_cancellation_is_exact(seed, times, cancel_mask):
+    """Exactly the non-cancelled events fire."""
+    sim = Simulator(seed=seed)
+    fired = []
+    handles = []
+    for i, t in enumerate(times):
+        handles.append(sim.schedule_at(t, lambda i=i: fired.append(i)))
+    kept = []
+    for i, handle in enumerate(handles):
+        if i < len(cancel_mask) and cancel_mask[i]:
+            sim.cancel(handle)
+        else:
+            kept.append(i)
+    sim.run()
+    assert sorted(fired) == kept
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 10_000))
+def test_identical_seeds_identical_delays(seed):
+    """The same (topology, seed, send plan) yields identical delivery
+    times — the determinism contract."""
+    def deliveries(s):
+        sim, network, procs = build(s)
+        for k in range(10):
+            sim.schedule_at(0.1 * k, lambda k=k: network.send(0, 1, k))
+        sim.run()
+        return [(p, t) for _, p, t in procs[1].received]
+
+    assert deliveries(seed) == deliveries(seed)

@@ -1,0 +1,77 @@
+"""Property-based tests for the secure time service invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runner.builders import benign_scenario, default_params
+from repro.runner.experiment import run
+from repro.service import SecureTimeService, Timestamp
+
+
+_RESULT = None
+
+
+def synced_service(node=0):
+    """A service over a real (cached) run; hypothesis reuses it."""
+    global _RESULT
+    if _RESULT is None:
+        params = default_params(n=4, f=1)
+        _RESULT = run(benign_scenario(params, duration=3.0, seed=50))
+    return SecureTimeService(_RESULT.processes[node], _RESULT.params)
+
+
+ages = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+offsets = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@given(max_age=st.floats(0.0, 10.0, allow_nan=False), offset=offsets)
+def test_validation_window_is_exact(max_age, offset):
+    """validate_timestamp accepts exactly the window
+    [-skew-extra, max_age+skew+extra] of apparent age."""
+    service = synced_service()
+    ts = Timestamp(value=service.now() - offset, issuer=1)
+    accepted = service.validate_timestamp(ts, max_age=max_age)
+    allowance = service.skew + service.extra
+    in_window = -allowance <= offset <= max_age + allowance
+    assert accepted == in_window
+
+
+@given(max_age=st.floats(0.0, 10.0, allow_nan=False),
+       extra_age=st.floats(0.001, 100.0, allow_nan=False))
+def test_validation_monotone_in_age(max_age, extra_age):
+    """If a timestamp is rejected as stale, any older one is too."""
+    service = synced_service()
+    base = service.now()
+    younger = Timestamp(value=base - max_age, issuer=1)
+    older = Timestamp(value=base - max_age - extra_age, issuer=1)
+    if not service.validate_timestamp(younger, max_age):
+        assert not service.validate_timestamp(older, max_age)
+
+
+@given(ttl=st.floats(0.0, 50.0, allow_nan=False))
+def test_safe_expiry_never_eagerly_expired(ttl):
+    """An item stamped via safe_expiry is not expired under either rule
+    at issue time."""
+    service = synced_service()
+    expiry = service.safe_expiry(ttl)
+    assert not service.is_expired(expiry, conservative=True)
+    assert not service.is_expired(expiry, conservative=False)
+
+
+@given(expiry_offset=offsets)
+def test_conservative_implies_eager(expiry_offset):
+    """Certainly-expired implies possibly-expired, never the reverse."""
+    service = synced_service()
+    expiry = service.now() + expiry_offset
+    if service.is_expired(expiry, conservative=True):
+        assert service.is_expired(expiry, conservative=False)
+
+
+@given(length=st.floats(0.5, 10.0, allow_nan=False))
+def test_epoch_consistent_with_now(length):
+    service = synced_service()
+    epoch = service.epoch(length)
+    now = service.now()
+    assert epoch * length <= now < (epoch + 2) * length

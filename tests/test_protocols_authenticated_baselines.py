@@ -1,0 +1,190 @@
+"""Tests for the [19] interactive-convergence and [27] Srikanth-Toueg
+baselines (the Section 5 'majority with authentication' family)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.adversary.base import ByzantineStrategy
+from repro.adversary.mobile import rotating_plan, single_burst_plan
+from repro.adversary.strategies import LiarStrategy
+from repro.core.convergence import EgocentricMeanConvergence
+from repro.core.estimation import ClockEstimate, timeout_estimate
+from repro.errors import ParameterError
+from repro.protocols import registered_protocols
+from repro.protocols.srikanth_toueg import RoundReady, SrikanthTouegProcess
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    recovery_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def est(peer, d, a=0.0):
+    return ClockEstimate(peer=peer, distance=d, accuracy=a)
+
+
+class TestEgocentricMeanConvergence:
+    def test_benign_average(self):
+        cf = EgocentricMeanConvergence(threshold=1.0)
+        estimates = [est(i, 0.1) for i in range(7)]
+        assert cf.correction(estimates, f=2, way_off=1.0) == pytest.approx(0.1)
+
+    def test_implausible_readings_replaced_by_own(self):
+        cf = EgocentricMeanConvergence(threshold=1.0)
+        estimates = [est(i, 0.0) for i in range(5)] + [est(5, 50.0), est(6, -50.0)]
+        assert cf.correction(estimates, f=2, way_off=1.0) == 0.0
+
+    def test_timeouts_replaced_by_own(self):
+        cf = EgocentricMeanConvergence(threshold=1.0)
+        estimates = [est(i, 0.7) for i in range(5)] + [timeout_estimate(5),
+                                                       timeout_estimate(6)]
+        assert cf.correction(estimates, f=2, way_off=1.0) \
+            == pytest.approx(0.7 * 5 / 7)
+
+    def test_byzantine_bias_lever(self):
+        """The known weakness vs order statistics: f plausible liars at
+        the threshold edge shift the mean by ~f*threshold/n."""
+        cf = EgocentricMeanConvergence(threshold=1.0)
+        estimates = [est(i, 0.0) for i in range(5)] + [est(5, 0.99), est(6, 0.99)]
+        bias = cf.correction(estimates, f=2, way_off=1.0)
+        assert bias == pytest.approx(2 * 0.99 / 7)
+        assert bias > 0.1  # a standing lever PaperConvergence denies
+
+    def test_requires_3f_plus_1(self):
+        cf = EgocentricMeanConvergence()
+        with pytest.raises(ParameterError):
+            cf.correction([est(0, 0.0)] * 6, f=2, way_off=1.0)
+
+    def test_threshold_defaults_to_way_off(self):
+        cf = EgocentricMeanConvergence()
+        estimates = [est(i, 0.0) for i in range(6)] + [est(6, 5.0)]
+        # way_off = 1.0: the 5.0 reading is replaced.
+        assert cf.correction(estimates, f=2, way_off=1.0) == 0.0
+
+
+class TestInteractiveConvergenceProtocol:
+    def test_registered(self):
+        assert "interactive-convergence" in registered_protocols()
+
+    def test_benign_within_bound(self):
+        params = default_params(n=7, f=2)
+        result = run(benign_scenario(params, duration=8.0, seed=1,
+                                     protocol="interactive-convergence"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+    def test_bounded_under_byzantine_liar(self):
+        params = default_params(n=7, f=2)
+
+        def plan(scenario, clocks):
+            return rotating_plan(n=params.n, f=params.f, pi=params.pi,
+                                 duration=scenario.duration,
+                                 strategy_factory=lambda n, e: LiarStrategy(
+                                     offset=100.0 * params.way_off),
+                                 first_start=2.0 * params.t_interval)
+
+        scenario = benign_scenario(params, duration=10.0, seed=2,
+                                   protocol="interactive-convergence")
+        scenario = dataclasses.replace(scenario, plan_builder=plan)
+        result = run(scenario)
+        assert result.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+
+    def test_recovery_slower_than_sync(self):
+        """No WayOff jump: the way-off node converges at ~(1/n) rate per
+        sync instead of halving, so recovery takes several times longer."""
+        params = default_params(n=7, f=2)
+        cnv = run(recovery_scenario(params, duration=12.0, seed=3,
+                                    protocol="interactive-convergence"))
+        sync = run(recovery_scenario(params, duration=12.0, seed=3,
+                                     protocol="sync"))
+        cnv_rec = cnv.recovery()
+        sync_rec = sync.recovery()
+        assert sync_rec.all_recovered
+        assert (not cnv_rec.all_recovered
+                or cnv_rec.max_recovery_time > 2 * sync_rec.max_recovery_time)
+
+
+class TestSrikanthToueg:
+    def test_registered(self):
+        assert "srikanth-toueg" in registered_protocols()
+
+    def test_benign_within_bound(self):
+        params = default_params(n=7, f=2)
+        result = run(benign_scenario(params, duration=8.0, seed=4,
+                                     protocol="srikanth-toueg"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+    def test_works_at_bare_majority(self):
+        """[27]'s headline: n = 2f+1 suffices (with authentication)."""
+        params = dataclasses.replace(default_params(n=7, f=2), n=5, strict=False)
+        result = run(benign_scenario(params, duration=8.0, seed=5,
+                                     protocol="srikanth-toueg"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+    def test_rejects_below_majority(self, sim):
+        from repro.clocks.hardware import FixedRateClock
+        from repro.clocks.logical import LogicalClock
+        from repro.net.links import FixedDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+
+        params = dataclasses.replace(default_params(n=7, f=2), n=4,
+                                     strict=False)
+        network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        with pytest.raises(ParameterError, match="majority"):
+            SrikanthTouegProcess(0, sim, network,
+                                 LogicalClock(FixedRateClock(rho=params.rho)),
+                                 params)
+
+    def test_premature_round_needs_f_plus_1_signers(self):
+        """f colluding early announcers cannot trigger acceptance: the
+        round fires only when a good clock really reaches it."""
+        params = default_params(n=7, f=2)
+
+        class EarlyAnnouncer(ByzantineStrategy):
+            name = "early-round"
+
+            def on_break_in(self, process, rng):
+                for peer in process.network.topology.neighbors(process.node_id):
+                    process.send(peer, RoundReady(round_no=30,
+                                                  signer=process.node_id))
+
+        def plan(scenario, clocks):
+            return single_burst_plan(
+                [0, 1], start=1.0, dwell=1.0,
+                strategy_factory=lambda n, e: EarlyAnnouncer())
+
+        scenario = benign_scenario(params, duration=8.0, seed=6,
+                                   protocol="srikanth-toueg")
+        scenario = dataclasses.replace(scenario, plan_builder=plan)
+        result = run(scenario)
+        assert result.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+        good_rounds = [p.round_no for node, p in result.processes.items()
+                       if node > 1]
+        assert max(good_rounds) < 25
+
+    def test_laggard_catches_up_via_future_round(self):
+        """A processor napping through rounds accepts the next fully
+        supported round directly instead of deadlocking."""
+        from repro.adversary.strategies import SilentStrategy
+
+        params = default_params(n=7, f=2)
+
+        def plan(scenario, clocks):
+            return single_burst_plan(
+                [0], start=1.0, dwell=2.0,
+                strategy_factory=lambda n, e: SilentStrategy())
+
+        scenario = benign_scenario(params, duration=10.0, seed=7,
+                                   protocol="srikanth-toueg")
+        scenario = dataclasses.replace(scenario, plan_builder=plan)
+        result = run(scenario)
+        rounds = [p.round_no for p in result.processes.values()]
+        assert max(rounds) - min(rounds) <= 1
+        assert result.recovery().all_recovered

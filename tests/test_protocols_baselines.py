@@ -1,0 +1,130 @@
+"""Unit tests for the baseline protocols and the registry."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    default_max_step,
+    protocol_factory,
+    registered_protocols,
+)
+from repro.protocols.base import register_protocol
+from repro.runner.builders import benign_scenario, default_params, recovery_scenario
+from repro.runner.experiment import run
+
+
+def fast_params(n=4, f=1):
+    return default_params(n=n, f=f)
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        names = registered_protocols()
+        for expected in ("sync", "drift-only", "averaging",
+                         "minimal-correction", "round-based"):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            protocol_factory("no-such-protocol")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_protocol("sync")(lambda *a, **k: None)
+
+
+class TestDriftOnly:
+    def test_never_adjusts(self):
+        result = run(benign_scenario(fast_params(), duration=2.0,
+                                     protocol="drift-only"))
+        for clock in result.clocks.values():
+            assert clock.adjustments == []
+
+    def test_deviation_grows_with_drift(self):
+        """Without synchronization, extremal clocks diverge linearly."""
+        from repro.runner.scenario import extremal_clocks
+        params = fast_params()
+        result = run(benign_scenario(params, duration=5.0, protocol="drift-only",
+                                     clock_factory=extremal_clocks))
+        early = result.deviation_series()[4][1]
+        late = result.deviation_series()[-1][1]
+        assert late > early
+        # Mutual drift rate ~ (1+rho) - 1/(1+rho) ~ 2*rho.
+        expected = 5.0 * ((1 + params.rho) - 1 / (1 + params.rho))
+        assert late == pytest.approx(expected, rel=0.1)
+
+
+class TestAveraging:
+    def test_benign_performance_fine(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=3.0, protocol="averaging"))
+        assert result.max_deviation(warmup=1.0) < params.bounds().max_deviation
+
+
+class TestMinimalCorrection:
+    def test_default_max_step_formula(self):
+        params = fast_params()
+        expected = 4 * params.epsilon + 2 * params.rho * params.sync_interval
+        assert default_max_step(params) == pytest.approx(expected)
+
+    def test_corrections_are_clamped(self):
+        params = fast_params()
+        result = run(recovery_scenario(params, duration=4.0,
+                                       protocol="minimal-correction"))
+        step = default_max_step(params)
+        victim = result.processes[0]
+        assert all(abs(r.correction) <= step + 1e-12 for r in victim.sync_records)
+
+    def test_recovery_much_slower_than_sync(self):
+        """The paper's Section 1.1 claim: bounded corrections delay
+        recovery. Same displacement, same duration — Sync recovers,
+        minimal-correction is still far away."""
+        params = fast_params()
+        duration = 6.0
+        sync_result = run(recovery_scenario(params, duration=duration, seed=7,
+                                            protocol="sync"))
+        mc_result = run(recovery_scenario(params, duration=duration, seed=7,
+                                          protocol="minimal-correction"))
+        sync_rec = sync_result.recovery()
+        mc_rec = mc_result.recovery()
+        assert sync_rec.all_recovered
+        assert (not mc_rec.all_recovered
+                or mc_rec.max_recovery_time > 5 * sync_rec.max_recovery_time)
+
+
+class TestRoundBased:
+    def test_benign_performance_fine(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=3.0, protocol="round-based"))
+        assert result.max_deviation(warmup=1.0) < params.bounds().max_deviation
+
+    def test_round_state_lost_on_recovery(self):
+        params = fast_params()
+        result = run(recovery_scenario(params, duration=4.0, protocol="round-based"))
+        victim = result.processes[0]
+        # After release, the victim's round counter restarted: its
+        # records' round numbers are not monotone over the whole run.
+        rounds = [r.round_no for r in victim.sync_records]
+        assert rounds, "victim synced at least once"
+        assert any(b <= a for a, b in zip(rounds, rounds[1:])) or rounds[0] == 1
+
+
+class TestCustomFactory:
+    def test_scenario_accepts_callable_protocol(self):
+        from repro.core.sync import SyncProcess
+
+        built = []
+
+        def factory(node_id, sim, network, clock, params, start_phase):
+            process = SyncProcess(node_id, sim, network, clock, params,
+                                  start_phase=start_phase, pings_per_peer=2)
+            built.append(process)
+            return process
+
+        result = run(benign_scenario(fast_params(), duration=1.0, protocol=factory))
+        assert len(built) == result.params.n

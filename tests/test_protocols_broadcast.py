@@ -1,0 +1,147 @@
+"""Tests for the [10]-style broadcast-based comparator."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.adversary.base import ByzantineStrategy
+from repro.adversary.mobile import single_burst_plan
+from repro.core.params import ProtocolParams
+from repro.errors import ParameterError
+from repro.protocols import registered_protocols
+from repro.protocols.broadcast_based import BroadcastSyncProcess, Resync
+from repro.runner.builders import benign_scenario, default_params, warmup_for
+from repro.runner.experiment import run
+
+
+class ScrambleState(ByzantineStrategy):
+    """Full Byzantine control: scramble both the clock and the internal
+    epoch counter before leaving ('the adversary ... may also modify the
+    internal state of p')."""
+
+    name = "scramble-state"
+
+    def __init__(self, clock_offset: float, epoch_offset: int) -> None:
+        self.clock_offset = clock_offset
+        self.epoch_offset = epoch_offset
+
+    def on_leave(self, process, rng: random.Random) -> None:
+        process.clock.hijack_set(process.sim.now,
+                                 process.clock.adj + self.clock_offset)
+        if hasattr(process, "epoch"):
+            process.epoch += self.epoch_offset
+
+
+def scramble_scenario(params, protocol, duration=12.0, seed=1):
+    def plan(scenario, clocks):
+        return single_burst_plan(
+            [0], start=2.0, dwell=1.0,
+            strategy_factory=lambda n, e: ScrambleState(
+                clock_offset=6.0 * params.way_off, epoch_offset=50),
+        )
+
+    scenario = benign_scenario(params, duration=duration, seed=seed,
+                               protocol=protocol)
+    return dataclasses.replace(scenario, plan_builder=plan)
+
+
+class TestRegistration:
+    def test_variants_registered(self):
+        names = registered_protocols()
+        assert "broadcast-detected" in names
+        assert "broadcast-undetected" in names
+
+    def test_majority_requirement(self, sim):
+        from repro.clocks.hardware import FixedRateClock
+        from repro.clocks.logical import LogicalClock
+        from repro.net.links import FixedDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+
+        params = dataclasses.replace(default_params(n=4, f=1), n=2, strict=False)
+        network = Network(sim, full_mesh(2), FixedDelay(delta=params.delta))
+        clock = LogicalClock(FixedRateClock(rho=params.rho))
+        with pytest.raises(ParameterError, match="majority"):
+            BroadcastSyncProcess(0, sim, network, clock, params)
+
+
+class TestBenign:
+    def test_synchronizes_within_bound(self):
+        params = default_params(n=4, f=1)
+        result = run(benign_scenario(params, duration=8.0, seed=1,
+                                     protocol="broadcast-undetected"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+    def test_epochs_advance_in_lockstep(self):
+        params = default_params(n=4, f=1)
+        result = run(benign_scenario(params, duration=8.0, seed=1,
+                                     protocol="broadcast-undetected"))
+        epochs = [p.epoch for p in result.processes.values()]
+        assert max(epochs) - min(epochs) <= 1
+        assert min(epochs) > 5
+
+    def test_works_at_majority_only_n5_f2(self):
+        """The [10] advantage: n = 2f+1 suffices (Sync needs 3f+1)."""
+        params = dataclasses.replace(default_params(n=7, f=2), n=5, strict=False)
+        result = run(benign_scenario(params, duration=8.0, seed=2,
+                                     protocol="broadcast-undetected"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+
+class TestDetectionDependence:
+    """The paper's critique: [10] assumes detected faults."""
+
+    def test_detected_recovery_rejoins(self):
+        params = default_params(n=4, f=1)
+        result = run(scramble_scenario(params, "broadcast-detected"))
+        report = result.recovery()
+        assert report.events and report.all_recovered
+
+    def test_undetected_recovery_never_rejoins(self):
+        """Same attack, no detection: the scrambled epoch counter waits
+        for an epoch that never comes."""
+        params = default_params(n=4, f=1)
+        result = run(scramble_scenario(params, "broadcast-undetected"))
+        report = result.recovery()
+        assert report.events and not report.all_recovered
+
+    def test_sync_recovers_undetected_from_same_attack(self):
+        """The paper's protocol needs no detection for the same attack
+        (epoch scrambling is a no-op for it; the clock offset is what
+        matters)."""
+        params = default_params(n=4, f=1)
+        result = run(scramble_scenario(params, "sync"))
+        report = result.recovery()
+        assert report.events and report.all_recovered
+
+
+class TestSignatureChains:
+    def test_under_signed_untimely_announcement_rejected(self):
+        """A lone Byzantine announcing a wrong epoch early gains no
+        traction: good nodes are not timely for it and the chain never
+        reaches f+1 signatures."""
+        params = default_params(n=4, f=1)
+
+        class EarlyAnnouncer(ByzantineStrategy):
+            name = "early-announcer"
+
+            def on_break_in(self, process, rng):
+                process.network.broadcast(process.node_id,
+                                          Resync(epoch=40, signers=(process.node_id,)))
+
+        def plan(scenario, clocks):
+            return single_burst_plan([0], start=2.0, dwell=1.0,
+                                     strategy_factory=lambda n, e: EarlyAnnouncer())
+
+        scenario = benign_scenario(params, duration=8.0, seed=3,
+                                   protocol="broadcast-undetected")
+        scenario = dataclasses.replace(scenario, plan_builder=plan)
+        result = run(scenario)
+        # Good nodes never jumped to epoch 40's target.
+        assert result.max_deviation(warmup_for(params)) \
+            <= params.bounds().max_deviation
+        good_epochs = [p.epoch for node, p in result.processes.items() if node != 0]
+        assert max(good_epochs) < 30

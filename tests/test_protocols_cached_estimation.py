@@ -1,0 +1,128 @@
+"""Tests for the cached-estimation (separate probe thread) variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import registered_protocols
+from repro.protocols.cached_estimation import CachedEstimationProcess
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    recovery_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+
+
+def fast_params(n=4, f=1):
+    return default_params(n=n, f=f)
+
+
+def factory(probe_fraction=None, compensate=False, staleness_mult=8.0):
+    def make(node_id, sim, network, clock, params, start_phase):
+        probe = (None if probe_fraction is None
+                 else params.sync_interval * probe_fraction)
+        return CachedEstimationProcess(
+            node_id, sim, network, clock, params, start_phase=start_phase,
+            probe_interval=probe,
+            max_staleness=staleness_mult * params.sync_interval,
+            compensate=compensate)
+    return make
+
+
+class TestRegistration:
+    def test_both_variants_registered(self):
+        names = registered_protocols()
+        assert "cached-naive" in names and "cached-compensated" in names
+
+
+class TestBenignBehaviour:
+    def test_fast_cache_synchronizes_fine(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=5.0, seed=1,
+                                     protocol="cached-naive"))
+        assert result.max_deviation(2.0) <= params.bounds().max_deviation
+
+    def test_cache_fills_and_syncs_use_it(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=3.0, seed=1,
+                                     protocol="cached-naive"))
+        process = result.processes[0]
+        assert len(process._cache) == params.n - 1
+        # Syncs completed and saw replies (cache hits count as replies).
+        assert any(r.replies > 0 for r in process.sync_records[2:])
+
+    def test_empty_cache_start_counts_as_timeouts(self):
+        """The first sync may fire before any probes: all timeouts, no
+        correction, no crash."""
+        params = fast_params()
+        result = run(benign_scenario(params, duration=3.0, seed=2,
+                                     protocol=factory(probe_fraction=1.0)))
+        first = result.processes[0].sync_records[0]
+        assert first.replies in range(0, params.n)
+
+
+class TestTheCaveat:
+    """Section 3.1: stale caches void Definition 4; compensation fixes it."""
+
+    def test_naive_slow_cache_breaks_recovery_guarantee(self):
+        params = default_params(n=7, f=2)
+        result = run(recovery_scenario(params, duration=12.0, seed=1,
+                                       protocol=factory(0.5, compensate=False),
+                                       displacement=8 * params.way_off))
+        bound = params.bounds().max_deviation
+        broke_bound = result.max_deviation(warmup_for(params)) > bound
+        slow_recovery = result.recovery(tolerance=bound).max_recovery_time \
+            > 4 * result.params.t_interval
+        assert broke_bound or slow_recovery
+
+    def test_compensated_slow_cache_keeps_guarantee(self):
+        params = default_params(n=7, f=2)
+        result = run(recovery_scenario(params, duration=12.0, seed=1,
+                                       protocol=factory(0.5, compensate=True),
+                                       displacement=8 * params.way_off))
+        bound = params.bounds().max_deviation
+        assert result.max_deviation(warmup_for(params)) <= bound
+        assert result.recovery(tolerance=bound).all_recovered
+
+    def test_compensation_subtracts_own_adjustments(self):
+        """Unit-level: after an own adjustment, compensated cached
+        estimates shift by exactly -delta, naive ones don't."""
+        params = fast_params()
+        result = run(benign_scenario(params, duration=2.0, seed=3,
+                                     protocol=factory(0.25, compensate=True)))
+        process = result.processes[0]
+        estimates_before = process.cached_estimates()
+        process.clock.adjust(process.sim.now, 1.0)
+        estimates_after = process.cached_estimates()
+        for peer in estimates_before:
+            if not estimates_before[peer].timed_out:
+                assert estimates_after[peer].distance == pytest.approx(
+                    estimates_before[peer].distance - 1.0)
+
+    def test_stale_entries_become_timeouts(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=3.0, seed=4,
+                                     protocol=factory(0.25, staleness_mult=8.0)))
+        process = result.processes[0]
+        # Manufacture staleness by back-dating every cache entry.
+        for entry in process._cache.values():
+            entry.measured_local -= 100.0
+        estimates = process.cached_estimates()
+        assert all(e.timed_out for e in estimates.values())
+
+    def test_recovery_clears_cache(self):
+        params = fast_params()
+        result = run(benign_scenario(params, duration=2.0, seed=5,
+                                     protocol="cached-naive"))
+        process = result.processes[1]
+        assert process._cache
+
+        class Dummy:
+            def on_message(self, process, message):
+                pass
+
+        process.seize(Dummy())
+        process.release()
+        assert process._cache == {}

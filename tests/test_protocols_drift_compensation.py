@@ -1,0 +1,105 @@
+"""Unit + integration tests for the drift-compensating extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.drift_compensation import DriftCompensatingProcess
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+from repro.runner.scenario import extremal_clocks
+
+
+def fast_params(n=4, f=1):
+    return default_params(n=n, f=f)
+
+
+class TestConstruction:
+    def test_registered(self):
+        from repro.protocols import registered_protocols
+        assert "drift-compensating" in registered_protocols()
+
+    def test_bad_gain_rejected(self, sim):
+        from repro.clocks.hardware import FixedRateClock
+        from repro.clocks.logical import LogicalClock
+        from repro.net.links import FixedDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+
+        params = fast_params()
+        network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        clock = LogicalClock(FixedRateClock(rho=params.rho))
+        with pytest.raises(ValueError):
+            DriftCompensatingProcess(0, sim, network, clock, params, gain=0.0)
+
+    def test_default_limit_is_twice_rho(self, sim):
+        from repro.clocks.hardware import FixedRateClock
+        from repro.clocks.logical import LogicalClock
+        from repro.net.links import FixedDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+
+        params = fast_params()
+        network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        clock = LogicalClock(FixedRateClock(rho=params.rho))
+        process = DriftCompensatingProcess(0, sim, network, clock, params)
+        assert process.comp_limit == pytest.approx(2 * params.rho)
+
+
+class TestBehaviour:
+    def test_learns_rate_error_on_extremal_clocks(self):
+        """A fast node's comp_rate should converge toward its true rate
+        error relative to the cluster median (negative, ~ -rho)."""
+        params = fast_params()
+        result = run(benign_scenario(params, duration=8.0, seed=1,
+                                     clock_factory=extremal_clocks,
+                                     protocol="drift-compensating"))
+        fast_node = result.processes[0]   # even nodes run at 1 + rho
+        assert fast_node.comp_rate < 0
+        assert abs(fast_node.comp_rate) <= 2 * params.rho
+
+    def test_comp_rate_always_clamped(self):
+        params = fast_params()
+        result = run(mobile_byzantine_scenario(params, duration=10.0, seed=2,
+                                               protocol="drift-compensating"))
+        for process in result.processes.values():
+            assert abs(process.comp_rate) <= process.comp_limit + 1e-15
+
+    def test_improves_deviation_on_extremal_clocks(self):
+        params = fast_params()
+        plain = run(benign_scenario(params, duration=10.0, seed=3,
+                                    clock_factory=extremal_clocks))
+        comp = run(benign_scenario(params, duration=10.0, seed=3,
+                                   clock_factory=extremal_clocks,
+                                   protocol="drift-compensating"))
+        warm = 5.0  # allow the feedback loop to converge
+        assert comp.max_deviation(warm) < plain.max_deviation(warm)
+
+    def test_still_meets_theorem5_under_byzantine(self):
+        """Security retained: the extension must not break the bound."""
+        params = fast_params()
+        result = run(mobile_byzantine_scenario(params, duration=12.0, seed=4,
+                                               protocol="drift-compensating"))
+        verdict = result.verdict(warmup=warmup_for(params))
+        assert verdict.deviation_ok and verdict.discontinuity_ok
+
+    def test_feedback_state_lost_on_recovery(self):
+        params = fast_params()
+        result = run(recovery_scenario(params, duration=6.0, seed=5,
+                                       protocol="drift-compensating"))
+        assert result.recovery().all_recovered
+
+    def test_recovers_like_plain_sync(self):
+        """Compensation must not slow the WayOff jump."""
+        params = fast_params()
+        plain = run(recovery_scenario(params, duration=8.0, seed=6))
+        comp = run(recovery_scenario(params, duration=8.0, seed=6,
+                                     protocol="drift-compensating"))
+        assert comp.recovery().max_recovery_time <= \
+            plain.recovery().max_recovery_time + params.t_interval

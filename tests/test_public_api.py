@@ -1,0 +1,70 @@
+"""Public-API smoke tests: the documented entry points work as written."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_readme_quickstart_verbatim():
+    """The README quickstart, executed as documented."""
+    from repro import default_params, mobile_byzantine_scenario, run
+    from repro.runner.builders import warmup_for
+
+    params = default_params(n=7, f=2, delta=0.005, rho=5e-4, pi=2.0)
+    result = run(mobile_byzantine_scenario(params, duration=20.0, seed=1))
+
+    verdict = result.verdict(warmup=warmup_for(params))
+    assert verdict.all_ok
+
+    recovery = result.recovery()
+    assert recovery.all_recovered
+    assert recovery.max_recovery_time < params.pi
+
+
+def test_all_top_level_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_exports_exist():
+    import repro.adversary
+    import repro.clocks
+    import repro.core
+    import repro.metrics
+    import repro.net
+    import repro.protocols
+    import repro.runner
+    import repro.service
+    import repro.sim
+
+    for module in (repro.adversary, repro.clocks, repro.core, repro.metrics,
+                   repro.net, repro.protocols, repro.runner, repro.service,
+                   repro.sim):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_version_is_consistent():
+    import importlib.metadata
+
+    assert repro.__version__ == "0.1.0"
+    try:
+        installed = importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        pytest.skip("package not installed")
+    assert installed == repro.__version__
+
+
+def test_registered_protocol_inventory():
+    """The protocol registry carries the documented set."""
+    from repro.protocols import registered_protocols
+
+    expected = {
+        "sync", "drift-only", "averaging", "minimal-correction",
+        "round-based", "broadcast-detected", "broadcast-undetected",
+        "srikanth-toueg", "interactive-convergence", "drift-compensating",
+        "cached-naive", "cached-compensated",
+    }
+    assert expected <= set(registered_protocols())

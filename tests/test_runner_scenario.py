@@ -1,0 +1,93 @@
+"""Unit tests for scenario resolution and clock factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.links import FixedDelay, UniformDelay
+from repro.net.topology import ring
+from repro.runner.builders import default_params
+from repro.runner.scenario import (
+    Scenario,
+    extremal_clocks,
+    perfect_clocks,
+    wander_clocks,
+)
+
+
+@pytest.fixture
+def scenario(params):
+    return Scenario(params=params, duration=5.0)
+
+
+class TestResolution:
+    def test_default_topology_is_full_mesh(self, scenario):
+        topo = scenario.resolved_topology()
+        assert topo.n == scenario.params.n
+        assert topo.edge_count() == scenario.params.n * (scenario.params.n - 1) // 2
+
+    def test_explicit_topology_respected(self, params):
+        topo = ring(params.n)
+        scenario = Scenario(params=params, duration=1.0, topology=topo)
+        assert scenario.resolved_topology() is topo
+
+    def test_default_delay_model_is_uniform_with_delta(self, scenario):
+        model = scenario.resolved_delay_model()
+        assert isinstance(model, UniformDelay)
+        assert model.delta == scenario.params.delta
+
+    def test_explicit_delay_model_respected(self, params):
+        model = FixedDelay(params.delta)
+        scenario = Scenario(params=params, duration=1.0, delay_model=model)
+        assert scenario.resolved_delay_model() is model
+
+    def test_default_sample_interval_is_max_wait(self, scenario):
+        assert scenario.resolved_sample_interval() == scenario.params.max_wait
+
+    def test_explicit_sample_interval(self, params):
+        scenario = Scenario(params=params, duration=1.0, sample_interval=0.25)
+        assert scenario.resolved_sample_interval() == 0.25
+
+
+class TestInitialOffsets:
+    def test_default_zero(self, scenario):
+        rng = random.Random(0)
+        assert scenario.initial_offset_for(0, rng) == 0.0
+
+    def test_explicit_list_wins(self, params):
+        offsets = [0.1 * i for i in range(params.n)]
+        scenario = Scenario(params=params, duration=1.0, initial_offsets=offsets,
+                            initial_offset_spread=100.0)
+        rng = random.Random(0)
+        assert scenario.initial_offset_for(3, rng) == pytest.approx(0.3)
+
+    def test_spread_sampled_within_half_spread(self, params):
+        scenario = Scenario(params=params, duration=1.0, initial_offset_spread=2.0)
+        rng = random.Random(0)
+        values = [scenario.initial_offset_for(i, rng) for i in range(100)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+        assert max(values) > 0.3 and min(values) < -0.3
+
+
+class TestClockFactories:
+    def test_wander_clocks_obey_drift_bound(self, params):
+        clock = wander_clocks(0, params, random.Random(1), horizon=10.0)
+        elapsed = clock.read(10.0) - clock.read(0.0)
+        assert 10.0 / (1 + params.rho) - 1e-9 <= elapsed <= 10.0 * (1 + params.rho) + 1e-9
+
+    def test_extremal_clocks_alternate(self, params):
+        fast = extremal_clocks(0, params, random.Random(1), 10.0)
+        slow = extremal_clocks(1, params, random.Random(1), 10.0)
+        assert fast.rate_at(0.0) == pytest.approx(1 + params.rho)
+        assert slow.rate_at(0.0) == pytest.approx(1 / (1 + params.rho))
+
+    def test_perfect_clocks_track_real_time(self, params):
+        clock = perfect_clocks(0, params, random.Random(1), 10.0)
+        assert clock.read(7.5) == pytest.approx(7.5)
+
+    def test_wander_clocks_differ_per_rng(self, params):
+        a = wander_clocks(0, params, random.Random(1), 10.0)
+        b = wander_clocks(1, params, random.Random(2), 10.0)
+        assert a.read(10.0) != b.read(10.0)

@@ -1,0 +1,62 @@
+"""Tests for replication statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.runner.builders import benign_scenario, default_params, warmup_for
+from repro.runner.stats import replicate_measure, summarize_replications
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize_replications([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.std == pytest.approx(1.5811388, rel=1e-6)
+        # 95% t CI with df=4: t = 2.776; half-width = t*std/sqrt(5).
+        assert summary.half_width == pytest.approx(2.776 * 1.5811388 / 5 ** 0.5,
+                                                   rel=1e-3)
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_single_value_degenerates(self):
+        summary = summarize_replications([7.0])
+        assert summary.mean == 7.0
+        assert summary.ci_low == summary.ci_high == 7.0
+        assert summary.std == 0.0
+
+    def test_identical_values_zero_width(self):
+        summary = summarize_replications([2.0, 2.0, 2.0])
+        assert summary.half_width == pytest.approx(0.0)
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        narrow = summarize_replications(values, confidence=0.80)
+        wide = summarize_replications(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            summarize_replications([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(MeasurementError):
+            summarize_replications([1.0], confidence=1.5)
+
+    def test_str_format(self):
+        text = str(summarize_replications([1.0, 2.0, 3.0]))
+        assert "±" in text and "95% CI" in text and "n=3" in text
+
+
+class TestReplicateMeasure:
+    def test_deviation_over_seeds(self):
+        params = default_params(n=4, f=1)
+        summary = replicate_measure(
+            lambda seed: benign_scenario(params, duration=3.0, seed=seed),
+            lambda result: result.max_deviation(warmup_for(params)),
+            seeds=[1, 2, 3],
+        )
+        assert summary.n == 3
+        assert 0.0 < summary.mean < params.bounds().max_deviation
+        assert len(summary.values) == 3
+        assert summary.ci_high < params.bounds().max_deviation

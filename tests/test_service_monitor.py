@@ -1,0 +1,129 @@
+"""Tests for the advisory sync health monitor."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.sync import SyncRecord
+from repro.errors import ConfigurationError
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    recovery_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+from repro.service.monitor import MonitorThresholds, SyncHealthMonitor
+
+
+def record(node=0, replies=3, correction=0.0, own_discarded=False, t=1.0,
+           round_no=1):
+    return SyncRecord(node_id=node, round_no=round_no, real_time=t,
+                      local_before=t, correction=correction, m=0.0, big_m=0.0,
+                      own_discarded=own_discarded, replies=replies)
+
+
+@pytest.fixture
+def params():
+    return default_params(n=4, f=1)
+
+
+class TestRules:
+    def test_way_off_alert(self, params):
+        monitor = SyncHealthMonitor(params, node_id=0)
+        monitor.on_sync(record(own_discarded=True, correction=-0.7))
+        assert monitor.alert_counts() == {"way-off": 1}
+        assert "recovered" in monitor.alerts[0].detail
+
+    def test_other_nodes_records_ignored(self, params):
+        monitor = SyncHealthMonitor(params, node_id=0)
+        monitor.on_sync(record(node=2, own_discarded=True))
+        assert monitor.alerts == []
+
+    def test_starvation_needs_streak(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(starvation_streak=3))
+        for i in range(2):
+            monitor.on_sync(record(replies=0, round_no=i))
+        assert monitor.alert_counts() == {}
+        monitor.on_sync(record(replies=0, round_no=3))
+        assert monitor.alert_counts() == {"estimation-starvation": 1}
+
+    def test_streak_resets_on_healthy_sync(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(starvation_streak=2))
+        monitor.on_sync(record(replies=0))
+        monitor.on_sync(record(replies=3))  # healthy: resets
+        monitor.on_sync(record(replies=0))
+        assert monitor.alert_counts() == {}
+
+    def test_large_correction_alert(self, params):
+        monitor = SyncHealthMonitor(params, node_id=0)
+        big = 3.0 * params.bounds().discontinuity
+        monitor.on_sync(record(correction=big))
+        assert monitor.alert_counts() == {"large-corrections": 1}
+
+    def test_way_off_jump_not_double_flagged(self, params):
+        """The recovery jump is expected to be large: it raises way-off,
+        not large-corrections."""
+        monitor = SyncHealthMonitor(params, node_id=0)
+        monitor.on_sync(record(correction=-5.0, own_discarded=True))
+        assert monitor.alert_counts() == {"way-off": 1}
+
+    def test_callback_invoked(self, params):
+        seen = []
+        monitor = SyncHealthMonitor(params, node_id=0, on_alert=seen.append)
+        monitor.on_sync(record(own_discarded=True))
+        assert len(seen) == 1 and seen[0].kind == "way-off"
+
+    def test_bad_threshold_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            SyncHealthMonitor(params, node_id=0,
+                              thresholds=MonitorThresholds(min_replies_fraction=0.0))
+
+
+class TestLiveWiring:
+    def test_recovering_node_raises_way_off(self):
+        params = default_params(n=4, f=1)
+        monitors = {}
+
+        from repro.protocols.base import protocol_factory
+        inner = protocol_factory("sync")
+
+        def factory(node_id, sim, network, clock, params_, start_phase):
+            process = inner(node_id, sim, network, clock, params_, start_phase)
+            monitor = SyncHealthMonitor(params_, node_id)
+            process.sync_listeners.append(monitor.on_sync)
+            monitors[node_id] = monitor
+            return process
+
+        result = run(recovery_scenario(params, duration=6.0, seed=11,
+                                       protocol=factory))
+        assert result.recovery().all_recovered
+        victim_alerts = monitors[0].alert_counts()
+        assert victim_alerts.get("way-off", 0) >= 1
+        # Healthy nodes stay quiet.
+        for node in (1, 2, 3):
+            assert monitors[node].alert_counts().get("way-off", 0) == 0
+
+    def test_benign_run_is_silent(self):
+        params = default_params(n=4, f=1)
+        monitors = {}
+
+        from repro.protocols.base import protocol_factory
+        inner = protocol_factory("sync")
+
+        def factory(node_id, sim, network, clock, params_, start_phase):
+            process = inner(node_id, sim, network, clock, params_, start_phase)
+            monitor = SyncHealthMonitor(params_, node_id)
+            process.sync_listeners.append(monitor.on_sync)
+            monitors[node_id] = monitor
+            return process
+
+        run(benign_scenario(params, duration=5.0, seed=12, protocol=factory))
+        for monitor in monitors.values():
+            assert monitor.alerts == []

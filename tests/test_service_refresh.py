@@ -1,0 +1,113 @@
+"""Tests for the live proactive-refresh layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.sampler import good_set
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+from repro.service.refresh import RefreshingSyncProcess, make_refreshing
+
+
+EPOCH_LEN = 0.5
+
+
+def refresh_run(scenario_builder, duration=12.0, seed=40, n=4, f=1, **kwargs):
+    params = default_params(n=n, f=f)
+    return run(scenario_builder(params, duration=duration, seed=seed,
+                                protocol=make_refreshing(EPOCH_LEN), **kwargs))
+
+
+class TestConstruction:
+    def test_epoch_len_must_exceed_skew_window(self, sim):
+        from repro.clocks.hardware import FixedRateClock
+        from repro.clocks.logical import LogicalClock
+        from repro.net.links import FixedDelay
+        from repro.net.network import Network
+        from repro.net.topology import full_mesh
+
+        params = default_params(n=4, f=1)
+        network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        with pytest.raises(ConfigurationError):
+            RefreshingSyncProcess(0, sim, network,
+                                  LogicalClock(FixedRateClock(rho=params.rho)),
+                                  params, epoch_len=0.01)
+
+
+class TestBenign:
+    def test_rotations_happen_on_schedule(self):
+        result = refresh_run(benign_scenario)
+        for process in result.processes.values():
+            expected = int(12.0 / EPOCH_LEN)
+            assert abs(process.key_epoch - expected) <= 1
+            assert len(process.rotations) >= expected - 1
+
+    def test_rotation_epochs_strictly_increase(self):
+        result = refresh_run(benign_scenario)
+        for process in result.processes.values():
+            epochs = [r.epoch for r in process.rotations]
+            assert all(b > a for a, b in zip(epochs, epochs[1:]))
+
+    def test_peers_track_each_other(self):
+        result = refresh_run(benign_scenario)
+        for node, process in result.processes.items():
+            for peer in range(result.params.n):
+                if peer != node:
+                    assert process.share_compatible_with(peer)
+
+
+class TestUnderByzantineStorm:
+    @pytest.fixture(scope="class")
+    def storm(self):
+        params = default_params(n=7, f=2)
+        return run(mobile_byzantine_scenario(
+            params, duration=24.0, seed=41, protocol=make_refreshing(EPOCH_LEN)))
+
+    def test_good_epochs_agree_within_one_throughout(self, storm):
+        """The proactive-security property, live: at every rotation
+        instant, all Definition 3 good processors' key epochs (derived
+        from their sampled clocks) differ by at most 1."""
+        params = storm.params
+        warmup = warmup_for(params)
+        checked = 0
+        for i, tau in enumerate(storm.samples.times):
+            if tau < warmup:
+                continue
+            good = good_set(storm.corruptions, tau, params.pi, params.n)
+            if len(good) < 2:
+                continue
+            epochs = [int(storm.samples.clocks[node][i] // EPOCH_LEN)
+                      for node in good]
+            assert max(epochs) - min(epochs) <= 1, (tau, epochs)
+            checked += 1
+        assert checked > 100
+
+    def test_recovered_nodes_rederive_epoch_without_detection(self, storm):
+        """Every corrupted-and-released node's live key_epoch catches up
+        (it is clock-derived, not stored authority)."""
+        final_epochs = [p.key_epoch for p in storm.processes.values()]
+        assert max(final_epochs) - min(final_epochs) <= 1
+
+    def test_rotation_monotone_despite_scrambles(self, storm):
+        for process in storm.processes.values():
+            epochs = [r.epoch for r in process.rotations]
+            assert all(b > a for a, b in zip(epochs, epochs[1:]))
+
+    def test_shares_stay_combinable(self, storm):
+        """At run end, every pair of good processors can combine shares
+        (epoch skew <= 1) — the threshold never breaks."""
+        params = storm.params
+        tau = storm.samples.times[-1]
+        good = good_set(storm.corruptions, tau, params.pi, params.n)
+        for a in good:
+            for b in good:
+                if a != b:
+                    pa = storm.processes[a]
+                    assert abs(pa.key_epoch - storm.processes[b].key_epoch) <= 1

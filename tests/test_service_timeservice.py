@@ -1,0 +1,116 @@
+"""Unit + integration tests for the secure time service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.builders import (
+    default_params,
+    mobile_byzantine_scenario,
+    warmup_for,
+)
+from repro.runner.experiment import run
+from repro.service import SecureTimeService, Timestamp
+
+
+@pytest.fixture(scope="module")
+def synced_run():
+    params = default_params(n=4, f=1)
+    return run(mobile_byzantine_scenario(params, duration=10.0, seed=11))
+
+
+def make_service(result, node):
+    return SecureTimeService(result.processes[node], result.params)
+
+
+class TestBasics:
+    def test_now_matches_clock(self, synced_run):
+        service = make_service(synced_run, 0)
+        tau = synced_run.samples.times[-1]
+        # After the run, sim.now is the end; now() reads the clock then.
+        assert service.now() == pytest.approx(
+            synced_run.clocks[0].read(synced_run.processes[0].sim.now))
+
+    def test_timestamp_carries_issuer(self, synced_run):
+        service = make_service(synced_run, 2)
+        ts = service.timestamp()
+        assert ts.issuer == 2
+        assert ts.value == pytest.approx(service.now())
+
+    def test_negative_extra_allowance_rejected(self, synced_run):
+        with pytest.raises(ConfigurationError):
+            SecureTimeService(synced_run.processes[0], synced_run.params,
+                              extra_allowance=-1.0)
+
+
+class TestEpochs:
+    def test_epoch_length_must_exceed_skew(self, synced_run):
+        service = make_service(synced_run, 0)
+        with pytest.raises(ConfigurationError):
+            service.epoch(length=service.skew)
+
+    def test_good_nodes_epochs_agree_within_guarantee(self, synced_run):
+        """The end-to-end property: all good nodes' epochs differ by at
+        most epochs_agree_within()."""
+        params = synced_run.params
+        length = 0.5
+        services = [make_service(synced_run, node) for node in range(params.n)]
+        epochs = [s.epoch(length) for s in services]
+        allowed = services[0].epochs_agree_within(length)
+        assert max(epochs) - min(epochs) <= allowed
+
+    def test_epochs_advance_with_time(self, synced_run):
+        service = make_service(synced_run, 0)
+        assert service.epoch(0.5) >= 10  # 10 s of run / 0.5 s epochs
+
+
+class TestFreshness:
+    def test_own_fresh_timestamp_validates(self, synced_run):
+        service = make_service(synced_run, 0)
+        assert service.validate_timestamp(service.timestamp(), max_age=1.0)
+
+    def test_peer_timestamp_validates_across_good_nodes(self, synced_run):
+        issuer = make_service(synced_run, 1)
+        verifier = make_service(synced_run, 3)
+        assert verifier.validate_timestamp(issuer.timestamp(), max_age=1.0)
+
+    def test_stale_timestamp_rejected(self, synced_run):
+        service = make_service(synced_run, 0)
+        stale = Timestamp(value=service.now() - 5.0, issuer=1)
+        assert not service.validate_timestamp(stale, max_age=1.0)
+
+    def test_future_timestamp_beyond_skew_rejected(self, synced_run):
+        """A clock claiming to be far ahead cannot belong to a good
+        node: reject (this is what 'secure time' buys over plain NTP)."""
+        service = make_service(synced_run, 0)
+        forged = Timestamp(value=service.now() + 10 * service.skew, issuer=1)
+        assert not service.validate_timestamp(forged, max_age=1.0)
+
+    def test_slightly_future_timestamp_tolerated(self, synced_run):
+        """Within the deviation window a peer may legitimately be ahead."""
+        service = make_service(synced_run, 0)
+        slightly_ahead = Timestamp(value=service.now() + 0.5 * service.skew,
+                                   issuer=1)
+        assert service.validate_timestamp(slightly_ahead, max_age=1.0)
+
+
+class TestExpiry:
+    def test_safe_expiry_not_expired_anywhere(self, synced_run):
+        params = synced_run.params
+        issuer = make_service(synced_run, 0)
+        expiry = issuer.safe_expiry(ttl=1.0)
+        for node in range(params.n):
+            verifier = make_service(synced_run, node)
+            assert not verifier.is_expired(expiry, conservative=False)
+
+    def test_conservative_vs_eager_expiration(self, synced_run):
+        service = make_service(synced_run, 0)
+        margin = service.skew + service.extra
+        # A deadline just behind now: possibly expired, not certainly.
+        borderline = service.now() - margin / 2
+        assert service.is_expired(borderline, conservative=False)
+        assert not service.is_expired(borderline, conservative=True)
+        # A deadline far behind now: expired under both rules.
+        long_gone = service.now() - 10 * margin
+        assert service.is_expired(long_gone, conservative=True)

@@ -1,0 +1,132 @@
+"""Unit tests for the simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_schedule_and_run_advances_time(sim):
+    fired = []
+    sim.schedule(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+    assert sim.now == 2.5
+
+
+def test_schedule_at_absolute_time(sim):
+    fired = []
+    sim.schedule_at(4.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [4.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    sim.schedule(5.0, lambda: fired.append(5.0))
+    sim.run(until=2.0)
+    assert fired == [1.0]
+    assert sim.now == 2.0  # clock advanced to the horizon
+
+
+def test_run_until_then_resume(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    sim.schedule(5.0, lambda: fired.append(5.0))
+    sim.run(until=2.0)
+    sim.run()
+    assert fired == [1.0, 5.0]
+
+
+def test_events_scheduled_during_run_are_executed(sim):
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_max_events_limit(sim):
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert sim.pending_events == 6
+
+
+def test_stop_terminates_run(sim):
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_cancel_scheduled_event(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+
+
+def test_step_executes_one_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_run_is_not_reentrant(sim):
+    def reenter():
+        sim.run()
+
+    sim.schedule(1.0, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_determinism_same_seed_same_stream():
+    a = Simulator(seed=42)
+    b = Simulator(seed=42)
+    sa = a.rngs.stream("x")
+    sb = b.rngs.stream("x")
+    assert [sa.random() for _ in range(5)] == [sb.random() for _ in range(5)]
+
+
+def test_different_streams_are_independent():
+    sim = Simulator(seed=42)
+    first = [sim.rngs.stream("a").random() for _ in range(3)]
+    second = [sim.rngs.stream("b").random() for _ in range(3)]
+    assert first != second

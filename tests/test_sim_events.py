@@ -1,0 +1,109 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while queue:
+        queue.pop().callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for label in ("first", "second", "third"):
+        queue.push(5.0, lambda lab=label: fired.append(lab))
+    while queue:
+        queue.pop().callback()
+    assert fired == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    event = queue.pop()
+    event.callback()
+    assert fired == ["keep"]
+    assert event is keep
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    e1 = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(e1)
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(early)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_pop_all_cancelled_raises():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    queue.cancel(event)
+    assert not queue
+
+
+def test_event_tags_preserved():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, tag="hello")
+    assert event.tag == "hello"
+
+
+def test_interleaved_push_pop_keeps_order():
+    queue = EventQueue()
+    queue.push(10.0, lambda: None, tag="late")
+    first = queue.pop()
+    assert first.tag == "late"
+    queue.push(5.0, lambda: None, tag="early")
+    queue.push(7.0, lambda: None, tag="mid")
+    assert queue.pop().tag == "early"
+    assert queue.pop().tag == "mid"

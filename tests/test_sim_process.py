@@ -1,0 +1,151 @@
+"""Unit tests for the process abstraction: timers, seize/release."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.net.links import FixedDelay
+from repro.net.network import Network
+from repro.net.topology import full_mesh
+from repro.sim.process import Process
+
+
+class TimerProcess(Process):
+    def __init__(self, node_id, sim, network, rate=1.0):
+        clock = LogicalClock(FixedRateClock(rho=0.5, rate=rate))
+        super().__init__(node_id, sim, network, clock)
+        self.fired = []
+        self.started = 0
+        self.recovered = 0
+
+    def start(self):
+        self.started += 1
+
+    def on_recover(self):
+        self.recovered += 1
+        super().on_recover()
+
+    def on_message(self, message):
+        self.fired.append(("msg", message.payload))
+
+
+def build(sim, n=2, rate=1.0):
+    network = Network(sim, full_mesh(n), FixedDelay(delta=0.01, value=0.005))
+    procs = [TimerProcess(i, sim, network, rate=rate) for i in range(n)]
+    for p in procs:
+        network.bind(p)
+    return network, procs
+
+
+def test_local_timer_fires_at_converted_real_time(sim):
+    _, procs = build(sim, rate=1.25)
+    proc = procs[0]
+    proc.set_local_timer(5.0, lambda: proc.fired.append(sim.now))
+    sim.run()
+    # 5 local units at rate 1.25 elapse in 4 real seconds.
+    assert proc.fired == [pytest.approx(4.0)]
+
+
+def test_local_timer_unaffected_by_adjustment(sim):
+    """adj changes the clock reading but not elapsed local time, so a
+    pending timer must not move (Definition 1)."""
+    _, procs = build(sim)
+    proc = procs[0]
+    proc.set_local_timer(2.0, lambda: proc.fired.append(sim.now))
+    sim.schedule(1.0, lambda: proc.clock.adjust(1.0, 100.0))
+    sim.run()
+    assert proc.fired == [pytest.approx(2.0)]
+
+
+def test_cancel_all_timers(sim):
+    _, procs = build(sim)
+    proc = procs[0]
+    proc.set_local_timer(1.0, lambda: proc.fired.append("a"))
+    proc.set_local_timer(2.0, lambda: proc.fired.append("b"))
+    proc.cancel_all_timers()
+    sim.run()
+    assert proc.fired == []
+
+
+def test_local_now_reads_logical_clock(sim):
+    _, procs = build(sim, rate=1.25)
+    proc = procs[0]
+    proc.clock.adjust(0.0, 3.0)
+    sim.schedule(4.0, lambda: proc.fired.append(proc.local_now()))
+    sim.run()
+    assert proc.fired == [pytest.approx(4.0 * 1.25 + 3.0)]
+
+
+class Controller:
+    """Fake adversary controller capturing routed messages."""
+
+    def __init__(self):
+        self.seen = []
+
+    def on_message(self, process, message):
+        self.seen.append(message.payload)
+
+
+def test_seize_routes_messages_to_controller(sim):
+    network, procs = build(sim)
+    controller = Controller()
+    procs[1].seize(controller)
+    network.send(0, 1, "intercepted")
+    sim.run()
+    assert controller.seen == ["intercepted"]
+    assert procs[1].fired == []
+
+
+def test_seize_cancels_timers_and_suppresses_pending(sim):
+    _, procs = build(sim)
+    proc = procs[0]
+    proc.set_local_timer(2.0, lambda: proc.fired.append("should-not-fire"))
+    sim.schedule(1.0, lambda: proc.seize(Controller()))
+    sim.run()
+    assert proc.fired == []
+
+
+def test_timer_armed_before_seize_suppressed_even_if_uncancelled(sim):
+    """The timer shim double-checks control at fire time."""
+    _, procs = build(sim)
+    proc = procs[0]
+
+    def fire():
+        proc.fired.append("fired")
+
+    proc.set_local_timer(2.0, fire)
+    # Seize without going through cancel (directly flip the flag) to
+    # exercise the shim's runtime check.
+    sim.schedule(1.0, lambda: setattr(proc, "controlled", True))
+    sim.run()
+    assert proc.fired == []
+
+
+def test_release_triggers_recovery_and_restart(sim):
+    network, procs = build(sim)
+    proc = procs[1]
+    proc.seize(Controller())
+    proc.release()
+    assert proc.recovered == 1
+    assert proc.started == 1
+    assert not proc.controlled
+
+
+def test_release_preserves_clock_adjustment(sim):
+    """Recovery must NOT reset adj — re-synchronizing the clock value is
+    the protocol's job, per the paper."""
+    _, procs = build(sim)
+    proc = procs[1]
+    proc.seize(Controller())
+    proc.clock.hijack_set(0.0, 999.0)
+    proc.release()
+    assert proc.clock.adj == 999.0
+
+
+def test_deliver_goes_to_protocol_when_not_controlled(sim):
+    network, procs = build(sim)
+    network.send(0, 1, "normal")
+    sim.run()
+    assert procs[1].fired == [("msg", "normal")]
