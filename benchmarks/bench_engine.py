@@ -8,12 +8,15 @@ statistics (many rounds), unlike the one-shot experiment benches.
 
 from __future__ import annotations
 
+from _util import emit
+
 from repro.clocks.hardware import FixedRateClock
 from repro.clocks.logical import LogicalClock
+from repro.metrics.report import table
 from repro.net.links import FixedDelay
 from repro.net.network import Network
 from repro.net.topology import full_mesh
-from repro.runner.builders import benign_scenario, default_params
+from repro.runner.builders import benign_scenario, default_params, mobile_byzantine_scenario
 from repro.runner.experiment import run
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
@@ -74,3 +77,24 @@ def test_full_scenario_wall_time(benchmark):
 
     events = benchmark.pedantic(scenario_run, rounds=3, iterations=1)
     assert events > 1000
+
+
+def test_engine_throughput_e1_workload(benchmark):
+    """Events/sec on the E1 headline workload, from the engine's own
+    perf counters (the number the hot-path work is judged by)."""
+
+    def e1_run():
+        params = default_params(n=7, f=2, delta=0.005, pi=4.0)
+        result = run(mobile_byzantine_scenario(params, duration=16.0, seed=1))
+        return result.perf
+
+    perf = benchmark.pedantic(e1_run, rounds=3, iterations=1)
+    emit("engine_throughput", table(
+        ["events", "wall_s", "events_per_sec", "heap_high_water", "cancelled_ratio"],
+        [[perf.events_processed, perf.run_wall_time, perf.events_per_second,
+          perf.heap_high_water, perf.cancelled_ratio]],
+        title="Engine throughput on the E1 workload (n=7, f=2, 16 simulated s)",
+        precision=4,
+    ))
+    assert perf.events_processed > 1000
+    assert perf.events_per_second > 0.0

@@ -26,6 +26,7 @@ Three concrete models are provided:
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Sequence
 
 from repro.errors import ClockError
@@ -155,14 +156,43 @@ class PiecewiseRateClock(HardwareClock):
         for i in range(1, len(starts)):
             span = starts[i] - starts[i - 1]
             self._h_at_start.append(self._h_at_start[-1] + span * self._rates[i - 1])
+        # Last segment served: simulation reads are near-monotone in tau,
+        # so the hint usually hits and skips the bisect entirely.  Pure
+        # cache — resolved segments (and thus readings) are unchanged.
+        self._seg_hint = 0
 
     def _segment_for_tau(self, tau: float) -> int:
-        return max(0, bisect.bisect_right(self._starts, tau) - 1)
+        starts = self._starts
+        i = self._seg_hint
+        if starts[i] <= tau:
+            j = i + 1
+            if j == len(starts) or tau < starts[j]:
+                return i
+        i = bisect.bisect_right(starts, tau) - 1
+        if i < 0:
+            i = 0
+        self._seg_hint = i
+        return i
 
     def read(self, tau: float) -> float:
-        self._check_domain(tau)
-        i = self._segment_for_tau(tau)
-        return self._h_at_start[i] + (tau - self._starts[i]) * self._rates[i]
+        # Hot path: domain check and segment lookup are inlined (the
+        # helper-based equivalent costs two extra calls per read, and a
+        # simulation reads clocks on every message and sample).
+        starts = self._starts
+        i = self._seg_hint
+        if starts[i] <= tau:
+            j = i + 1
+            if j != len(starts) and tau >= starts[j]:
+                i = bisect.bisect_right(starts, tau, j) - 1
+                self._seg_hint = i
+        else:
+            if tau < starts[0] - 1e-12:
+                raise ClockError(f"clock read at tau={tau} before origin {self.origin}")
+            i = bisect.bisect_right(starts, tau, 0, i) - 1
+            if i < 0:
+                i = 0
+            self._seg_hint = i
+        return self._h_at_start[i] + (tau - starts[i]) * self._rates[i]
 
     def real_time_at(self, h: float) -> float:
         if h < self.offset - 1e-12:
@@ -210,8 +240,7 @@ class QuantizedClock(HardwareClock):
         self.tick = float(tick)
 
     def read(self, tau: float) -> float:
-        import math as _math
-        return _math.floor(self.inner.read(tau) / self.tick) * self.tick
+        return math.floor(self.inner.read(tau) / self.tick) * self.tick
 
     def real_time_at(self, h: float) -> float:
         """Earliest real time at which the quantized reading reaches ``h``."""

@@ -25,6 +25,7 @@ from repro.core.analysis import (
 from repro.core.convergence import (
     ClampedConvergence,
     ConvergenceFunction,
+    CorrectionDecision,
     MeanConvergence,
     MidpointConvergence,
     PaperConvergence,
@@ -49,6 +50,7 @@ __all__ = [
     "self_estimate",
     "timeout_estimate",
     "ConvergenceFunction",
+    "CorrectionDecision",
     "PaperConvergence",
     "ClampedConvergence",
     "TrimmedMeanConvergence",

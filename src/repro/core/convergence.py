@@ -22,6 +22,7 @@ functions are comparison baselines:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.core.estimation import ClockEstimate
 from repro.errors import ParameterError
@@ -41,10 +42,65 @@ def kth_largest(values: list[float], k: int) -> float:
     return sorted(values, reverse=True)[k]
 
 
+def paper_order_statistics(estimates: list[ClockEstimate], f: int) -> tuple[float, float]:
+    """Return Figure 1's ``(m, M)`` order statistics for ``estimates``.
+
+    ``m`` is the ``f+1``-st smallest overestimate, ``M`` the ``f+1``-st
+    largest underestimate.  Exposed separately so traces and analysis
+    tools can record the statistics for any convergence function.
+    """
+    m = kth_smallest([e.overestimate for e in estimates], f)
+    big_m = kth_largest([e.underestimate for e in estimates], f)
+    return m, big_m
+
+
+@dataclass(frozen=True)
+class CorrectionDecision:
+    """A convergence function's full verdict for one Sync execution.
+
+    Produced by :meth:`ConvergenceFunction.decide` so that the trace
+    record of *which Figure 1 branch fired* comes from the same
+    computation as the applied correction — the two cannot silently
+    diverge.
+
+    Attributes:
+        correction: Signed amount to add to the clock's ``adj``.
+        m: Figure 1's low statistic (``f+1``-st smallest overestimate);
+            ``nan`` when the function has no applicable order statistics.
+        big_m: Figure 1's high statistic (``f+1``-st largest
+            underestimate); ``nan`` when not applicable.
+        own_discarded: True when the WayOff branch fired and the
+            processor ignored its own clock.  Always False for
+            baselines that have no such branch.
+    """
+
+    correction: float
+    m: float
+    big_m: float
+    own_discarded: bool
+
+
 class ConvergenceFunction:
     """Maps estimates to a clock correction (relative frame)."""
 
     name = "abstract"
+
+    def decide(self, estimates: list[ClockEstimate], f: int, way_off: float
+               ) -> CorrectionDecision:
+        """Compute the correction together with its trace metadata.
+
+        The default wraps :meth:`correction` and reports the Figure 1
+        order statistics for the trace (``nan`` when they do not exist
+        for this estimate set); functions with a WayOff branch override
+        this to report the branch actually taken.
+        """
+        correction = self.correction(estimates, f, way_off)
+        try:
+            m, big_m = paper_order_statistics(estimates, f)
+        except ParameterError:
+            m = big_m = math.nan
+        return CorrectionDecision(correction=correction, m=m, big_m=big_m,
+                                  own_discarded=False)
 
     def correction(self, estimates: list[ClockEstimate], f: int, way_off: float) -> float:
         """Compute the correction to add to the local clock.
@@ -85,25 +141,31 @@ class PaperConvergence(ConvergenceFunction):
 
     name = "paper"
 
-    def correction(self, estimates: list[ClockEstimate], f: int, way_off: float) -> float:
+    def decide(self, estimates: list[ClockEstimate], f: int, way_off: float
+               ) -> CorrectionDecision:
+        """Figure 1 lines 6-12, reporting the branch actually taken."""
         if len(estimates) < 2 * f + 1:
             raise ParameterError(
                 f"need at least 2f+1={2 * f + 1} estimates to tolerate f={f}; "
                 f"got {len(estimates)}"
             )
-        overestimates = [e.overestimate for e in estimates]
-        underestimates = [e.underestimate for e in estimates]
-        m = kth_smallest(overestimates, f)
-        big_m = kth_largest(underestimates, f)
+        m = kth_smallest([e.overestimate for e in estimates], f)
+        big_m = kth_largest([e.underestimate for e in estimates], f)
         if not (math.isfinite(m) and math.isfinite(big_m)):
             # More than f peers timed out (or a NaN slipped past the
             # estimation layer's sanitizer — NaN fails isfinite too);
             # no safe correction exists.  Defense in depth behind the
             # message validation in EstimationSession.on_pong.
-            return 0.0
+            return CorrectionDecision(0.0, m, big_m, own_discarded=False)
         if m >= -way_off and big_m <= way_off:
-            return (min(m, 0.0) + max(big_m, 0.0)) / 2.0
-        return (m + big_m) / 2.0
+            # Own clock credible: extend [m, M] to include 0 and average.
+            return CorrectionDecision((min(m, 0.0) + max(big_m, 0.0)) / 2.0,
+                                      m, big_m, own_discarded=False)
+        # WayOff branch: the own clock is discarded outright.
+        return CorrectionDecision((m + big_m) / 2.0, m, big_m, own_discarded=True)
+
+    def correction(self, estimates: list[ClockEstimate], f: int, way_off: float) -> float:
+        return self.decide(estimates, f, way_off).correction
 
 
 class ClampedConvergence(ConvergenceFunction):
@@ -125,9 +187,15 @@ class ClampedConvergence(ConvergenceFunction):
         self.max_step = float(max_step)
         self.name = f"clamped({inner.name}, {max_step:g})"
 
+    def decide(self, estimates: list[ClockEstimate], f: int, way_off: float
+               ) -> CorrectionDecision:
+        """Clamp the inner correction, preserving its branch report."""
+        inner = self.inner.decide(estimates, f, way_off)
+        clamped = max(-self.max_step, min(self.max_step, inner.correction))
+        return CorrectionDecision(clamped, inner.m, inner.big_m, inner.own_discarded)
+
     def correction(self, estimates: list[ClockEstimate], f: int, way_off: float) -> float:
-        raw = self.inner.correction(estimates, f, way_off)
-        return max(-self.max_step, min(self.max_step, raw))
+        return self.decide(estimates, f, way_off).correction
 
 
 class TrimmedMeanConvergence(ConvergenceFunction):
@@ -192,18 +260,6 @@ class MidpointConvergence(ConvergenceFunction):
         if not (math.isfinite(low) and math.isfinite(high)):
             return 0.0
         return (low + high) / 2.0
-
-
-def paper_order_statistics(estimates: list[ClockEstimate], f: int) -> tuple[float, float]:
-    """Return Figure 1's ``(m, M)`` order statistics for ``estimates``.
-
-    ``m`` is the ``f+1``-st smallest overestimate, ``M`` the ``f+1``-st
-    largest underestimate.  Exposed separately so traces and analysis
-    tools can record which branch of the protocol fired.
-    """
-    m = kth_smallest([e.overestimate for e in estimates], f)
-    big_m = kth_largest([e.underestimate for e in estimates], f)
-    return m, big_m
 
 
 class EgocentricMeanConvergence(ConvergenceFunction):

@@ -109,19 +109,24 @@ class EstimationSession:
         self.session_id = next(_session_counter)
         self._send_times: dict[int, tuple[int, float]] = {}  # nonce -> (peer, S)
         self._best: dict[int, ClockEstimate] = {}
-        self._replies_seen: dict[int, int] = {peer: 0 for peer in self.peers}
+        self._awaiting: set[int] = set(self.peers)  # peers with no reply yet
         self._nonce_counter = itertools.count()
         self._started = False
 
     # ------------------------------------------------------------------
 
     def begin(self, round_no: int = 0) -> None:
-        """Send all pings, stamping each with the local send time ``S``."""
+        """Send all pings, stamping each with the local send time ``S``.
+
+        All pings leave in the same simulator instant, so the send stamp
+        is read once (the clock is a pure function of real time).
+        """
         self._started = True
+        send_local = self.owner.local_now()
         for peer in self.peers:
             for _ in range(self.pings_per_peer):
                 nonce = self._make_nonce()
-                self._send_times[nonce] = (peer, self.owner.local_now())
+                self._send_times[nonce] = (peer, send_local)
                 self.owner.send(peer, Ping(nonce=nonce, round_no=round_no))
 
     def _make_nonce(self) -> int:
@@ -166,7 +171,7 @@ class EstimationSession:
         best = self._best.get(peer)
         if best is None or estimate.accuracy < best.accuracy:
             self._best[peer] = estimate
-        self._replies_seen[peer] += 1
+        self._awaiting.discard(peer)
         return True
 
     def finish(self) -> dict[int, ClockEstimate]:
@@ -179,4 +184,4 @@ class EstimationSession:
     @property
     def complete(self) -> bool:
         """True once every peer has at least one accepted reply."""
-        return self._started and all(count > 0 for count in self._replies_seen.values())
+        return self._started and not self._awaiting

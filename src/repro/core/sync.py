@@ -20,14 +20,12 @@ baseline protocols in :mod:`repro.protocols` reuse this machinery.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.convergence import (
     ConvergenceFunction,
     PaperConvergence,
-    paper_order_statistics,
 )
 from repro.core.estimation import ClockEstimate, EstimationSession, self_estimate
 from repro.core.params import ProtocolParams
@@ -53,7 +51,9 @@ class SyncRecord:
         m: Figure 1's low statistic (``f+1``-st smallest overestimate).
         big_m: Figure 1's high statistic (``f+1``-st largest underestimate).
         own_discarded: True when the WayOff branch fired and the
-            processor ignored its own clock.
+            processor ignored its own clock, as reported by the
+            convergence function itself (the same computation that
+            produced ``correction``).
         replies: Number of peers that answered before the deadline.
     """
 
@@ -152,25 +152,22 @@ class SyncProcess(Process):
             estimates.append(self_estimate(self.node_id))
 
         local_before = self.local_now()
-        correction = self.convergence.correction(
+        # One call yields both the correction and the branch metadata, so
+        # the trace record cannot diverge from the applied correction.
+        decision = self.convergence.decide(
             estimates, self.params.f, self.params.way_off
         )
-        self.clock.adjust(self.sim.now, correction)
+        self.clock.adjust(self.sim.now, decision.correction)
 
-        m, big_m = paper_order_statistics(estimates, self.params.f)
-        own_discarded = bool(
-            math.isfinite(m) and math.isfinite(big_m)
-            and not (m >= -self.params.way_off and big_m <= self.params.way_off)
-        )
         record = SyncRecord(
             node_id=self.node_id,
             round_no=self._round,
             real_time=self.sim.now,
             local_before=local_before,
-            correction=correction,
-            m=m,
-            big_m=big_m,
-            own_discarded=own_discarded,
+            correction=decision.correction,
+            m=decision.m,
+            big_m=decision.big_m,
+            own_discarded=decision.own_discarded,
             replies=replies,
         )
         self.sync_records.append(record)

@@ -1,5 +1,12 @@
-"""Measurement pipeline: sampling, Definition 3 measures, traces, tables."""
+"""Measurement pipeline: sampling, Definition 3 measures, traces, tables.
 
+Also re-exports the engine's performance-counter surface
+(:class:`~repro.sim.engine.EnginePerfCounters`): events/sec, heap
+high-water mark, and cancelled-event ratio are measurements too, and the
+benchmark harness consumes them from here.
+"""
+
+from repro.sim.engine import EnginePerfCounters
 from repro.metrics.measures import (
     AccuracyReport,
     RecoveryEvent,
@@ -24,6 +31,7 @@ from repro.metrics.sampler import (
 from repro.metrics.trace import CorruptionRecord, MessageRecord, TraceRecorder
 
 __all__ = [
+    "EnginePerfCounters",
     "ClockSampler",
     "ClockSamples",
     "CorruptionInterval",

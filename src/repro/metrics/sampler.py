@@ -131,6 +131,11 @@ class ClockSampler:
         self.clocks = clocks
         self.interval = float(interval)
         self.samples = ClockSamples(times=[], clocks={node: [] for node in clocks})
+        # Pre-bound (append, read) pairs: _sample runs on every grid
+        # point and the node set is fixed, so the per-sample dict and
+        # attribute lookups are hoisted out of the hot loop.
+        self._columns = [(self.samples.clocks[node].append, clock.read)
+                         for node, clock in clocks.items()]
 
     def start(self, until: float) -> None:
         """Schedule sampling events on the grid ``0, dt, 2dt, ... <= until``."""
@@ -142,5 +147,5 @@ class ClockSampler:
     def _sample(self) -> None:
         tau = self.sim.now
         self.samples.times.append(tau)
-        for node, clock in self.clocks.items():
-            self.samples.clocks[node].append(clock.read(tau))
+        for append, read in self._columns:
+            append(read(tau))

@@ -12,7 +12,8 @@ Definition 4 tolerates via its timeout.
 
 from __future__ import annotations
 
-import itertools
+import random
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError, TopologyError
@@ -50,7 +51,15 @@ class Network:
         self.loss_rate = float(loss_rate)
         self._processes: dict[int, "Process"] = {}
         self._down_links: set[frozenset[int]] = set()
-        self._msg_ids = itertools.count()
+        self._next_msg_id = 0
+        # Per-link caches: the edge check, RNG stream, and delivery tag
+        # for a directed link never change, so they are resolved once
+        # instead of rebuilding a "link:s->r" registry key per message.
+        # Stream names are unchanged, so draws stay byte-identical per
+        # seed (streams are independent by name, so eagerly creating one
+        # for an edge-less pair perturbs nothing).
+        self._link_state: dict[tuple[int, int], tuple[bool, random.Random, str]] = {}
+        self._loss_rngs: dict[tuple[int, int], random.Random] = {}
         self._taps: list[Callable[[Message], None]] = []
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -103,33 +112,46 @@ class Network:
 
         Drops silently (counting the drop) when there is no edge or the
         link is down; otherwise schedules delivery within ``delta``.
+
+        Raises:
+            ConfigurationError: On a self-send; no counter is mutated on
+                this error path.
         """
-        self.messages_sent += 1
         if sender == recipient:
             raise ConfigurationError(f"node {sender} attempted to message itself")
-        if not self.topology.has_edge(sender, recipient) or self.link_is_down(sender, recipient):
+        self.messages_sent += 1
+        key = (sender, recipient)
+        state = self._link_state.get(key)
+        if state is None:
+            state = (self.topology.has_edge(sender, recipient),
+                     self.sim.rngs.stream(f"link:{sender}->{recipient}"),
+                     f"deliver:{sender}->{recipient}")
+            self._link_state[key] = state
+        if not state[0] or (self._down_links and self.link_is_down(sender, recipient)):
             self.messages_dropped += 1
             return
         if self.loss_rate > 0.0:
             # Random loss is outside the paper's link model (Section 2.2
             # links are reliable); it exists for robustness experiments —
             # a lost message surfaces as an estimation timeout.
-            loss_rng = self.sim.rngs.stream(f"loss:{sender}->{recipient}")
+            key = (sender, recipient)
+            loss_rng = self._loss_rngs.get(key)
+            if loss_rng is None:
+                loss_rng = self.sim.rngs.stream(f"loss:{sender}->{recipient}")
+                self._loss_rngs[key] = loss_rng
             if loss_rng.random() < self.loss_rate:
                 self.messages_dropped += 1
                 return
-        rng = self.sim.rngs.stream(f"link:{sender}->{recipient}")
+        rng, tag = state[1], state[2]
         delay = self.delay_model.sample(sender, recipient, rng)
-        message = Message(
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            sent_at=self.sim.now,
-            delivered_at=self.sim.now + delay,
-            msg_id=next(self._msg_ids),
-        )
-        self.sim.schedule(delay, lambda: self._deliver(message),
-                          tag=f"deliver:{sender}->{recipient}")
+        sim = self.sim
+        now = sim.now
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
+        message = Message(sender, recipient, payload, now, now + delay, msg_id)
+        # Bound method + payload instead of a per-message closure: the
+        # partial carries the Message, so no cell objects are built.
+        sim.schedule(delay, partial(self._deliver, message), tag=tag)
 
     def broadcast(self, sender: int, payload: object) -> None:
         """Send ``payload`` to every neighbor of ``sender``."""
@@ -164,7 +186,10 @@ class Network:
 
     def link_is_down(self, u: int, v: int) -> bool:
         """Whether the link ``{u, v}`` is currently down."""
-        return frozenset((u, v)) in self._down_links
+        down = self._down_links
+        if not down:
+            return False
+        return frozenset((u, v)) in down
 
     def schedule_outage(self, u: int, v: int, start: float, end: float) -> None:
         """Schedule a link outage over the real-time window ``[start, end]``."""

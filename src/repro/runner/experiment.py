@@ -35,7 +35,7 @@ from repro.metrics.trace import TraceRecorder
 from repro.net.network import Network
 from repro.protocols.base import protocol_factory
 from repro.runner.scenario import Scenario
-from repro.sim.engine import Simulator
+from repro.sim.engine import EnginePerfCounters, Simulator
 from repro.sim.process import Process
 
 
@@ -53,6 +53,8 @@ class RunResult:
         processes: Protocol processes by node.
         events_processed: Simulator event count (performance metric).
         messages_delivered: Network delivery count.
+        perf: Engine performance counters (events/sec, heap high-water
+            mark, cancelled-event ratio) for the run's simulator.
     """
 
     scenario: Scenario
@@ -64,6 +66,7 @@ class RunResult:
     processes: dict[int, Process] = field(repr=False, default_factory=dict)
     events_processed: int = 0
     messages_delivered: int = 0
+    perf: EnginePerfCounters | None = None
 
     # -- measures ----------------------------------------------------------
 
@@ -174,6 +177,7 @@ def run(scenario: Scenario) -> RunResult:
         processes=processes,
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
+        perf=sim.perf_counters(),
     )
 
 

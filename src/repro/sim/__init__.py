@@ -7,13 +7,14 @@ streams (:mod:`repro.sim.rng`), and the per-node process abstraction
 (:mod:`repro.sim.process`).
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import EnginePerfCounters, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import LocalTimer, Process
 from repro.sim.rng import RngRegistry, derive_seed
 
 __all__ = [
     "Simulator",
+    "EnginePerfCounters",
     "Event",
     "EventQueue",
     "Process",

@@ -9,15 +9,58 @@ Simulated time is a float in *seconds of real time*.  The paper treats
 real time as "just another clock"; in this reproduction the simulator
 clock *is* real time, and every hardware clock is defined as a function
 of it (see :mod:`repro.clocks.hardware`).
+
+Time is **monotone across runs**: :meth:`Simulator.run` only advances
+``now`` to an ``until`` horizon when the event queue was actually
+drained up to that horizon.  An early exit — :meth:`Simulator.stop` or
+a ``max_events`` limit — leaves ``now`` at the last executed event, so
+a follow-up ``run()`` resumes without jumping over (and then time-
+travelling back to) still-pending events.
+
+The engine keeps lifetime performance counters (events/sec, heap
+high-water mark, cancelled-event ratio), exposed as
+:class:`EnginePerfCounters` via :meth:`Simulator.perf_counters` and
+re-exported through :mod:`repro.metrics`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class EnginePerfCounters:
+    """Lifetime performance counters of one :class:`Simulator`.
+
+    Attributes:
+        events_processed: Events executed since construction.
+        events_pushed: Events ever scheduled (live + fired + cancelled).
+        events_cancelled: Events cancelled while still pending.
+        cancelled_ratio: ``events_cancelled / events_pushed`` (0 when
+            nothing was pushed); high values mean the schedule churns.
+        heap_high_water: Largest event-heap size observed, including
+            lazily-collected cancelled entries — the queue's real
+            memory/compare footprint.
+        run_wall_time: Wall-clock seconds spent inside ``run()`` loops.
+        events_per_second: ``events_processed / run_wall_time`` (0 before
+            the first ``run()``); the engine's throughput.
+        pending_events: Live events still scheduled.
+    """
+
+    events_processed: int
+    events_pushed: int
+    events_cancelled: int
+    cancelled_ratio: float
+    heap_high_water: int
+    run_wall_time: float
+    events_per_second: float
+    pending_events: int
 
 
 class Simulator:
@@ -32,6 +75,7 @@ class Simulator:
         >>> fired = []
         >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
         >>> sim.run()
+        1
         >>> fired
         [2.0]
     """
@@ -41,6 +85,7 @@ class Simulator:
         self.rngs = RngRegistry(seed)
         self._queue = EventQueue()
         self._events_processed = 0
+        self._run_wall_time = 0.0
         self._running = False
         self._stop_requested = False
 
@@ -71,7 +116,11 @@ class Simulator:
         return self._queue.push(time, callback, tag)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (no-op if already fired)."""
+        """Cancel a previously scheduled event (no-op if already fired).
+
+        Equivalent to ``event.cancel()``: cancellation is queue-honest
+        either way (see :mod:`repro.sim.events`).
+        """
         self._queue.cancel(event)
 
     # ------------------------------------------------------------------
@@ -85,9 +134,9 @@ class Simulator:
             ``True`` if an event was executed, ``False`` if the queue was
             empty.
         """
-        if not self._queue:
+        event = self._queue.pop_due(None)
+        if event is None:
             return False
-        event = self._queue.pop()
         self.now = event.time
         self._events_processed += 1
         event.callback()
@@ -98,8 +147,12 @@ class Simulator:
 
         Args:
             until: If given, stop once the next event would fire strictly
-                after ``until``; the simulator clock is advanced to exactly
-                ``until`` on return.
+                after ``until``.  The simulator clock is advanced to
+                exactly ``until`` on return *only* when the queue was
+                drained up to the horizon; an early exit via
+                :meth:`stop` or ``max_events`` leaves ``now`` at the
+                last executed event so a later ``run()`` resumes without
+                time regression.
             max_events: If given, stop after this many events (safety
                 valve for runaway schedules).
 
@@ -114,22 +167,27 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         executed = 0
+        exhausted = False
+        pop_due = self._queue.pop_due
+        wall_start = perf_counter()
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_due(until)
+                if event is None:
+                    exhausted = True
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                self.now = event.time
                 executed += 1
+                event.callback()
         finally:
+            self._events_processed += executed
+            self._run_wall_time += perf_counter() - wall_start
             self._running = False
-        if until is not None and self.now < until:
+        if exhausted and until is not None and self.now < until:
             self.now = until
         return executed
 
@@ -150,6 +208,23 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (not cancelled, not yet fired) events."""
         return len(self._queue)
+
+    def perf_counters(self) -> EnginePerfCounters:
+        """Snapshot the engine's lifetime performance counters."""
+        queue = self._queue
+        pushed = queue.pushed_total
+        cancelled = queue.cancelled_total
+        wall = self._run_wall_time
+        return EnginePerfCounters(
+            events_processed=self._events_processed,
+            events_pushed=pushed,
+            events_cancelled=cancelled,
+            cancelled_ratio=(cancelled / pushed) if pushed else 0.0,
+            heap_high_water=queue.heap_high_water,
+            run_wall_time=wall,
+            events_per_second=(self._events_processed / wall) if wall > 0.0 else 0.0,
+            pending_events=len(queue),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,16 +5,31 @@ orders :class:`Event` objects by simulated real time, breaking ties with
 a monotonically increasing sequence number so that execution order is
 fully deterministic for a given schedule of calls.
 
-Events are *cancellable*: cancelling marks the event dead and the queue
-skips it on pop.  This is how local-clock timers are retargeted when a
-hardware clock's rate changes, and how the adversary kills a victim's
-pending alarms on break-in.
+Events are *cancellable*, and cancellation is **queue-honest**: every
+event knows its owning queue, so cancelling — whether through the
+:meth:`Event.cancel` handle or through :meth:`EventQueue.cancel` — is a
+single contract with one accounting path.  The rules:
+
+* Cancelling a pending event immediately decrements the queue's live
+  count (``len(queue)`` never overcounts); the heap entry is discarded
+  lazily on a later pop.
+* Cancelling an event that already fired is a no-op (a fired event
+  cannot be un-executed, and the count must not go negative).
+* Cancelling twice is a no-op.
+
+This is how local-clock timers are retargeted when a hardware clock's
+rate changes, and how the adversary kills a victim's pending alarms on
+break-in.
+
+Internally the heap stores ``(time, seq, event)`` tuples so that heap
+sifting compares native floats/ints in C instead of calling a Python
+``__lt__``; ``seq`` is unique per queue, so the event object itself is
+never compared.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -33,29 +48,51 @@ class Event:
         tag: Free-form label used in traces and debugging output.
     """
 
-    __slots__ = ("time", "seq", "callback", "tag", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "tag", "_cancelled", "_fired", "_queue")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], tag: str = ""):
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 tag: str = "", queue: "EventQueue | None" = None):
         self.time = float(time)
         self.seq = seq
         self.callback = callback
         self.tag = tag
         self._cancelled = False
+        self._fired = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark this event dead; it will be skipped when popped."""
+        """Mark this event dead and update its queue's live count.
+
+        No-op when the event already fired or was already cancelled, so
+        the owning queue's accounting can never go negative.
+        """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
     @property
     def cancelled(self) -> bool:
-        """Whether :meth:`cancel` was called on this event."""
+        """Whether :meth:`cancel` was called before the event fired."""
         return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether this event was already popped for execution."""
+        return self._fired
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
+        if self._cancelled:
+            state = "cancelled"
+        elif self._fired:
+            state = "fired"
+        else:
+            state = "pending"
         return f"Event(t={self.time:.6f}, seq={self.seq}, tag={self.tag!r}, {state})"
 
 
@@ -65,12 +102,31 @@ class EventQueue:
     Ordering is by ``(time, seq)``.  The sequence counter belongs to the
     queue, so two queues built from identical call sequences produce
     identical execution orders.
+
+    The queue also keeps lifetime performance counters (see
+    :attr:`fired_total`, :attr:`cancelled_total`, :attr:`pushed_total`,
+    :attr:`heap_high_water`), surfaced through
+    :meth:`repro.sim.engine.Simulator.perf_counters`.
+
+    Attributes:
+        fired_total: Number of events handed out for execution.
+        cancelled_total: Number of events cancelled while pending.
+        heap_high_water: Largest heap size observed (including
+            not-yet-collected cancelled entries).
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
         self._live = 0
+        self.fired_total = 0
+        self.cancelled_total = 0
+        self.heap_high_water = 0
+
+    @property
+    def pushed_total(self) -> int:
+        """Number of events ever pushed onto this queue."""
+        return self._next_seq
 
     def push(self, time: float, callback: Callable[[], None], tag: str = "") -> Event:
         """Schedule ``callback`` at simulated time ``time``.
@@ -78,38 +134,84 @@ class EventQueue:
         Returns:
             The :class:`Event` handle, which supports :meth:`Event.cancel`.
         """
-        event = Event(time, next(self._counter), callback, tag)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, tag, self)
+        heap = self._heap
+        heappush(heap, (event.time, seq, event))
         self._live += 1
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
         return event
 
     def pop(self) -> Event:
-        """Remove and return the earliest live event.
+        """Remove and return the earliest live event, marking it fired.
 
         Raises:
             SimulationError: If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
+            if event._cancelled:
                 continue
+            event._fired = True
             self._live -= 1
+            self.fired_total += 1
             return event
         raise SimulationError("pop() from an empty event queue")
 
+    def pop_due(self, bound: float | None = None) -> Event | None:
+        """Pop the earliest live event firing at or before ``bound``.
+
+        This is the engine's fast path: one heap traversal replaces the
+        ``peek_time()`` + ``pop()`` pair.  Cancelled entries encountered
+        on the way are discarded.
+
+        Args:
+            bound: Inclusive time horizon; ``None`` means no horizon.
+
+        Returns:
+            The fired :class:`Event`, or ``None`` when the queue has no
+            live event due at or before ``bound``.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event._cancelled:
+                heappop(heap)
+                continue
+            if bound is not None and entry[0] > bound:
+                return None
+            heappop(heap)
+            event._fired = True
+            self._live -= 1
+            self.fired_total += 1
+            return event
+        return None
+
     def peek_time(self) -> float | None:
         """Return the time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event`` if it is still pending in this queue."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel ``event`` if it is still pending (no-op otherwise).
+
+        Equivalent to ``event.cancel()`` — both routes share the same
+        accounting, so double-cancel and cancel-after-fire are safe.
+        """
+        event.cancel()
+
+    def _note_cancel(self) -> None:
+        """Accounting hook called by :meth:`Event.cancel` exactly once."""
+        self._live -= 1
+        self.cancelled_total += 1
 
     def __len__(self) -> int:
         return self._live

@@ -44,7 +44,13 @@ class LocalTimer:
         self.tag = tag
 
     def cancel(self) -> None:
-        """Cancel the timer if it has not fired yet."""
+        """Cancel the timer if it has not fired yet.
+
+        Safe to call twice or after the timer fired: the underlying
+        event's cancellation is queue-honest (see
+        :mod:`repro.sim.events`), so the simulator's live-event count
+        stays exact either way.
+        """
         self.event.cancel()
 
     @property

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.convergence import (
     ClampedConvergence,
+    CorrectionDecision,
     MeanConvergence,
     MidpointConvergence,
     PaperConvergence,
@@ -197,3 +198,59 @@ class TestMidpointConvergence:
         cf = MidpointConvergence()
         estimates = [est(0, 1.0)] + [timeout_estimate(i) for i in range(1, 5)]
         assert cf.correction(estimates, f=1, way_off=1.0) == 0.0
+
+
+class TestCorrectionDecision:
+    """decide() reports the Figure 1 branch from the same computation that
+    produced the correction, so traces cannot silently diverge."""
+
+    def test_credible_branch_not_discarded(self):
+        cf = PaperConvergence()
+        estimates = [est(i, 0.1) for i in range(7)]
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert isinstance(decision, CorrectionDecision)
+        assert not decision.own_discarded
+        assert decision.correction == cf.correction(estimates, f=2, way_off=1.0)
+
+    def test_way_off_branch_discards_own_clock(self):
+        cf = PaperConvergence()
+        estimates = [est(i, 50.0) for i in range(7)]  # everyone far ahead
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert decision.own_discarded
+        # Line 12: unconditional jump to the interval midpoint.
+        assert decision.correction == pytest.approx((decision.m + decision.big_m) / 2.0)
+
+    def test_degenerate_statistics_not_a_branch(self):
+        cf = PaperConvergence()
+        estimates = [est(0, 0.0)] + [timeout_estimate(i) for i in range(1, 7)]
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert decision.correction == 0.0
+        assert not decision.own_discarded
+        assert math.isinf(decision.m)
+
+    def test_statistics_match_standalone_helper(self):
+        cf = PaperConvergence()
+        estimates = [est(i, 0.3 * i, 0.05) for i in range(7)]
+        decision = cf.decide(estimates, f=2, way_off=10.0)
+        m, big_m = paper_order_statistics(estimates, 2)
+        assert (decision.m, decision.big_m) == (m, big_m)
+
+    def test_clamped_preserves_branch_report(self):
+        cf = ClampedConvergence(PaperConvergence(), max_step=0.01)
+        estimates = [est(i, 50.0) for i in range(7)]
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert decision.own_discarded        # inner branch survives the clamp
+        assert decision.correction == 0.01   # but the step is capped
+
+    def test_baseline_decide_never_discards(self):
+        cf = MeanConvergence()
+        estimates = [est(i, 50.0) for i in range(7)]  # would be WayOff for paper
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert not decision.own_discarded
+        assert decision.correction == cf.correction(estimates, f=2, way_off=1.0)
+
+    def test_baseline_decide_reports_nan_when_no_statistics(self):
+        cf = MeanConvergence()
+        estimates = [est(0, 1.0)]  # too few for the f+1 statistics
+        decision = cf.decide(estimates, f=2, way_off=1.0)
+        assert math.isnan(decision.m) and math.isnan(decision.big_m)

@@ -67,6 +67,39 @@ def test_self_send_rejected(sim):
         network.send(1, 1, "me")
 
 
+def test_self_send_does_not_mutate_counters(sim):
+    """The ConfigurationError path must leave every counter untouched."""
+    network, _ = build(sim)
+    network.send(0, 1, "real")
+    with pytest.raises(ConfigurationError):
+        network.send(1, 1, "me")
+    assert network.messages_sent == 1
+    assert network.messages_dropped == 0
+
+
+def test_cached_link_rng_matches_registry_stream():
+    """The per-link RNG cache must keep using the canonical named stream,
+    so delays stay byte-identical to a fresh registry lookup."""
+    from repro.net.links import UniformDelay
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator(seed=99)
+    network = Network(sim, full_mesh(2), UniformDelay(delta=0.01))
+    receiver = Recorder(1, sim, network)
+    network.bind(Recorder(0, sim, network))
+    network.bind(receiver)
+    for _ in range(5):
+        network.send(0, 1, "x")
+    sim.run()
+    # Deliveries arrive in delay order, not send order — compare sorted.
+    observed = sorted(m.delivered_at - m.sent_at for m in receiver.received)
+
+    expected_rng = RngRegistry(99).stream("link:0->1")
+    expected = sorted(UniformDelay(delta=0.01).sample(0, 1, expected_rng) for _ in range(5))
+    assert observed == expected
+
+
 def test_broadcast_reaches_all_neighbors(sim):
     network, procs = build(sim, n=4)
     network.broadcast(0, "fanout")

@@ -117,6 +117,92 @@ def test_run_is_not_reentrant(sim):
         sim.run()
 
 
+def test_step_drain_after_handle_cancel(sim):
+    """Handle-cancelling a scheduled event then draining with step() must
+    not raise: the live count stays honest (seed code overcounted and
+    step() hit SimulationError('pop() from an empty event queue'))."""
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    while sim.step():
+        pass
+    assert sim.pending_events == 0
+
+
+def test_run_until_with_max_events_no_time_jump(sim):
+    """max_events exit must leave ``now`` at the last executed event, not
+    jump to the ``until`` horizon past still-pending events."""
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=10.0, max_events=1)
+    assert fired == [1.0]
+    assert sim.now == 1.0
+    # Resume: the remaining events run at their own times, monotonically.
+    executed = sim.run(until=10.0)
+    assert executed == 2
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.now == 10.0  # horizon reached only after the real drain
+
+
+def test_stop_with_until_leaves_now_at_last_event(sim):
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 1.0
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_resumed_run_never_regresses_time(sim):
+    """Observed event times must be non-decreasing across run() calls."""
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, lambda: seen.append(sim.now))
+    sim.run(until=8.0, max_events=2)
+    sim.run(until=8.0)
+    assert seen == sorted(seen) == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_run_until_empty_queue_advances_to_horizon(sim):
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_cancel_via_handle_matches_queue_cancel(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.cancel(handle)  # double-cancel across both routes: no-op
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_perf_counters_surface(sim):
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    victim = sim.schedule(6.0, lambda: None)
+    victim.cancel()
+    sim.run()
+    perf = sim.perf_counters()
+    assert perf.events_processed == 5
+    assert perf.events_pushed == 6
+    assert perf.events_cancelled == 1
+    assert perf.cancelled_ratio == pytest.approx(1 / 6)
+    assert perf.heap_high_water == 6
+    assert perf.pending_events == 0
+    assert perf.run_wall_time > 0.0
+    assert perf.events_per_second > 0.0
+
+
+def test_perf_counters_before_any_run(sim):
+    perf = sim.perf_counters()
+    assert perf.events_processed == 0
+    assert perf.cancelled_ratio == 0.0
+    assert perf.events_per_second == 0.0
+
+
 def test_determinism_same_seed_same_stream():
     a = Simulator(seed=42)
     b = Simulator(seed=42)

@@ -98,6 +98,95 @@ def test_event_tags_preserved():
     assert event.tag == "hello"
 
 
+def test_handle_cancel_keeps_len_honest():
+    """Cancelling via the Event handle (not queue.cancel) must update the
+    queue's live count — the SyncProcess deadline-cancel path."""
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    handle.cancel()
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_handle_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_cancel_after_fire_is_noop():
+    """Cancelling a handle that already fired must not corrupt the count."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    fired = queue.pop()
+    assert fired is first and fired.fired
+    queue.cancel(fired)
+    fired.cancel()
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
+
+
+def test_len_across_push_pop_cancel_sequences():
+    queue = EventQueue()
+    a = queue.push(1.0, lambda: None)
+    b = queue.push(2.0, lambda: None)
+    c = queue.push(3.0, lambda: None)
+    assert len(queue) == 3
+    b.cancel()                       # handle-cancel
+    assert len(queue) == 2
+    b.cancel()                       # double-cancel: no-op
+    assert len(queue) == 2
+    assert queue.pop() is a
+    assert len(queue) == 1
+    a.cancel()                       # cancel-after-fire: no-op
+    queue.cancel(a)
+    assert len(queue) == 1
+    queue.cancel(c)                  # queue-cancel
+    assert len(queue) == 0
+    c.cancel()                       # double-cancel across both routes
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_pop_due_respects_bound():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, tag="early")
+    queue.push(5.0, lambda: None, tag="late")
+    event = queue.pop_due(2.0)
+    assert event is not None and event.tag == "early"
+    assert queue.pop_due(2.0) is None
+    assert len(queue) == 1  # the bounded miss must not consume the event
+    assert queue.pop_due(None).tag == "late"
+    assert queue.pop_due(None) is None
+
+
+def test_pop_due_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None, tag="keep")
+    early.cancel()
+    assert queue.pop_due(10.0).tag == "keep"
+
+
+def test_queue_perf_counters():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(4)]
+    assert queue.pushed_total == 4
+    assert queue.heap_high_water == 4
+    events[0].cancel()
+    queue.pop()
+    assert queue.cancelled_total == 1
+    assert queue.fired_total == 1
+    assert len(queue) == 2
+
+
 def test_interleaved_push_pop_keeps_order():
     queue = EventQueue()
     queue.push(10.0, lambda: None, tag="late")

@@ -1,0 +1,25 @@
+"""Tier-1 wiring for tools/check_determinism.py.
+
+The simulation must be a pure function of ``(config, seed)``; the tool
+runs the E1 workload twice and compares the serialized summaries
+byte-for-byte.  Running it as a test means any change that reorders RNG
+draws or introduces hidden state fails the suite, not just a nightly
+job someone has to read.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import repro
+
+
+def test_check_determinism_tool_passes():
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, str(root / "tools" / "check_determinism.py")],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "identical" in result.stdout

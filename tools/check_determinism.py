@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that a config run is byte-for-byte reproducible.
+
+Runs the E1 headline workload (rotating mobile-Byzantine adversary)
+twice through :func:`repro.runner.parallel.run_config` and compares the
+JSON serialization of the two :class:`ConfigRunSummary` results.  Any
+difference — a float that drifted in the last bit, a counter off by
+one — is a determinism regression: the simulation must be a pure
+function of ``(config, seed)``.
+
+Run from the repository root:
+
+    python tools/check_determinism.py           # exit 0 iff identical
+
+The check is wired into tier-1 via ``tests/test_tools_determinism.py``
+so hot-path "optimizations" that silently reorder RNG draws are caught
+immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.runner.parallel import run_config  # noqa: E402
+
+# Small enough to run twice in a few seconds, big enough to exercise
+# the full machinery: corruption plan, recovery, verdict, counters.
+E1_CONFIG = {
+    "params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+    "scenario": "mobile-byzantine",
+    "duration": 8.0,
+    "seed": 1,
+}
+
+
+def summary_bytes(config: dict) -> bytes:
+    """Run one config and serialize its summary canonically."""
+    summary = run_config(config)
+    return json.dumps(dataclasses.asdict(summary), sort_keys=True).encode()
+
+
+def main() -> int:
+    first = summary_bytes(E1_CONFIG)
+    second = summary_bytes(E1_CONFIG)
+    if first == second:
+        print(f"deterministic: {len(first)} summary bytes identical across runs")
+        return 0
+    print("DETERMINISM FAILURE: identical config+seed produced different measures",
+          file=sys.stderr)
+    print(f"run 1: {first.decode()}", file=sys.stderr)
+    print(f"run 2: {second.decode()}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
