@@ -131,6 +131,8 @@ class MobileAdversary:
 
     Attributes:
         plan: The (immutable) corruption schedule.
+        obs: Observability event bus, or ``None`` (the default) when no
+            flight recorder is attached.
     """
 
     def __init__(self, sim: "Simulator", network: "Network",
@@ -142,6 +144,7 @@ class MobileAdversary:
         self.f = f
         self.pi = pi
         self.trace = trace
+        self.obs = None
         if enforce:
             audit_f_limited(self.plan, f, pi)
         self._rng = sim.rngs.stream("adversary")
@@ -177,6 +180,10 @@ class MobileAdversary:
         process = self.network.process_for(node)
         strategy = corruption.strategy
         self._active[node] = strategy
+        if self.obs is not None:
+            # Published before the seize so probes mark the node bad
+            # before the strategy scrambles its clock.
+            self.obs.publish("adv.break_in", node=node, strategy=strategy.name)
         process.seize(_StrategyShim(strategy, self._rng))
         strategy.on_break_in(process, self._rng)
         if self.trace is not None:
@@ -190,6 +197,10 @@ class MobileAdversary:
         process = self.network.process_for(node)
         strategy.on_leave(process, self._rng)
         process.release()
+        if self.obs is not None:
+            # Published after the release: the parting shot in on_leave
+            # still happens while the node counts as controlled.
+            self.obs.publish("adv.release", node=node, strategy=strategy.name)
         if self.trace is not None:
             self.trace.on_corruption(node, self.sim.now, "release", strategy.name)
 

@@ -10,7 +10,11 @@ Usage (installed as ``python -m repro``)::
 Subcommands:
 
 * ``run`` — execute a canonical scenario and print the Theorem 5
-  verdict and recovery report.
+  verdict and recovery report; ``--trace out.jsonl`` additionally
+  records the run with a flight recorder and writes the observability
+  event stream.
+* ``trace`` — summarize a recorded event stream: span tree statistics,
+  per-node metrics, and any live envelope-probe violations.
 * ``bounds`` — evaluate the Theorem 5 formulas for a parameter choice
   without running anything (the deployment-planning calculator).
 * ``soak`` — long randomized stress run (random f-limited plans,
@@ -60,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "run options)")
     run_p.add_argument("--json", dest="json_out", default=None,
                        help="write the full result record to this JSON file")
+    run_p.add_argument("--trace", dest="trace_out", default=None,
+                       help="record the run with a flight recorder and write "
+                            "the observability event stream to this JSONL "
+                            "file (summarize it with `repro trace`)")
     run_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="mobile-byzantine")
     run_p.add_argument("--protocol", default="sync",
                        help="protocol name (see `repro list`)")
@@ -80,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 ("--rho", float, 5e-4), ("--pi", float, 2.0)):
         bounds_p.add_argument(flag, type=kind, default=default)
     bounds_p.add_argument("--target-k", type=int, default=10)
+
+    trace_p = sub.add_parser("trace", help="summarize a recorded event stream")
+    trace_p.add_argument("path", help="JSONL event stream written by "
+                                      "`repro run --trace`")
+    trace_p.add_argument("--top", type=int, default=10,
+                         help="rows in the slowest-estimations table")
+    trace_p.add_argument("--chrome", default=None,
+                         help="additionally write the span tree to this file "
+                              "in Chrome trace_event format (about://tracing)")
 
     soak_p = sub.add_parser("soak", help="randomized long-run invariant check")
     soak_p.add_argument("--segments", type=int, default=10,
@@ -106,14 +123,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         scenario = SCENARIOS[args.scenario](params, duration=args.duration,
                                             seed=args.seed,
                                             protocol=args.protocol)
-    result = run_scenario(scenario)
+    recorder = None
+    if args.trace_out is not None:
+        from repro.obs import FlightRecorder
+        recorder = FlightRecorder()
+    result = run_scenario(scenario, recorder=recorder)
     verdict = result.verdict(warmup=warmup_for(params))
     recovery = result.recovery()
     print(f"scenario={scenario.name} protocol={scenario.protocol} "
           f"n={params.n} f={params.f} duration={scenario.duration}s "
           f"seed={scenario.seed}")
     print(f"events={result.events_processed} messages={result.messages_delivered} "
-          f"corruptions={len(result.corruptions)}\n")
+          f"corruptions={len(result.corruptions)}")
+    if result.perf is not None:
+        perf = result.perf
+        print(f"perf: {perf.events_per_second:,.0f} events/s "
+              f"(wall {perf.run_wall_time:.3f}s, heap high-water "
+              f"{perf.heap_high_water}, cancelled {perf.cancelled_ratio:.1%})")
+    print()
     print(table(
         ["guarantee", "measured", "bound", "holds"],
         [
@@ -129,11 +156,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     if recovery.events:
         print(f"\nrecoveries: {len(recovery.events)}, all recovered: "
               f"{recovery.all_recovered}, worst: {recovery.max_recovery_time:.3f}s")
+    if recorder is not None:
+        recorder.write_jsonl(args.trace_out)
+        print(f"\n{len(recorder.events)} observability events "
+              f"({len(recorder.spans)} spans, "
+              f"{len(recorder.violations)} envelope violations) "
+              f"written to {args.trace_out}")
     if args.json_out is not None:
         from repro.metrics.export import write_result
         write_result(result, args.json_out, warmup=warmup_for(params))
         print(f"\nresult record written to {args.json_out}")
     return 0 if verdict.all_ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a recorded observability event stream."""
+    from repro.obs import render_summary, summarize_events
+    from repro.obs.bus import read_events_jsonl
+    from repro.obs.spans import SpanTracer, write_chrome_trace
+
+    events = read_events_jsonl(args.path)
+    if not events:
+        print(f"{args.path}: no events")
+        return 1
+    summary = summarize_events(events)
+    print(render_summary(summary, top=args.top))
+    if args.chrome is not None:
+        tracer = SpanTracer()
+        tracer.replay(events)
+        write_chrome_trace(tracer.spans, args.chrome)
+        print(f"\nChrome trace ({len(tracer.spans)} spans) written to "
+              f"{args.chrome}")
+    return 0 if not summary.violations else 1
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
@@ -214,7 +268,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
-                "soak": cmd_soak}
+                "soak": cmd_soak, "trace": cmd_trace}
     return handlers[args.command](args)
 
 

@@ -112,6 +112,7 @@ class EstimationSession:
         self._awaiting: set[int] = set(self.peers)  # peers with no reply yet
         self._nonce_counter = itertools.count()
         self._started = False
+        self._round_no = 0
 
     # ------------------------------------------------------------------
 
@@ -122,12 +123,21 @@ class EstimationSession:
         is read once (the clock is a pure function of real time).
         """
         self._started = True
+        self._round_no = round_no
         send_local = self.owner.local_now()
+        obs = self.owner.obs
         for peer in self.peers:
             for _ in range(self.pings_per_peer):
                 nonce = self._make_nonce()
                 self._send_times[nonce] = (peer, send_local)
                 self.owner.send(peer, Ping(nonce=nonce, round_no=round_no))
+            if obs is not None:
+                # One event per peer regardless of pings_per_peer; nonces
+                # are deliberately excluded (the module-global session
+                # counter is shared across runs in one process, so they
+                # would break byte-identical streams).
+                obs.publish("est.ping", node=self.owner.node_id, peer=peer,
+                            round=round_no, pings=self.pings_per_peer)
 
     def _make_nonce(self) -> int:
         # Globally unique across sessions of this process: sessions never
@@ -172,13 +182,26 @@ class EstimationSession:
         if best is None or estimate.accuracy < best.accuracy:
             self._best[peer] = estimate
         self._awaiting.discard(peer)
+        obs = self.owner.obs
+        if obs is not None:
+            obs.publish("est.pong", node=self.owner.node_id, peer=peer,
+                        round=self._round_no, rtt=round_trip,
+                        distance=estimate.distance,
+                        accuracy=estimate.accuracy)
         return True
 
     def finish(self) -> dict[int, ClockEstimate]:
         """Return the per-peer estimates, inserting timeout placeholders."""
         results: dict[int, ClockEstimate] = {}
+        obs = self.owner.obs
         for peer in self.peers:
-            results[peer] = self._best.get(peer, timeout_estimate(peer))
+            best = self._best.get(peer)
+            if best is None:
+                best = timeout_estimate(peer)
+                if obs is not None:
+                    obs.publish("est.timeout", node=self.owner.node_id,
+                                peer=peer, round=self._round_no)
+            results[peer] = best
         return results
 
     @property

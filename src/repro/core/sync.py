@@ -118,6 +118,9 @@ class SyncProcess(Process):
     def _begin_sync(self) -> None:
         """Figure 1 line 1: start one execution of sync()."""
         self._round += 1
+        if self.obs is not None:
+            self.obs.publish("sync.begin", node=self.node_id,
+                             round=self._round, local=self.local_now())
         peers = self.network.topology.neighbors(self.node_id)
         self._session = EstimationSession(self, peers, self.pings_per_peer)
         self._session.begin(self._round)
@@ -130,6 +133,9 @@ class SyncProcess(Process):
         if isinstance(payload, Ping):
             # Always answer with the live clock value: no rounds (3.3).
             self.send(message.sender, Pong(nonce=payload.nonce, clock_value=self.local_now()))
+            if self.obs is not None:
+                self.obs.publish("sync.reply", node=self.node_id,
+                                 peer=message.sender)
         elif isinstance(payload, Pong):
             if self._session is not None and self._session.on_pong(message):
                 if self._session.complete:
@@ -171,6 +177,12 @@ class SyncProcess(Process):
             replies=replies,
         )
         self.sync_records.append(record)
+        if self.obs is not None:
+            self.obs.publish("sync.complete", node=self.node_id,
+                             round=self._round, correction=decision.correction,
+                             m=decision.m, big_m=decision.big_m,
+                             own_discarded=decision.own_discarded,
+                             replies=replies, local_before=local_before)
         for listener in self.sync_listeners:
             listener(record)
 

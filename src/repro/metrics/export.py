@@ -101,6 +101,38 @@ def result_to_dict(result: "RunResult", warmup: float = 0.0,
             "sync_executions": len(result.trace.syncs),
         },
     }
+    if result.perf is not None:
+        perf = result.perf
+        # Deterministic counters only: run_wall_time / events_per_second
+        # are wall-clock quantities, and result records must stay a pure
+        # function of (scenario, seed) — identical-seed runs are
+        # byte-compared by the determinism checks.  The CLI prints the
+        # wall-clock figures to stdout instead.
+        payload["perf"] = {
+            "events_processed": perf.events_processed,
+            "events_pushed": perf.events_pushed,
+            "events_cancelled": perf.events_cancelled,
+            "cancelled_ratio": perf.cancelled_ratio,
+            "heap_high_water": perf.heap_high_water,
+            "pending_events": perf.pending_events,
+        }
+    if result.obs is not None:
+        recorder = result.obs
+        payload["obs"] = {
+            "events": len(recorder.events),
+            "spans": len(recorder.spans),
+            "violations": [
+                {
+                    "probe": v.probe,
+                    "time": v.time,
+                    "node": v.node,
+                    "measured": _finite(v.measured),
+                    "bound": _finite(v.bound),
+                }
+                for v in recorder.violations
+            ],
+            "metrics": recorder.metrics.snapshot(),
+        }
     if include_samples:
         payload["samples"] = {
             "times": list(result.samples.times),

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import MeasurementError
 
@@ -118,18 +118,25 @@ class ClockSampler:
         sim: The simulator whose real time drives the grid.
         clocks: Logical clocks by node id.
         interval: Grid spacing in real time.
+        on_sample: Optional callback invoked as ``on_sample(tau, index)``
+            after each grid point is recorded.  This is how the flight
+            recorder's live probes observe the run without adding any
+            simulator events of their own (the schedule — and hence the
+            run — is identical with or without observers).
 
     Attributes:
         samples: The accumulating :class:`ClockSamples`.
     """
 
     def __init__(self, sim: "Simulator", clocks: dict[int, "LogicalClock"],
-                 interval: float) -> None:
+                 interval: float,
+                 on_sample: Callable[[float, int], None] | None = None) -> None:
         if interval <= 0:
             raise MeasurementError(f"sampling interval must be positive, got {interval}")
         self.sim = sim
         self.clocks = clocks
         self.interval = float(interval)
+        self.on_sample = on_sample
         self.samples = ClockSamples(times=[], clocks={node: [] for node in clocks})
         # Pre-bound (append, read) pairs: _sample runs on every grid
         # point and the node set is fixed, so the per-sample dict and
@@ -146,6 +153,9 @@ class ClockSampler:
 
     def _sample(self) -> None:
         tau = self.sim.now
-        self.samples.times.append(tau)
+        times = self.samples.times
+        times.append(tau)
         for append, read in self._columns:
             append(read(tau))
+        if self.on_sample is not None:
+            self.on_sample(tau, len(times) - 1)

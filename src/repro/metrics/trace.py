@@ -11,6 +11,7 @@ the protocol processes' sync listeners.  It exists for three consumers:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -61,7 +62,9 @@ class TraceRecorder:
 
     Attributes:
         messages: Delivered messages (only if ``record_messages``).
-        syncs: Every completed Sync execution, all nodes, time-ordered.
+        syncs: Every completed Sync execution, all nodes, time-ordered
+            by construction — listeners fire at simulator event times,
+            which are non-decreasing, so append order is time order.
         corruptions: Break-in/release actions.
         record_messages: Message recording is opt-in — long runs deliver
             millions of messages.
@@ -71,6 +74,14 @@ class TraceRecorder:
     messages: list[MessageRecord] = field(default_factory=list)
     syncs: list["SyncRecord"] = field(default_factory=list)
     corruptions: list[CorruptionRecord] = field(default_factory=list)
+    # Query acceleration: per-node sync lists and a parallel completion-
+    # time array for bisection.  Rebuilt lazily if `syncs` was mutated
+    # directly (tests and fixtures do this), so the indexed queries
+    # always agree with a linear rescan.
+    _by_node: dict[int, list["SyncRecord"]] = field(
+        default_factory=dict, repr=False)
+    _sync_times: list[float] = field(default_factory=list, repr=False)
+    _indexed: int = field(default=0, repr=False)
 
     # -- wiring hooks ------------------------------------------------------
 
@@ -88,7 +99,27 @@ class TraceRecorder:
 
     def on_sync(self, record: "SyncRecord") -> None:
         """Sync-listener callback."""
+        if self._indexed == len(self.syncs):
+            self._index_one(record)
         self.syncs.append(record)
+
+    def _index_one(self, record: "SyncRecord") -> None:
+        bucket = self._by_node.get(record.node_id)
+        if bucket is None:
+            bucket = self._by_node[record.node_id] = []
+        bucket.append(record)
+        self._sync_times.append(record.real_time)
+        self._indexed += 1
+
+    def _ensure_index(self) -> None:
+        """Rebuild the index if ``syncs`` was appended to directly."""
+        if self._indexed == len(self.syncs):
+            return
+        self._by_node.clear()
+        self._sync_times.clear()
+        self._indexed = 0
+        for record in self.syncs:
+            self._index_one(record)
 
     def on_corruption(self, node: int, time: float, action: str, strategy: str) -> None:
         """Adversary action callback."""
@@ -97,12 +128,24 @@ class TraceRecorder:
     # -- queries -----------------------------------------------------------
 
     def syncs_for(self, node: int) -> list["SyncRecord"]:
-        """All sync records of one node, in execution order."""
-        return [r for r in self.syncs if r.node_id == node]
+        """All sync records of one node, in execution order.
+
+        Served from a per-node index maintained by :meth:`on_sync`, so
+        repeated queries do not rescan the full history.
+        """
+        self._ensure_index()
+        return list(self._by_node.get(node, ()))
 
     def syncs_between(self, lo: float, hi: float) -> list["SyncRecord"]:
-        """All sync records completed in the real-time window ``[lo, hi]``."""
-        return [r for r in self.syncs if lo <= r.real_time <= hi]
+        """All sync records completed in the real-time window ``[lo, hi]``.
+
+        ``syncs`` is time-ordered by construction, so the window is
+        located by bisection instead of a full scan.
+        """
+        self._ensure_index()
+        start = bisect.bisect_left(self._sync_times, lo)
+        stop = bisect.bisect_right(self._sync_times, hi)
+        return self.syncs[start:stop]
 
     def discarded_own_clock(self) -> list["SyncRecord"]:
         """Sync records where the WayOff branch fired (recovery jumps)."""

@@ -38,6 +38,8 @@ class Network:
         messages_sent: Count of send attempts.
         messages_delivered: Count of actual deliveries.
         messages_dropped: Count of drops (down links / missing edges).
+        obs: Observability event bus, or ``None`` (the default); set by
+            the flight recorder when per-message events are requested.
     """
 
     def __init__(self, sim: "Simulator", topology: Topology, delay_model: DelayModel,
@@ -61,6 +63,7 @@ class Network:
         self._link_state: dict[tuple[int, int], tuple[bool, random.Random, str]] = {}
         self._loss_rngs: dict[tuple[int, int], random.Random] = {}
         self._taps: list[Callable[[Message], None]] = []
+        self.obs = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -129,6 +132,9 @@ class Network:
             self._link_state[key] = state
         if not state[0] or (self._down_links and self.link_is_down(sender, recipient)):
             self.messages_dropped += 1
+            if self.obs is not None:
+                self.obs.publish("net.drop", node=sender, recipient=recipient,
+                                 reason="no-edge" if not state[0] else "down-link")
             return
         if self.loss_rate > 0.0:
             # Random loss is outside the paper's link model (Section 2.2
@@ -141,6 +147,9 @@ class Network:
                 self._loss_rngs[key] = loss_rng
             if loss_rng.random() < self.loss_rate:
                 self.messages_dropped += 1
+                if self.obs is not None:
+                    self.obs.publish("net.drop", node=sender,
+                                     recipient=recipient, reason="loss")
                 return
         rng, tag = state[1], state[2]
         delay = self.delay_model.sample(sender, recipient, rng)
@@ -162,8 +171,16 @@ class Network:
         if self.link_is_down(message.sender, message.recipient):
             # Link failed while the message was in flight.
             self.messages_dropped += 1
+            if self.obs is not None:
+                self.obs.publish("net.drop", node=message.sender,
+                                 recipient=message.recipient, reason="in-flight")
             return
         self.messages_delivered += 1
+        if self.obs is not None:
+            self.obs.publish("net.deliver", node=message.sender,
+                             recipient=message.recipient,
+                             kind=type(message.payload).__name__,
+                             sent_at=message.sent_at)
         for tap in self._taps:
             tap(message)
         handler = self._processes.get(message.recipient)

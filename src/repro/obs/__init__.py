@@ -1,0 +1,60 @@
+"""Observability: event bus, span tracing, metrics, live envelope probes.
+
+The flight-recorder layer of the reproduction: a single typed event bus
+that the engine, network, protocol, adversary, and health monitor
+publish into, with span tracing (Sync executions and their per-peer
+estimations), a per-node metrics registry, and live Theorem 5 envelope
+probes that flag a violated bound the moment it happens instead of at
+verdict time.
+
+Everything here is advisory and deterministic: no protocol decision
+reads observability state (the paper's no-detection property), and the
+serialized event stream is byte-identical across identical-seed runs.
+See ``DESIGN.md`` ("Observability") for the contract.
+"""
+
+from repro.obs.bus import (
+    EventBus,
+    ObsEvent,
+    event_from_json,
+    event_to_json,
+    events_to_jsonl,
+    read_events_jsonl,
+)
+from repro.obs.metricsreg import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+)
+from repro.obs.probes import ProbeViolation, Theorem5Probe, violations_from_events
+from repro.obs.recorder import FlightRecorder, ObsConfig
+from repro.obs.spans import Span, SpanTracer, chrome_trace, write_chrome_trace
+from repro.obs.summary import TraceSummary, render_summary, summarize_events
+
+__all__ = [
+    "EventBus",
+    "ObsEvent",
+    "event_to_json",
+    "event_from_json",
+    "events_to_jsonl",
+    "read_events_jsonl",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "Theorem5Probe",
+    "ProbeViolation",
+    "violations_from_events",
+    "FlightRecorder",
+    "ObsConfig",
+    "TraceSummary",
+    "summarize_events",
+    "render_summary",
+]

@@ -1,0 +1,174 @@
+"""The observability event bus: typed, timestamped structured events.
+
+One :class:`EventBus` per run replaces the three parallel ad-hoc hook
+mechanisms that grew organically (the network tap, the protocol's
+``sync_listeners``, and the adversary's corruption callback) with a
+single publish/subscribe fabric.  Components that can emit telemetry
+carry an ``obs`` attribute (``None`` by default); the flight recorder
+(:mod:`repro.obs.recorder`) sets it to the run's bus.  Publishers guard
+every emission with ``if self.obs is not None`` so a run without a
+recorder pays one attribute check per potential event — measured to be
+within noise by ``benchmarks/bench_obs_overhead.py``.
+
+Events are **advisory and deterministic**: no protocol decision may read
+bus state (the paper's no-detection property), and every event field is
+a pure function of ``(scenario, seed)`` — wall-clock quantities are
+deliberately excluded so two identical-seed runs serialize to
+byte-identical JSONL streams (enforced by ``tools/check_determinism.py``).
+
+Event kinds currently emitted:
+
+======================  =============================================
+``run.start``           Recorder attached; params/bounds snapshot.
+``sync.begin``          A Sync execution started (Figure 1 line 1).
+``sync.reply``          Node answered a peer's Ping with its clock.
+``est.ping``            Pings to one peer queued and sent.
+``est.pong``            A reply accepted (carries the RTT/estimate).
+``est.timeout``         A peer never answered before the deadline.
+``sync.complete``       Correction applied (Figure 1 lines 6-12).
+``adv.break_in``        The mobile adversary seized a node.
+``adv.release``         The adversary left a node.
+``net.deliver``         A message was delivered (opt-in; voluminous).
+``net.drop``            A message was dropped (down link / loss).
+``monitor.alert``       An advisory health alert was raised.
+``probe.violation``     A live Theorem 5 envelope bound was exceeded.
+``engine.run_end``      A ``Simulator.run()`` loop exited.
+``metrics.snapshot``    Final metrics registry snapshot.
+``run.end``             Recorder finalized; lifetime counters.
+======================  =============================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observability event.
+
+    Attributes:
+        seq: Monotonically increasing sequence number within the bus
+            (total order, breaks timestamp ties deterministically).
+        time: Simulated real time (``tau``) of the emission.
+        kind: Dotted event type, e.g. ``"sync.complete"``.
+        node: The node the event concerns (``None`` for run-global
+            events such as ``run.end``).
+        data: JSON-compatible payload (floats may be ``inf``/``nan``;
+            the serializer encodes those as strings).
+    """
+
+    seq: int
+    time: float
+    kind: str
+    node: int | None
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+def _jsonable(value: Any) -> Any:
+    """Encode ``inf``/``nan`` floats as strings (JSON has neither)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _unjsonable(value: Any) -> Any:
+    """Inverse of :func:`_jsonable` for the known sentinel strings."""
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    if isinstance(value, dict):
+        return {key: _unjsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_unjsonable(item) for item in value]
+    return value
+
+
+def event_to_json(event: ObsEvent) -> str:
+    """Serialize one event to its canonical (sorted, compact) JSON line."""
+    return json.dumps(
+        {"seq": event.seq, "t": event.time, "kind": event.kind,
+         "node": event.node, "data": _jsonable(event.data)},
+        sort_keys=True, separators=(",", ":"))
+
+
+def event_from_json(line: str) -> ObsEvent:
+    """Parse one JSONL line back into an :class:`ObsEvent`."""
+    raw = json.loads(line)
+    return ObsEvent(seq=raw["seq"], time=raw["t"], kind=raw["kind"],
+                    node=raw["node"], data=_unjsonable(raw.get("data", {})))
+
+
+def events_to_jsonl(events: Iterable[ObsEvent]) -> str:
+    """Serialize an event stream to newline-delimited JSON."""
+    return "".join(event_to_json(event) + "\n" for event in events)
+
+
+def read_events_jsonl(path: str | pathlib.Path) -> list[ObsEvent]:
+    """Load an event stream previously written as JSONL."""
+    events = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        if line.strip():
+            events.append(event_from_json(line))
+    return events
+
+
+class EventBus:
+    """Synchronous publish/subscribe fabric for one run's telemetry.
+
+    The bus stamps every event with the simulated time obtained from
+    ``clock`` (wired to ``sim.now`` by the recorder) and a per-bus
+    sequence number, then hands it to every subscriber in registration
+    order.  Subscribers must not publish re-entrantly from within a
+    callback *for the same event* they are handling (the recorder's
+    probes publish only from sampling hooks, never from dispatch).
+
+    Args:
+        clock: Zero-argument callable returning the current simulated
+            time; defaults to a constant 0.0 until :meth:`set_clock`.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._subscribers: list[Callable[[ObsEvent], None]] = []
+        self._seq = 0
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Point the bus at a run's time source (``lambda: sim.now``)."""
+        self._clock = clock
+
+    def subscribe(self, callback: Callable[[ObsEvent], None]) -> None:
+        """Register ``callback`` to receive every published event."""
+        self._subscribers.append(callback)
+
+    def publish(self, kind: str, /, node: int | None = None,
+                **data: Any) -> ObsEvent:
+        """Create, stamp, and dispatch one event; returns it.
+
+        ``kind`` is positional-only so payloads may carry their own
+        ``kind`` field (e.g. ``net.deliver``'s payload class name).
+        """
+        event = ObsEvent(seq=self._seq, time=self._clock(), kind=kind,
+                         node=node, data=data)
+        self._seq += 1
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    @property
+    def events_published(self) -> int:
+        """Number of events published so far."""
+        return self._seq

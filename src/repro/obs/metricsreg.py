@@ -1,0 +1,234 @@
+"""Per-node metrics registry: counters, gauges, histograms.
+
+A tiny Prometheus-flavoured registry keyed by ``(metric name, node)``
+(node ``None`` means run-global).  :class:`MetricsCollector` is the
+standard wiring: it subscribes to the run's event bus and maintains the
+canonical protocol metrics — corrections applied, WayOff jumps, reply
+counts, estimation RTT distribution, timeouts — while the flight
+recorder samples queue depth from the engine on the clock-sampling
+grid.
+
+All values are pure functions of ``(scenario, seed)`` (no wall-clock
+quantities), so snapshots are deterministic and safe to embed in the
+JSONL event stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import ObsEvent
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A value distribution: count/sum/min/max plus bucket counts.
+
+    Args:
+        buckets: Ascending upper bounds; an implicit ``+inf`` bucket
+            catches the tail.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...] = ()) -> None:
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named per-node metrics.
+
+    Counters, gauges, and histograms live in separate namespaces, so a
+    family name identifies one metric type within its section of the
+    snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, int | None], Counter] = {}
+        self._gauges: dict[tuple[str, int | None], Gauge] = {}
+        self._histograms: dict[tuple[str, int | None], Histogram] = {}
+
+    def counter(self, name: str, node: int | None = None) -> Counter:
+        """The counter ``name`` for ``node`` (created on first use)."""
+        key = (name, node)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, node: int | None = None) -> Gauge:
+        """The gauge ``name`` for ``node`` (created on first use)."""
+        key = (name, node)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, node: int | None = None,
+                  buckets: tuple[float, ...] = ()) -> Histogram:
+        """The histogram ``name`` for ``node`` (created on first use)."""
+        key = (name, node)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Export every metric as a nested JSON-compatible dict.
+
+        Shape: ``{"counters": {name: {node: value}}, "gauges": ...,
+        "histograms": {name: {node: {count, sum, min, max, mean}}}}``
+        with node keys stringified (``"_"`` for the global series).
+        """
+
+        def node_key(node: int | None) -> str:
+            return "_" if node is None else str(node)
+
+        counters: dict[str, dict[str, float]] = {}
+        for (name, node), metric in sorted(self._counters.items(),
+                                           key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            counters.setdefault(name, {})[node_key(node)] = metric.value
+        gauges: dict[str, dict[str, float]] = {}
+        for (name, node), metric in sorted(self._gauges.items(),
+                                           key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            gauges.setdefault(name, {})[node_key(node)] = metric.value
+        histograms: dict[str, dict[str, Any]] = {}
+        for (name, node), metric in sorted(self._histograms.items(),
+                                           key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            histograms.setdefault(name, {})[node_key(node)] = {
+                "count": metric.count,
+                "sum": metric.total,
+                "min": metric.min if metric.count else None,
+                "max": metric.max if metric.count else None,
+                "mean": metric.mean,
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def delta(self, previous: dict[str, Any]) -> dict[str, Any]:
+        """Counter increments since ``previous`` (a prior snapshot).
+
+        Gauges and histograms are point-in-time / cumulative and are
+        returned as-is from the current snapshot.
+        """
+        current = self.snapshot()
+        prior = previous.get("counters", {})
+        deltas: dict[str, dict[str, float]] = {}
+        for name, series in current["counters"].items():
+            deltas[name] = {
+                node: value - prior.get(name, {}).get(node, 0.0)
+                for node, value in series.items()
+            }
+        return {"counters": deltas, "gauges": current["gauges"],
+                "histograms": current["histograms"]}
+
+
+#: Default RTT histogram buckets (seconds): sub-millisecond to 100 ms.
+RTT_BUCKETS = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1)
+
+
+class MetricsCollector:
+    """Standard bus subscriber maintaining the canonical protocol metrics.
+
+    Per-node series: ``syncs_completed``, ``corrections_applied``,
+    ``correction_abs`` (histogram), ``wayoff_jumps``, ``replies``
+    (histogram of replies per sync), ``replies_sent``,
+    ``estimation_rtt`` (histogram), ``estimation_timeouts``,
+    ``corruptions``.  Global series: ``probe_violations``,
+    ``monitor_alerts``, ``messages_delivered``, ``messages_dropped``,
+    ``queue_depth`` (gauge + histogram, fed by the recorder's sampling
+    hook from :class:`~repro.sim.engine.EnginePerfCounters` state).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def on_event(self, event: "ObsEvent") -> None:
+        """Bus-subscriber entry point: fold one event into the registry."""
+        kind = event.kind
+        reg = self.registry
+        node = event.node
+        if kind == "sync.complete":
+            data = event.data
+            reg.counter("syncs_completed", node).inc()
+            correction = data.get("correction", 0.0)
+            if correction:
+                reg.counter("corrections_applied", node).inc()
+            reg.histogram("correction_abs", node).observe(abs(correction))
+            if data.get("own_discarded"):
+                reg.counter("wayoff_jumps", node).inc()
+            reg.histogram("replies", node).observe(data.get("replies", 0))
+        elif kind == "est.pong":
+            reg.histogram("estimation_rtt", node, RTT_BUCKETS).observe(
+                event.data.get("rtt", 0.0))
+        elif kind == "est.timeout":
+            reg.counter("estimation_timeouts", node).inc()
+        elif kind == "sync.reply":
+            reg.counter("replies_sent", node).inc()
+        elif kind == "adv.break_in":
+            reg.counter("corruptions", node).inc()
+        elif kind == "probe.violation":
+            reg.counter("probe_violations").inc()
+        elif kind == "monitor.alert":
+            reg.counter("monitor_alerts").inc()
+        elif kind == "net.deliver":
+            reg.counter("messages_delivered").inc()
+        elif kind == "net.drop":
+            reg.counter("messages_dropped").inc()
+
+    def sample_queue_depth(self, depth: int) -> None:
+        """Record the engine's live event-queue depth (sampling hook)."""
+        self.registry.gauge("queue_depth").set(depth)
+        self.registry.histogram("queue_depth_dist").observe(depth)

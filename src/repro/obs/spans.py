@@ -1,0 +1,195 @@
+"""Span tracing: Sync executions as a tree of timed spans.
+
+Each Sync execution (Figure 1) becomes one ``sync`` span; each per-peer
+clock estimation inside it becomes a child ``estimate`` span covering
+queued → ping-sent → pong-received (or timeout).  The tracer builds the
+tree incrementally from bus events, so it works both live (subscribed
+to the run's :class:`~repro.obs.bus.EventBus`) and offline (replaying a
+JSONL stream loaded with :func:`~repro.obs.bus.read_events_jsonl`).
+
+Spans export to Chrome's ``trace_event`` JSON format
+(:func:`chrome_trace`), loadable in ``about://tracing`` / Perfetto with
+one track ("thread") per node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import ObsEvent
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly nested under a parent span.
+
+    Attributes:
+        span_id: Unique id, e.g. ``"n3:r7"`` (sync) or ``"n3:r7:p5"``
+            (estimation of peer 5).
+        name: Operation name (``"sync"`` or ``"estimate"``).
+        node: The node performing the operation.
+        start: Real time the span opened.
+        end: Real time it closed (``None`` while still open).
+        parent_id: Enclosing span's id (``None`` for roots).
+        status: ``"ok"``, ``"timeout"``, or ``"open"``.
+        attrs: Extra attributes (round, peer, correction, RTT, ...).
+    """
+
+    span_id: str
+    name: str
+    node: int
+    start: float
+    end: float | None = None
+    parent_id: str | None = None
+    status: str = "open"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in real time (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class SpanTracer:
+    """Builds the span tree from the observability event stream.
+
+    Feed events via :meth:`on_event` (usable directly as a bus
+    subscriber).  Completed and still-open spans are available on
+    :attr:`spans` in open order.
+
+    Attributes:
+        spans: Every span seen so far, in open order.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._open_syncs: dict[int, Span] = {}           # node -> sync span
+        self._open_estimates: dict[tuple[int, int], Span] = {}  # (node, peer)
+
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: "ObsEvent") -> None:
+        """Bus-subscriber entry point: fold one event into the tree."""
+        kind = event.kind
+        if kind == "sync.begin":
+            self._begin_sync(event)
+        elif kind == "est.ping":
+            self._begin_estimate(event)
+        elif kind == "est.pong":
+            self._end_estimate(event, status="ok")
+        elif kind == "est.timeout":
+            self._end_estimate(event, status="timeout")
+        elif kind == "sync.complete":
+            self._end_sync(event)
+
+    def _begin_sync(self, event: "ObsEvent") -> None:
+        node = event.node
+        span = Span(
+            span_id=f"n{node}:r{event.data['round']}",
+            name="sync", node=node, start=event.time,
+            attrs={"round": event.data["round"]},
+        )
+        self._open_syncs[node] = span
+        self.spans.append(span)
+
+    def _begin_estimate(self, event: "ObsEvent") -> None:
+        node, peer = event.node, event.data["peer"]
+        parent = self._open_syncs.get(node)
+        span = Span(
+            span_id=f"n{node}:r{event.data['round']}:p{peer}",
+            name="estimate", node=node, start=event.time,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs={"round": event.data["round"], "peer": peer},
+        )
+        self._open_estimates[(node, peer)] = span
+        self.spans.append(span)
+
+    def _end_estimate(self, event: "ObsEvent", status: str) -> None:
+        span = self._open_estimates.get((event.node, event.data["peer"]))
+        if span is None or span.end is not None:
+            return  # duplicate pong after the winning one; keep the first
+        if status == "ok":
+            span.attrs.update(rtt=event.data.get("rtt"),
+                              distance=event.data.get("distance"))
+        span.end = event.time
+        span.status = status
+        if status == "ok":
+            del self._open_estimates[(event.node, event.data["peer"])]
+
+    def _end_sync(self, event: "ObsEvent") -> None:
+        node = event.node
+        span = self._open_syncs.pop(node, None)
+        if span is None:
+            return
+        span.end = event.time
+        span.status = "ok"
+        span.attrs.update(
+            correction=event.data.get("correction"),
+            replies=event.data.get("replies"),
+            own_discarded=event.data.get("own_discarded"),
+        )
+        # Any estimate of this node still open timed out at the deadline.
+        for key in [k for k in self._open_estimates if k[0] == node]:
+            child = self._open_estimates.pop(key)
+            if child.end is None:
+                child.end = event.time
+                child.status = "timeout"
+
+    # ------------------------------------------------------------------
+
+    def replay(self, events: Iterable["ObsEvent"]) -> "SpanTracer":
+        """Fold a whole event stream (offline reconstruction); returns self."""
+        for event in events:
+            self.on_event(event)
+        return self
+
+    def sync_spans(self) -> list[Span]:
+        """All ``sync`` spans, in open order."""
+        return [s for s in self.spans if s.name == "sync"]
+
+    def estimate_spans(self) -> list[Span]:
+        """All ``estimate`` child spans, in open order."""
+        return [s for s in self.spans if s.name == "estimate"]
+
+    def slowest_estimates(self, top: int = 10) -> list[Span]:
+        """The ``top`` longest closed estimation spans, slowest first."""
+        closed = [s for s in self.estimate_spans() if s.end is not None]
+        closed.sort(key=lambda s: (-s.duration, s.span_id))
+        return closed[:top]
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Render spans as a Chrome ``trace_event`` document.
+
+    One complete-duration (``"ph": "X"``) event per closed span, with
+    the node as the thread id, so ``about://tracing`` / Perfetto shows
+    one swim-lane per node.  Times are microseconds of simulated time.
+    """
+    trace_events = []
+    for span in spans:
+        if span.end is None:
+            continue
+        trace_events.append({
+            "name": f"{span.name}" + (f" p{span.attrs['peer']}"
+                                      if "peer" in span.attrs else ""),
+            "cat": span.name,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(span.end - span.start, 0.0) * 1e6,
+            "pid": 0,
+            "tid": span.node,
+            "args": {key: value for key, value in span.attrs.items()
+                     if value is not None} | {"status": span.status},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], path) -> None:
+    """Serialize :func:`chrome_trace` output to ``path`` as JSON."""
+    import pathlib
+
+    document = chrome_trace(spans)
+    pathlib.Path(path).write_text(json.dumps(document, sort_keys=True))

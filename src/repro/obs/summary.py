@@ -1,0 +1,194 @@
+"""Offline analysis of a recorded JSONL event stream (``repro trace``).
+
+Reconstructs the span tree and metrics registry by replaying a stream
+written with :meth:`~repro.obs.recorder.FlightRecorder.write_jsonl`,
+then renders the flight-recorder report: run header, per-kind event
+counts, per-node phase/time breakdown (time attributed to Sync
+executions and to estimation waiting), the top-N slowest estimations,
+the per-node metrics table, and any live envelope-probe violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.metrics.report import table
+from repro.obs.bus import ObsEvent
+from repro.obs.metricsreg import MetricsCollector
+from repro.obs.probes import ProbeViolation, violations_from_events
+from repro.obs.spans import Span, SpanTracer
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` derives from one event stream.
+
+    Attributes:
+        events: The replayed events.
+        tracer: Span tracer rebuilt from the stream.
+        collector: Metrics collector rebuilt from the stream.
+        violations: Probe violations found in the stream.
+        run_start: The ``run.start`` event (``None`` if absent).
+        run_end: The ``run.end`` event (``None`` if absent).
+    """
+
+    events: list[ObsEvent]
+    tracer: SpanTracer = field(default_factory=SpanTracer)
+    collector: MetricsCollector = field(default_factory=MetricsCollector)
+    violations: list[ProbeViolation] = field(default_factory=list)
+    run_start: ObsEvent | None = None
+    run_end: ObsEvent | None = None
+
+
+def summarize_events(events: Sequence[ObsEvent]) -> TraceSummary:
+    """Replay a stream into spans, metrics, and violations."""
+    summary = TraceSummary(events=list(events))
+    for event in events:
+        summary.tracer.on_event(event)
+        summary.collector.on_event(event)
+        if event.kind == "run.start":
+            summary.run_start = event
+        elif event.kind == "run.end":
+            summary.run_end = event
+    summary.violations = violations_from_events(events)
+    return summary
+
+
+def kind_counts(events: Sequence[ObsEvent]) -> dict[str, int]:
+    """Event counts grouped by kind, sorted by kind name."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def phase_breakdown(tracer: SpanTracer, horizon: float) -> list[list]:
+    """Per-node rows: syncs, time in sync spans, estimation outcomes.
+
+    ``horizon`` is the observed stream length, used to express sync
+    time as a share of the run ("the node spent 4.2% of the run inside
+    Sync executions, the rest free-running").
+    """
+    per_node: dict[int, dict[str, float]] = {}
+    for span in tracer.sync_spans():
+        if span.end is None:
+            continue
+        acc = per_node.setdefault(span.node, {
+            "syncs": 0, "sync_time": 0.0, "max_span": 0.0})
+        acc["syncs"] += 1
+        acc["sync_time"] += span.duration
+        acc["max_span"] = max(acc["max_span"], span.duration)
+    est_ok: dict[int, int] = {}
+    est_timeout: dict[int, int] = {}
+    for span in tracer.estimate_spans():
+        if span.status == "timeout":
+            est_timeout[span.node] = est_timeout.get(span.node, 0) + 1
+        elif span.status == "ok":
+            est_ok[span.node] = est_ok.get(span.node, 0) + 1
+    rows = []
+    for node in sorted(per_node):
+        acc = per_node[node]
+        share = acc["sync_time"] / horizon if horizon > 0 else 0.0
+        rows.append([node, int(acc["syncs"]), acc["sync_time"], share,
+                     acc["max_span"], est_ok.get(node, 0),
+                     est_timeout.get(node, 0)])
+    return rows
+
+
+def slowest_estimation_rows(tracer: SpanTracer, top: int = 10) -> list[list]:
+    """Rows for the top-N slowest estimation spans."""
+    rows = []
+    for span in tracer.slowest_estimates(top):
+        rows.append([span.span_id, span.node, span.attrs.get("peer"),
+                     span.attrs.get("round"), span.duration, span.status])
+    return rows
+
+
+def metrics_rows(collector: MetricsCollector) -> list[list]:
+    """Per-node rows of the headline counters and RTT statistics."""
+    snapshot = collector.registry.snapshot()
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    nodes: set[str] = set()
+    for series in counters.values():
+        nodes.update(series)
+    for series in histograms.values():
+        nodes.update(series)
+    rows = []
+    for node in sorted((n for n in nodes if n != "_"), key=int):
+        rtt = histograms.get("estimation_rtt", {}).get(node, {})
+        rows.append([
+            int(node),
+            int(counters.get("syncs_completed", {}).get(node, 0)),
+            int(counters.get("corrections_applied", {}).get(node, 0)),
+            int(counters.get("wayoff_jumps", {}).get(node, 0)),
+            int(counters.get("replies_sent", {}).get(node, 0)),
+            int(counters.get("estimation_timeouts", {}).get(node, 0)),
+            rtt.get("mean", 0.0),
+            rtt.get("max") if rtt.get("max") is not None else 0.0,
+        ])
+    return rows
+
+
+def render_summary(summary: TraceSummary, top: int = 10) -> str:
+    """Render the full flight-recorder report as printable text."""
+    events = summary.events
+    out: list[str] = []
+    if not events:
+        return "empty event stream"
+    first, last = events[0].time, events[-1].time
+    horizon = last - first
+    header = [f"events={len(events)} span=[{first:.3f}s, {last:.3f}s]"]
+    if summary.run_start is not None:
+        data = summary.run_start.data
+        header.append(f"n={data.get('n')} f={data.get('f')} "
+                      f"pi={data.get('pi')} "
+                      f"deviation_bound={data.get('max_deviation_bound'):.4g}")
+    out.append("  ".join(header))
+    out.append("")
+    out.append(table(
+        ["event kind", "count"],
+        [[kind, count] for kind, count in kind_counts(events).items()],
+        title="Event stream", precision=0,
+    ))
+    phase_rows = phase_breakdown(summary.tracer, horizon)
+    if phase_rows:
+        out.append("")
+        out.append(table(
+            ["node", "syncs", "sync_time_s", "sync_share", "max_span_s",
+             "est_ok", "est_timeout"],
+            phase_rows,
+            title="Phase breakdown (time inside Sync executions)",
+            precision=4,
+        ))
+    slow_rows = slowest_estimation_rows(summary.tracer, top)
+    if slow_rows:
+        out.append("")
+        out.append(table(
+            ["span", "node", "peer", "round", "duration_s", "status"],
+            slow_rows,
+            title=f"Top {len(slow_rows)} slowest estimations",
+            precision=5,
+        ))
+    metric_rows = metrics_rows(summary.collector)
+    if metric_rows:
+        out.append("")
+        out.append(table(
+            ["node", "syncs", "corrections", "wayoff", "replies_sent",
+             "est_timeouts", "rtt_mean_s", "rtt_max_s"],
+            metric_rows,
+            title="Per-node metrics", precision=5,
+        ))
+    out.append("")
+    if summary.violations:
+        out.append(table(
+            ["time_s", "probe", "node", "measured", "bound"],
+            [[v.time, v.probe, "-" if v.node is None else v.node,
+              v.measured, v.bound] for v in summary.violations],
+            title=f"ENVELOPE VIOLATIONS ({len(summary.violations)})",
+            precision=6,
+        ))
+    else:
+        out.append("envelope probes: 0 violations")
+    return "\n".join(out)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import repro.protocols  # noqa: F401  -- importing registers the protocol factories
 from repro.adversary.mobile import MobileAdversary
@@ -38,6 +38,9 @@ from repro.runner.scenario import Scenario
 from repro.sim.engine import EnginePerfCounters, Simulator
 from repro.sim.process import Process
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.recorder import FlightRecorder
+
 
 @dataclass
 class RunResult:
@@ -55,6 +58,9 @@ class RunResult:
         messages_delivered: Network delivery count.
         perf: Engine performance counters (events/sec, heap high-water
             mark, cancelled-event ratio) for the run's simulator.
+        obs: The :class:`~repro.obs.recorder.FlightRecorder` that
+            observed the run, or ``None`` when none was passed to
+            :func:`run`.
     """
 
     scenario: Scenario
@@ -67,6 +73,7 @@ class RunResult:
     events_processed: int = 0
     messages_delivered: int = 0
     perf: EnginePerfCounters | None = None
+    obs: "FlightRecorder | None" = field(repr=False, default=None)
 
     # -- measures ----------------------------------------------------------
 
@@ -111,11 +118,15 @@ class RunResult:
         return theorem5_verdict(self.params, self.max_deviation(warmup), self.accuracy())
 
 
-def run(scenario: Scenario) -> RunResult:
+def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResult:
     """Execute one scenario to completion.
 
     Deterministic: identical scenarios (including seed) produce
-    identical results.
+    identical results.  An optional flight ``recorder`` observes the run
+    (event stream, spans, metrics, live Theorem 5 probes) without
+    changing it: observability publishes from existing events only, so
+    the schedule — and therefore every sample, sync, and verdict — is
+    identical with and without a recorder.
     """
     params = scenario.params
     sim = Simulator(seed=scenario.seed)
@@ -149,6 +160,7 @@ def run(scenario: Scenario) -> RunResult:
 
     # Adversary.
     corruptions: list[CorruptionInterval] = []
+    adversary: MobileAdversary | None = None
     if scenario.plan_builder is not None:
         plan = list(scenario.plan_builder(scenario, clocks))
         adversary = MobileAdversary(
@@ -158,14 +170,25 @@ def run(scenario: Scenario) -> RunResult:
         adversary.install()
         corruptions = adversary.corruption_intervals()
 
+    # Observability (advisory; attached before any event runs).
+    if recorder is not None:
+        recorder.attach(sim, network, processes, clocks, params,
+                        adversary=adversary)
+
     # Sampling.
-    sampler = ClockSampler(sim, clocks, scenario.resolved_sample_interval())
+    sampler = ClockSampler(
+        sim, clocks, scenario.resolved_sample_interval(),
+        on_sample=recorder.on_sample if recorder is not None else None,
+    )
     sampler.start(scenario.duration)
 
     for process in processes.values():
         process.start()
 
     sim.run(until=scenario.duration)
+
+    if recorder is not None:
+        recorder.finalize(sim)
 
     return RunResult(
         scenario=scenario,
@@ -178,6 +201,7 @@ def run(scenario: Scenario) -> RunResult:
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
         perf=sim.perf_counters(),
+        obs=recorder,
     )
 
 

@@ -53,7 +53,11 @@ class MonitorThresholds:
         correction_factor: Alert when a correction exceeds this multiple
             of the discontinuity bound while the node believes itself
             good (not a WayOff jump).
-        window: Number of recent syncs considered for rate-based rules.
+        window: Re-alert period for the streak rules: once a rule fires,
+            it re-arms and fires again after ``window`` further
+            consecutive violating syncs, so a persistent condition is
+            re-reported periodically instead of alerting once and going
+            silent (or spamming every sync).
         starvation_streak: Consecutive starved syncs before alerting.
     """
 
@@ -76,6 +80,9 @@ class SyncHealthMonitor:
 
     Attributes:
         alerts: All alerts raised so far.
+        obs: Observability event bus, or ``None`` (the default); alerts
+            are additionally published as ``monitor.alert`` events when
+            set.
     """
 
     def __init__(self, params: ProtocolParams, node_id: int,
@@ -88,9 +95,14 @@ class SyncHealthMonitor:
             raise ConfigurationError(
                 f"min_replies_fraction must be in (0, 1], got "
                 f"{self.thresholds.min_replies_fraction}")
+        if self.thresholds.window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {self.thresholds.window}")
         self.on_alert = on_alert
+        self.obs = None
         self.alerts: list[Alert] = []
         self._starved_streak = 0
+        self._large_streak = 0
 
     # ------------------------------------------------------------------
 
@@ -106,6 +118,9 @@ class SyncHealthMonitor:
         alert = Alert(kind=kind, node=self.node_id, real_time=record.real_time,
                       detail=detail)
         self.alerts.append(alert)
+        if self.obs is not None:
+            self.obs.publish("monitor.alert", node=self.node_id, kind=kind,
+                             detail=detail)
         if self.on_alert is not None:
             self.on_alert(alert)
 
@@ -122,7 +137,10 @@ class SyncHealthMonitor:
             return
         if record.replies / peers < self.thresholds.min_replies_fraction:
             self._starved_streak += 1
-            if self._starved_streak == self.thresholds.starvation_streak:
+            over = self._starved_streak - self.thresholds.starvation_streak
+            # First alert at `starvation_streak`, then re-arm: one alert
+            # every `window` further consecutive starved syncs.
+            if over >= 0 and over % self.thresholds.window == 0:
                 self._raise(
                     "estimation-starvation", record,
                     f"{self._starved_streak} consecutive syncs with fewer "
@@ -137,11 +155,17 @@ class SyncHealthMonitor:
         limit = self.thresholds.correction_factor \
             * self.params.bounds().discontinuity
         if abs(record.correction) > limit:
-            self._raise(
-                "large-corrections", record,
-                f"correction {record.correction:+.4g} exceeds "
-                f"{self.thresholds.correction_factor:g}x the discontinuity "
-                f"bound {self.params.bounds().discontinuity:.4g}")
+            self._large_streak += 1
+            # Alert on the first oversized correction, then re-arm: one
+            # alert per `window` further consecutive oversized ones.
+            if (self._large_streak - 1) % self.thresholds.window == 0:
+                self._raise(
+                    "large-corrections", record,
+                    f"correction {record.correction:+.4g} exceeds "
+                    f"{self.thresholds.correction_factor:g}x the discontinuity "
+                    f"bound {self.params.bounds().discontinuity:.4g}")
+        else:
+            self._large_streak = 0
 
     # ------------------------------------------------------------------
 

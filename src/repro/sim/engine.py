@@ -69,6 +69,8 @@ class Simulator:
     Attributes:
         now: Current simulated real time (``tau``).
         rngs: Registry of named deterministic random streams.
+        obs: Observability event bus, or ``None`` (the default) when no
+            flight recorder is attached; advisory only.
 
     Example:
         >>> sim = Simulator(seed=1)
@@ -88,6 +90,9 @@ class Simulator:
         self._run_wall_time = 0.0
         self._running = False
         self._stop_requested = False
+        # Observability bus (set by repro.obs.recorder.FlightRecorder);
+        # None means no recorder is attached and publishes are skipped.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -189,6 +194,12 @@ class Simulator:
             self._running = False
         if exhausted and until is not None and self.now < until:
             self.now = until
+        if self.obs is not None:
+            # Deterministic counters only: wall-clock quantities would
+            # break byte-identical event streams across identical runs.
+            self.obs.publish("engine.run_end", executed=executed,
+                             events_processed=self._events_processed,
+                             pending_events=len(self._queue))
         return executed
 
     def stop(self) -> None:

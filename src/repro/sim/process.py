@@ -70,6 +70,8 @@ class Process:
         network: Network used to send messages.
         clock: The node's logical clock (hardware + adjustment).
         controlled: Whether the adversary currently controls this node.
+        obs: Observability event bus, or ``None`` (the default) when no
+            flight recorder is attached; protocol logic never reads it.
     """
 
     def __init__(self, node_id: int, sim: "Simulator", network: "Network",
@@ -79,6 +81,7 @@ class Process:
         self.network = network
         self.clock = clock
         self.controlled = False
+        self.obs = None
         self._controller: Any | None = None
         self._timers: list[LocalTimer] = []
 

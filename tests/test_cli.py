@@ -63,3 +63,45 @@ def test_soak_command(capsys):
     assert code == 0
     assert "2/2 segments clean" in out
     assert "VIOLATION" not in out
+
+
+def test_run_prints_events_per_second(capsys):
+    assert main(["run", "--scenario", "benign", "--duration", "3",
+                 "--n", "4", "--f", "1", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+
+
+def test_run_trace_flag_and_trace_subcommand(tmp_path, capsys):
+    stream = tmp_path / "run.jsonl"
+    assert main(["run", "--scenario", "mobile-byzantine", "--duration", "8",
+                 "--seed", "1", "--trace", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "observability events" in out
+    assert stream.exists()
+
+    chrome = tmp_path / "trace.json"
+    assert main(["trace", str(stream), "--top", "3",
+                 "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "Event stream" in out
+    assert "Per-node metrics" in out
+    assert "envelope probes: 0 violations" in out
+    assert chrome.exists()
+
+
+def test_trace_of_identical_seed_runs_is_byte_identical(tmp_path):
+    streams = []
+    for name in ("a.jsonl", "b.jsonl"):
+        path = tmp_path / name
+        assert main(["run", "--scenario", "mobile-byzantine", "--duration",
+                     "6", "--seed", "9", "--trace", str(path)]) == 0
+        streams.append(path.read_bytes())
+    assert streams[0] == streams[1]
+
+
+def test_trace_missing_events_errors(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
+    assert "no events" in capsys.readouterr().out

@@ -6,6 +6,7 @@ import json
 
 from repro.metrics.export import result_to_dict, write_result
 from repro.runner.builders import (
+    benign_scenario,
     default_params,
     mobile_byzantine_scenario,
     warmup_for,
@@ -66,3 +67,35 @@ def test_cli_json_flag(tmp_path, capsys):
     assert code == 0
     decoded = json.loads(out_path.read_text())
     assert decoded["scenario"]["name"] == "benign"
+
+
+def test_perf_counters_exported():
+    result = run(benign_scenario(duration=3.0, seed=5))
+    payload = result_to_dict(result)
+    perf = payload["perf"]
+    assert perf["events_processed"] == result.events_processed
+    assert perf["events_pushed"] >= perf["events_processed"]
+    assert 0.0 <= perf["cancelled_ratio"] <= 1.0
+    assert perf["heap_high_water"] > 0
+    # Wall-clock quantities stay out of the record: identical-seed runs
+    # must serialize byte-identically.
+    assert "run_wall_time" not in perf
+    assert "events_per_second" not in perf
+    json.dumps(payload)  # still JSON-safe
+
+
+def test_obs_section_present_only_with_recorder(tmp_path):
+    from repro.obs import FlightRecorder
+
+    plain = run(benign_scenario(duration=3.0, seed=5))
+    assert "obs" not in result_to_dict(plain)
+
+    recorder = FlightRecorder()
+    observed = run(benign_scenario(duration=3.0, seed=5), recorder=recorder)
+    payload = result_to_dict(observed)
+    obs = payload["obs"]
+    assert obs["events"] == len(recorder.events)
+    assert obs["spans"] == len(recorder.spans)
+    assert obs["violations"] == []
+    assert "syncs_completed" in obs["metrics"]["counters"]
+    json.dumps(payload)

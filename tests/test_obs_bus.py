@@ -1,0 +1,98 @@
+"""Tests for the observability event bus and its canonical serialization."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import EventBus, ObsEvent
+from repro.obs.bus import (
+    event_from_json,
+    event_to_json,
+    events_to_jsonl,
+    read_events_jsonl,
+)
+
+
+class TestEventBus:
+    def test_publish_stamps_seq_and_time(self):
+        now = [3.5]
+        bus = EventBus(clock=lambda: now[0])
+        first = bus.publish("sync.begin", node=1, round=1)
+        now[0] = 4.0
+        second = bus.publish("sync.complete", node=1, round=1)
+        assert (first.seq, first.time) == (0, 3.5)
+        assert (second.seq, second.time) == (1, 4.0)
+        assert bus.events_published == 2
+
+    def test_subscribers_receive_in_order(self):
+        bus = EventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        bus.publish("a")
+        bus.publish("b")
+        assert [e.kind for e in seen_a] == ["a", "b"]
+        assert seen_a == seen_b
+
+    def test_set_clock_rebinds_time_source(self):
+        bus = EventBus()
+        assert bus.publish("x").time == 0.0
+        bus.set_clock(lambda: 7.25)
+        assert bus.publish("y").time == 7.25
+
+    def test_node_defaults_to_none(self):
+        event = EventBus().publish("run.end")
+        assert event.node is None
+        assert event.data == {}
+
+
+class TestSerialization:
+    def test_roundtrip_plain_event(self):
+        event = ObsEvent(seq=4, time=1.5, kind="sync.begin", node=2,
+                         data={"round": 7, "local": 1.51})
+        assert event_from_json(event_to_json(event)) == event
+
+    def test_roundtrip_inf_and_nan(self):
+        event = ObsEvent(seq=0, time=0.0, kind="est.timeout", node=1,
+                         data={"accuracy": math.inf, "low": -math.inf})
+        parsed = event_from_json(event_to_json(event))
+        assert parsed.data["accuracy"] == math.inf
+        assert parsed.data["low"] == -math.inf
+        nan_event = ObsEvent(seq=1, time=0.0, kind="x", node=None,
+                             data={"v": math.nan})
+        assert math.isnan(event_from_json(event_to_json(nan_event)).data["v"])
+
+    def test_nested_payloads_roundtrip(self):
+        event = ObsEvent(seq=0, time=0.0, kind="metrics.snapshot", node=None,
+                         data={"snapshot": {"hist": {"min": math.inf,
+                                                     "values": [1.0, math.inf]}}})
+        parsed = event_from_json(event_to_json(event))
+        assert parsed.data["snapshot"]["hist"]["min"] == math.inf
+        assert parsed.data["snapshot"]["hist"]["values"] == [1.0, math.inf]
+
+    def test_canonical_form_is_sorted_and_compact(self):
+        line = event_to_json(ObsEvent(seq=0, time=1.0, kind="k", node=3,
+                                      data={"b": 2, "a": 1}))
+        assert line == '{"data":{"a":1,"b":2},"kind":"k","node":3,"seq":0,"t":1.0}'
+
+    def test_jsonl_file_roundtrip(self, tmp_path):
+        events = [
+            ObsEvent(seq=0, time=0.0, kind="run.start", node=None,
+                     data={"n": 4}),
+            ObsEvent(seq=1, time=2.5, kind="sync.begin", node=0,
+                     data={"round": 1}),
+        ]
+        path = tmp_path / "stream.jsonl"
+        path.write_text(events_to_jsonl(events))
+        assert read_events_jsonl(path) == events
+
+    def test_identical_streams_serialize_byte_identical(self):
+        def stream():
+            bus = EventBus()
+            seen = []
+            bus.subscribe(seen.append)
+            bus.publish("sync.begin", node=0, round=1, local=0.25)
+            bus.publish("est.timeout", node=0, peer=1, round=1)
+            return events_to_jsonl(seen)
+
+        assert stream() == stream()

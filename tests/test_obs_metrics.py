@@ -1,0 +1,143 @@
+"""Tests for the per-node metrics registry and the standard collector."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import EventBus, MetricsCollector, MetricsRegistry
+from repro.obs.metricsreg import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(4)
+        assert gauge.value == 4.0
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1]  # <=1, <=2, +inf tail
+        assert hist.count == 3
+        assert hist.min == 0.5 and hist.max == 5.0
+        assert hist.mean == (0.5 + 1.5 + 5.0) / 3
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", 1) is registry.counter("x", 1)
+        assert registry.counter("x", 1) is not registry.counter("x", 2)
+        assert registry.gauge("x") is registry.gauge("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("syncs", 0).inc()
+        registry.counter("syncs", 1).inc(2)
+        registry.gauge("depth").set(17)
+        registry.histogram("rtt", 0).observe(0.004)
+        snap = registry.snapshot()
+        assert snap["counters"]["syncs"] == {"0": 1.0, "1": 2.0}
+        assert snap["gauges"]["depth"] == {"_": 17.0}
+        rtt = snap["histograms"]["rtt"]["0"]
+        assert rtt == {"count": 1, "sum": 0.004, "min": 0.004, "max": 0.004,
+                       "mean": 0.004}
+
+    def test_snapshot_empty_histogram_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt", 0)
+        entry = registry.snapshot()["histograms"]["rtt"]["0"]
+        assert entry["min"] is None and entry["max"] is None
+
+    def test_delta_subtracts_counters_only(self):
+        registry = MetricsRegistry()
+        registry.counter("syncs", 0).inc(3)
+        registry.gauge("depth").set(5)
+        before = registry.snapshot()
+        registry.counter("syncs", 0).inc(2)
+        registry.gauge("depth").set(9)
+        delta = registry.delta(before)
+        assert delta["counters"]["syncs"]["0"] == 2.0
+        assert delta["gauges"]["depth"]["_"] == 9.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("rtt", 0).observe(0.001)
+        registry.histogram("empty", 1)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestCollector:
+    def publish_through(self, *publishes):
+        bus = EventBus()
+        collector = MetricsCollector()
+        bus.subscribe(collector.on_event)
+        for kind, node, data in publishes:
+            bus.publish(kind, node=node, **data)
+        return collector.registry
+
+    def test_sync_complete_updates_node_series(self):
+        registry = self.publish_through(
+            ("sync.complete", 0, dict(round=1, correction=0.002, m=0.0,
+                                      big_m=0.0, own_discarded=False,
+                                      replies=3, local_before=1.0)),
+            ("sync.complete", 0, dict(round=2, correction=0.0, m=0.0,
+                                      big_m=0.0, own_discarded=True,
+                                      replies=2, local_before=2.0)),
+        )
+        assert registry.counter("syncs_completed", 0).value == 2
+        # Zero corrections do not count as applied.
+        assert registry.counter("corrections_applied", 0).value == 1
+        assert registry.counter("wayoff_jumps", 0).value == 1
+        assert registry.histogram("correction_abs", 0).max == 0.002
+        assert registry.histogram("replies", 0).count == 2
+
+    def test_estimation_events(self):
+        registry = self.publish_through(
+            ("est.pong", 1, dict(peer=0, round=1, rtt=0.004, distance=0.0,
+                                 accuracy=0.002)),
+            ("est.timeout", 1, dict(peer=2, round=1)),
+            ("sync.reply", 2, dict(peer=1)),
+        )
+        assert registry.histogram("estimation_rtt", 1).count == 1
+        assert registry.counter("estimation_timeouts", 1).value == 1
+        assert registry.counter("replies_sent", 2).value == 1
+
+    def test_global_series(self):
+        registry = self.publish_through(
+            ("adv.break_in", 3, dict(strategy="liar")),
+            ("adv.release", 3, dict(strategy="liar")),
+            ("probe.violation", None, dict(probe="deviation", measured=1.0,
+                                           bound=0.1)),
+            ("monitor.alert", 0, dict(kind="way-off", detail="x")),
+            ("net.deliver", 0, dict(recipient=1, kind="Ping", sent_at=0.0)),
+            ("net.drop", 0, dict(recipient=1, reason="loss")),
+        )
+        # One corruption per break-in; the release does not double count.
+        assert registry.counter("corruptions", 3).value == 1
+        assert registry.counter("probe_violations").value == 1
+        assert registry.counter("monitor_alerts").value == 1
+        assert registry.counter("messages_delivered").value == 1
+        assert registry.counter("messages_dropped").value == 1
+
+    def test_queue_depth_sampling(self):
+        collector = MetricsCollector()
+        collector.sample_queue_depth(12)
+        collector.sample_queue_depth(7)
+        registry = collector.registry
+        assert registry.gauge("queue_depth").value == 7.0
+        assert registry.histogram("queue_depth_dist").count == 2
+        assert registry.histogram("queue_depth_dist").max == 12

@@ -1,0 +1,142 @@
+"""Tests for span tracing and the Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import EventBus, SpanTracer, chrome_trace
+from repro.obs.spans import write_chrome_trace
+
+
+def make_bus_with_tracer():
+    now = [0.0]
+    bus = EventBus(clock=lambda: now[0])
+    tracer = SpanTracer()
+    bus.subscribe(tracer.on_event)
+    return now, bus, tracer
+
+
+class TestSpanTree:
+    def test_sync_span_parents_estimates(self):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        bus.publish("est.ping", node=0, peer=1, round=1, pings=1)
+        bus.publish("est.ping", node=0, peer=2, round=1, pings=1)
+        now[0] = 0.004
+        bus.publish("est.pong", node=0, peer=1, round=1, rtt=0.004,
+                    distance=0.001, accuracy=0.002)
+        now[0] = 0.01
+        bus.publish("sync.complete", node=0, round=1, correction=0.001,
+                    m=0.0, big_m=0.0, own_discarded=False, replies=1,
+                    local_before=0.01)
+
+        sync = tracer.sync_spans()[0]
+        assert (sync.span_id, sync.status) == ("n0:r1", "ok")
+        assert sync.start == 0.0 and sync.end == 0.01
+        assert sync.attrs["correction"] == 0.001
+
+        estimates = tracer.estimate_spans()
+        assert [s.span_id for s in estimates] == ["n0:r1:p1", "n0:r1:p2"]
+        assert all(s.parent_id == "n0:r1" for s in estimates)
+        ok, timed_out = estimates
+        assert ok.status == "ok" and ok.end == 0.004
+        assert ok.attrs["rtt"] == 0.004
+        # Peer 2 never answered: closed as timeout at the sync deadline.
+        assert timed_out.status == "timeout" and timed_out.end == 0.01
+
+    def test_explicit_timeout_event_closes_estimate(self):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=3, round=2, local=0.0)
+        bus.publish("est.ping", node=3, peer=0, round=2, pings=1)
+        now[0] = 0.01
+        bus.publish("est.timeout", node=3, peer=0, round=2)
+        (span,) = tracer.estimate_spans()
+        assert span.status == "timeout"
+        assert span.duration == 0.01
+
+    def test_duplicate_pong_keeps_first_closing(self):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        bus.publish("est.ping", node=0, peer=1, round=1, pings=2)
+        now[0] = 0.002
+        bus.publish("est.pong", node=0, peer=1, round=1, rtt=0.002,
+                    distance=0.0, accuracy=0.001)
+        now[0] = 0.006
+        bus.publish("est.pong", node=0, peer=1, round=1, rtt=0.006,
+                    distance=0.0, accuracy=0.003)
+        (span,) = tracer.estimate_spans()
+        assert span.end == 0.002 and span.attrs["rtt"] == 0.002
+
+    def test_concurrent_nodes_do_not_interfere(self):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        bus.publish("sync.begin", node=1, round=4, local=0.0)
+        bus.publish("est.ping", node=0, peer=1, round=1, pings=1)
+        bus.publish("est.ping", node=1, peer=0, round=4, pings=1)
+        now[0] = 0.01
+        bus.publish("sync.complete", node=0, round=1, correction=0.0,
+                    m=0.0, big_m=0.0, own_discarded=False, replies=0,
+                    local_before=0.01)
+        spans = {s.span_id: s for s in tracer.spans}
+        assert spans["n0:r1"].status == "ok"
+        assert spans["n1:r4"].status == "open"
+        assert spans["n0:r1:p1"].status == "timeout"
+        assert spans["n1:r4:p0"].status == "open"
+
+    def test_replay_rebuilds_identical_tree(self):
+        now, bus, tracer = make_bus_with_tracer()
+        recorded = []
+        bus.subscribe(recorded.append)
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        bus.publish("est.ping", node=0, peer=1, round=1, pings=1)
+        now[0] = 0.01
+        bus.publish("sync.complete", node=0, round=1, correction=0.0,
+                    m=0.0, big_m=0.0, own_discarded=False, replies=0,
+                    local_before=0.01)
+        offline = SpanTracer().replay(recorded)
+        assert offline.spans == tracer.spans
+
+    def test_slowest_estimates_order_is_deterministic(self):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        for peer in (1, 2, 3):
+            bus.publish("est.ping", node=0, peer=peer, round=1, pings=1)
+        now[0] = 0.004
+        bus.publish("est.pong", node=0, peer=2, round=1, rtt=0.004,
+                    distance=0.0, accuracy=0.002)
+        now[0] = 0.01
+        bus.publish("sync.complete", node=0, round=1, correction=0.0,
+                    m=0.0, big_m=0.0, own_discarded=False, replies=1,
+                    local_before=0.01)
+        slowest = tracer.slowest_estimates(top=2)
+        # Ties (both timeouts last 0.01) break on span id.
+        assert [s.span_id for s in slowest] == ["n0:r1:p1", "n0:r1:p3"]
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tmp_path):
+        now, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=5, round=1, local=0.0)
+        bus.publish("est.ping", node=5, peer=1, round=1, pings=1)
+        now[0] = 0.01
+        bus.publish("sync.complete", node=5, round=1, correction=0.002,
+                    m=0.0, big_m=0.0, own_discarded=False, replies=0,
+                    local_before=0.01)
+        document = chrome_trace(tracer.spans)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        sync_event = next(e for e in events if e["cat"] == "sync")
+        assert sync_event["tid"] == 5
+        assert sync_event["dur"] == 0.01 * 1e6
+        assert sync_event["args"]["status"] == "ok"
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer.spans, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(document, sort_keys=True))
+
+    def test_open_spans_are_skipped(self):
+        _, bus, tracer = make_bus_with_tracer()
+        bus.publish("sync.begin", node=0, round=1, local=0.0)
+        assert chrome_trace(tracer.spans)["traceEvents"] == []

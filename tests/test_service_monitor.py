@@ -127,3 +127,123 @@ class TestLiveWiring:
         run(benign_scenario(params, duration=5.0, seed=12, protocol=factory))
         for monitor in monitors.values():
             assert monitor.alerts == []
+
+
+class TestWindowedReAlerting:
+    """The `window` threshold is the re-alert period of the streak rules
+    (regression: it was documented but never read)."""
+
+    def test_persistent_starvation_realerts_every_window(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(starvation_streak=3, window=4))
+        for i in range(11):
+            monitor.on_sync(record(replies=0, round_no=i, t=float(i)))
+        # Fires at streaks 3, 7, 11 — once per window, not once ever
+        # and not on every starved sync.
+        assert monitor.alert_counts() == {"estimation-starvation": 3}
+        assert [a.real_time for a in monitor.alerts] == [2.0, 6.0, 10.0]
+
+    def test_starvation_window_resets_with_streak(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(starvation_streak=2, window=3))
+        for i in range(2):
+            monitor.on_sync(record(replies=0, round_no=i))
+        monitor.on_sync(record(replies=3))  # healthy: full reset
+        for i in range(2):
+            monitor.on_sync(record(replies=0, round_no=10 + i))
+        # Each episode alerts at its own streak threshold.
+        assert monitor.alert_counts() == {"estimation-starvation": 2}
+
+    def test_persistent_large_corrections_realert_every_window(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0, thresholds=MonitorThresholds(window=5))
+        big = 3.0 * params.bounds().discontinuity
+        for i in range(11):
+            monitor.on_sync(record(correction=big, round_no=i, t=float(i)))
+        # Fires on syncs 1, 6, 11 (first, then one per window).
+        assert monitor.alert_counts() == {"large-corrections": 3}
+        assert [a.real_time for a in monitor.alerts] == [0.0, 5.0, 10.0]
+
+    def test_large_correction_streak_resets_on_normal_sync(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0, thresholds=MonitorThresholds(window=8))
+        big = 3.0 * params.bounds().discontinuity
+        monitor.on_sync(record(correction=big))
+        monitor.on_sync(record(correction=0.0))
+        monitor.on_sync(record(correction=big))
+        # Each isolated oversized correction alerts (streak restarts).
+        assert monitor.alert_counts() == {"large-corrections": 2}
+
+    def test_bad_window_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            SyncHealthMonitor(params, node_id=0,
+                              thresholds=MonitorThresholds(window=0))
+
+
+class TestEdgeCases:
+    def test_exact_fraction_boundary_is_not_starved(self, params):
+        """The rule is strictly-fewer-than: exactly min_replies_fraction
+        of peers answering is healthy."""
+        # n=4 -> 3 peers; threshold 0.5 -> 1.5 replies; 2/3 > 0.5 healthy,
+        # and with fraction 2/3 exactly, 2 replies is NOT starved.
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(min_replies_fraction=2.0 / 3.0,
+                                         starvation_streak=1))
+        monitor.on_sync(record(replies=2))
+        assert monitor.alert_counts() == {}
+        monitor.on_sync(record(replies=1))  # 1/3 < 2/3: starved
+        assert monitor.alert_counts() == {"estimation-starvation": 1}
+
+    def test_on_alert_sees_already_recorded_alert(self, params):
+        """The callback runs after the alert is appended, so a callback
+        reading monitor state observes a consistent view."""
+        observed = []
+
+        def callback(alert):
+            observed.append((alert.kind, len(monitor.alerts),
+                             monitor.alerts[-1] is alert))
+
+        monitor = SyncHealthMonitor(params, node_id=0, on_alert=callback)
+        monitor.on_sync(record(own_discarded=True))
+        assert observed == [("way-off", 1, True)]
+
+    def test_alert_order_within_one_sync(self, params):
+        """A single record can trip way-off and starvation; alerts are
+        raised in rule order (way-off, starvation, large-corrections)."""
+        seen = []
+        monitor = SyncHealthMonitor(
+            params, node_id=0, on_alert=lambda a: seen.append(a.kind),
+            thresholds=MonitorThresholds(starvation_streak=1))
+        monitor.on_sync(record(replies=0, own_discarded=True))
+        assert seen == ["way-off", "estimation-starvation"]
+
+    def test_alert_counts_after_mixed_alerts(self, params):
+        monitor = SyncHealthMonitor(
+            params, node_id=0,
+            thresholds=MonitorThresholds(starvation_streak=1, window=100))
+        big = 3.0 * params.bounds().discontinuity
+        monitor.on_sync(record(own_discarded=True))      # way-off
+        monitor.on_sync(record(replies=0))               # starvation
+        monitor.on_sync(record(correction=big))          # large-correction
+        monitor.on_sync(record(own_discarded=True))      # way-off again
+        assert monitor.alert_counts() == {
+            "way-off": 2,
+            "estimation-starvation": 1,
+            "large-corrections": 1,
+        }
+
+    def test_obs_bus_receives_alert_events(self, params):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        published = []
+        bus.subscribe(published.append)
+        monitor = SyncHealthMonitor(params, node_id=0)
+        monitor.obs = bus
+        monitor.on_sync(record(own_discarded=True))
+        assert [e.kind for e in published] == ["monitor.alert"]
+        assert published[0].data["kind"] == "way-off"
+        assert published[0].node == 0

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Check that a config run is byte-for-byte reproducible.
 
-Runs the E1 headline workload (rotating mobile-Byzantine adversary)
-twice through :func:`repro.runner.parallel.run_config` and compares the
-JSON serialization of the two :class:`ConfigRunSummary` results.  Any
-difference — a float that drifted in the last bit, a counter off by
-one — is a determinism regression: the simulation must be a pure
-function of ``(config, seed)``.
+Two checks, both over the E1 headline workload (rotating
+mobile-Byzantine adversary):
+
+* **summary** — runs the config twice through
+  :func:`repro.runner.parallel.run_config` and compares the JSON
+  serialization of the two :class:`ConfigRunSummary` results;
+* **trace** — runs the same scenario twice under a full
+  :class:`repro.obs.FlightRecorder` and byte-diffs the serialized JSONL
+  observability event streams, line by line.
+
+Any difference — a float that drifted in the last bit, a counter off by
+one, a wall-clock quantity that leaked into an event payload — is a
+determinism regression: the simulation (and its telemetry) must be a
+pure function of ``(config, seed)``.
 
 Run from the repository root:
 
@@ -44,17 +52,64 @@ def summary_bytes(config: dict) -> bytes:
     return json.dumps(dataclasses.asdict(summary), sort_keys=True).encode()
 
 
-def main() -> int:
+def trace_bytes(config: dict) -> bytes:
+    """Run the config's scenario under a flight recorder; return the JSONL."""
+    from repro.obs import FlightRecorder, ObsConfig
+    from repro.runner.builders import default_params, mobile_byzantine_scenario
+    from repro.runner.experiment import run
+
+    params = default_params(**config["params"])
+    scenario = mobile_byzantine_scenario(params, duration=config["duration"],
+                                         seed=config["seed"])
+    recorder = FlightRecorder(ObsConfig(messages=True, monitors=True))
+    run(scenario, recorder=recorder)
+    return recorder.events_jsonl().encode()
+
+
+def diff_jsonl(first: bytes, second: bytes) -> str:
+    """Describe the first differing line of two JSONL streams."""
+    lines_a = first.decode().splitlines()
+    lines_b = second.decode().splitlines()
+    for i, (a, b) in enumerate(zip(lines_a, lines_b)):
+        if a != b:
+            return f"line {i + 1}:\n  run 1: {a}\n  run 2: {b}"
+    return (f"stream lengths differ: {len(lines_a)} vs {len(lines_b)} "
+            f"events")
+
+
+def check_summary() -> bool:
+    """Summary determinism: measures identical across runs."""
     first = summary_bytes(E1_CONFIG)
     second = summary_bytes(E1_CONFIG)
     if first == second:
         print(f"deterministic: {len(first)} summary bytes identical across runs")
-        return 0
+        return True
     print("DETERMINISM FAILURE: identical config+seed produced different measures",
           file=sys.stderr)
     print(f"run 1: {first.decode()}", file=sys.stderr)
     print(f"run 2: {second.decode()}", file=sys.stderr)
-    return 1
+    return False
+
+
+def check_trace() -> bool:
+    """Trace determinism: observability JSONL byte-identical across runs."""
+    first = trace_bytes(E1_CONFIG)
+    second = trace_bytes(E1_CONFIG)
+    if first == second:
+        events = first.decode().count("\n")
+        print(f"deterministic: {len(first)} trace bytes "
+              f"({events} events) identical across runs")
+        return True
+    print("DETERMINISM FAILURE: identical config+seed produced different "
+          "observability streams", file=sys.stderr)
+    print(diff_jsonl(first, second), file=sys.stderr)
+    return False
+
+
+def main() -> int:
+    ok = check_summary()
+    ok = check_trace() and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
