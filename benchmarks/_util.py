@@ -10,7 +10,29 @@ from __future__ import annotations
 
 import pathlib
 
+from repro.runner.campaign import Campaign, RunRecord
+from repro.runner.scenario import Scenario
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def campaign_records(scenarios: list[Scenario], *,
+                     workers: int | None = None,
+                     warmup_intervals: float = 3.0) -> list[RunRecord]:
+    """Run a list of scenarios through the Campaign executor.
+
+    Benches deliberately do NOT pass a ``cache_dir``: cache keys include
+    the package version, which does not change between commits, so a
+    persistent cache would happily serve results from stale code.
+    """
+    result = Campaign.from_scenarios(
+        scenarios, warmup_intervals=warmup_intervals).run(workers=workers)
+    for record in result.records:
+        if record.error is not None:
+            raise RuntimeError(
+                f"bench run {record.index} ({record.name}) failed: "
+                f"{record.error}")
+    return list(result.records)
 
 
 def emit(name: str, content: str) -> None:

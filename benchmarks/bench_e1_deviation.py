@@ -9,11 +9,10 @@ with epsilon (i.e. with delta), and the guarantee holds at every size.
 
 from __future__ import annotations
 
-from _util import emit, once
+from _util import campaign_records, emit, once
 
 from repro.metrics.report import check_mark, ratio, table
-from repro.runner.builders import default_params, mobile_byzantine_scenario, warmup_for
-from repro.runner.experiment import run
+from repro.runner.builders import default_params, mobile_byzantine_scenario
 
 
 CONFIGS = [
@@ -27,14 +26,19 @@ CONFIGS = [
 
 
 def run_e1():
-    rows = []
+    scenarios, groups = [], []
     for n, f, delta, seeds in CONFIGS:
         params = default_params(n=n, f=f, delta=delta, pi=4.0)
-        bound = params.bounds().max_deviation
-        worst = 0.0
+        start = len(scenarios)
         for seed in seeds:
-            result = run(mobile_byzantine_scenario(params, duration=16.0, seed=seed))
-            worst = max(worst, result.max_deviation(warmup_for(params)))
+            scenarios.append(
+                mobile_byzantine_scenario(params, duration=16.0, seed=seed))
+        groups.append((params, range(start, start + len(seeds))))
+    records = campaign_records(scenarios)
+    rows = []
+    for (n, f, delta, seeds), (params, indices) in zip(CONFIGS, groups):
+        bound = params.bounds().max_deviation
+        worst = max(records[i].max_deviation for i in indices)
         rows.append([n, f, delta, len(seeds), worst, bound,
                      ratio(worst, bound), check_mark(worst <= bound)])
     return rows

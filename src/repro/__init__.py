@@ -37,6 +37,7 @@ from repro.core import (
 )
 from repro.errors import (
     AdversaryError,
+    CampaignError,
     ClockError,
     ConfigurationError,
     MeasurementError,
@@ -46,6 +47,9 @@ from repro.errors import (
     TopologyError,
 )
 from repro.runner import (
+    Campaign,
+    CampaignResult,
+    RunRecord,
     RunResult,
     Scenario,
     benign_scenario,
@@ -70,6 +74,9 @@ __all__ = [
     # runner
     "Scenario",
     "RunResult",
+    "Campaign",
+    "CampaignResult",
+    "RunRecord",
     "run",
     "sweep",
     "replicate",
@@ -88,4 +95,5 @@ __all__ = [
     "ClockError",
     "AdversaryError",
     "MeasurementError",
+    "CampaignError",
 ]

@@ -16,7 +16,16 @@ from repro.adversary.mobile import (
     round_robin_plan,
     single_burst_plan,
 )
+from repro.adversary.plans import (
+    PLAN_KINDS,
+    PlanContext,
+    PlanSpec,
+    StrategySpec,
+    register_plan_kind,
+)
 from repro.adversary.strategies import (
+    STRATEGIES,
+    STRATEGY_FACTORIES,
     LiarStrategy,
     MalformedStrategy,
     ReplayStrategy,
@@ -27,6 +36,10 @@ from repro.adversary.strategies import (
     SplitWorldStrategy,
     StealthDriftStrategy,
     TwoFacedStrategy,
+    build_strategy_factory,
+    register_strategy,
+    register_strategy_factory,
+    standard_strategy_mix,
 )
 
 __all__ = [
@@ -38,6 +51,17 @@ __all__ = [
     "random_plan",
     "round_robin_plan",
     "single_burst_plan",
+    "PlanSpec",
+    "PlanContext",
+    "StrategySpec",
+    "PLAN_KINDS",
+    "register_plan_kind",
+    "STRATEGIES",
+    "STRATEGY_FACTORIES",
+    "register_strategy",
+    "register_strategy_factory",
+    "build_strategy_factory",
+    "standard_strategy_mix",
     "SilentStrategy",
     "RandomClockStrategy",
     "LiarStrategy",

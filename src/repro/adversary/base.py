@@ -33,9 +33,13 @@ class ByzantineStrategy:
 
     Attributes:
         name: Strategy label recorded in corruption traces.
+        needs_clocks: Whether the constructor takes the full logical
+            clock registry as its first argument (omniscient
+            strategies); declarative plan specs inject it at build time.
     """
 
     name = "abstract"
+    needs_clocks = False
 
     def on_break_in(self, process: "Process", rng: random.Random) -> None:
         """Called at the moment of corruption (state capture, sabotage)."""

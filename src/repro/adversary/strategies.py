@@ -35,10 +35,12 @@ import random
 from typing import TYPE_CHECKING, Callable
 
 from repro.adversary.base import ByzantineStrategy
+from repro.errors import ConfigurationError
 from repro.net.message import Message, Ping, Pong
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.clocks.logical import LogicalClock
+    from repro.core.params import ProtocolParams
     from repro.sim.process import Process
 
 
@@ -160,6 +162,7 @@ class SplitWorldStrategy(ByzantineStrategy):
     """
 
     name = "split-world"
+    needs_clocks = True
 
     def __init__(self, clocks: dict[int, "LogicalClock"], push: float) -> None:
         self.clocks = clocks
@@ -310,3 +313,144 @@ class MalformedStrategy(ByzantineStrategy):
         else:
             value = self._FLAVORS[self.flavor]
         _reply(process, message, value)
+
+
+# ----------------------------------------------------------------------
+# Strategy registries (the declarative-plan vocabulary)
+# ----------------------------------------------------------------------
+
+StrategyFactory = Callable[[int, int], ByzantineStrategy]
+"""Maps ``(node, episode_index)`` to a fresh strategy instance."""
+
+
+STRATEGIES: dict[str, type[ByzantineStrategy]] = {}
+"""Registered strategy classes by their ``name`` attribute."""
+
+STRATEGY_FACTORIES: dict[str, Callable[..., StrategyFactory]] = {}
+"""Named per-(node, episode) factory builders.
+
+Each entry is called as ``builder(params, seed, clocks, **kwargs)`` and
+returns a :data:`StrategyFactory`; they cover rotations that vary the
+strategy per victim or episode, which a single strategy name cannot
+express."""
+
+
+def register_strategy(cls: type[ByzantineStrategy]) -> type[ByzantineStrategy]:
+    """Register a strategy class under its ``name`` attribute (decorator)."""
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def register_strategy_factory(name: str) -> Callable[[Callable[..., StrategyFactory]],
+                                                     Callable[..., StrategyFactory]]:
+    """Register a strategy-factory builder under ``name`` (decorator)."""
+
+    def decorator(builder: Callable[..., StrategyFactory]) -> Callable[..., StrategyFactory]:
+        STRATEGY_FACTORIES[name] = builder
+        return builder
+
+    return decorator
+
+
+for _cls in (SilentStrategy, RandomClockStrategy, LiarStrategy, NoisyStrategy,
+             TwoFacedStrategy, SplitWorldStrategy, NearBoundaryResetStrategy,
+             StealthDriftStrategy, ReplayStrategy, MalformedStrategy):
+    register_strategy(_cls)
+del _cls
+
+
+def build_strategy_factory(name: str, kwargs: dict, *, params: "ProtocolParams",
+                           seed: int, clocks: dict[int, "LogicalClock"] | None
+                           ) -> StrategyFactory:
+    """Resolve a strategy or factory name into a :data:`StrategyFactory`.
+
+    Factory names (:data:`STRATEGY_FACTORIES`) win over plain strategy
+    names; a plain strategy name yields a fixed factory constructing
+    ``STRATEGIES[name](**kwargs)`` per episode, with the clock registry
+    injected first for omniscient strategies (``needs_clocks``).
+
+    Raises:
+        ConfigurationError: On unknown names or options the constructor
+            rejects (validated eagerly with a probe instance).
+    """
+    if name in STRATEGY_FACTORIES:
+        try:
+            return STRATEGY_FACTORIES[name](params, seed, clocks, **kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid options for strategy factory {name!r}: {exc}") from None
+    if name in STRATEGIES:
+        cls = STRATEGIES[name]
+        frozen = dict(kwargs)
+
+        def fixed_factory(node: int, episode: int) -> ByzantineStrategy:
+            if cls.needs_clocks:
+                return cls(clocks, **frozen)
+            return cls(**frozen)
+
+        try:
+            fixed_factory(0, 0)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"invalid options for strategy {name!r}: {exc}") from None
+        return fixed_factory
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; known strategies: {sorted(STRATEGIES)}, "
+        f"factories: {sorted(STRATEGY_FACTORIES)}")
+
+
+def standard_strategy_mix(params: "ProtocolParams", seed: int = 0) -> "_MixFactory":
+    """The default rotation of attack strategies for mobile workloads.
+
+    Cycles deterministically (per node, episode) through: clock
+    scrambling, silence, constant lies, per-message noise, two-faced
+    answers, and near-boundary parting resets.  Magnitudes are scaled
+    off ``WayOff`` so every attack is in the regime the analysis cares
+    about.
+    """
+    return _MixFactory(params, seed)
+
+
+class _MixFactory:
+    """Deterministic (node, episode) -> strategy rotation."""
+
+    def __init__(self, params: "ProtocolParams", seed: int) -> None:
+        self.params = params
+        self.rng = random.Random(seed ^ 0x5DEECE66D)
+
+    def __call__(self, node: int, episode: int) -> ByzantineStrategy:
+        way_off = self.params.way_off
+        choices = (
+            lambda: RandomClockStrategy(spread=4.0 * way_off),
+            lambda: SilentStrategy(),
+            lambda: LiarStrategy(offset=100.0 * way_off),
+            lambda: NoisyStrategy(spread=10.0 * way_off),
+            lambda: TwoFacedStrategy(magnitude=5.0 * way_off),
+            lambda: NearBoundaryResetStrategy(offset=1.05 * way_off),
+        )
+        return choices[(node + episode) % len(choices)]()
+
+
+@register_strategy_factory("standard-mix")
+def _standard_mix_builder(params: "ProtocolParams", seed: int,
+                          clocks: dict[int, "LogicalClock"] | None) -> StrategyFactory:
+    """The :func:`standard_strategy_mix` rotation, seeded per scenario."""
+    return standard_strategy_mix(params, seed)
+
+
+@register_strategy_factory("alternating-reset")
+def _alternating_reset_builder(params: "ProtocolParams", seed: int,
+                               clocks: dict[int, "LogicalClock"] | None,
+                               offset: float) -> StrategyFactory:
+    """Near-boundary resets with per-node alternating sign.
+
+    Even-numbered victims are displaced by ``+offset``, odd-numbered by
+    ``-offset`` — the recovery workload where victims scatter to both
+    sides of the Figure 1 threshold.
+    """
+
+    def factory(node: int, episode: int) -> ByzantineStrategy:
+        return NearBoundaryResetStrategy(
+            offset=offset * (1 if node % 2 == 0 else -1))
+
+    return factory

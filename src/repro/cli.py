@@ -17,6 +17,11 @@ Subcommands:
   per-node metrics, and any live envelope-probe violations.
 * ``bounds`` — evaluate the Theorem 5 formulas for a parameter choice
   without running anything (the deployment-planning calculator).
+* ``sweep`` — run a campaign of JSON configs through the unified
+  executor: ``--workers N`` fans out over a process pool (results
+  byte-identical to serial), ``--cache-dir`` caches records by content
+  hash so re-invocations and interrupted campaigns re-execute only the
+  missing runs (``--fresh`` ignores the cache).
 * ``soak`` — long randomized stress run (random f-limited plans,
   seeds advancing per segment) with per-segment invariant checks;
   exits non-zero on the first violated guarantee.
@@ -97,6 +102,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--chrome", default=None,
                          help="additionally write the span tree to this file "
                               "in Chrome trace_event format (about://tracing)")
+
+    sweep_p = sub.add_parser("sweep", help="run a campaign of JSON configs "
+                                           "(parallel, cached, resumable)")
+    sweep_p.add_argument("configs", nargs="+",
+                         help="JSON config files; each holds one config "
+                              "object or a list of them")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="process count (default: serial in-process)")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="content-addressed result cache; repeated or "
+                              "interrupted campaigns re-execute only missing "
+                              "runs")
+    sweep_p.add_argument("--fresh", action="store_true",
+                         help="ignore existing cache entries (results are "
+                              "still written back)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted campaign from --cache-dir "
+                              "(the default behavior; flag kept for explicit "
+                              "intent)")
+    sweep_p.add_argument("--warmup-intervals", type=float, default=3.0,
+                         help="warmup applied to measures, in analysis "
+                              "intervals T")
+    sweep_p.add_argument("--json", dest="json_out", default=None,
+                         help="write all run records to this JSON file")
 
     soak_p = sub.add_parser("soak", help="randomized long-run invariant check")
     soak_p.add_argument("--segments", type=int, default=10,
@@ -218,27 +247,73 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a campaign of JSON configs; print one row per run record."""
+    import json as json_module
+    import pathlib
+
+    from repro.runner.campaign import Campaign
+
+    configs = []
+    for path in args.configs:
+        try:
+            payload = json_module.loads(pathlib.Path(path).read_text())
+        except FileNotFoundError:
+            print(f"config file not found: {path}", file=sys.stderr)
+            return 2
+        except json_module.JSONDecodeError as exc:
+            print(f"invalid JSON in {path}: {exc}", file=sys.stderr)
+            return 2
+        if isinstance(payload, list):
+            configs.extend(payload)
+        elif isinstance(payload, dict):
+            configs.append(payload)
+        else:
+            print(f"config root must be an object or list: {path}",
+                  file=sys.stderr)
+            return 2
+
+    campaign = Campaign(configs=configs, warmup_intervals=args.warmup_intervals,
+                        cache_dir=args.cache_dir)
+    result = campaign.run(workers=args.workers, fresh=args.fresh)
+
+    rows = []
+    for record in result.records:
+        if record.error is not None:
+            rows.append([record.index, record.name, record.seed,
+                         "-", "-", f"ERROR: {record.error}"])
+        else:
+            rows.append([record.index, record.name, record.seed,
+                         record.verdict.measured_deviation,
+                         record.verdict.bounds.max_deviation,
+                         check_mark(record.ok)])
+    print(table(["run", "scenario", "seed", "max dev", "bound", "ok"],
+                rows, title="campaign", precision=4))
+    print(f"\n{len(result.records)} runs: {result.executed} executed, "
+          f"{result.cached} cached, {result.failed} failed")
+    if args.json_out is not None:
+        import dataclasses as dc
+        payload = [dc.asdict(record) for record in result.records]
+        pathlib.Path(args.json_out).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True, default=str))
+        print(f"records written to {args.json_out}")
+    return 0 if result.all_ok else 1
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     """Run randomized f-limited segments; fail on any violated guarantee."""
     import dataclasses
-    import random as random_module
 
-    from repro.adversary.mobile import random_plan
-    from repro.runner.builders import standard_strategy_mix
+    from repro.adversary.plans import PlanSpec, StrategySpec
 
     params = default_params(n=args.n, f=args.f, pi=2.0)
     bound = params.bounds().max_deviation
     failures = 0
     for segment in range(args.segments):
         seed = args.seed + segment
-
-        def plan(scenario, clocks, seed=seed):
-            return random_plan(
-                n=params.n, f=params.f, pi=params.pi,
-                duration=scenario.duration,
-                strategy_factory=standard_strategy_mix(params, seed),
-                rng=random_module.Random(seed ^ 0x50AC))
-
+        # Declarative: the "random" kind derives its plan stream from
+        # the scenario seed (salted), so each segment gets a fresh plan.
+        plan = PlanSpec("random", StrategySpec("standard-mix"))
         scenario = benign_scenario(params, duration=args.segment_duration,
                                    seed=seed)
         scenario = dataclasses.replace(scenario, plan_builder=plan,
@@ -268,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
-                "soak": cmd_soak, "trace": cmd_trace}
+                "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep}
     return handlers[args.command](args)
 
 

@@ -11,6 +11,17 @@ from repro.clocks.drift import (
     constant_rate,
     wander_schedule,
 )
+from repro.clocks.factories import (
+    CLOCK_MODELS,
+    ClockFactory,
+    clique_extremal_clocks,
+    clock_model,
+    extremal_clocks,
+    perfect_clocks,
+    register_clock_model,
+    registered_clock_models,
+    wander_clocks,
+)
 from repro.clocks.hardware import (
     FixedRateClock,
     HardwareClock,
@@ -29,4 +40,13 @@ __all__ = [
     "alternating_schedule",
     "wander_schedule",
     "clamp_rate",
+    "CLOCK_MODELS",
+    "ClockFactory",
+    "clock_model",
+    "register_clock_model",
+    "registered_clock_models",
+    "wander_clocks",
+    "extremal_clocks",
+    "perfect_clocks",
+    "clique_extremal_clocks",
 ]

@@ -29,9 +29,10 @@ experiment E9 measures the cost of such overestimates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
 
-from repro.errors import ParameterError
+from repro.errors import ConfigurationError, ParameterError
 
 
 @dataclass(frozen=True)
@@ -237,6 +238,65 @@ class ProtocolParams:
             )
         way_off = draft.bounds().way_off_required
         return replace(draft, way_off=way_off, strict=True)
+
+    @classmethod
+    def from_config(cls, spec: dict[str, Any]) -> "ProtocolParams":
+        """Build params from the JSON ``params`` config section.
+
+        Two forms are accepted, keyed on whether ``sync_interval`` is
+        present:
+
+        * the *explicit* form — every tunable spelled out (the output of
+          :meth:`to_config`); accepted keys are exactly the dataclass
+          fields, with ``n, f, delta, rho, pi, sync_interval, max_wait,
+          way_off`` required;
+        * the *derived* form — ``n, f, delta, rho, pi`` plus optional
+          ``target_k`` (default 10) and ``include_self``, handed to
+          :meth:`derive`.
+
+        Raises:
+            ConfigurationError: Naming any unknown, missing, or
+                mixed-in keys instead of letting ``TypeError`` escape
+                from the constructor.
+        """
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"params config must be an object, got {type(spec).__name__}")
+        required = {"n", "f", "delta", "rho", "pi"}
+        missing = required - spec.keys()
+        if missing:
+            raise ConfigurationError(f"params config missing keys: {sorted(missing)}")
+        if "sync_interval" in spec:
+            known = {f.name for f in fields(cls)}
+            unknown = spec.keys() - known
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown keys {sorted(unknown)} in explicit params config; "
+                    f"known: {sorted(known)}")
+            missing_explicit = {"max_wait", "way_off"} - spec.keys()
+            if missing_explicit:
+                raise ConfigurationError(
+                    f"explicit params config (sync_interval present) also "
+                    f"requires keys: {sorted(missing_explicit)}")
+            return cls(**spec)
+        known = required | {"target_k", "include_self"}
+        unknown = spec.keys() - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown keys {sorted(unknown)} in derived params config; "
+                f"known: {sorted(known)} (add 'sync_interval' for the "
+                f"explicit form)")
+        return cls.derive(
+            n=int(spec["n"]), f=int(spec["f"]), delta=float(spec["delta"]),
+            rho=float(spec["rho"]), pi=float(spec["pi"]),
+            target_k=int(spec.get("target_k", 10)),
+            include_self=bool(spec.get("include_self", True)),
+        )
+
+    def to_config(self) -> dict[str, Any]:
+        """The lossless explicit config form (round-trips through
+        :meth:`from_config`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def scaled(self, *, delta_factor: float = 1.0, rho_factor: float = 1.0) -> "ProtocolParams":
         """Return params whose tunables assume inflated ``delta``/``rho``.

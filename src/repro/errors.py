@@ -62,3 +62,22 @@ class AdversaryError(ReproError):
 
 class MeasurementError(ReproError):
     """A metric was requested over an empty or inconsistent sample set."""
+
+
+class CampaignError(ReproError):
+    """A campaign run failed and failure isolation was off.
+
+    Carries which run died so a sweep over hundreds of configs reports
+    the culprit instead of a bare worker traceback.
+
+    Attributes:
+        index: Position of the failed run in the campaign.
+        config: The failed run's config dict (``None`` if the scenario
+            could not even be serialized).
+    """
+
+    def __init__(self, message: str, index: int | None = None,
+                 config: dict | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.config = config

@@ -7,15 +7,28 @@ counterexample).
 """
 
 from repro.net.links import (
+    DELAY_MODELS,
     AsymmetricDelay,
     DelayModel,
+    DelaySpec,
     FixedDelay,
+    HeterogeneousDelay,
     JitteredDelay,
     UniformDelay,
+    register_delay_model,
 )
 from repro.net.message import AppPayload, Message, Ping, Pong
 from repro.net.network import Network
-from repro.net.topology import Topology, from_edges, full_mesh, ring, two_cliques
+from repro.net.topology import (
+    TOPOLOGIES,
+    Topology,
+    TopologySpec,
+    from_edges,
+    full_mesh,
+    register_topology,
+    ring,
+    two_cliques,
+)
 
 __all__ = [
     "Message",
@@ -24,13 +37,20 @@ __all__ = [
     "AppPayload",
     "Network",
     "Topology",
+    "TopologySpec",
+    "TOPOLOGIES",
+    "register_topology",
     "full_mesh",
     "two_cliques",
     "ring",
     "from_edges",
     "DelayModel",
+    "DelaySpec",
+    "DELAY_MODELS",
+    "register_delay_model",
     "FixedDelay",
     "UniformDelay",
     "AsymmetricDelay",
     "JitteredDelay",
+    "HeterogeneousDelay",
 ]

@@ -22,6 +22,8 @@ Each :class:`DelayModel` maps ``(sender, recipient, rng)`` to a delay in
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.errors import ConfigurationError
 
@@ -159,3 +161,79 @@ class HeterogeneousDelay(DelayModel):
                 f"classifier returned invalid range ({lo}, {hi}) for "
                 f"delta={self.delta}")
         return self._bounded(rng.uniform(lo, hi))
+
+
+# ----------------------------------------------------------------------
+# Delay-model registry and declarative specs
+# ----------------------------------------------------------------------
+
+DELAY_MODELS: dict[str, Callable[..., DelayModel]] = {}
+"""Named delay-model constructors; each takes ``delta`` first, then
+model-specific keyword options (see :func:`register_delay_model`)."""
+
+
+def register_delay_model(name: str) -> Callable[[Callable[..., DelayModel]],
+                                                Callable[..., DelayModel]]:
+    """Register a delay-model constructor under ``name`` (decorator)."""
+
+    def decorator(ctor: Callable[..., DelayModel]) -> Callable[..., DelayModel]:
+        DELAY_MODELS[name] = ctor
+        return ctor
+
+    return decorator
+
+
+for _name, _ctor in (("fixed", FixedDelay), ("uniform", UniformDelay),
+                     ("asymmetric", AsymmetricDelay), ("jittered", JitteredDelay),
+                     ("heterogeneous", HeterogeneousDelay)):
+    register_delay_model(_name)(_ctor)
+del _name, _ctor
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Declarative, picklable description of a delay model.
+
+    A spec is a registered model name plus its keyword options (minus
+    ``delta``, which comes from the scenario's parameters at build
+    time), so scenarios carry *what* delay distribution to use without
+    holding a live model object — the piece that lets any scenario
+    cross a process boundary.
+
+    Attributes:
+        model: Registered model name (a key of :data:`DELAY_MODELS`).
+        options: Constructor keyword arguments (e.g. ``lo``/``hi``).
+    """
+
+    model: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.model not in DELAY_MODELS:
+            raise ConfigurationError(
+                f"unknown delay model {self.model!r}; known: {sorted(DELAY_MODELS)}")
+
+    def build(self, delta: float) -> DelayModel:
+        """Instantiate the model under the given delivery bound."""
+        try:
+            return DELAY_MODELS[self.model](delta, **self.options)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid options for delay model {self.model!r}: {exc}") from None
+
+    def to_config(self) -> dict[str, Any]:
+        """The JSON ``delay`` section: ``{"model": ..., **options}``."""
+        return {"model": self.model, **self.options}
+
+    @classmethod
+    def from_config(cls, spec: dict[str, Any]) -> "DelaySpec":
+        """Parse the JSON ``delay`` section.
+
+        Raises:
+            ConfigurationError: On a missing or unknown ``model`` key.
+        """
+        if "model" not in spec:
+            raise ConfigurationError(
+                f"delay config requires a 'model' key; got {sorted(spec)}")
+        options = {key: value for key, value in spec.items() if key != "model"}
+        return cls(model=spec["model"], options=options)

@@ -10,7 +10,14 @@ here support both, plus arbitrary undirected graphs for exploration.
 
 from __future__ import annotations
 
-from repro.errors import TopologyError
+import inspect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ConfigurationError, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.params import ProtocolParams
 
 
 class Topology:
@@ -169,3 +176,87 @@ def random_connected(n: int, p: float, rng, min_degree: int = 1,
         f"could not sample a connected graph with min degree {min_degree} "
         f"at p={p} after {max_tries} tries"
     )
+
+
+# ----------------------------------------------------------------------
+# Topology registry and declarative specs
+# ----------------------------------------------------------------------
+
+TOPOLOGIES: dict[str, Callable[..., Topology]] = {}
+"""Named topology builders reachable from declarative scenarios.
+
+Builders that take an ``n`` parameter get it injected from the
+scenario's ``params.n`` unless the spec supplies it explicitly."""
+
+
+def register_topology(name: str) -> Callable[[Callable[..., Topology]],
+                                             Callable[..., Topology]]:
+    """Register a topology builder under ``name`` (decorator)."""
+
+    def decorator(builder: Callable[..., Topology]) -> Callable[..., Topology]:
+        TOPOLOGIES[name] = builder
+        return builder
+
+    return decorator
+
+
+for _name, _builder in (("full-mesh", full_mesh), ("two-cliques", two_cliques),
+                        ("ring", ring), ("from-edges", from_edges)):
+    register_topology(_name)(_builder)
+del _name, _builder
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative, picklable description of a communication graph.
+
+    Attributes:
+        kind: Registered builder name (a key of :data:`TOPOLOGIES`).
+        options: Builder keyword arguments; ``n`` is injected from the
+            scenario parameters when the builder wants one and the spec
+            does not pin it.  JSON configs supply edge lists for
+            ``from-edges`` as ``[[u, v], ...]``.
+    """
+
+    kind: str
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.kind!r}; known: {sorted(TOPOLOGIES)}")
+
+    def build(self, params: "ProtocolParams") -> Topology:
+        """Instantiate the graph for the given parameterization."""
+        builder = TOPOLOGIES[self.kind]
+        kwargs = dict(self.options)
+        if "edges" in kwargs:
+            kwargs["edges"] = [tuple(edge) for edge in kwargs["edges"]]
+        if "n" not in kwargs and "n" in inspect.signature(builder).parameters:
+            kwargs["n"] = params.n
+        try:
+            return builder(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid options for topology {self.kind!r}: {exc}") from None
+
+    def to_config(self) -> dict[str, Any]:
+        """The JSON ``topology`` section: ``{"kind": ..., **options}``."""
+        options = {
+            key: ([list(edge) for edge in value] if key == "edges" else value)
+            for key, value in self.options.items()
+        }
+        return {"kind": self.kind, **options}
+
+    @classmethod
+    def from_config(cls, spec: dict[str, Any]) -> "TopologySpec":
+        """Parse the JSON ``topology`` section.
+
+        Raises:
+            ConfigurationError: On a missing or unknown ``kind`` key.
+        """
+        if "kind" not in spec:
+            raise ConfigurationError(
+                f"topology config requires a 'kind' key; got {sorted(spec)}")
+        options = {key: value for key, value in spec.items() if key != "kind"}
+        return cls(kind=spec["kind"], options=options)

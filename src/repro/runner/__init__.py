@@ -1,4 +1,4 @@
-"""Experiment orchestration: scenarios, runs, sweeps, builders."""
+"""Experiment orchestration: scenarios, runs, campaigns, builders."""
 
 from repro.runner.builders import (
     benign_scenario,
@@ -12,8 +12,18 @@ from repro.runner.builders import (
     two_clique_scenario,
     warmup_for,
 )
+from repro.runner.campaign import (
+    Campaign,
+    CampaignResult,
+    RunPerf,
+    RunRecord,
+    execute_run,
+    replicate,
+    run_config,
+    run_configs,
+    sweep,
+)
 from repro.runner.config import load_scenario, scenario_from_config
-from repro.runner.parallel import ConfigRunSummary, run_config, run_configs
 from repro.runner.stats import (
     ReplicationSummary,
     replicate_measure,
@@ -21,11 +31,8 @@ from repro.runner.stats import (
 )
 from repro.runner.experiment import (
     RunResult,
-    replicate,
     run,
-    run_many,
     summarize,
-    sweep,
 )
 from repro.runner.scenario import (
     Scenario,
@@ -42,9 +49,13 @@ __all__ = [
     "run",
     "sweep",
     "replicate",
-    "run_many",
     "summarize",
     "RunResult",
+    "Campaign",
+    "CampaignResult",
+    "RunRecord",
+    "RunPerf",
+    "execute_run",
     "default_params",
     "benign_scenario",
     "mobile_byzantine_scenario",
@@ -59,7 +70,6 @@ __all__ = [
     "scenario_from_config",
     "run_config",
     "run_configs",
-    "ConfigRunSummary",
     "summarize_replications",
     "replicate_measure",
     "ReplicationSummary",

@@ -18,23 +18,12 @@ These encode the standard workloads of the evaluation:
 from __future__ import annotations
 
 import math
-import random
 from typing import Sequence
 
-from repro.adversary.base import ByzantineStrategy
-from repro.adversary.mobile import PlannedCorruption, rotating_plan, single_burst_plan
-from repro.adversary.strategies import (
-    LiarStrategy,
-    NearBoundaryResetStrategy,
-    NoisyStrategy,
-    RandomClockStrategy,
-    SilentStrategy,
-    SplitWorldStrategy,
-    TwoFacedStrategy,
-)
-from repro.clocks.logical import LogicalClock
+from repro.adversary.plans import PlanSpec, StrategySpec
+from repro.adversary.strategies import standard_strategy_mix  # noqa: F401  -- re-export
 from repro.core.params import ProtocolParams
-from repro.net.topology import two_cliques
+from repro.net.topology import TopologySpec
 from repro.runner.scenario import Scenario
 
 
@@ -58,38 +47,6 @@ def benign_scenario(params: ProtocolParams | None = None, duration: float = 10.0
                     name="benign", **kwargs)
 
 
-def standard_strategy_mix(params: ProtocolParams, seed: int = 0) -> "_MixFactory":
-    """The default rotation of attack strategies for mobile workloads.
-
-    Cycles deterministically (per node, episode) through: clock
-    scrambling, silence, constant lies, per-message noise, two-faced
-    answers, and near-boundary parting resets.  Magnitudes are scaled
-    off ``WayOff`` so every attack is in the regime the analysis cares
-    about.
-    """
-    return _MixFactory(params, seed)
-
-
-class _MixFactory:
-    """Deterministic (node, episode) -> strategy rotation."""
-
-    def __init__(self, params: ProtocolParams, seed: int) -> None:
-        self.params = params
-        self.rng = random.Random(seed ^ 0x5DEECE66D)
-
-    def __call__(self, node: int, episode: int) -> ByzantineStrategy:
-        way_off = self.params.way_off
-        choices = (
-            lambda: RandomClockStrategy(spread=4.0 * way_off),
-            lambda: SilentStrategy(),
-            lambda: LiarStrategy(offset=100.0 * way_off),
-            lambda: NoisyStrategy(spread=10.0 * way_off),
-            lambda: TwoFacedStrategy(magnitude=5.0 * way_off),
-            lambda: NearBoundaryResetStrategy(offset=1.05 * way_off),
-        )
-        return choices[(node + episode) % len(choices)]()
-
-
 def mobile_byzantine_scenario(params: ProtocolParams | None = None,
                               duration: float = 30.0, seed: int = 0,
                               dwell: float | None = None, **kwargs) -> Scenario:
@@ -100,17 +57,12 @@ def mobile_byzantine_scenario(params: ProtocolParams | None = None,
     the :func:`standard_strategy_mix`.
     """
     params = params if params is not None else default_params()
-
-    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
-                   ) -> Sequence[PlannedCorruption]:
-        return rotating_plan(
-            n=params.n, f=params.f, pi=params.pi, duration=scenario.duration,
-            strategy_factory=standard_strategy_mix(params, scenario.seed),
-            first_start=2.0 * params.t_interval,  # let startup converge first
-        )
-
+    options = {"first_start": 2.0 * params.t_interval}  # let startup converge
+    if dwell is not None:
+        options["dwell"] = dwell
+    plan = PlanSpec("rotating", StrategySpec("standard-mix"), options)
     return Scenario(params=params, duration=duration, seed=seed,
-                    plan_builder=build_plan, name="mobile-byzantine", **kwargs)
+                    plan_builder=plan, name="mobile-byzantine", **kwargs)
 
 
 def recovery_scenario(params: ProtocolParams | None = None, duration: float = 12.0,
@@ -131,36 +83,22 @@ def recovery_scenario(params: ProtocolParams | None = None, duration: float = 12
     burst_at = 2.0 * params.t_interval if burst_at is None else burst_at
     dwell = params.t_interval if dwell is None else dwell
 
-    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
-                   ) -> Sequence[PlannedCorruption]:
-        return single_burst_plan(
-            victims, start=burst_at, dwell=dwell,
-            strategy_factory=lambda node, episode: NearBoundaryResetStrategy(
-                offset=displacement * (1 if node % 2 == 0 else -1)
-            ),
-        )
-
+    plan = PlanSpec("single-burst",
+                    StrategySpec("alternating-reset", {"offset": displacement}),
+                    {"victims": victims, "start": burst_at, "dwell": dwell})
     return Scenario(params=params, duration=duration, seed=seed,
-                    plan_builder=build_plan, name="recovery", **kwargs)
+                    plan_builder=plan, name="recovery", **kwargs)
 
 
 def split_world_scenario(params: ProtocolParams | None = None, duration: float = 20.0,
                          seed: int = 0, **kwargs) -> Scenario:
     """Omniscient spread-maximizing attack (bound-tightness probe)."""
     params = params if params is not None else default_params()
-
-    def build_plan(scenario: Scenario, clocks: dict[int, LogicalClock]
-                   ) -> Sequence[PlannedCorruption]:
-        return rotating_plan(
-            n=params.n, f=params.f, pi=params.pi, duration=scenario.duration,
-            strategy_factory=lambda node, episode: SplitWorldStrategy(
-                clocks, push=50.0 * params.way_off
-            ),
-            first_start=2.0 * params.t_interval,
-        )
-
+    plan = PlanSpec("rotating",
+                    StrategySpec("split-world", {"push": 50.0 * params.way_off}),
+                    {"first_start": 2.0 * params.t_interval})
     return Scenario(params=params, duration=duration, seed=seed,
-                    plan_builder=build_plan, name="split-world", **kwargs)
+                    plan_builder=plan, name="split-world", **kwargs)
 
 
 def two_clique_scenario(f: int = 1, duration: float = 40.0, seed: int = 0,
@@ -174,17 +112,11 @@ def two_clique_scenario(f: int = 1, duration: float = 40.0, seed: int = 0,
     default ``rho`` is chosen to cross the Theorem 5 bound within the
     default duration).
     """
-    from repro.clocks.hardware import FixedRateClock  # local: avoid cycle at import
-
     n = 2 * (3 * f + 1)
     params = ProtocolParams.derive(n=n, f=f, delta=0.005, rho=rho, pi=pi)
-
-    def clique_extremal(node: int, p: ProtocolParams, rng, horizon: float):
-        rate = (1.0 + p.rho) if node < n // 2 else 1.0 / (1.0 + p.rho)
-        return FixedRateClock(p.rho, rate=rate)
-
     return Scenario(params=params, duration=duration, seed=seed,
-                    topology=two_cliques(f), clock_factory=clique_extremal,
+                    topology=TopologySpec("two-cliques", {"f": f}),
+                    clock_factory="clique-extremal",
                     name="two-clique", **kwargs)
 
 

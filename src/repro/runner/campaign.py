@@ -1,0 +1,457 @@
+"""The campaign executor: one engine for every multi-run experiment.
+
+A *campaign* is an ordered list of declarative scenario configs (see
+:mod:`repro.runner.config`) executed into :class:`RunRecord` results.
+Because every canonical scenario is now fully declarative — plans,
+clock models, delays, and topologies are registered specs — any
+campaign can fan out over a process pool, not just the four canned
+config scenarios.  This module replaces the old ``sweep()`` /
+``replicate()`` / ``run_many()`` / ``run_configs()`` quartet.
+
+Features:
+
+* **Parallel fan-out** — ``workers >= 2`` uses a process pool; results
+  are byte-identical to a serial run (each run is a pure function of
+  its config, and the wall-clock engine counters are excluded from
+  records).
+* **Content-addressed caching** — with a ``cache_dir``, each record is
+  stored under ``sha256(canonical config + code version + measurement
+  settings)``; a repeated campaign re-executes zero runs, and an
+  interrupted one resumes completing only the missing runs.  Failed
+  runs are never cached.
+* **Failure isolation** — a worker failure becomes an error
+  :class:`RunRecord` carrying the config and index instead of killing
+  the sweep (``isolate_failures=False`` raises
+  :class:`~repro.errors.CampaignError` naming the culprit instead).
+
+Cache layout: ``<cache_dir>/<64-hex-digest>.pkl``, one pickled
+:class:`RunRecord` per file, written atomically (tmp + rename).
+Unreadable or corrupt cache files count as misses.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro._version import __version__
+from repro.core.analysis import Theorem5Verdict
+from repro.errors import CampaignError, ConfigurationError
+from repro.metrics.measures import AccuracyReport, RecoveryReport
+from repro.runner.scenario import Scenario
+
+#: Bumped when the RunRecord schema or measurement pipeline changes in
+#: a way that invalidates cached records independent of the package
+#: version.
+CACHE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class RunPerf:
+    """Deterministic engine counters of one run.
+
+    A strict subset of :class:`~repro.sim.engine.EnginePerfCounters`:
+    the wall-clock fields (``run_wall_time``, ``events_per_second``)
+    are deliberately absent so records stay a pure function of
+    (config, seed) — identical-seed runs are byte-compared by the
+    determinism checks.
+    """
+
+    events_processed: int
+    events_pushed: int
+    events_cancelled: int
+    cancelled_ratio: float
+    heap_high_water: int
+    pending_events: int
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Everything a campaign keeps from one run (picklable, rich).
+
+    Replaces the skeletal ``ConfigRunSummary``: all Definition 3
+    measures, the Theorem 5 verdict, the recovery report, deterministic
+    perf counters, and an optional observability summary.
+
+    Attributes:
+        index: Position of the run in its campaign (input order).
+        name: Scenario label.
+        config: The input config dict (the run's full identity together
+            with the code version).
+        seed: The run's root seed.
+        duration: Real-time length of the run.
+        warmup: Warmup (real time) applied to the measures.
+        verdict: Theorem 5 measured-vs-bound comparison (``None`` on
+            error records).
+        accuracy: Measured drift/discontinuity (Definition 3(ii)).
+        deviation_percentiles: Good-set deviation percentiles after
+            warmup, keyed by percentile.
+        recovery: Recovery report for every adversary release.
+        corruption_count: Number of planned corruption intervals.
+        events_processed: Simulator event count.
+        messages_delivered: Network delivery count.
+        sync_executions: Number of Sync executions traced.
+        perf: Deterministic engine counters (``None`` on error records).
+        obs: Small flight-recorder summary when the campaign observes
+            runs, else ``None``.
+        error: ``None`` on success; ``"ExcType: message"`` on failure
+            (all measure fields are then ``None``/zero).
+    """
+
+    index: int
+    name: str
+    config: dict[str, Any]
+    seed: int
+    duration: float
+    warmup: float = 0.0
+    verdict: Theorem5Verdict | None = None
+    accuracy: AccuracyReport | None = None
+    deviation_percentiles: dict[float, float] | None = None
+    recovery: RecoveryReport | None = None
+    corruption_count: int = 0
+    events_processed: int = 0
+    messages_delivered: int = 0
+    sync_executions: int = 0
+    perf: RunPerf | None = None
+    obs: dict[str, Any] | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Ran without error and every Theorem 5 guarantee held."""
+        return self.error is None and self.verdict is not None and self.verdict.all_ok
+
+    @property
+    def max_deviation(self) -> float:
+        """Shortcut to the measured Theorem 5(i) subject (``nan`` on
+        error records)."""
+        return self.verdict.measured_deviation if self.verdict is not None else float("nan")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one campaign execution.
+
+    Attributes:
+        records: One :class:`RunRecord` per config, in input order.
+        executed: Runs actually executed this invocation.
+        cached: Runs served from the result cache.
+        failed: Runs that ended in an error record.
+    """
+
+    records: list[RunRecord]
+    executed: int
+    cached: int
+    failed: int
+
+    @property
+    def all_ok(self) -> bool:
+        """Every run succeeded and met its bounds."""
+        return all(record.ok for record in self.records)
+
+    def errors(self) -> list[RunRecord]:
+        """The error records, if any."""
+        return [record for record in self.records if record.error is not None]
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module level: must pickle)
+# ----------------------------------------------------------------------
+
+
+def _obs_summary(recorder) -> dict[str, Any]:
+    """Small, picklable digest of a flight recorder."""
+    return {
+        "events": len(recorder.events),
+        "spans": len(recorder.spans),
+        "violations": [
+            {"probe": v.probe, "time": v.time, "node": v.node,
+             "measured": v.measured, "bound": v.bound}
+            for v in recorder.violations
+        ],
+    }
+
+
+def execute_run(index: int, config: dict[str, Any],
+                warmup_intervals: float = 3.0,
+                observe: bool = False) -> RunRecord:
+    """Execute one config into a :class:`RunRecord` (raises on failure).
+
+    Args:
+        index: Campaign position recorded on the result.
+        config: A :mod:`repro.runner.config` scenario description.
+        warmup_intervals: Warmup in analysis intervals ``T``.
+        observe: Attach a flight recorder and keep its summary.
+    """
+    # Imports kept local so worker startup stays cheap when the module
+    # is imported only for the dataclasses.
+    from repro.runner.config import scenario_from_config
+    from repro.runner.experiment import run
+
+    scenario = scenario_from_config(config)
+    recorder = None
+    if observe:
+        from repro.obs import FlightRecorder
+        recorder = FlightRecorder()
+    result = run(scenario, recorder=recorder)
+    warmup = warmup_intervals * result.params.t_interval
+    verdict = result.verdict(warmup=warmup)
+    perf = result.perf
+    return RunRecord(
+        index=index,
+        name=scenario.name,
+        config=config,
+        seed=scenario.seed,
+        duration=scenario.duration,
+        warmup=warmup,
+        verdict=verdict,
+        accuracy=result.accuracy(),
+        deviation_percentiles=result.deviation_percentiles(warmup=warmup),
+        recovery=result.recovery(),
+        corruption_count=len(result.corruptions),
+        events_processed=result.events_processed,
+        messages_delivered=result.messages_delivered,
+        sync_executions=len(result.trace.syncs),
+        perf=RunPerf(
+            events_processed=perf.events_processed,
+            events_pushed=perf.events_pushed,
+            events_cancelled=perf.events_cancelled,
+            cancelled_ratio=perf.cancelled_ratio,
+            heap_high_water=perf.heap_high_water,
+            pending_events=perf.pending_events,
+        ) if perf is not None else None,
+        obs=_obs_summary(recorder) if recorder is not None else None,
+    )
+
+
+def _execute_isolated(index: int, config: dict[str, Any],
+                      warmup_intervals: float, observe: bool) -> RunRecord:
+    """Worker wrapper: any failure becomes an error record, so one bad
+    config cannot take down the pool or the sweep."""
+    try:
+        return execute_run(index, config, warmup_intervals, observe)
+    except BaseException as exc:  # noqa: BLE001 -- isolation is the point
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        name = config.get("name", config.get("scenario", "scenario")) \
+            if isinstance(config, dict) else "scenario"
+        return RunRecord(
+            index=index,
+            name=str(name),
+            config=config if isinstance(config, dict) else {},
+            seed=int(config.get("seed", 0)) if isinstance(config, dict) else 0,
+            duration=float(config.get("duration", 0.0)) if isinstance(config, dict) else 0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Campaign:
+    """An ordered batch of declarative runs with caching and fan-out.
+
+    Attributes:
+        configs: Declarative scenario configs, one per run.
+        warmup_intervals: Warmup in analysis intervals ``T`` applied to
+            every run's measures (part of the cache identity).
+        cache_dir: Result cache directory (``None`` disables caching).
+        observe: Attach a flight recorder to every run and keep its
+            summary on the records (part of the cache identity).
+    """
+
+    configs: list[dict[str, Any]]
+    warmup_intervals: float = 3.0
+    cache_dir: str | pathlib.Path | None = None
+    observe: bool = False
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_scenarios(cls, scenarios: Sequence[Scenario],
+                       **kwargs: Any) -> "Campaign":
+        """Build a campaign from declarative scenarios.
+
+        Raises:
+            ConfigurationError: If any scenario holds raw callables
+                (see :meth:`Scenario.to_config`).
+        """
+        return cls(configs=[s.to_config() for s in scenarios], **kwargs)
+
+    @classmethod
+    def sweep(cls, base: Scenario, variations: Iterable[dict[str, Any]],
+              **kwargs: Any) -> "Campaign":
+        """One run per variation dict (fields to ``dataclasses.replace``).
+
+        A variation may replace any :class:`Scenario` field; replacing
+        ``params`` requires passing a full ``ProtocolParams``.
+        """
+        scenarios = [dataclasses.replace(base, **changes) for changes in variations]
+        return cls.from_scenarios(scenarios, **kwargs)
+
+    @classmethod
+    def replicate(cls, base: Scenario, seeds: Sequence[int],
+                  **kwargs: Any) -> "Campaign":
+        """One run per seed (for variance estimates)."""
+        return cls.sweep(base, [{"seed": seed} for seed in seeds], **kwargs)
+
+    # -- caching -------------------------------------------------------
+
+    def cache_key(self, config: dict[str, Any]) -> str:
+        """Content address of one run: canonical config JSON + code
+        version + measurement settings."""
+        identity = {
+            "config": config,
+            "version": __version__,
+            "format": CACHE_FORMAT,
+            "warmup_intervals": self.warmup_intervals,
+            "observe": self.observe,
+        }
+        canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _cache_path(self, config: dict[str, Any]) -> pathlib.Path:
+        return pathlib.Path(self.cache_dir) / f"{self.cache_key(config)}.pkl"
+
+    def _cache_load(self, config: dict[str, Any]) -> RunRecord | None:
+        path = self._cache_path(config)
+        try:
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        return record if isinstance(record, RunRecord) else None
+
+    def _cache_store(self, config: dict[str, Any], record: RunRecord) -> None:
+        path = self._cache_path(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(record, handle)
+        os.replace(tmp, path)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, workers: int | None = None, fresh: bool = False,
+            isolate_failures: bool = True) -> CampaignResult:
+        """Execute every run not already cached.
+
+        Args:
+            workers: Process count; ``None`` or ``1`` runs serially in
+                this process (no pickling round-trip), ``>= 2`` uses a
+                process pool.  Records come back in input order either
+                way, byte-identical across the two modes.
+            fresh: Ignore existing cache entries (results still get
+                written back, replacing them).
+            isolate_failures: When True (default), a failed run yields
+                an error record; when False the first failure raises
+                :class:`~repro.errors.CampaignError` carrying the run's
+                index and config.
+
+        Raises:
+            ConfigurationError: On an empty campaign or bad ``workers``.
+            CampaignError: A run failed and ``isolate_failures=False``.
+        """
+        if not self.configs:
+            raise ConfigurationError("campaign needs at least one config")
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+        records: list[RunRecord | None] = [None] * len(self.configs)
+        cached = 0
+        if self.cache_dir is not None and not fresh:
+            for index, config in enumerate(self.configs):
+                record = self._cache_load(config)
+                if record is not None and record.error is None:
+                    # Same content hash can be produced from a different
+                    # campaign position; pin the index to this campaign.
+                    records[index] = dataclasses.replace(record, index=index)
+                    cached += 1
+
+        pending = [(index, config) for index, config in enumerate(self.configs)
+                   if records[index] is None]
+
+        if workers is None or workers == 1:
+            fresh_records = [
+                _execute_isolated(index, config, self.warmup_intervals, self.observe)
+                for index, config in pending
+            ]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_execute_isolated, index, config,
+                                self.warmup_intervals, self.observe)
+                    for index, config in pending
+                ]
+                fresh_records = [future.result() for future in futures]
+
+        failed = 0
+        for record in fresh_records:
+            if record.error is not None:
+                failed += 1
+                if not isolate_failures:
+                    raise CampaignError(
+                        f"campaign run {record.index} ({record.name!r}, "
+                        f"seed={record.seed}) failed: {record.error}",
+                        index=record.index, config=record.config,
+                    )
+            elif self.cache_dir is not None:
+                self._cache_store(record.config, record)
+            records[record.index] = record
+
+        final = [record for record in records if record is not None]
+        assert len(final) == len(self.configs)
+        return CampaignResult(records=final, executed=len(fresh_records),
+                              cached=cached, failed=failed)
+
+
+# ----------------------------------------------------------------------
+# Convenience functions (the old orchestration surface, record-based)
+# ----------------------------------------------------------------------
+
+
+def sweep(base: Scenario, variations: Iterable[dict[str, Any]],
+          workers: int | None = None, **kwargs: Any) -> list[RunRecord]:
+    """Run ``base`` once per variation dict; records in input order."""
+    return Campaign.sweep(base, variations, **kwargs).run(workers=workers).records
+
+
+def replicate(base: Scenario, seeds: Sequence[int],
+              workers: int | None = None, **kwargs: Any) -> list[RunRecord]:
+    """Run ``base`` once per seed (for variance estimates)."""
+    return Campaign.replicate(base, seeds, **kwargs).run(workers=workers).records
+
+
+def run_config(config: dict[str, Any], warmup_intervals: float = 3.0) -> RunRecord:
+    """Execute one config in-process (no isolation; exceptions raise)."""
+    return execute_run(0, config, warmup_intervals=warmup_intervals)
+
+
+def run_configs(configs: Sequence[dict[str, Any]], workers: int | None = None,
+                warmup_intervals: float = 3.0) -> list[RunRecord]:
+    """Run many configs, optionally across processes.
+
+    The strict variant of :meth:`Campaign.run`: any worker failure
+    raises :class:`~repro.errors.CampaignError` identifying the config
+    by campaign index (instead of a bare traceback losing which config
+    died).
+
+    Raises:
+        ConfigurationError: On an empty config list or bad worker count.
+        CampaignError: Naming the index and config of a failed run.
+    """
+    if not configs:
+        raise ConfigurationError("run_configs needs at least one config")
+    campaign = Campaign(configs=list(configs), warmup_intervals=warmup_intervals)
+    return campaign.run(workers=workers, isolate_failures=False).records

@@ -13,11 +13,22 @@ Lets operators describe a run in a config file instead of Python::
       "loss_rate": 0.0
     }
 
-consumed via ``python -m repro run --config experiment.json`` or
-:func:`scenario_from_config`.  Only canonical scenarios, registered
-protocols, and the named clock/delay models are reachable from configs
-— arbitrary code stays in Python, so configs are safe to accept from
-experiment directories.
+consumed via ``python -m repro run --config experiment.json``,
+``python -m repro sweep``, or :func:`scenario_from_config`.  Two forms
+are accepted:
+
+* the ``"scenario"`` shorthand above — a canonical builder name plus
+  overrides; also the default (``"benign"``) when no builder, plan, or
+  topology is named;
+* the full declarative form produced by ``Scenario.to_config()`` —
+  explicit ``plan`` / ``topology`` / ``name`` sections (see
+  :meth:`repro.runner.scenario.Scenario.from_config`).
+
+Unknown top-level keys are rejected (a typo like ``"loss_rte"`` must
+not silently run a different experiment).  Only canonical scenarios,
+registered protocols, plans, strategies, and the named clock / delay /
+topology models are reachable from configs — arbitrary code stays in
+Python, so configs are safe to accept from experiment directories.
 """
 
 from __future__ import annotations
@@ -26,27 +37,17 @@ import json
 import pathlib
 from typing import Any
 
+from repro.clocks.factories import CLOCK_MODELS
 from repro.core.params import ProtocolParams
 from repro.errors import ConfigurationError
-from repro.net.links import (
-    AsymmetricDelay,
-    DelayModel,
-    FixedDelay,
-    JitteredDelay,
-    UniformDelay,
-)
+from repro.net.links import DelayModel, DelaySpec
 from repro.runner.builders import (
     benign_scenario,
     mobile_byzantine_scenario,
     recovery_scenario,
     split_world_scenario,
 )
-from repro.runner.scenario import (
-    Scenario,
-    extremal_clocks,
-    perfect_clocks,
-    wander_clocks,
-)
+from repro.runner.scenario import Scenario
 
 _SCENARIOS = {
     "benign": benign_scenario,
@@ -55,58 +56,56 @@ _SCENARIOS = {
     "split-world": split_world_scenario,
 }
 
-_CLOCKS = {
-    "wander": wander_clocks,
-    "extremal": extremal_clocks,
-    "perfect": perfect_clocks,
-}
-
-_DELAYS = {
-    "fixed": FixedDelay,
-    "uniform": UniformDelay,
-    "asymmetric": AsymmetricDelay,
-    "jittered": JitteredDelay,
-}
+#: Keys the builder-shorthand form understands; the declarative form
+#: additionally understands ``plan`` / ``topology`` / ``name`` / etc.
+#: (see ``Scenario.CONFIG_KEYS``).
+CONFIG_KEYS = frozenset(Scenario.CONFIG_KEYS | {"scenario"})
 
 
 def params_from_config(spec: dict[str, Any]) -> ProtocolParams:
     """Build :class:`ProtocolParams` from the ``params`` config section.
 
-    Either a full explicit parameterization (``sync_interval`` etc.
-    present) or the common derived form (``n, f, delta, rho, pi`` and
-    optional ``target_k``).
+    Thin wrapper over :meth:`ProtocolParams.from_config`: either a full
+    explicit parameterization (``sync_interval`` etc. present) or the
+    common derived form (``n, f, delta, rho, pi`` and optional
+    ``target_k``).  Unknown or mixed keys raise
+    :class:`~repro.errors.ConfigurationError` naming the offenders.
     """
-    required = {"n", "f", "delta", "rho", "pi"}
-    missing = required - spec.keys()
-    if missing:
-        raise ConfigurationError(f"params config missing keys: {sorted(missing)}")
-    if "sync_interval" in spec:
-        return ProtocolParams(**spec)
-    return ProtocolParams.derive(
-        n=int(spec["n"]), f=int(spec["f"]), delta=float(spec["delta"]),
-        rho=float(spec["rho"]), pi=float(spec["pi"]),
-        target_k=int(spec.get("target_k", 10)),
-    )
+    return ProtocolParams.from_config(spec)
 
 
 def delay_from_config(spec: dict[str, Any] | None, delta: float) -> DelayModel | None:
     """Build a delay model from the ``delay`` config section."""
     if spec is None:
         return None
-    kind = spec.get("model")
-    if kind not in _DELAYS:
-        raise ConfigurationError(
-            f"unknown delay model {kind!r}; known: {sorted(_DELAYS)}")
-    kwargs = {k: v for k, v in spec.items() if k != "model"}
-    return _DELAYS[kind](delta, **kwargs)
+    return DelaySpec.from_config(spec).build(delta)
 
 
 def scenario_from_config(config: dict[str, Any]) -> Scenario:
     """Build a complete :class:`Scenario` from a parsed config dict.
 
+    Dispatch: a ``"scenario"`` key (or neither ``plan`` nor ``topology``
+    nor ``name``) selects a canonical builder with overrides; otherwise
+    the config is the full declarative form and goes through
+    :meth:`Scenario.from_config`.
+
     Raises:
-        ConfigurationError: Naming the offending key on any mistake.
+        ConfigurationError: Naming the offending key on any mistake,
+            including unknown top-level keys.
     """
+    unknown = config.keys() - CONFIG_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown config keys {sorted(unknown)}; known: {sorted(CONFIG_KEYS)}")
+
+    declarative = {"plan", "topology", "name"} & config.keys()
+    if "scenario" in config and declarative:
+        raise ConfigurationError(
+            f"'scenario' (builder shorthand) cannot be combined with the "
+            f"declarative keys {sorted(declarative)}; use one form or the other")
+    if "scenario" not in config and declarative:
+        return Scenario.from_config(config)
+
     if "params" not in config:
         raise ConfigurationError("config requires a 'params' section")
     params = params_from_config(config["params"])
@@ -117,9 +116,9 @@ def scenario_from_config(config: dict[str, Any]) -> Scenario:
             f"unknown scenario {scenario_name!r}; known: {sorted(_SCENARIOS)}")
 
     clocks_name = config.get("clocks", "wander")
-    if clocks_name not in _CLOCKS:
+    if clocks_name not in CLOCK_MODELS:
         raise ConfigurationError(
-            f"unknown clock model {clocks_name!r}; known: {sorted(_CLOCKS)}")
+            f"unknown clock model {clocks_name!r}; known: {sorted(CLOCK_MODELS)}")
 
     builder = _SCENARIOS[scenario_name]
     scenario = builder(
@@ -127,16 +126,25 @@ def scenario_from_config(config: dict[str, Any]) -> Scenario:
         duration=float(config.get("duration", 20.0)),
         seed=int(config.get("seed", 0)),
         protocol=config.get("protocol", "sync"),
-        clock_factory=_CLOCKS[clocks_name],
+        clock_factory=clocks_name,
     )
-    scenario.delay_model = delay_from_config(config.get("delay"), params.delta)
+    if "delay" in config:
+        scenario.delay_model = DelaySpec.from_config(config["delay"])
     scenario.loss_rate = float(config.get("loss_rate", 0.0))
     if "sample_interval" in config:
         scenario.sample_interval = float(config["sample_interval"])
     if "initial_offset_spread" in config:
         scenario.initial_offset_spread = float(config["initial_offset_spread"])
+    if "initial_offsets" in config:
+        scenario.initial_offsets = [float(x) for x in config["initial_offsets"]]
     if "stagger_phases" in config:
         scenario.stagger_phases = bool(config["stagger_phases"])
+    if "record_messages" in config:
+        scenario.record_messages = bool(config["record_messages"])
+    if "enforce_f_limit" in config:
+        scenario.enforce_f_limit = bool(config["enforce_f_limit"])
+    if "extra" in config:
+        scenario.extra = dict(config["extra"])
     return scenario
 
 

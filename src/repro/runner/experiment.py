@@ -1,4 +1,4 @@
-"""Run scenarios and collect results; sweep and replicate helpers.
+"""Run scenarios and collect results.
 
 :func:`run` is the package's main entry point: it wires a
 :class:`~repro.runner.scenario.Scenario` into a simulator — topology,
@@ -6,15 +6,14 @@ delay model, clocks, protocol processes, adversary, sampler — executes
 it, and returns a :class:`RunResult` exposing the Definition 3 measures
 and the Theorem 5 verdict.
 
-:func:`sweep` and :func:`replicate` are the thin orchestration layers
-the benchmark harness builds its tables from.
+Orchestration (sweeps, replication, parallel fan-out, caching) lives in
+:mod:`repro.runner.campaign`.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import repro.protocols  # noqa: F401  -- importing registers the protocol factories
 from repro.adversary.mobile import MobileAdversary
@@ -138,9 +137,10 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
 
     # Clocks: hardware from the factory, initial offsets via adj.
     clocks: dict[int, LogicalClock] = {}
+    clock_factory = scenario.resolved_clock_factory()
     offsets_rng = sim.rngs.stream("initial-offsets")
     for node in range(params.n):
-        hardware = scenario.clock_factory(
+        hardware = clock_factory(
             node, params, sim.rngs.stream(f"clock:{node}"), scenario.duration
         )
         clocks[node] = LogicalClock(hardware, adj=scenario.initial_offset_for(node, offsets_rng))
@@ -205,34 +205,6 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
     )
 
 
-# ----------------------------------------------------------------------
-# Sweeps and replication
-# ----------------------------------------------------------------------
-
-def sweep(base: Scenario, variations: Iterable[dict]) -> list[RunResult]:
-    """Run ``base`` once per variation dict (fields to replace).
-
-    A variation may replace any :class:`Scenario` field; replacing
-    ``params`` requires passing a full :class:`ProtocolParams`.
-    """
-    results = []
-    for changes in variations:
-        scenario = dataclasses.replace(base, **changes)
-        results.append(run(scenario))
-    return results
-
-
-def replicate(base: Scenario, seeds: Sequence[int]) -> list[RunResult]:
-    """Run ``base`` once per seed (for variance estimates)."""
-    return sweep(base, [{"seed": seed} for seed in seeds])
-
-
 def summarize(values: Sequence[float]) -> tuple[float, float, float]:
     """``(min, mean, max)`` of a non-empty value sequence."""
     return (min(values), sum(values) / len(values), max(values))
-
-
-def run_many(scenarios: Sequence[Scenario],
-             measure: Callable[[RunResult], float]) -> list[float]:
-    """Run each scenario and apply ``measure`` to its result."""
-    return [measure(run(scenario)) for scenario in scenarios]

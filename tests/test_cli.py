@@ -105,3 +105,61 @@ def test_trace_missing_events_errors(tmp_path, capsys):
     empty.write_text("")
     assert main(["trace", str(empty)]) == 1
     assert "no events" in capsys.readouterr().out
+
+
+def _sweep_file(tmp_path, n_configs=2):
+    import json
+
+    configs = [
+        {"params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+         "scenario": "benign", "duration": 3.0, "seed": seed}
+        for seed in range(1, n_configs + 1)
+    ]
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(configs))
+    return path
+
+
+def test_sweep_command(tmp_path, capsys):
+    code = main(["sweep", str(_sweep_file(tmp_path))])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 runs: 2 executed, 0 cached, 0 failed" in out
+    assert "benign" in out
+
+
+def test_sweep_cache_hit_and_resume(tmp_path, capsys):
+    path = _sweep_file(tmp_path)
+    cache = tmp_path / "cache"
+    assert main(["sweep", str(path), "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", str(path), "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "0 executed, 2 cached" in out
+    # Drop one cached record: resume executes only the missing run.
+    next(cache.glob("*.pkl")).unlink()
+    assert main(["sweep", str(path), "--cache-dir", str(cache),
+                 "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "1 executed, 1 cached" in out
+
+
+def test_sweep_json_output(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "records.json"
+    code = main(["sweep", str(_sweep_file(tmp_path, n_configs=1)),
+                 "--json", str(out_path)])
+    assert code == 0
+    assert "records written" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert len(payload) == 1
+    assert payload[0]["error"] is None
+    assert payload[0]["verdict"] is not None
+    assert payload[0]["seed"] == 1
+
+
+def test_sweep_bad_config_file(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["sweep", str(missing)]) == 2
+    assert "nope.json" in capsys.readouterr().err

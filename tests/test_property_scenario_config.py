@@ -1,0 +1,111 @@
+"""Property test: ``Scenario <-> config`` round-trips losslessly.
+
+Scenarios are fuzzed over the spec registries (clock models, delay
+models, topologies, plan kinds, strategies).  For every declarative
+scenario the contract is exact:
+
+    Scenario.from_config(s.to_config()) == s
+
+and the config itself survives a JSON round-trip unchanged — the two
+properties that make campaign caching and process-pool fan-out sound.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.plans import PlanSpec, StrategySpec
+from repro.net.links import DelaySpec
+from repro.net.topology import TopologySpec
+from repro.runner.builders import default_params
+from repro.runner.scenario import Scenario
+
+PARAMS = default_params(n=4, f=1)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+durations = st.floats(min_value=0.5, max_value=64.0,
+                      allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=1e-6, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+
+clock_names = st.sampled_from(["wander", "extremal", "perfect",
+                               "clique-extremal"])
+
+delay_specs = st.one_of(
+    st.none(),
+    st.builds(DelaySpec, st.just("uniform"), st.just({})),
+    st.builds(lambda v: DelaySpec("fixed", {"value": v}),
+              st.floats(min_value=1e-4, max_value=0.005,
+                        allow_nan=False, allow_infinity=False)),
+    st.builds(DelaySpec, st.just("jittered"), st.just({})),
+    st.builds(DelaySpec, st.just("heterogeneous"), st.just({})),
+)
+
+topology_specs = st.one_of(
+    st.none(),
+    st.builds(TopologySpec, st.just("full-mesh"), st.just({})),
+    st.builds(TopologySpec, st.just("ring"), st.just({})),
+    st.builds(lambda f: TopologySpec("two-cliques", {"f": f}),
+              st.just(1)),
+)
+
+strategy_specs = st.one_of(
+    st.builds(StrategySpec, st.just("standard-mix"), st.just({})),
+    st.builds(lambda o: StrategySpec("alternating-reset", {"offset": o}),
+              small_floats),
+    st.builds(lambda p: StrategySpec("split-world", {"push": p}),
+              small_floats),
+    st.builds(StrategySpec, st.just("silent"), st.just({})),
+)
+
+plan_specs = st.one_of(
+    st.none(),
+    st.builds(lambda s, d: PlanSpec("rotating", s, {"dwell": d}),
+              strategy_specs, small_floats),
+    st.builds(lambda s: PlanSpec("round-robin", s, {}), strategy_specs),
+    st.builds(lambda s, start: PlanSpec(
+        "single-burst", s, {"victims": [0], "start": start, "dwell": 0.5}),
+        strategy_specs, small_floats),
+    st.builds(lambda s, i: PlanSpec("random", s, {"intensity": i}),
+              strategy_specs, st.floats(min_value=0.1, max_value=1.0,
+                                        allow_nan=False)),
+)
+
+scenarios = st.builds(
+    Scenario,
+    params=st.just(PARAMS),
+    duration=durations,
+    seed=seeds,
+    clock_factory=clock_names,
+    topology=topology_specs,
+    delay_model=delay_specs,
+    plan_builder=plan_specs,
+    initial_offset_spread=st.one_of(st.just(0.0), small_floats),
+    loss_rate=st.one_of(st.just(0.0),
+                        st.floats(min_value=0.0, max_value=0.2,
+                                  allow_nan=False)),
+    stagger_phases=st.booleans(),
+    enforce_f_limit=st.booleans(),
+    sample_interval=st.one_of(st.none(), small_floats),
+    name=st.sampled_from(["scenario", "fuzzed", "e1"]),
+)
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_scenario_config_round_trip(scenario):
+    assert scenario.is_declarative()
+    config = scenario.to_config()
+    assert Scenario.from_config(config) == scenario
+
+
+@given(scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_config_survives_json(scenario):
+    config = scenario.to_config()
+    rehydrated = json.loads(json.dumps(config))
+    assert rehydrated == config
+    assert Scenario.from_config(rehydrated) == scenario

@@ -1,0 +1,209 @@
+"""Tests for the campaign executor: fan-out, caching, failure isolation.
+
+Supersedes the old parallel-runner tests.  The determinism contract is
+the load-bearing one: a campaign's records must be byte-identical
+whether runs execute serially in-process or across a process pool, for
+every canonical scenario (including the spec-based adversary plans).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.errors import CampaignError, ConfigurationError
+from repro.runner.builders import (
+    benign_scenario,
+    default_params,
+    mobile_byzantine_scenario,
+    recovery_scenario,
+    split_world_scenario,
+)
+from repro.runner.campaign import (
+    Campaign,
+    CampaignResult,
+    RunRecord,
+    replicate,
+    run_config,
+    run_configs,
+    sweep,
+)
+
+
+def config(seed=0, scenario="benign", duration=3.0):
+    return {
+        "params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+        "scenario": scenario,
+        "duration": duration,
+        "seed": seed,
+    }
+
+
+def canonical_configs(duration=4.0):
+    """One config per canonical scenario, exercising every plan kind."""
+    return [config(seed=s, scenario=name, duration=duration)
+            for s, name in enumerate(
+                ("benign", "mobile-byzantine", "recovery", "split-world"),
+                start=1)]
+
+
+class TestSerial:
+    def test_single_config(self):
+        record = run_config(config(seed=1))
+        assert isinstance(record, RunRecord)
+        assert record.ok
+        assert record.max_deviation <= record.verdict.bounds.max_deviation
+        assert record.messages_delivered > 0
+        assert record.perf is not None
+        assert record.seed == 1
+
+    def test_order_preserved(self):
+        records = run_configs([config(seed=s) for s in (5, 6, 7)])
+        assert [r.seed for r in records] == [5, 6, 7]
+        assert [r.index for r in records] == [0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_configs([])
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_configs([config()], workers=0)
+
+    def test_byzantine_config(self):
+        record = run_config(config(scenario="mobile-byzantine", duration=6.0))
+        assert record.ok
+        assert record.recovery.all_recovered
+        assert record.corruption_count > 0
+
+    def test_record_is_picklable(self):
+        record = run_config(config(seed=2))
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone == record
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_exactly_all_canonical(self):
+        """Records byte-identical across execution modes, for every
+        canonical scenario (spec-based plans included)."""
+        configs = canonical_configs()
+        serial = Campaign(configs=configs).run(workers=1)
+        parallel = Campaign(configs=configs).run(workers=2)
+        assert serial.records == parallel.records
+        for a, b in zip(serial.records, parallel.records):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_parallel_order_preserved(self):
+        configs = [config(seed=s) for s in (9, 8, 7)]
+        records = run_configs(configs, workers=2)
+        assert [r.seed for r in records] == [9, 8, 7]
+
+
+class TestFailureHandling:
+    def test_isolated_failure_yields_error_record(self):
+        bad = dict(config(seed=3), duration=-1.0)
+        result = Campaign(configs=[config(seed=1), bad]).run()
+        assert result.failed == 1
+        (error_record,) = result.errors()
+        assert error_record.index == 1
+        assert error_record.error is not None
+        assert not error_record.ok
+        assert result.records[0].ok
+
+    def test_strict_mode_raises_campaign_error(self):
+        bad = dict(config(seed=3), duration=-1.0)
+        with pytest.raises(CampaignError) as excinfo:
+            run_configs([config(seed=1), bad])
+        assert excinfo.value.index == 1
+        assert excinfo.value.config == bad
+
+    def test_isolated_failure_survives_the_pool(self):
+        bad = dict(config(seed=3), duration=-1.0)
+        result = Campaign(configs=[config(seed=1), bad,
+                                   config(seed=2)]).run(workers=2)
+        assert result.failed == 1
+        assert result.records[0].ok and result.records[2].ok
+
+
+class TestCaching:
+    def test_second_invocation_executes_zero_runs(self, tmp_path):
+        configs = canonical_configs(duration=3.0)
+        first = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (first.executed, first.cached) == (4, 0)
+        second = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (second.executed, second.cached) == (0, 4)
+        assert second.records == first.records
+
+    def test_resume_completes_only_missing_runs(self, tmp_path):
+        configs = canonical_configs(duration=3.0)
+        campaign = Campaign(configs=configs, cache_dir=tmp_path)
+        full = campaign.run()
+        victim = campaign._cache_path(configs[2])
+        victim.unlink()
+        resumed = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (resumed.executed, resumed.cached) == (1, 3)
+        assert resumed.records == full.records
+
+    def test_fresh_reexecutes_everything(self, tmp_path):
+        configs = [config(seed=1)]
+        Campaign(configs=configs, cache_dir=tmp_path).run()
+        result = Campaign(configs=configs, cache_dir=tmp_path).run(fresh=True)
+        assert (result.executed, result.cached) == (1, 0)
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        configs = [config(seed=1)]
+        campaign = Campaign(configs=configs, cache_dir=tmp_path)
+        campaign.run()
+        campaign._cache_path(configs[0]).write_bytes(b"not a pickle")
+        result = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (result.executed, result.cached) == (1, 0)
+        assert result.records[0].ok
+
+    def test_error_records_are_never_cached(self, tmp_path):
+        bad = dict(config(seed=3), duration=-1.0)
+        campaign = Campaign(configs=[bad], cache_dir=tmp_path)
+        first = campaign.run()
+        assert first.failed == 1
+        second = Campaign(configs=[bad], cache_dir=tmp_path).run()
+        assert (second.executed, second.cached) == (1, 0)
+
+    def test_cache_key_depends_on_config_and_settings(self, tmp_path):
+        campaign = Campaign(configs=[config(seed=1)], cache_dir=tmp_path)
+        base = campaign.cache_key(config(seed=1))
+        assert campaign.cache_key(config(seed=2)) != base
+        warm = Campaign(configs=[config(seed=1)], cache_dir=tmp_path,
+                        warmup_intervals=5.0)
+        assert warm.cache_key(config(seed=1)) != base
+
+
+class TestConstruction:
+    def test_from_scenarios_round_trips_builders(self):
+        params = default_params(n=4, f=1)
+        scenarios = [
+            benign_scenario(params, duration=2.0, seed=1),
+            mobile_byzantine_scenario(params, duration=4.0, seed=2),
+            recovery_scenario(params, duration=4.0, seed=3),
+            split_world_scenario(params, duration=4.0, seed=4),
+        ]
+        campaign = Campaign.from_scenarios(scenarios)
+        assert len(campaign.configs) == 4
+        result = campaign.run()
+        assert isinstance(result, CampaignResult)
+        assert result.all_ok, [r.error for r in result.errors()]
+
+    def test_from_scenarios_rejects_raw_callables(self):
+        scenario = benign_scenario(default_params(n=4, f=1), duration=1.0)
+        scenario = dataclasses.replace(
+            scenario, plan_builder=lambda sc, clocks: [])
+        with pytest.raises(ConfigurationError, match="plan_builder"):
+            Campaign.from_scenarios([scenario])
+
+    def test_sweep_and_replicate_records(self):
+        base = benign_scenario(default_params(n=4, f=1), duration=1.0, seed=0)
+        records = sweep(base, [{"seed": 1}, {"seed": 2}, {"duration": 2.0}])
+        assert [r.seed for r in records] == [1, 2, 0]
+        assert records[2].duration == 2.0
+        reps = replicate(base, seeds=[4, 5])
+        assert [r.seed for r in reps] == [4, 5]

@@ -15,7 +15,6 @@ from repro.runner.config import (
     scenario_from_config,
 )
 from repro.runner.experiment import run
-from repro.runner.scenario import extremal_clocks, wander_clocks
 
 
 BASE = {
@@ -52,6 +51,28 @@ class TestParamsFromConfig:
         with pytest.raises(ConfigurationError, match="delta"):
             params_from_config({"n": 4, "f": 1, "rho": 5e-4, "pi": 2.0})
 
+    def test_explicit_form_unknown_key_named(self):
+        derived = params_from_config(BASE["params"])
+        spec = {
+            "n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0,
+            "sync_interval": derived.sync_interval,
+            "max_wait": derived.max_wait,
+            "way_off": derived.way_off,
+            "sync_intervall": 1.0,  # typo must be named, not ignored
+        }
+        with pytest.raises(ConfigurationError, match="sync_intervall"):
+            params_from_config(spec)
+
+    def test_explicit_form_missing_companions_named(self):
+        spec = dict(BASE["params"], sync_interval=0.1)
+        with pytest.raises(ConfigurationError, match="max_wait"):
+            params_from_config(spec)
+
+    def test_derived_form_mixed_key_named(self):
+        spec = dict(BASE["params"], max_wait=0.01)  # explicit key, no sync_interval
+        with pytest.raises(ConfigurationError, match="max_wait"):
+            params_from_config(spec)
+
 
 class TestDelayFromConfig:
     def test_none_passthrough(self):
@@ -77,11 +98,11 @@ class TestScenarioFromConfig:
         scenario = scenario_from_config(BASE)
         assert scenario.duration == 2.0
         assert scenario.seed == 3
-        assert scenario.clock_factory is wander_clocks
+        assert scenario.clock_factory == "wander"
 
     def test_clock_selection(self):
         scenario = scenario_from_config(dict(BASE, clocks="extremal"))
-        assert scenario.clock_factory is extremal_clocks
+        assert scenario.clock_factory == "extremal"
 
     def test_loss_and_sampling_options(self):
         scenario = scenario_from_config(dict(BASE, loss_rate=0.05,
@@ -102,6 +123,29 @@ class TestScenarioFromConfig:
     def test_missing_params_rejected(self):
         with pytest.raises(ConfigurationError, match="params"):
             scenario_from_config({"scenario": "benign"})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            scenario_from_config(dict(BASE, durration=5.0))
+        assert "durration" in str(excinfo.value)
+        assert "duration" in str(excinfo.value)  # known keys are listed
+
+    def test_scenario_shorthand_excludes_declarative_keys(self):
+        plan = {"kind": "rotating", "strategy": {"name": "standard-mix"}}
+        with pytest.raises(ConfigurationError, match="scenario"):
+            scenario_from_config(dict(BASE, plan=plan))
+
+    def test_declarative_config_without_shorthand(self):
+        config = {
+            "params": BASE["params"],
+            "duration": 2.0,
+            "seed": 3,
+            "plan": {"kind": "rotating",
+                     "strategy": {"name": "standard-mix"}},
+        }
+        scenario = scenario_from_config(config)
+        assert scenario.plan_builder is not None
+        assert scenario.is_declarative()
 
     def test_config_scenario_runs(self):
         config = dict(BASE, scenario="mobile-byzantine", duration=6.0)

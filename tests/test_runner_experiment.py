@@ -14,7 +14,8 @@ from repro.runner.builders import (
     mobile_byzantine_scenario,
     recovery_scenario,
 )
-from repro.runner.experiment import replicate, run, summarize, sweep
+from repro.runner.campaign import replicate, sweep
+from repro.runner.experiment import run, summarize
 from repro.runner.scenario import extremal_clocks, perfect_clocks
 
 
@@ -110,15 +111,16 @@ class TestWiring:
 class TestSweepsAndHelpers:
     def test_sweep_replaces_fields(self):
         base = benign_scenario(fast_params(), duration=1.0)
-        results = sweep(base, [{"seed": 1}, {"seed": 2}, {"duration": 0.5}])
-        assert len(results) == 3
-        interval = results[2].scenario.resolved_sample_interval()
-        assert results[2].samples.times[-1] == pytest.approx(0.5, abs=interval)
+        records = sweep(base, [{"seed": 1}, {"seed": 2}, {"duration": 2.0}])
+        assert len(records) == 3
+        assert [r.seed for r in records[:2]] == [1, 2]
+        assert records[2].duration == 2.0
+        assert all(r.error is None for r in records)
 
     def test_replicate_runs_per_seed(self):
         base = benign_scenario(fast_params(), duration=1.0)
-        results = replicate(base, seeds=[1, 2, 3])
-        assert [r.scenario.seed for r in results] == [1, 2, 3]
+        records = replicate(base, seeds=[1, 2, 3])
+        assert [r.seed for r in records] == [1, 2, 3]
 
     def test_summarize(self):
         assert summarize([1.0, 2.0, 3.0]) == (1.0, 2.0, 3.0)

@@ -1,0 +1,75 @@
+"""Tier-1 wiring for tools/check_layering.py.
+
+The kernel layers (core, sim, clocks) must never import the
+orchestration or telemetry layers (runner, obs) at runtime — Campaign
+workers pickle kernel objects, and DESIGN.md section 7 forbids the
+simulation from observing itself.  Running the checker as a test turns
+an accidental upward import into a suite failure instead of a latent
+pickling bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import repro
+
+ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+TOOL = ROOT / "tools" / "check_layering.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_layering", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_check_layering_tool_passes():
+    result = subprocess.run([sys.executable, str(TOOL)],
+                            capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "layering clean" in result.stdout
+
+
+def test_collector_flags_runtime_upward_import():
+    tool = _load_tool()
+    source = (
+        "from repro.obs import FlightRecorder\n"
+        "import repro.runner.campaign\n"
+    )
+    collector = tool.ImportCollector("repro.core.sync")
+    collector.visit(ast.parse(source))
+    layers = {tool.layer_of(target) for _, target in collector.imports}
+    assert layers == {"obs", "runner"}
+
+
+def test_collector_skips_type_checking_blocks():
+    tool = _load_tool()
+    source = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.runner.scenario import Scenario\n"
+        "from repro.net.message import Message\n"
+    )
+    collector = tool.ImportCollector("repro.sim.process")
+    collector.visit(ast.parse(source))
+    targets = [t for _, t in collector.imports]
+    assert "repro.runner.scenario" not in targets
+    assert "repro.net.message" in targets
+
+
+def test_collector_resolves_relative_imports():
+    tool = _load_tool()
+    collector = tool.ImportCollector("repro.core.sync")
+    collector.visit(ast.parse("from .params import ProtocolParams\n"))
+    assert [t for _, t in collector.imports] == ["repro.core.params"]
+
+
+def test_kernel_layers_have_no_upward_imports():
+    tool = _load_tool()
+    assert tool.check() == []

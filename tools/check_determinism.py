@@ -5,8 +5,8 @@ Two checks, both over the E1 headline workload (rotating
 mobile-Byzantine adversary):
 
 * **summary** — runs the config twice through
-  :func:`repro.runner.parallel.run_config` and compares the JSON
-  serialization of the two :class:`ConfigRunSummary` results;
+  :func:`repro.runner.campaign.run_config` and compares the JSON
+  serialization of the two :class:`RunRecord` results;
 * **trace** — runs the same scenario twice under a full
   :class:`repro.obs.FlightRecorder` and byte-diffs the serialized JSONL
   observability event streams, line by line.
@@ -34,7 +34,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.runner.parallel import run_config  # noqa: E402
+from repro.runner.campaign import run_config  # noqa: E402
 
 # Small enough to run twice in a few seconds, big enough to exercise
 # the full machinery: corruption plan, recovery, verdict, counters.

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Static import-graph check for the package layering contract.
+
+The simulation kernel must stay observable-from-outside, never
+self-observing: ``repro.core``, ``repro.sim`` and ``repro.clocks`` are
+the bottom layers and must not import the orchestration or telemetry
+layers (``repro.runner``, ``repro.obs``).  A kernel module that reaches
+up breaks process-pool pickling (workers would drag the whole runner in)
+and reopens the self-monitoring loophole DESIGN.md section 7 forbids.
+
+The check parses every module under ``src/repro`` with :mod:`ast` and
+records its ``repro.*`` imports.  ``if TYPE_CHECKING:`` blocks are
+skipped — annotation-only references are erased at runtime and carry no
+layering weight.  Relative imports are resolved against the module's
+package so ``from . import x`` is attributed correctly.
+
+Run from the repository root:
+
+    python tools/check_layering.py           # exit 0 iff clean
+
+Wired into tier-1 via ``tests/test_tools_layering.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+PACKAGE = "repro"
+
+# layer -> layers it must never import (at runtime).
+FORBIDDEN: dict[str, frozenset[str]] = {
+    "core": frozenset({"obs", "runner"}),
+    "sim": frozenset({"obs", "runner"}),
+    "clocks": frozenset({"obs", "runner"}),
+}
+
+
+def module_name(path: pathlib.Path) -> str:
+    """Dotted module name of a source file under ``src/``."""
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def layer_of(module: str) -> str | None:
+    """Second dotted component of a repro module, e.g. ``core``."""
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == PACKAGE:
+        return parts[1]
+    return None
+
+
+class ImportCollector(ast.NodeVisitor):
+    """Collect runtime ``repro.*`` imports, skipping TYPE_CHECKING blocks."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.imports: list[tuple[int, str]] = []
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._is_type_checking(node.test):
+            # Annotation-only imports: walk just the else branch.
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.imports.append((node.lineno, alias.name))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            # Resolve "from .x import y" against this module's package.
+            base = self.module.split(".")
+            # __init__ modules are their own package; others drop the leaf.
+            pkg_depth = len(base) - (node.level - 1) - 1
+            prefix = base[:max(pkg_depth, 0)]
+            target = ".".join(prefix + ([node.module] if node.module else []))
+        else:
+            target = node.module or ""
+        if target:
+            self.imports.append((node.lineno, target))
+
+
+def check() -> list[str]:
+    """Return one violation message per forbidden runtime import."""
+    violations = []
+    for path in sorted((SRC / PACKAGE).rglob("*.py")):
+        module = module_name(path)
+        source_layer = layer_of(module)
+        forbidden = FORBIDDEN.get(source_layer or "", frozenset())
+        if not forbidden:
+            continue
+        collector = ImportCollector(module)
+        collector.visit(ast.parse(path.read_text(), filename=str(path)))
+        for lineno, target in collector.imports:
+            target_layer = layer_of(target)
+            if target_layer in forbidden:
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}:{lineno}: "
+                    f"{module} ({source_layer} layer) imports {target} "
+                    f"({target_layer} layer)")
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("LAYERING VIOLATIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    checked = sum(1 for p in (SRC / PACKAGE).rglob("*.py")
+                  if layer_of(module_name(p)) in FORBIDDEN)
+    print(f"layering clean: {checked} kernel modules, "
+          f"no runtime imports of obs/runner")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
