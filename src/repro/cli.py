@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rho", type=float, default=5e-4, help="drift bound")
     run_p.add_argument("--pi", type=float, default=2.0,
                        help="adversary time period PI (s)")
+    run_p.add_argument("--stream", action="store_true",
+                       help="compute measures online during the run "
+                            "(no clock trace kept; same verdict, "
+                            "byte-identical measures)")
 
     bounds_p = sub.add_parser("bounds", help="evaluate Theorem 5 bounds only")
     for flag, kind, default in (("--n", int, 7), ("--f", int, 2),
@@ -124,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--warmup-intervals", type=float, default=3.0,
                          help="warmup applied to measures, in analysis "
                               "intervals T")
+    sweep_p.add_argument("--stream", action="store_true",
+                         help="workers accumulate measures online instead "
+                              "of keeping full clock traces (records are "
+                              "byte-identical; part of the cache identity)")
     sweep_p.add_argument("--json", dest="json_out", default=None,
                          help="write all run records to this JSON file")
 
@@ -156,7 +164,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out is not None:
         from repro.obs import FlightRecorder
         recorder = FlightRecorder()
-    result = run_scenario(scenario, recorder=recorder)
+    result = run_scenario(scenario, recorder=recorder,
+                          stream_measures=args.stream)
     verdict = result.verdict(warmup=warmup_for(params))
     recovery = result.recovery()
     print(f"scenario={scenario.name} protocol={scenario.protocol} "
@@ -274,7 +283,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             return 2
 
     campaign = Campaign(configs=configs, warmup_intervals=args.warmup_intervals,
-                        cache_dir=args.cache_dir)
+                        cache_dir=args.cache_dir,
+                        stream_measures=args.stream)
     result = campaign.run(workers=args.workers, fresh=args.fresh)
 
     rows = []

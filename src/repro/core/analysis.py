@@ -26,7 +26,7 @@ from typing import Sequence
 from repro.core.params import ProtocolParams, Theorem5Bounds
 from repro.errors import MeasurementError
 from repro.metrics.measures import AccuracyReport
-from repro.metrics.sampler import ClockSamples, CorruptionInterval
+from repro.metrics.sampler import ClockSamples, CorruptionInterval, WindowIndex
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,13 @@ def _spread(samples: ClockSamples, nodes: Sequence[int], index: int) -> float:
 
 def _nodes_quiet_during(corruptions: Sequence[CorruptionInterval], n: int,
                         lo: float, hi: float) -> list[int]:
+    """Nodes with no corruption overlapping ``[lo, hi]`` (one-shot query).
+
+    Batch consumers (:func:`envelope_trajectory`,
+    :func:`recovery_trajectory`) use a precomputed
+    :class:`~repro.metrics.sampler.WindowIndex` cursor instead, which
+    answers the same query bit-identically in O(1) amortized.
+    """
     bad = {c.node for c in corruptions if c.overlaps(lo, hi)}
     return [node for node in range(n) if node not in bad]
 
@@ -99,12 +106,14 @@ def envelope_trajectory(samples: ClockSamples, corruptions: Sequence[CorruptionI
     t_interval = params.t_interval
     horizon = samples.times[-1]
     steps: list[EnvelopeStep] = []
+    # Lemma 7's G at anchor t is "quiet during [t - MaxWait, t + T]" —
+    # exactly a WindowIndex(before=MaxWait, after=T) lookup.
+    quiet = WindowIndex(corruptions, params.n, before=params.max_wait,
+                        after=t_interval).cursor()
     index = 0
     t = start
     while t + t_interval <= horizon + 1e-9:
-        good = _nodes_quiet_during(
-            corruptions, params.n, max(0.0, t - params.max_wait), t + t_interval
-        )
+        good = sorted(quiet.included_at(t))
         if len(good) >= 2:
             i_start = samples.index_at_or_after(t)
             i_end = samples.index_at_or_after(t + t_interval)
@@ -160,16 +169,14 @@ def recovery_trajectory(samples: ClockSamples, corruptions: Sequence[CorruptionI
     t_interval = params.t_interval
     horizon = samples.times[-1]
     steps: list[RecoveryStep] = []
+    quiet = WindowIndex(corruptions, params.n, before=t_interval).cursor()
     i = 0
     while True:
         t = release_time + i * t_interval
         if t > horizon or (intervals is not None and i > intervals):
             break
         sample_index = samples.index_at_or_after(t)
-        good = _nodes_quiet_during(
-            corruptions, params.n, max(0.0, t - t_interval), t
-        )
-        good = [g for g in good if g != node]
+        good = [g for g in sorted(quiet.included_at(t)) if g != node]
         if good:
             biases = [samples.bias(g, sample_index) for g in good]
             own = samples.bias(node, sample_index)

@@ -7,6 +7,7 @@ benchmark harness consumes them from here.
 """
 
 from repro.sim.engine import EnginePerfCounters
+from repro.metrics.columns import HAVE_NUMPY, backend_name, numpy_active, set_numpy
 from repro.metrics.measures import (
     AccuracyReport,
     RecoveryEvent,
@@ -14,9 +15,11 @@ from repro.metrics.measures import (
     accuracy_report,
     deviation_percentiles,
     deviation_series,
+    envelope_occupancy,
     good_stretches,
     max_deviation,
     recovery_report,
+    series_percentiles,
 )
 from repro.metrics.export import result_to_dict, write_result
 from repro.metrics.plots import bias_plane, sparkline, strip_chart
@@ -25,9 +28,12 @@ from repro.metrics.sampler import (
     ClockSampler,
     ClockSamples,
     CorruptionInterval,
+    GoodSetIndex,
+    WindowIndex,
     faulty_at,
     good_set,
 )
+from repro.metrics.streaming import OnlineMeasures
 from repro.metrics.trace import CorruptionRecord, MessageRecord, TraceRecorder
 
 __all__ = [
@@ -35,10 +41,19 @@ __all__ = [
     "ClockSampler",
     "ClockSamples",
     "CorruptionInterval",
+    "GoodSetIndex",
+    "WindowIndex",
+    "OnlineMeasures",
+    "HAVE_NUMPY",
+    "backend_name",
+    "numpy_active",
+    "set_numpy",
     "good_set",
     "faulty_at",
     "deviation_series",
     "deviation_percentiles",
+    "envelope_occupancy",
+    "series_percentiles",
     "max_deviation",
     "accuracy_report",
     "AccuracyReport",

@@ -10,16 +10,26 @@ Three families of measures, one per requirement:
 * **Recovery** — :func:`recovery_report`: for every adversary release,
   how long until the victim's clock re-enters (and stays in) the good
   range (checked against Claim 8(iii)'s geometric convergence).
+
+All measures run on a :class:`~repro.metrics.sampler.GoodSetIndex`
+(piecewise-constant good sets, O(log C) lookups) and the columnar
+reductions of :mod:`repro.metrics.columns`; every function accepts a
+prebuilt index via the ``index`` keyword so one sweep serves the whole
+report.  Results are bit-identical to evaluating the Definition 3
+predicates per sample over row-oriented lists — the property suite
+enforces this.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import MeasurementError
-from repro.metrics.sampler import ClockSamples, CorruptionInterval, faulty_at, good_set
+from repro.metrics.columns import spread_slice
+from repro.metrics.sampler import ClockSamples, CorruptionInterval, GoodSetIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.clocks.logical import LogicalClock
@@ -30,8 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # ----------------------------------------------------------------------
 
 def deviation_series(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
-                     pi: float, n: int, warmup: float = 0.0) -> list[tuple[float, float]]:
+                     pi: float, n: int, warmup: float = 0.0, *,
+                     index: GoodSetIndex | None = None) -> list[tuple[float, float]]:
     """Per-sample maximum clock deviation over the good set.
+
+    Iterates the good-set index's constant runs and reduces each run's
+    columns in one batch, instead of re-deriving the good set per
+    sample.
 
     Args:
         samples: Grid samples of every clock.
@@ -39,27 +54,31 @@ def deviation_series(samples: ClockSamples, corruptions: Sequence[CorruptionInte
         pi: The adversary period ``PI`` (defines the good set window).
         n: Total number of processors.
         warmup: Skip samples before this real time (initial convergence).
+        index: Prebuilt :class:`GoodSetIndex` for these corruptions
+            (built on the fly when omitted).
 
     Returns:
         ``(tau, max |C_p - C_q| over good p, q)`` per retained sample;
         samples whose good set has fewer than two members are skipped.
     """
+    if index is None:
+        index = GoodSetIndex(corruptions, pi, n)
+    times = samples.times
+    start = bisect.bisect_left(times, warmup)
     series: list[tuple[float, float]] = []
-    for i, tau in enumerate(samples.times):
-        if tau < warmup:
-            continue
-        good = good_set(corruptions, tau, pi, n)
+    for lo, hi, good in index.runs(times, start):
         if len(good) < 2:
             continue
-        values = [samples.clocks[node][i] for node in good]
-        series.append((tau, max(values) - min(values)))
+        columns = [samples.clocks[node] for node in good]
+        series.extend(zip(times[lo:hi], spread_slice(columns, lo, hi)))
     return series
 
 
 def max_deviation(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
-                  pi: float, n: int, warmup: float = 0.0) -> float:
+                  pi: float, n: int, warmup: float = 0.0, *,
+                  index: GoodSetIndex | None = None) -> float:
     """Maximum good-set deviation over the run (Theorem 5(i) subject)."""
-    series = deviation_series(samples, corruptions, pi, n, warmup)
+    series = deviation_series(samples, corruptions, pi, n, warmup, index=index)
     if not series:
         raise MeasurementError("no samples with a non-trivial good set after warmup")
     return max(dev for _, dev in series)
@@ -105,12 +124,7 @@ def good_stretches(corruptions: Sequence[CorruptionInterval], pi: float, n: int,
     stretches: list[tuple[int, float, float]] = []
     for node in range(n):
         bad = sorted((c.start, c.end) for c in corruptions if c.node == node)
-        # Candidate quiet gaps between corruption intervals (plus the
-        # run's edges).
-        edges = [0.0]
-        for start, end in bad:
-            edges.extend((start, min(end, horizon)))
-        edges.append(horizon)
+        # Quiet gaps between corruption intervals (plus the run's edges).
         quiet: list[tuple[float, float]] = []
         cursor = 0.0
         for start, end in bad:
@@ -128,7 +142,8 @@ def good_stretches(corruptions: Sequence[CorruptionInterval], pi: float, n: int,
 
 def accuracy_report(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
                     clocks: dict[int, "LogicalClock"], pi: float, n: int,
-                    min_span: float = 0.0) -> AccuracyReport:
+                    min_span: float = 0.0, *,
+                    index: GoodSetIndex | None = None) -> AccuracyReport:
     """Measure discontinuity and implied logical drift over good stretches.
 
     ``alpha`` (discontinuity) is taken as the largest adjustment a node
@@ -144,9 +159,12 @@ def accuracy_report(samples: ClockSamples, corruptions: Sequence[CorruptionInter
         n: Number of processors.
         min_span: Ignore stretches shorter than this (drift estimates
             over tiny spans are dominated by the discontinuity term).
+        index: Prebuilt :class:`GoodSetIndex` for these corruptions.
     """
     if not samples.times:
         raise MeasurementError("cannot measure accuracy with no samples")
+    if index is None:
+        index = GoodSetIndex(corruptions, pi, n)
     horizon = samples.times[-1]
 
     alpha = 0.0
@@ -156,7 +174,7 @@ def accuracy_report(samples: ClockSamples, corruptions: Sequence[CorruptionInter
             # the node was non-faulty throughout [tau - PI, tau]; both
             # adversary resets and post-release recovery jumps fall
             # outside the guarantee.
-            if node not in good_set(corruptions, tau, pi, n):
+            if node not in index.good_at(tau):
                 continue
             alpha = max(alpha, abs(delta))
 
@@ -237,27 +255,27 @@ class RecoveryReport:
         return all(math.isfinite(event.recovery_time) for event in self.events)
 
 
-def _good_range(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
-                pi: float, n: int, index: int,
+def _good_range(samples: ClockSamples, index: GoodSetIndex, at: int,
                 exclude: int | None = None) -> tuple[float, float] | None:
-    """Clock range of the good set, optionally excluding one node.
+    """Clock range of the good set at sample ``at``, minus one node.
 
     Recovery measurement excludes the recovering node itself: once PI
     has passed since its release it formally re-enters the good set,
     and a still-lost clock would otherwise widen the very range it is
     measured against.
     """
-    good = good_set(corruptions, samples.times[index], pi, n)
+    good = set(index.good_at(samples.times[at]))
     good.discard(exclude)
     if not good:
         return None
-    values = [samples.clocks[node][index] for node in good]
+    values = [samples.clocks[node][at] for node in good]
     return min(values), max(values)
 
 
 def recovery_report(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
                     pi: float, n: int, tolerance: float,
-                    settle: float | None = None) -> RecoveryReport:
+                    settle: float | None = None, *,
+                    index: GoodSetIndex | None = None) -> RecoveryReport:
     """Measure the recovery time of every released processor.
 
     A node counts as rejoined at the first sample after its release
@@ -274,16 +292,19 @@ def recovery_report(samples: ClockSamples, corruptions: Sequence[CorruptionInter
         tolerance: Maximum distance from the good range that counts as
             recovered; typically the Theorem 5 deviation bound.
         settle: Stability window; default ``pi``.
+        index: Prebuilt :class:`GoodSetIndex` for these corruptions.
     """
     if settle is None:
         settle = pi
+    if index is None:
+        index = GoodSetIndex(corruptions, pi, n)
     events: list[RecoveryEvent] = []
     horizon = samples.times[-1] if samples.times else 0.0
     for corruption in corruptions:
         if not math.isfinite(corruption.end) or corruption.end >= horizon:
             continue
         start_index = samples.index_at_or_after(corruption.end)
-        bounds0 = _good_range(samples, corruptions, pi, n, start_index,
+        bounds0 = _good_range(samples, index, start_index,
                               exclude=corruption.node)
         node_values = samples.clocks[corruption.node]
         if bounds0 is None:
@@ -292,7 +313,7 @@ def recovery_report(samples: ClockSamples, corruptions: Sequence[CorruptionInter
                                node_values[start_index] - bounds0[1]))
         rejoined = math.inf
         for i in range(start_index, len(samples.times)):
-            if _stably_within(samples, corruptions, pi, n, corruption.node, i,
+            if _stably_within(samples, index, corruption.node, i,
                               tolerance, settle):
                 rejoined = samples.times[i]
                 break
@@ -305,14 +326,19 @@ def recovery_report(samples: ClockSamples, corruptions: Sequence[CorruptionInter
     return RecoveryReport(events=events, tolerance=tolerance)
 
 
-def _stably_within(samples: ClockSamples, corruptions: Sequence[CorruptionInterval],
-                   pi: float, n: int, node: int, start_index: int,
-                   tolerance: float, settle: float) -> bool:
+def _stably_within(samples: ClockSamples, index: GoodSetIndex, node: int,
+                   start_index: int, tolerance: float, settle: float) -> bool:
+    """Whether ``node`` stays within tolerance of the good range.
+
+    Checks every sample from ``start_index`` through the settle window;
+    samples whose (exclusion-adjusted) good set is empty are vacuously
+    fine.
+    """
     end_time = samples.times[start_index] + settle
     for i in range(start_index, len(samples.times)):
         if samples.times[i] > end_time:
             break
-        bounds = _good_range(samples, corruptions, pi, n, i, exclude=node)
+        bounds = _good_range(samples, index, i, exclude=node)
         if bounds is None:
             continue
         value = samples.clocks[node][i]
@@ -325,6 +351,7 @@ def deviation_percentiles(samples: ClockSamples,
                           corruptions: Sequence[CorruptionInterval],
                           pi: float, n: int, warmup: float = 0.0,
                           percentiles: Sequence[float] = (50.0, 95.0, 99.0, 100.0),
+                          *, index: GoodSetIndex | None = None,
                           ) -> dict[float, float]:
     """Percentiles of the good-set deviation series.
 
@@ -336,14 +363,50 @@ def deviation_percentiles(samples: ClockSamples,
 
     Args:
         percentiles: Values in ``(0, 100]``; 100 is the maximum.
+        index: Prebuilt :class:`GoodSetIndex` for these corruptions.
 
     Raises:
         MeasurementError: On an empty series or bad percentile.
     """
     series = [dev for _, dev in deviation_series(samples, corruptions, pi, n,
-                                                 warmup)]
+                                                 warmup, index=index)]
     if not series:
         raise MeasurementError("no deviation samples after warmup")
+    return series_percentiles(series, percentiles)
+
+
+def envelope_occupancy(deviations: Sequence[float], bound: float,
+                       slack: float = 1e-12) -> float:
+    """Fraction of deviation samples within ``bound + slack``.
+
+    The Theorem 5(i) *envelope occupancy*: how much of the run the
+    good-set deviation actually spent inside the guaranteed envelope
+    (1.0 for a clean run; the verdict only reports whether the max
+    stayed inside).  Shared by the post-hoc and streaming paths so both
+    report byte-identical occupancy.
+
+    Returns:
+        ``nan`` on an empty series (no occupancy to speak of).
+    """
+    total = len(deviations)
+    if total == 0:
+        return math.nan
+    inside = sum(1 for dev in deviations if dev <= bound + slack)
+    return inside / total
+
+
+def series_percentiles(series: Sequence[float],
+                       percentiles: Sequence[float] = (50.0, 95.0, 99.0, 100.0),
+                       ) -> dict[float, float]:
+    """Percentiles of a raw deviation series (nearest-rank method).
+
+    Shared by the post-hoc path (:func:`deviation_percentiles`) and the
+    streaming path (:class:`~repro.metrics.streaming.OnlineMeasures`),
+    so both report byte-identical tails.
+
+    Raises:
+        MeasurementError: On a percentile outside ``(0, 100]``.
+    """
     ordered = sorted(series)
     result: dict[float, float] = {}
     for p in percentiles:

@@ -1,0 +1,363 @@
+"""Streaming measures: Definition 3 reports computed during the run.
+
+:class:`OnlineMeasures` rides :class:`~repro.metrics.sampler.ClockSampler`'s
+``on_sample`` hook (like the flight recorder's probes) and accumulates
+everything the campaign's :class:`~repro.runner.campaign.RunRecord`
+needs — the deviation series, accuracy stretch endpoints, recovery
+state machines, envelope occupancy — while the simulation runs.
+Combined with ``ClockSampler(record=False)``, a worker keeps O(n +
+samples) state (one float pair per retained deviation sample) instead
+of the full O(samples x n) trace, and ships a summary, not columns.
+
+**Exactness contract**: every report is byte-identical to the post-hoc
+path over recorded samples.  This works because clock reads are pure
+functions of real time *at the moment of the read* (the sampler's grid
+event), corruption intervals are known before the run (plan-based
+adversary), and each post-hoc lookup has an online mirror:
+
+* ``index_at_or_after(t)`` == capture at the first sample with
+  ``tau >= t - 1e-12``;
+* ``index_at_or_before(t)`` == rolling capture at the last sample with
+  ``tau <= t + 1e-12``;
+* the recovery scan's ``_stably_within`` == a candidate/confirm state
+  machine (confirm is checked *before* the violation test, because a
+  sample past the settle window is outside the candidate's window).
+
+The property suite and ``tools/check_determinism.py --stream`` enforce
+the contract end to end.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import MeasurementError
+from repro.metrics.columns import new_column
+from repro.metrics.measures import (
+    AccuracyReport,
+    RecoveryEvent,
+    RecoveryReport,
+    envelope_occupancy,
+    good_stretches,
+    series_percentiles,
+)
+from repro.metrics.sampler import CorruptionInterval, GoodSetIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.clocks.logical import LogicalClock
+
+#: Grid-matching tolerance, identical to ClockSamples.index_at_or_*.
+_EPS = 1e-12
+
+
+class _RecoveryTracker:
+    """Online mirror of one corruption's post-hoc recovery scan."""
+
+    def __init__(self, corruption: CorruptionInterval, tolerance: float,
+                 settle: float) -> None:
+        self.corruption = corruption
+        self.tolerance = tolerance
+        self.settle = settle
+        self.started = False
+        self.skipped = False        # good range empty at the start sample
+        self.initial = 0.0
+        self.candidate: float | None = None
+        self.rejoined = math.inf
+        self.confirmed = False
+
+    def _range(self, vals: dict[int, float],
+               good: frozenset[int]) -> tuple[float, float] | None:
+        """Good-range bounds excluding the recovering node itself."""
+        others = set(good)
+        others.discard(self.corruption.node)
+        if not others:
+            return None
+        values = [vals[node] for node in others]
+        return min(values), max(values)
+
+    def observe(self, tau: float, vals: dict[int, float],
+                good: frozenset[int]) -> None:
+        """Feed one sample; no-op once confirmed or skipped."""
+        if self.confirmed or self.skipped:
+            return
+        if not self.started:
+            if tau < self.corruption.end - _EPS:
+                return
+            self.started = True
+            bounds0 = self._range(vals, good)
+            if bounds0 is None:
+                self.skipped = True
+                return
+            own = vals[self.corruption.node]
+            self.initial = max(0.0, max(bounds0[0] - own, own - bounds0[1]))
+        # A sample past the settle window confirms the candidate before
+        # its own violation status is considered (it lies outside the
+        # candidate's window) — matching _stably_within exactly.
+        if self.candidate is not None and tau > self.candidate + self.settle:
+            self.confirmed = True
+            self.rejoined = self.candidate
+            return
+        bounds = self._range(vals, good)
+        value = vals[self.corruption.node]
+        violating = bounds is not None and (
+            value < bounds[0] - self.tolerance or value > bounds[1] + self.tolerance)
+        if violating:
+            self.candidate = None
+        elif self.candidate is None:
+            self.candidate = tau
+
+    def finish(self) -> None:
+        """End of run: a surviving candidate's (truncated) window is stable."""
+        if self.candidate is not None and not self.confirmed:
+            self.confirmed = True
+            self.rejoined = self.candidate
+
+
+class OnlineMeasures:
+    """Accumulates every RunRecord measure from the sampling hook.
+
+    Wire :meth:`on_sample` into :class:`~repro.metrics.sampler.ClockSampler`
+    (``on_sample=``), run the simulation, call :meth:`finalize`, then
+    query the same measure surface :class:`~repro.runner.experiment.RunResult`
+    exposes.  Reports are byte-identical to the post-hoc path (see the
+    module docstring for why).
+
+    The recovery state machines need their thresholds *during* the run,
+    so ``recovery_tolerance``/``recovery_settle`` are fixed at
+    construction; :meth:`recovery` rejects other values.
+
+    Args:
+        clocks: Logical clocks by node (read at each grid point).
+        corruptions: The run's audited corruption intervals (known
+            upfront for plan-based adversaries).
+        pi: The adversary period ``PI``.
+        n: Total number of processors.
+        recovery_tolerance: Distance-to-good-range threshold for the
+            recovery report (typically the Theorem 5 deviation bound).
+        recovery_settle: Recovery stability window; default ``pi``.
+    """
+
+    def __init__(self, clocks: dict[int, "LogicalClock"],
+                 corruptions: Sequence[CorruptionInterval], pi: float, n: int,
+                 recovery_tolerance: float,
+                 recovery_settle: float | None = None) -> None:
+        self.clocks = dict(clocks)
+        self.corruptions = list(corruptions)
+        self.pi = float(pi)
+        self.n = int(n)
+        self.recovery_tolerance = float(recovery_tolerance)
+        self.recovery_settle = float(recovery_settle) if recovery_settle is not None else float(pi)
+        self.index = GoodSetIndex(self.corruptions, self.pi, self.n)
+        self._cursor = self.index.cursor()
+        self._dev_taus = new_column()
+        self._devs = new_column()
+        self._count = 0
+        self._tau0 = 0.0            # times[0] and times[1] (grid spacing)
+        self._tau1 = 0.0
+        self._last_tau = 0.0
+        self._last_vals: dict[int, float] = {}
+        # Accuracy stretch-endpoint captures: start thresholds are the
+        # possible stretch starts t1 (lo + PI per quiet gap), end
+        # thresholds the corruption starts that can clip a stretch.
+        self._start_pending: dict[int, list[float]] = {}
+        self._start_ptr: dict[int, int] = {}
+        self._end_pending: dict[int, list[float]] = {}
+        self._end_ptr: dict[int, int] = {}
+        self._start_caps: dict[tuple[int, float], tuple[float, float]] = {}
+        self._end_caps: dict[tuple[int, float], tuple[float, float]] = {}
+        for node in range(self.n):
+            bad = sorted((c.start, c.end) for c in self.corruptions
+                         if c.node == node)
+            gap_los = [0.0]
+            cursor = 0.0
+            for start, end in bad:
+                cursor = max(cursor, end)
+                if math.isfinite(cursor):
+                    gap_los.append(cursor)
+            t1s = sorted({lo + self.pi if lo > 0.0 else 0.0 for lo in gap_los})
+            t2s = sorted({start for start, _ in bad if math.isfinite(start)})
+            self._start_pending[node] = t1s
+            self._start_ptr[node] = 0
+            self._end_pending[node] = t2s
+            self._end_ptr[node] = 0
+        self._trackers = [
+            _RecoveryTracker(c, self.recovery_tolerance, self.recovery_settle)
+            for c in self.corruptions
+        ]
+        self._events: list[RecoveryEvent] | None = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # The sampling hook
+    # ------------------------------------------------------------------
+
+    def on_sample(self, tau: float, index: int) -> None:
+        """Observe one grid point (``tau`` non-decreasing across calls)."""
+        vals = {node: clock.read(tau) for node, clock in self.clocks.items()}
+        if self._count == 0:
+            self._tau0 = tau
+        elif self._count == 1:
+            self._tau1 = tau
+        # Freeze matured last-at-or-before captures with the *previous*
+        # sample (the last one satisfying tau <= t2 + eps).
+        for node, pending in self._end_pending.items():
+            ptr = self._end_ptr[node]
+            while ptr < len(pending) and tau > pending[ptr] + _EPS:
+                self._end_caps[(node, pending[ptr])] = (self._last_tau,
+                                                        self._last_vals[node])
+                ptr += 1
+            self._end_ptr[node] = ptr
+        # First-at-or-after captures trigger on the current sample.
+        for node, pending in self._start_pending.items():
+            ptr = self._start_ptr[node]
+            while ptr < len(pending) and tau >= pending[ptr] - _EPS:
+                self._start_caps[(node, pending[ptr])] = (tau, vals[node])
+                ptr += 1
+            self._start_ptr[node] = ptr
+
+        good = self._cursor.included_at(tau)
+        if len(good) >= 2:
+            gvals = [vals[node] for node in good]
+            self._dev_taus.append(tau)
+            self._devs.append(max(gvals) - min(gvals))
+
+        for tracker in self._trackers:
+            tracker.observe(tau, vals, good)
+
+        self._last_tau = tau
+        self._last_vals = vals
+        self._count += 1
+
+    def finalize(self) -> None:
+        """Close out end-of-run state; required before querying measures."""
+        if self._finalized:
+            return
+        horizon = self._last_tau if self._count else 0.0
+        # Unmatured end-captures: every remaining threshold satisfies
+        # t2 + eps >= last tau, so the final sample is the capture.
+        for node, pending in self._end_pending.items():
+            for ptr in range(self._end_ptr[node], len(pending)):
+                if self._count:
+                    self._end_caps[(node, pending[ptr])] = (
+                        self._last_tau, self._last_vals[node])
+            self._end_ptr[node] = len(pending)
+        events: list[RecoveryEvent] = []
+        for tracker in self._trackers:
+            corruption = tracker.corruption
+            if not math.isfinite(corruption.end) or corruption.end >= horizon:
+                continue
+            if tracker.skipped:
+                continue
+            tracker.finish()
+            events.append(RecoveryEvent(
+                node=corruption.node,
+                released_at=corruption.end,
+                rejoined_at=tracker.rejoined,
+                initial_distance=tracker.initial,
+            ))
+        self._events = events
+        self._finalized = True
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise MeasurementError(
+                "OnlineMeasures.finalize() must run before querying measures")
+
+    # ------------------------------------------------------------------
+    # The measure surface (mirrors RunResult)
+    # ------------------------------------------------------------------
+
+    def _dev_start(self, warmup: float) -> int:
+        return bisect.bisect_left(self._dev_taus, warmup)
+
+    def deviation_series(self, warmup: float = 0.0) -> list[tuple[float, float]]:
+        """Good-set deviation per retained sample after ``warmup``."""
+        self._require_finalized()
+        lo = self._dev_start(warmup)
+        return list(zip(self._dev_taus[lo:], self._devs[lo:]))
+
+    def max_deviation(self, warmup: float = 0.0) -> float:
+        """Maximum good-set deviation after ``warmup``."""
+        self._require_finalized()
+        lo = self._dev_start(warmup)
+        if lo >= len(self._devs):
+            raise MeasurementError("no samples with a non-trivial good set after warmup")
+        return max(self._devs[lo:])
+
+    def deviation_percentiles(self, warmup: float = 0.0,
+                              percentiles: Sequence[float] = (50.0, 95.0, 99.0, 100.0),
+                              ) -> dict[float, float]:
+        """Median/tail percentiles of the deviation series."""
+        self._require_finalized()
+        lo = self._dev_start(warmup)
+        series = self._devs[lo:]
+        if not len(series):
+            raise MeasurementError("no deviation samples after warmup")
+        return series_percentiles(series, percentiles)
+
+    def envelope_occupancy(self, bound: float, warmup: float = 0.0) -> float:
+        """Fraction of post-warmup deviation samples within ``bound``."""
+        self._require_finalized()
+        lo = self._dev_start(warmup)
+        return envelope_occupancy(self._devs[lo:], bound)
+
+    def accuracy(self, min_span: float = 0.0) -> AccuracyReport:
+        """Measured drift/discontinuity over good stretches."""
+        self._require_finalized()
+        if not self._count:
+            raise MeasurementError("cannot measure accuracy with no samples")
+        horizon = self._last_tau
+
+        alpha = 0.0
+        for node, clock in self.clocks.items():
+            for tau, delta, _ in clock.adjustments:
+                if node not in self.index.good_at(tau):
+                    continue
+                alpha = max(alpha, abs(delta))
+
+        grid = 2 * (self._tau1 - self._tau0) if self._count > 1 else 0.0
+        implied = 0.0
+        measured = 0
+        for node, t1, t2 in good_stretches(self.corruptions, self.pi, self.n,
+                                           horizon):
+            if t2 - t1 < max(min_span, grid):
+                continue
+            tau1, v1 = self._start_caps[(node, t1)]
+            if t2 < horizon:
+                tau2, v2 = self._end_caps[(node, t2)]
+            else:
+                tau2, v2 = self._last_tau, self._last_vals[node]
+            if tau2 <= tau1:
+                continue
+            span = tau2 - tau1
+            advance = v2 - v1
+            measured += 1
+            up = (advance - alpha) / span - 1.0
+            down = span / (advance + alpha) - 1.0 if advance + alpha > 0 else math.inf
+            implied = max(implied, up, down, 0.0)
+
+        return AccuracyReport(max_discontinuity=alpha, implied_drift=implied,
+                              stretches=measured)
+
+    def recovery(self, tolerance: float | None = None,
+                 settle: float | None = None) -> RecoveryReport:
+        """Recovery report accumulated online.
+
+        Raises:
+            MeasurementError: When asked for a tolerance/settle other
+                than the ones the state machines ran with.
+        """
+        self._require_finalized()
+        if tolerance is not None and tolerance != self.recovery_tolerance:
+            raise MeasurementError(
+                f"streamed recovery was measured with tolerance="
+                f"{self.recovery_tolerance}, cannot answer for {tolerance}")
+        if settle is not None and settle != self.recovery_settle:
+            raise MeasurementError(
+                f"streamed recovery was measured with settle="
+                f"{self.recovery_settle}, cannot answer for {settle}")
+        assert self._events is not None
+        return RecoveryReport(events=list(self._events),
+                              tolerance=self.recovery_tolerance)

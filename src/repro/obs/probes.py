@@ -27,6 +27,7 @@ publish events, and decide nothing — the protocol cannot observe them.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -95,6 +96,12 @@ class Theorem5Probe:
         self.violations: list[ProbeViolation] = []
         self._controlled: set[int] = set()
         self._last_release: dict[int, float] = {}
+        # Incremental good set: membership changes only at break-ins
+        # (immediate removal) and at `release + PI` elapsing (re-entry),
+        # so on_sample maintains it with a heap of pending re-entries
+        # instead of re-deriving Definition 3 per node per sample.
+        self._good: set[int] = set(clocks)
+        self._pending: list[tuple[float, int]] = []
         self._deviation_violating = False
         # Per-node (tau, bias, len(adjustments)) at the previous sample
         # where the node was good; None while not good.
@@ -110,10 +117,12 @@ class Theorem5Probe:
         """Track the faulty set from adversary events."""
         if event.kind == "adv.break_in":
             self._controlled.add(event.node)
+            self._good.discard(event.node)
             self._prev[event.node] = None
         elif event.kind == "adv.release":
             self._controlled.discard(event.node)
             self._last_release[event.node] = event.time
+            heapq.heappush(self._pending, (event.time, event.node))
 
     def good_set(self, tau: float) -> set[int]:
         """Definition 3's good set at ``tau``, from observed events only.
@@ -134,13 +143,26 @@ class Theorem5Probe:
             good.add(node)
         return good
 
-    # ------------------------------------------------------------------
-    # Sampling-grid checks
-    # ------------------------------------------------------------------
+    def _advance_good(self, tau: float) -> set[int]:
+        """The incremental good set at ``tau`` (``tau`` non-decreasing).
+
+        Pops matured releases (``release < tau - PI``) off the pending
+        heap and re-admits their nodes; a stale entry (the node was
+        re-released or is controlled again) is detected and dropped.
+        Matches :meth:`good_set` exactly for the sampler's
+        non-decreasing grid.
+        """
+        pending = self._pending
+        cutoff = tau - self.params.pi
+        while pending and pending[0][0] < cutoff:
+            release, node = heapq.heappop(pending)
+            if self._last_release.get(node) == release and node not in self._controlled:
+                self._good.add(node)
+        return self._good
 
     def on_sample(self, tau: float) -> None:
         """Run every probe against the clocks at sample time ``tau``."""
-        good = self.good_set(tau)
+        good = self._advance_good(tau)
         biases = {node: self.clocks[node].read(tau) - tau for node in good}
         if tau >= self.warmup:
             self._check_deviation(tau, biases)

@@ -49,8 +49,9 @@ from repro.runner.scenario import Scenario
 
 #: Bumped when the RunRecord schema or measurement pipeline changes in
 #: a way that invalidates cached records independent of the package
-#: version.
-CACHE_FORMAT = 1
+#: version.  2: columnar/streaming measurement engine — RunRecord grew
+#: ``envelope_occupancy`` and the ``stream_measures`` identity field.
+CACHE_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,8 @@ class RunRecord:
         deviation_percentiles: Good-set deviation percentiles after
             warmup, keyed by percentile.
         recovery: Recovery report for every adversary release.
+        envelope_occupancy: Fraction of post-warmup deviation samples
+            inside the Theorem 5(i) envelope (``nan`` with no samples).
         corruption_count: Number of planned corruption intervals.
         events_processed: Simulator event count.
         messages_delivered: Network delivery count.
@@ -115,6 +118,7 @@ class RunRecord:
     accuracy: AccuracyReport | None = None
     deviation_percentiles: dict[float, float] | None = None
     recovery: RecoveryReport | None = None
+    envelope_occupancy: float | None = None
     corruption_count: int = 0
     events_processed: int = 0
     messages_delivered: int = 0
@@ -181,7 +185,8 @@ def _obs_summary(recorder) -> dict[str, Any]:
 
 def execute_run(index: int, config: dict[str, Any],
                 warmup_intervals: float = 3.0,
-                observe: bool = False) -> RunRecord:
+                observe: bool = False,
+                stream_measures: bool = False) -> RunRecord:
     """Execute one config into a :class:`RunRecord` (raises on failure).
 
     Args:
@@ -189,6 +194,9 @@ def execute_run(index: int, config: dict[str, Any],
         config: A :mod:`repro.runner.config` scenario description.
         warmup_intervals: Warmup in analysis intervals ``T``.
         observe: Attach a flight recorder and keep its summary.
+        stream_measures: Accumulate the measures online during the run
+            (no clock trace is kept); the record is byte-identical to
+            the post-hoc path.
     """
     # Imports kept local so worker startup stays cheap when the module
     # is imported only for the dataclasses.
@@ -200,7 +208,7 @@ def execute_run(index: int, config: dict[str, Any],
     if observe:
         from repro.obs import FlightRecorder
         recorder = FlightRecorder()
-    result = run(scenario, recorder=recorder)
+    result = run(scenario, recorder=recorder, stream_measures=stream_measures)
     warmup = warmup_intervals * result.params.t_interval
     verdict = result.verdict(warmup=warmup)
     perf = result.perf
@@ -215,6 +223,7 @@ def execute_run(index: int, config: dict[str, Any],
         accuracy=result.accuracy(),
         deviation_percentiles=result.deviation_percentiles(warmup=warmup),
         recovery=result.recovery(),
+        envelope_occupancy=result.envelope_occupancy(warmup=warmup),
         corruption_count=len(result.corruptions),
         events_processed=result.events_processed,
         messages_delivered=result.messages_delivered,
@@ -232,11 +241,13 @@ def execute_run(index: int, config: dict[str, Any],
 
 
 def _execute_isolated(index: int, config: dict[str, Any],
-                      warmup_intervals: float, observe: bool) -> RunRecord:
+                      warmup_intervals: float, observe: bool,
+                      stream_measures: bool = False) -> RunRecord:
     """Worker wrapper: any failure becomes an error record, so one bad
     config cannot take down the pool or the sweep."""
     try:
-        return execute_run(index, config, warmup_intervals, observe)
+        return execute_run(index, config, warmup_intervals, observe,
+                           stream_measures)
     except BaseException as exc:  # noqa: BLE001 -- isolation is the point
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
@@ -268,12 +279,18 @@ class Campaign:
         cache_dir: Result cache directory (``None`` disables caching).
         observe: Attach a flight recorder to every run and keep its
             summary on the records (part of the cache identity).
+        stream_measures: Compute measures online during each run
+            instead of post-hoc over a recorded trace (part of the
+            cache identity; workers keep O(n) state instead of the full
+            O(samples x n) trace).  Records are byte-identical either
+            way.
     """
 
     configs: list[dict[str, Any]]
     warmup_intervals: float = 3.0
     cache_dir: str | pathlib.Path | None = None
     observe: bool = False
+    stream_measures: bool = False
 
     # -- construction --------------------------------------------------
 
@@ -316,6 +333,7 @@ class Campaign:
             "format": CACHE_FORMAT,
             "warmup_intervals": self.warmup_intervals,
             "observe": self.observe,
+            "stream_measures": self.stream_measures,
         }
         canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
@@ -384,14 +402,16 @@ class Campaign:
 
         if workers is None or workers == 1:
             fresh_records = [
-                _execute_isolated(index, config, self.warmup_intervals, self.observe)
+                _execute_isolated(index, config, self.warmup_intervals,
+                                  self.observe, self.stream_measures)
                 for index, config in pending
             ]
         else:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(_execute_isolated, index, config,
-                                self.warmup_intervals, self.observe)
+                                self.warmup_intervals, self.observe,
+                                self.stream_measures)
                     for index, config in pending
                 ]
                 fresh_records = [future.result() for future in futures]
@@ -433,9 +453,11 @@ def replicate(base: Scenario, seeds: Sequence[int],
     return Campaign.replicate(base, seeds, **kwargs).run(workers=workers).records
 
 
-def run_config(config: dict[str, Any], warmup_intervals: float = 3.0) -> RunRecord:
+def run_config(config: dict[str, Any], warmup_intervals: float = 3.0,
+               stream_measures: bool = False) -> RunRecord:
     """Execute one config in-process (no isolation; exceptions raise)."""
-    return execute_run(0, config, warmup_intervals=warmup_intervals)
+    return execute_run(0, config, warmup_intervals=warmup_intervals,
+                       stream_measures=stream_measures)
 
 
 def run_configs(configs: Sequence[dict[str, Any]], workers: int | None = None,

@@ -12,6 +12,7 @@ Orchestration (sweeps, replication, parallel fan-out, caching) lives in
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -20,16 +21,23 @@ from repro.adversary.mobile import MobileAdversary
 from repro.clocks.logical import LogicalClock
 from repro.core.analysis import Theorem5Verdict, theorem5_verdict
 from repro.core.params import ProtocolParams
+from repro.errors import MeasurementError
 from repro.metrics.measures import (
     AccuracyReport,
     RecoveryReport,
     accuracy_report,
-    deviation_percentiles,
     deviation_series,
-    max_deviation,
+    envelope_occupancy,
     recovery_report,
+    series_percentiles,
 )
-from repro.metrics.sampler import ClockSampler, ClockSamples, CorruptionInterval
+from repro.metrics.sampler import (
+    ClockSampler,
+    ClockSamples,
+    CorruptionInterval,
+    GoodSetIndex,
+)
+from repro.metrics.streaming import OnlineMeasures
 from repro.metrics.trace import TraceRecorder
 from repro.net.network import Network
 from repro.protocols.base import protocol_factory
@@ -60,6 +68,10 @@ class RunResult:
         obs: The :class:`~repro.obs.recorder.FlightRecorder` that
             observed the run, or ``None`` when none was passed to
             :func:`run`.
+        stream: The :class:`~repro.metrics.streaming.OnlineMeasures`
+            that observed the run when ``stream_measures=True``; every
+            measure method then answers from it (byte-identically)
+            instead of from ``samples``, which stays empty.
     """
 
     scenario: Scenario
@@ -73,31 +85,80 @@ class RunResult:
     messages_delivered: int = 0
     perf: EnginePerfCounters | None = None
     obs: "FlightRecorder | None" = field(repr=False, default=None)
+    stream: OnlineMeasures | None = field(repr=False, default=None)
+    _good_index: GoodSetIndex | None = field(repr=False, default=None, compare=False)
+    _dev_cache: tuple | None = field(repr=False, default=None, compare=False)
 
     # -- measures ----------------------------------------------------------
 
+    def good_index(self) -> GoodSetIndex:
+        """The run's good-set index (built once, shared by all measures)."""
+        if self._good_index is None:
+            self._good_index = GoodSetIndex(self.corruptions, self.params.pi,
+                                            self.params.n)
+        return self._good_index
+
+    def _deviation_pairs(self) -> tuple[list[float], list[float]]:
+        """The full (warmup=0) deviation series, computed once.
+
+        Per-sample values are independent of the warmup cut, so every
+        warmup view is a bisected suffix of this one series.
+        """
+        if self._dev_cache is None:
+            pairs = deviation_series(self.samples, self.corruptions,
+                                     self.params.pi, self.params.n,
+                                     index=self.good_index())
+            self._dev_cache = ([tau for tau, _ in pairs],
+                               [dev for _, dev in pairs])
+        return self._dev_cache
+
     def deviation_series(self, warmup: float = 0.0) -> list[tuple[float, float]]:
         """Good-set deviation per sample (Definition 3(i) subject)."""
-        return deviation_series(self.samples, self.corruptions, self.params.pi,
-                                self.params.n, warmup)
+        if self.stream is not None:
+            return self.stream.deviation_series(warmup)
+        taus, devs = self._deviation_pairs()
+        lo = bisect.bisect_left(taus, warmup)
+        return list(zip(taus[lo:], devs[lo:]))
 
     def max_deviation(self, warmup: float = 0.0) -> float:
         """Maximum good-set deviation after ``warmup``."""
-        return max_deviation(self.samples, self.corruptions, self.params.pi,
-                             self.params.n, warmup)
+        if self.stream is not None:
+            return self.stream.max_deviation(warmup)
+        taus, devs = self._deviation_pairs()
+        lo = bisect.bisect_left(taus, warmup)
+        if lo >= len(devs):
+            raise MeasurementError("no samples with a non-trivial good set after warmup")
+        return max(devs[lo:])
 
     def deviation_percentiles(self, warmup: float = 0.0,
                               percentiles=(50.0, 95.0, 99.0, 100.0)
                               ) -> dict[float, float]:
         """Median/tail percentiles of the good-set deviation series."""
-        return deviation_percentiles(self.samples, self.corruptions,
-                                     self.params.pi, self.params.n, warmup,
-                                     percentiles)
+        if self.stream is not None:
+            return self.stream.deviation_percentiles(warmup, percentiles)
+        taus, devs = self._deviation_pairs()
+        lo = bisect.bisect_left(taus, warmup)
+        series = devs[lo:]
+        if not series:
+            raise MeasurementError("no deviation samples after warmup")
+        return series_percentiles(series, percentiles)
+
+    def envelope_occupancy(self, warmup: float = 0.0) -> float:
+        """Fraction of post-warmup samples inside the Theorem 5 envelope."""
+        bound = self.params.bounds().max_deviation
+        if self.stream is not None:
+            return self.stream.envelope_occupancy(bound, warmup)
+        taus, devs = self._deviation_pairs()
+        lo = bisect.bisect_left(taus, warmup)
+        return envelope_occupancy(devs[lo:], bound)
 
     def accuracy(self, min_span: float = 0.0) -> AccuracyReport:
         """Measured drift and discontinuity (Definition 3(ii) subject)."""
+        if self.stream is not None:
+            return self.stream.accuracy(min_span)
         return accuracy_report(self.samples, self.corruptions, self.clocks,
-                               self.params.pi, self.params.n, min_span)
+                               self.params.pi, self.params.n, min_span,
+                               index=self.good_index())
 
     def recovery(self, tolerance: float | None = None,
                  settle: float | None = None) -> RecoveryReport:
@@ -109,15 +170,19 @@ class RunResult:
         """
         if tolerance is None:
             tolerance = self.params.bounds().max_deviation
+        if self.stream is not None:
+            return self.stream.recovery(tolerance, settle)
         return recovery_report(self.samples, self.corruptions, self.params.pi,
-                               self.params.n, tolerance, settle)
+                               self.params.n, tolerance, settle,
+                               index=self.good_index())
 
     def verdict(self, warmup: float = 0.0) -> Theorem5Verdict:
         """Theorem 5 measured-vs-bound comparison for this run."""
         return theorem5_verdict(self.params, self.max_deviation(warmup), self.accuracy())
 
 
-def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResult:
+def run(scenario: Scenario, recorder: "FlightRecorder | None" = None,
+        stream_measures: bool = False) -> RunResult:
     """Execute one scenario to completion.
 
     Deterministic: identical scenarios (including seed) produce
@@ -126,6 +191,14 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
     changing it: observability publishes from existing events only, so
     the schedule — and therefore every sample, sync, and verdict — is
     identical with and without a recorder.
+
+    With ``stream_measures=True`` the Definition 3 measures are
+    accumulated *during* the run by an
+    :class:`~repro.metrics.streaming.OnlineMeasures` riding the sampling
+    hook, and no clock trace is recorded: the result's ``samples`` stay
+    empty while every measure method answers byte-identically from the
+    stream.  Neither mode changes the event schedule, so traces and
+    engine counters are unaffected.
     """
     params = scenario.params
     sim = Simulator(seed=scenario.seed)
@@ -175,10 +248,34 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
         recorder.attach(sim, network, processes, clocks, params,
                         adversary=adversary)
 
+    # Measurement streaming (advisory, like the recorder: reads clocks
+    # from within the sampler's own grid events, adds none of its own).
+    stream: OnlineMeasures | None = None
+    if stream_measures:
+        stream = OnlineMeasures(
+            clocks, corruptions, pi=params.pi, n=params.n,
+            recovery_tolerance=params.bounds().max_deviation,
+            recovery_settle=params.pi,
+        )
+
     # Sampling.
+    hooks = [hook for hook in (
+        recorder.on_sample if recorder is not None else None,
+        stream.on_sample if stream is not None else None,
+    ) if hook is not None]
+    if not hooks:
+        on_sample = None
+    elif len(hooks) == 1:
+        on_sample = hooks[0]
+    else:
+        def on_sample(tau: float, sample_index: int,
+                      _hooks=tuple(hooks)) -> None:
+            for hook in _hooks:
+                hook(tau, sample_index)
     sampler = ClockSampler(
         sim, clocks, scenario.resolved_sample_interval(),
-        on_sample=recorder.on_sample if recorder is not None else None,
+        on_sample=on_sample,
+        record=not stream_measures,
     )
     sampler.start(scenario.duration)
 
@@ -189,6 +286,8 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
 
     if recorder is not None:
         recorder.finalize(sim)
+    if stream is not None:
+        stream.finalize()
 
     return RunResult(
         scenario=scenario,
@@ -202,6 +301,7 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None) -> RunResu
         messages_delivered=network.messages_delivered,
         perf=sim.perf_counters(),
         obs=recorder,
+        stream=stream,
     )
 
 

@@ -135,17 +135,33 @@ class Simulator:
     def step(self) -> bool:
         """Execute the single earliest pending event.
 
+        Shares :meth:`run`'s wall-time and observability accounting, so
+        ``EnginePerfCounters.events_per_second`` stays honest for
+        step-driven sessions (an interactive debugger single-stepping
+        the schedule) and the bus sees the same ``engine.run_end``
+        shape with ``executed`` 0 or 1.
+
         Returns:
             ``True`` if an event was executed, ``False`` if the queue was
             empty.
         """
-        event = self._queue.pop_due(None)
-        if event is None:
-            return False
-        self.now = event.time
-        self._events_processed += 1
-        event.callback()
-        return True
+        executed = 0
+        wall_start = perf_counter()
+        try:
+            event = self._queue.pop_due(None)
+            if event is not None:
+                self.now = event.time
+                executed = 1
+                event.callback()
+        finally:
+            self._events_processed += executed
+            self._run_wall_time += perf_counter() - wall_start
+        if self.obs is not None:
+            # Deterministic counters only, like run() (see below).
+            self.obs.publish("engine.run_end", executed=executed,
+                             events_processed=self._events_processed,
+                             pending_events=len(self._queue))
+        return executed == 1
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run events in time order.

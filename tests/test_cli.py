@@ -163,3 +163,31 @@ def test_sweep_bad_config_file(tmp_path, capsys):
     missing = tmp_path / "nope.json"
     assert main(["sweep", str(missing)]) == 2
     assert "nope.json" in capsys.readouterr().err
+
+
+def test_run_stream_flag_matches_posthoc(capsys):
+    """--stream produces the identical report without a recorded trace."""
+    argv = ["run", "--scenario", "mobile-byzantine", "--duration", "8",
+            "--n", "4", "--f", "1", "--seed", "3"]
+    assert main(argv) == 0
+    posthoc = capsys.readouterr().out
+    assert main(argv + ["--stream"]) == 0
+    streamed = capsys.readouterr().out
+    # Wall-clock perf lines differ run to run; every measured line
+    # (verdict, recovery, deviation) must be identical.
+    strip = lambda out: [line for line in out.splitlines()
+                         if "events/s" not in line and "wall" not in line]
+    assert strip(streamed) == strip(posthoc)
+
+
+def test_sweep_stream_flag_caches_separately(tmp_path, capsys):
+    """--stream records match the post-hoc sweep but use their own cache."""
+    path = _sweep_file(tmp_path, n_configs=1)
+    cache = tmp_path / "cache"
+    assert main(["sweep", str(path), "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", str(path), "--cache-dir", str(cache),
+                 "--stream"]) == 0
+    out = capsys.readouterr().out
+    # stream_measures is part of the cache identity: no stale hit.
+    assert "1 executed, 0 cached" in out

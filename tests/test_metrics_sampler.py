@@ -99,7 +99,7 @@ class TestClockSampler:
         sampler = ClockSampler(sim, clocks, interval=0.5)
         sampler.start(until=2.0)
         sim.run()
-        assert sampler.samples.times == [0.0, 0.5, 1.0, 1.5, 2.0]
+        assert list(sampler.samples.times) == [0.0, 0.5, 1.0, 1.5, 2.0]
         assert sampler.samples.clocks[0][2] == pytest.approx(1.1)
 
     def test_bad_interval_rejected(self, sim):

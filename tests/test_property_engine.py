@@ -1,0 +1,286 @@
+"""Property tests for the columnar + incremental measurement engine.
+
+Three exactness contracts carry the PR 4 engine, and each gets
+hypothesis coverage against its reference implementation:
+
+* :class:`~repro.metrics.sampler.GoodSetIndex` /
+  :class:`~repro.metrics.sampler.WindowIndex` answer every point query
+  identically to the brute per-corruption predicates — including at
+  boundary times and their one-ulp neighbours, since the index
+  pre-computes float thresholds with ordinal bisection;
+* the pure-Python and numpy reduction backends in
+  :mod:`repro.metrics.columns` return byte-identical results;
+* :class:`~repro.metrics.streaming.OnlineMeasures` reproduces every
+  post-hoc measure byte-for-byte from the sampling hook alone, and a
+  campaign :class:`~repro.runner.campaign.RunRecord` is identical with
+  ``stream_measures`` on or off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.columns import (
+    HAVE_NUMPY,
+    as_column,
+    minmax_slice,
+    set_numpy,
+    spread_slice,
+)
+from repro.metrics.measures import (
+    accuracy_report,
+    deviation_series,
+    recovery_report,
+)
+from repro.metrics.sampler import (
+    ClockSamples,
+    CorruptionInterval,
+    GoodSetIndex,
+    WindowIndex,
+    faulty_at,
+    good_set,
+)
+from repro.metrics.streaming import OnlineMeasures
+from repro.runner.campaign import execute_run
+
+N_NODES = 4
+
+times_strategy = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+
+@st.composite
+def corruption_sets(draw, n_nodes=N_NODES, allow_infinite=True):
+    count = draw(st.integers(0, 6))
+    corruptions = []
+    for _ in range(count):
+        node = draw(st.integers(0, n_nodes - 1))
+        start = draw(times_strategy)
+        if allow_infinite and draw(st.booleans()) and draw(st.booleans()):
+            end = math.inf
+        else:
+            end = start + draw(st.floats(0.0, 12.0, allow_nan=False))
+        corruptions.append(CorruptionInterval(node, start, end))
+    return corruptions
+
+
+def boundary_taus(corruptions, pi, extra=()):
+    """Every float where a window answer can flip, plus ulp neighbours."""
+    anchors = {0.0, pi}
+    for c in corruptions:
+        for base in (c.start, c.end):
+            if not math.isfinite(base):
+                continue
+            anchors.update((base, base + pi, base - pi))
+    anchors.update(extra)
+    taus = set()
+    for a in anchors:
+        if a < 0.0 or not math.isfinite(a):
+            continue
+        taus.add(a)
+        taus.add(math.nextafter(a, math.inf))
+        down = math.nextafter(a, -math.inf)
+        if down >= 0.0:
+            taus.add(down)
+    return sorted(taus)
+
+
+# ---------------------------------------------------------------------------
+# GoodSetIndex / WindowIndex vs the brute predicates
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(corruptions=corruption_sets(),
+       pi=st.floats(0.05, 10.0, allow_nan=False),
+       random_taus=st.lists(times_strategy, max_size=8))
+def test_good_set_index_matches_brute(corruptions, pi, random_taus):
+    index = GoodSetIndex(corruptions, pi, N_NODES)
+    for tau in boundary_taus(corruptions, pi, extra=random_taus):
+        assert index.good_set(tau) == good_set(corruptions, tau, pi, N_NODES), tau
+        assert index.faulty_nodes_at(tau) == faulty_at(corruptions, tau), tau
+
+
+@settings(max_examples=200)
+@given(corruptions=corruption_sets(),
+       before=st.floats(0.0, 10.0, allow_nan=False),
+       after=st.floats(0.0, 10.0, allow_nan=False),
+       random_taus=st.lists(times_strategy, max_size=8))
+def test_window_index_matches_definition(corruptions, before, after, random_taus):
+    """A corruption excludes its node at anchor t iff it overlaps the
+    window [max(0, t - before), t + after] — checked pointwise."""
+    index = WindowIndex(corruptions, N_NODES, before=before, after=after)
+    anchors = boundary_taus(corruptions, before, extra=random_taus)
+    anchors.extend(boundary_taus(corruptions, after))
+    for tau in anchors:
+        lo = max(0.0, tau - before)
+        hi = tau + after
+        expected = frozenset(
+            c.node for c in corruptions if c.start <= hi and c.end >= lo)
+        assert index.excluded_at(tau) == expected, tau
+
+
+@settings(max_examples=150)
+@given(corruptions=corruption_sets(),
+       pi=st.floats(0.05, 10.0, allow_nan=False),
+       taus=st.lists(times_strategy, min_size=1, max_size=20))
+def test_runs_and_cursor_match_point_queries(corruptions, pi, taus):
+    """Batch iteration (runs) and the forward cursor agree with the
+    random-access point query on any sorted time grid."""
+    index = GoodSetIndex(corruptions, pi, N_NODES)
+    times = sorted(taus)
+    covered = [None] * len(times)
+    for lo, hi, included in index.runs(times):
+        for i in range(lo, hi):
+            covered[i] = included
+    cursor = index.cursor()
+    for i, tau in enumerate(times):
+        expected = index.good_at(tau)
+        assert covered[i] == expected, tau
+        assert cursor.included_at(tau) == expected, tau
+
+
+# ---------------------------------------------------------------------------
+# Columnar reduction backends
+# ---------------------------------------------------------------------------
+
+
+finite_floats = st.floats(-1e9, 1e9, allow_nan=False)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not installed")
+@settings(max_examples=150)
+@given(data=st.data(),
+       n_cols=st.integers(2, 5),
+       length=st.integers(1, 30))
+def test_backends_byte_identical(data, n_cols, length):
+    columns = [as_column(data.draw(st.lists(finite_floats, min_size=length,
+                                            max_size=length)))
+               for _ in range(n_cols)]
+    lo = data.draw(st.integers(0, length - 1))
+    hi = data.draw(st.integers(lo + 1, length))
+    try:
+        set_numpy(False)
+        py_spread = spread_slice(columns, lo, hi)
+        py_min, py_max = minmax_slice(columns, lo, hi)
+        set_numpy(True)
+        np_spread = spread_slice(columns, lo, hi)
+        np_min, np_max = minmax_slice(columns, lo, hi)
+    finally:
+        set_numpy(None)
+    pack = lambda values: struct.pack(f"<{len(values)}d", *values)
+    assert pack(py_spread) == pack(np_spread)
+    assert pack(py_min) == pack(np_min)
+    assert pack(py_max) == pack(np_max)
+
+
+# ---------------------------------------------------------------------------
+# OnlineMeasures vs the post-hoc pipeline
+# ---------------------------------------------------------------------------
+
+
+class _FakeClock:
+    """Pure-function-of-time clock with a fixed adjustment history."""
+
+    def __init__(self, offset, rate, adjustments):
+        self.offset = offset
+        self.rate = rate
+        self.adjustments = adjustments
+
+    def read(self, tau):
+        return self.offset + self.rate * tau
+
+
+def _pack_series(series):
+    flat = [x for pair in series for x in pair]
+    return struct.pack(f"<{len(flat)}d", *flat)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(),
+       corruptions=corruption_sets(allow_infinite=False),
+       count=st.integers(2, 40),
+       dt=st.floats(0.05, 2.0, allow_nan=False),
+       pi=st.floats(0.1, 8.0, allow_nan=False),
+       tolerance=st.floats(0.01, 5.0, allow_nan=False),
+       warmup=st.floats(0.0, 30.0, allow_nan=False))
+def test_streaming_matches_posthoc(data, corruptions, count, dt, pi,
+                                   tolerance, warmup):
+    """Every streamed measure is byte-identical to the post-hoc one."""
+    clocks = {}
+    for node in range(N_NODES):
+        offset = data.draw(st.floats(-2.0, 2.0, allow_nan=False))
+        rate = data.draw(st.floats(0.9, 1.1, allow_nan=False))
+        adjustments = [(data.draw(times_strategy),
+                        data.draw(st.floats(-1.0, 1.0, allow_nan=False)),
+                        "adj")
+                       for _ in range(data.draw(st.integers(0, 2)))]
+        clocks[node] = _FakeClock(offset, rate, adjustments)
+
+    grid = [i * dt for i in range(count)]
+    stream = OnlineMeasures(clocks, corruptions, pi=pi, n=N_NODES,
+                            recovery_tolerance=tolerance, recovery_settle=pi)
+    for i, tau in enumerate(grid):
+        stream.on_sample(tau, i)
+    stream.finalize()
+
+    samples = ClockSamples(
+        times=list(grid),
+        clocks={node: [clock.read(tau) for tau in grid]
+                for node, clock in clocks.items()})
+    index = GoodSetIndex(corruptions, pi, N_NODES)
+
+    posthoc_series = deviation_series(samples, corruptions, pi, N_NODES,
+                                      warmup=warmup, index=index)
+    assert _pack_series(stream.deviation_series(warmup)) == \
+        _pack_series(posthoc_series)
+
+    assert stream.accuracy() == accuracy_report(
+        samples, corruptions, clocks, pi, N_NODES, index=index)
+
+    assert stream.recovery(tolerance, pi) == recovery_report(
+        samples, corruptions, pi, N_NODES, tolerance, pi, index=index)
+
+
+# ---------------------------------------------------------------------------
+# RunRecord parity: stream on/off, numpy on/off
+# ---------------------------------------------------------------------------
+
+
+def _record_json(record):
+    return json.dumps(dataclasses.asdict(record), sort_keys=True)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 2 ** 16),
+       scenario=st.sampled_from(["benign", "mobile-byzantine", "recovery"]))
+def test_runrecord_parity(seed, scenario):
+    """A campaign record is byte-identical with streaming on or off, and
+    (when numpy is present) with either reduction backend."""
+    config = {
+        "params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+        "scenario": scenario,
+        "duration": 6.0,
+        "seed": seed,
+    }
+    reference = _record_json(execute_run(0, config))
+    assert _record_json(execute_run(0, config, stream_measures=True)) == reference
+    if HAVE_NUMPY:
+        try:
+            set_numpy(False)
+            python_backend = _record_json(execute_run(0, config))
+            python_stream = _record_json(
+                execute_run(0, config, stream_measures=True))
+            set_numpy(True)
+            numpy_backend = _record_json(execute_run(0, config))
+        finally:
+            set_numpy(None)
+        assert python_backend == reference
+        assert python_stream == reference
+        assert numpy_backend == reference

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for the measurement engine (PR 4).
+
+Runs :func:`benchmarks.bench_measures.measure` — the E1-scale analysis
+benchmark (n=16, 200k samples) plus an end-to-end streamed run — writes
+the results to ``BENCH_PR4.json`` at the repository root, and compares
+against the committed baseline in ``benchmarks/baseline_pr4.json``.
+
+Only **machine-portable** figures are gated, so the gate gives the same
+verdict on a laptop and a CI runner:
+
+* ``analysis.python.speedup`` / ``analysis.numpy.speedup`` — the new
+  engine's throughput relative to the frozen legacy implementation
+  *measured in the same process* (the legacy path doubles as a
+  machine-speed yardstick);
+* ``end_to_end.normalized`` — streamed-run events/sec divided by the
+  same legacy yardstick.
+
+The gate fails when any gated figure drops more than 20% below the
+baseline, or when the python-backend speedup falls under the 5x floor
+the engine is required to deliver.  Absolute samples/sec and events/sec
+are recorded in ``BENCH_PR4.json`` for the trajectory but not gated.
+
+Run from the repository root:
+
+    python tools/bench_gate.py                    # exit 0 iff no regression
+    python tools/bench_gate.py --update-baseline  # re-seed the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+BASELINE_PATH = REPO / "benchmarks" / "baseline_pr4.json"
+RESULT_PATH = REPO / "BENCH_PR4.json"
+
+#: Maximum tolerated drop of a gated figure below its baseline.
+TOLERANCE = 0.20
+
+#: Hard floor on the python-backend analysis speedup (acceptance bar).
+SPEEDUP_FLOOR = 5.0
+
+#: Gated figures: (dotted path, human label).
+GATED = [
+    ("analysis.python.speedup", "analysis speedup (python backend)"),
+    ("analysis.numpy.speedup", "analysis speedup (numpy backend)"),
+    ("end_to_end.normalized", "end-to-end normalized throughput"),
+]
+
+
+def lookup(metrics: dict, dotted: str):
+    """Resolve ``a.b.c`` in nested dicts; None when any hop is missing."""
+    node = metrics
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the measured figures as the new baseline")
+    args = parser.parse_args()
+
+    from bench_measures import measure, metrics_table
+
+    metrics = measure()
+    print(metrics_table(metrics))
+    RESULT_PATH.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {RESULT_PATH.relative_to(REPO)}")
+
+    if args.update_baseline:
+        # A baseline is a *floor reference*, so seed it conservatively:
+        # measure twice and keep, per gated figure, the worse of the
+        # two runs — an optimistic baseline would make the gate flaky.
+        second = measure()
+        for dotted, _ in GATED:
+            a, b = lookup(metrics, dotted), lookup(second, dotted)
+            if a is None or b is None:
+                continue
+            node = metrics
+            *hops, leaf = dotted.split(".")
+            for key in hops:
+                node = node[key]
+            node[leaf] = min(a, b)
+        BASELINE_PATH.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE_PATH.relative_to(REPO)}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"BENCH GATE FAILURE: no baseline at "
+              f"{BASELINE_PATH.relative_to(REPO)} "
+              f"(seed one with --update-baseline)", file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    ok = True
+    speedup = lookup(metrics, "analysis.python.speedup")
+    if speedup is None or speedup < SPEEDUP_FLOOR:
+        print(f"BENCH GATE FAILURE: python-backend analysis speedup "
+              f"{speedup:.2f}x is below the {SPEEDUP_FLOOR:.0f}x floor",
+              file=sys.stderr)
+        ok = False
+
+    for dotted, label in GATED:
+        base = lookup(baseline, dotted)
+        current = lookup(metrics, dotted)
+        if base is None or current is None:
+            # The numpy leg is absent on pure-python environments; a
+            # figure one side lacks is skipped, not failed.
+            print(f"  {label}: skipped (not measured on "
+                  f"{'baseline' if base is None else 'this run'})")
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(f"  {label}: {current:.2f} vs baseline {base:.2f} "
+              f"(floor {floor:.2f}) -- {verdict}")
+        if current < floor:
+            ok = False
+
+    if ok:
+        print("bench gate passed")
+        return 0
+    print("BENCH GATE FAILURE: measurement engine regressed >20% below "
+          "the committed baseline", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,12 @@ mobile-Byzantine adversary):
   serialization of the two :class:`RunRecord` results;
 * **trace** — runs the same scenario twice under a full
   :class:`repro.obs.FlightRecorder` and byte-diffs the serialized JSONL
-  observability event streams, line by line.
+  observability event streams, line by line;
+* **stream** — runs the config with ``stream_measures=True`` (measures
+  accumulated online, no clock trace kept) and compares the record
+  byte-for-byte against the post-hoc one: the streaming engine must be
+  an exact mirror of the recorded-trace pipeline, not merely
+  reproducible on its own.
 
 Any difference — a float that drifted in the last bit, a counter off by
 one, a wall-clock quantity that leaked into an event payload — is a
@@ -46,9 +51,9 @@ E1_CONFIG = {
 }
 
 
-def summary_bytes(config: dict) -> bytes:
+def summary_bytes(config: dict, stream_measures: bool = False) -> bytes:
     """Run one config and serialize its summary canonically."""
-    summary = run_config(config)
+    summary = run_config(config, stream_measures=stream_measures)
     return json.dumps(dataclasses.asdict(summary), sort_keys=True).encode()
 
 
@@ -106,9 +111,25 @@ def check_trace() -> bool:
     return False
 
 
+def check_stream() -> bool:
+    """Streamed measures byte-identical to the post-hoc pipeline."""
+    posthoc = summary_bytes(E1_CONFIG)
+    streamed = summary_bytes(E1_CONFIG, stream_measures=True)
+    if posthoc == streamed:
+        print(f"deterministic: {len(streamed)} streamed summary bytes "
+              f"identical to the post-hoc record")
+        return True
+    print("DETERMINISM FAILURE: stream_measures=True produced a different "
+          "record than the post-hoc pipeline", file=sys.stderr)
+    print(f"post-hoc: {posthoc.decode()}", file=sys.stderr)
+    print(f"streamed: {streamed.decode()}", file=sys.stderr)
+    return False
+
+
 def main() -> int:
     ok = check_summary()
     ok = check_trace() and ok
+    ok = check_stream() and ok
     return 0 if ok else 1
 
 
