@@ -29,9 +29,9 @@ from repro.runner.experiment import run
 
 
 def cached_factory(probe_interval_fraction, compensate):
-    def factory(node_id, sim, network, clock, params, start_phase):
+    def factory(runtime, params, start_phase):
         return CachedEstimationProcess(
-            node_id, sim, network, clock, params, start_phase=start_phase,
+            runtime, params, start_phase=start_phase,
             probe_interval=params.sync_interval * probe_interval_fraction,
             max_staleness=8.0 * params.sync_interval,
             compensate=compensate,

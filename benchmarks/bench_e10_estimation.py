@@ -28,8 +28,8 @@ PINGS = [1, 2, 4, 8]
 
 
 def make_factory(pings_per_peer, accuracies):
-    def factory(node_id, sim, network, clock, params, start_phase):
-        process = SyncProcess(node_id, sim, network, clock, params,
+    def factory(runtime, params, start_phase):
+        process = SyncProcess(runtime, params,
                               start_phase=start_phase,
                               pings_per_peer=pings_per_peer)
 

@@ -47,13 +47,13 @@ def site_classifier(delta):
 
 
 def build_scenario(params, seed, monitors):
-    def factory(node_id, sim, network, clock, params_, start_phase):
-        process = DriftCompensatingProcess(node_id, sim, network, clock,
-                                           params_, start_phase=start_phase)
+    def factory(runtime, params_, start_phase):
+        process = DriftCompensatingProcess(runtime, params_,
+                                           start_phase=start_phase)
         process.pings_per_peer = 3  # min-of-k estimation on jittery WAN
-        monitor = SyncHealthMonitor(params_, node_id)
+        monitor = SyncHealthMonitor(params_, runtime.node_id)
         process.sync_listeners.append(monitor.on_sync)
-        monitors[node_id] = monitor
+        monitors[runtime.node_id] = monitor
         return process
 
     return mobile_byzantine_scenario(

@@ -18,8 +18,8 @@ import random
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.net.message import Message
-    from repro.sim.process import Process
+    from repro.runtime.messages import Message
+    from repro.runtime.process import Process
 
 
 class ByzantineStrategy:
@@ -29,7 +29,8 @@ class ByzantineStrategy:
     to the hooks is the *victim's* process object: strategies send
     messages via ``process.send`` (authenticated as the victim), read
     and overwrite its clock via ``process.clock``, and can consult
-    ``process.sim`` for time and randomness.
+    ``process.real_now()`` for time (randomness comes from the ``rng``
+    each hook receives).
 
     Attributes:
         name: Strategy label recorded in corruption traces.

@@ -206,7 +206,7 @@ class MobileAdversary:
 
 
 class _StrategyShim:
-    """Adapter giving :class:`~repro.sim.process.Process.deliver` the
+    """Adapter giving :class:`~repro.runtime.process.Process.deliver` the
     controller interface (``on_message(process, message)``) while
     injecting the adversary's random stream."""
 

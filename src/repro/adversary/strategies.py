@@ -24,9 +24,10 @@ Each strategy isolates one attack the analysis must survive:
 * :class:`StealthDriftStrategy` — answers with a slowly growing skew,
   staying plausible while trying to drag the cluster.
 
-Strategies answer pings by sending a :class:`~repro.net.message.Pong`
-with whatever ``clock_value`` the attack calls for; non-ping traffic is
-dropped unless a strategy chooses otherwise.
+Strategies answer pings by sending a
+:class:`~repro.runtime.messages.Pong` with whatever ``clock_value`` the
+attack calls for; non-ping traffic is dropped unless a strategy chooses
+otherwise.
 """
 
 from __future__ import annotations
@@ -36,12 +37,12 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.adversary.base import ByzantineStrategy
 from repro.errors import ConfigurationError
-from repro.net.message import Message, Ping, Pong
+from repro.runtime.messages import Message, Ping, Pong
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.sim.process import Process
+    from repro.runtime.process import Process
 
 
 def _reply(process: "Process", message: Message, clock_value: float) -> None:
@@ -77,7 +78,7 @@ class RandomClockStrategy(ByzantineStrategy):
 
     def on_break_in(self, process: "Process", rng: random.Random) -> None:
         offset = rng.uniform(-self.spread, self.spread)
-        process.clock.hijack_set(process.sim.now, process.clock.adj + offset)
+        process.clock.hijack_set(process.real_now(), process.clock.adj + offset)
 
     def on_message(self, process: "Process", message: Message,
                    rng: random.Random) -> None:
@@ -172,7 +173,7 @@ class SplitWorldStrategy(ByzantineStrategy):
                    rng: random.Random) -> None:
         if not isinstance(message.payload, Ping):
             return
-        tau = process.sim.now
+        tau = process.real_now()
         values = sorted(clock.read(tau) for clock in self.clocks.values())
         median = values[len(values) // 2]
         recipient_clock = self.clocks[message.sender].read(tau)
@@ -201,7 +202,7 @@ class NearBoundaryResetStrategy(ByzantineStrategy):
         self.offset = float(offset)
 
     def on_leave(self, process: "Process", rng: random.Random) -> None:
-        process.clock.hijack_set(process.sim.now, process.clock.adj + self.offset)
+        process.clock.hijack_set(process.real_now(), process.clock.adj + self.offset)
 
 
 class StealthDriftStrategy(ByzantineStrategy):
@@ -222,12 +223,12 @@ class StealthDriftStrategy(ByzantineStrategy):
         self._since: float | None = None
 
     def on_break_in(self, process: "Process", rng: random.Random) -> None:
-        self._since = process.sim.now
+        self._since = process.real_now()
 
     def on_message(self, process: "Process", message: Message,
                    rng: random.Random) -> None:
         if isinstance(message.payload, Ping) and self._since is not None:
-            skew = self.rate * (process.sim.now - self._since)
+            skew = self.rate * (process.real_now() - self._since)
             _reply(process, message, process.local_now() + skew)
 
     def on_leave(self, process: "Process", rng: random.Random) -> None:
@@ -270,7 +271,7 @@ class ReplayStrategy(ByzantineStrategy):
                 process.send(message.sender, stale)
 
     def on_leave(self, process: "Process", rng: random.Random) -> None:
-        for peer in process.network.topology.neighbors(process.node_id):
+        for peer in process.neighbors():
             for stale in self._recorded[-self.replay_batch:]:
                 process.send(peer, stale)
         self._recorded.clear()

@@ -25,6 +25,11 @@ Subcommands:
 * ``soak`` — long randomized stress run (random f-limited plans,
   seeds advancing per segment) with per-segment invariant checks;
   exits non-zero on the first violated guarantee.
+* ``live`` — deploy the same Sync protocol on real asyncio nodes
+  (localhost UDP by default, ``--processes`` for one OS process per
+  node) for a wall-clock duration, streaming live deviation telemetry
+  through the observability bus; exits non-zero unless every sampled
+  cluster spread stays under the Theorem 5 bound.
 * ``list`` — show the available scenarios and protocols.
 """
 
@@ -143,6 +148,37 @@ def build_parser() -> argparse.ArgumentParser:
     soak_p.add_argument("--seed", type=int, default=0)
     soak_p.add_argument("--n", type=int, default=7)
     soak_p.add_argument("--f", type=int, default=2)
+
+    live_p = sub.add_parser("live", help="run Sync in real time on asyncio "
+                                         "nodes (localhost UDP)")
+    live_p.add_argument("--nodes", type=int, default=4)
+    live_p.add_argument("--f", type=int, default=1)
+    live_p.add_argument("--duration", type=float, default=2.0,
+                        help="wall-clock seconds to run")
+    live_p.add_argument("--delta", type=float, default=0.02,
+                        help="assumed delivery bound (s); keep well above "
+                             "real localhost latency")
+    live_p.add_argument("--rho", type=float, default=1e-4)
+    live_p.add_argument("--pi", type=float, default=2.0)
+    live_p.add_argument("--transport", choices=("udp", "loopback"),
+                        default="udp")
+    live_p.add_argument("--sample-interval", type=float, default=0.1,
+                        help="telemetry sampling period (s)")
+    live_p.add_argument("--seed", type=int, default=0,
+                        help="seed for the per-node clock models "
+                             "(rates and initial offsets)")
+    live_p.add_argument("--trace", dest="trace_out", default=None,
+                        help="write the live.* observability event stream "
+                             "to this JSONL file")
+    live_p.add_argument("--processes", action="store_true",
+                        help="one OS process per node (UDP on fixed ports) "
+                             "instead of n runtimes in one process")
+    live_p.add_argument("--base-port", type=int, default=19200,
+                        help="first UDP port for --processes mode")
+    live_p.add_argument("--node-index", type=int, default=None,
+                        help=argparse.SUPPRESS)  # child mode, spawned by --processes
+    live_p.add_argument("--epoch", type=float, default=None,
+                        help=argparse.SUPPRESS)  # shared monotonic epoch for children
 
     sub.add_parser("list", help="list scenarios and protocols")
     return parser
@@ -342,6 +378,114 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Run Sync on real asyncio nodes and report live deviations."""
+    import json as _json
+
+    from repro.rt.live import run_live, run_single_node
+
+    if args.node_index is not None:
+        # Child mode (spawned by --processes): run one node, stream
+        # samples as JSON lines for the parent to aggregate.
+        summary = run_single_node(
+            args.node_index, args.nodes, args.f, args.duration,
+            delta=args.delta, rho=args.rho, pi=args.pi,
+            base_port=args.base_port, epoch=args.epoch or 0.0,
+            sample_interval=args.sample_interval, seed=args.seed,
+            emit=lambda record: print(_json.dumps(record), flush=True))
+        print(_json.dumps({"summary": summary}), flush=True)
+        return 0
+
+    if args.processes:
+        return _cmd_live_processes(args)
+
+    bus = None
+    captured = []
+    if args.trace_out is not None:
+        from repro.obs import EventBus
+        bus = EventBus()
+        bus.subscribe(captured.append)
+    report = run_live(nodes=args.nodes, f=args.f, duration=args.duration,
+                      delta=args.delta, rho=args.rho, pi=args.pi,
+                      transport=args.transport,
+                      sample_interval=args.sample_interval,
+                      seed=args.seed, bus=bus)
+    print(f"live transport={report.transport} nodes={args.nodes} "
+          f"f={args.f} duration={report.duration}s seed={args.seed}")
+    rows = []
+    for node in sorted(report.series):
+        deviations = [abs(dev) for _, dev in report.series[node]]
+        rows.append([f"node {node}", report.rounds[node],
+                     len(deviations), max(deviations), deviations[-1],
+                     f"{report.service_readings[node]:.4f}"])
+    print(table(["node", "syncs", "samples", "max |dev|", "final |dev|",
+                 "service now()"], rows, title="per-node deviation series",
+                precision=6))
+    bounded = report.bounded()
+    print(f"\ncluster spread: max {report.max_spread():.6f} "
+          f"final {report.final_spread():.6f} "
+          f"bound {report.bound:.6f} {check_mark(bounded)}")
+    print(f"obs events published: {report.events_published}")
+    if args.trace_out is not None:
+        from repro.obs import event_to_json
+        with open(args.trace_out, "w") as handle:
+            for event in captured:
+                handle.write(event_to_json(event) + "\n")
+        print(f"{len(captured)} live events written to {args.trace_out}")
+    return 0 if bounded else 1
+
+
+def _cmd_live_processes(args: argparse.Namespace) -> int:
+    """Parent side of --processes: spawn one child per node, aggregate."""
+    import json as _json
+    import subprocess
+    import time
+
+    from repro.rt.live import aggregate_process_samples, default_live_params
+
+    params = default_live_params(n=args.nodes, f=args.f, delta=args.delta,
+                                 rho=args.rho, pi=args.pi)
+    epoch = time.monotonic() + 1.0  # give every child time to bind first
+    children = []
+    for node in range(args.nodes):
+        command = [sys.executable, "-m", "repro", "live",
+                   "--node-index", str(node), "--nodes", str(args.nodes),
+                   "--f", str(args.f), "--duration", str(args.duration),
+                   "--delta", str(args.delta), "--rho", str(args.rho),
+                   "--pi", str(args.pi), "--base-port", str(args.base_port),
+                   "--epoch", repr(epoch), "--seed", str(args.seed),
+                   "--sample-interval", str(args.sample_interval)]
+        children.append(subprocess.Popen(command, stdout=subprocess.PIPE,
+                                         text=True))
+    samples, summaries = [], []
+    failed = False
+    for child in children:
+        stdout, _ = child.communicate(timeout=args.duration + 30.0)
+        failed = failed or child.returncode != 0
+        for line in stdout.splitlines():
+            record = _json.loads(line)
+            (summaries if "summary" in record else samples).append(record)
+    series = aggregate_process_samples(samples, args.nodes,
+                                       args.sample_interval)
+    bound = params.bounds().max_deviation
+    print(f"live transport=udp processes={args.nodes} f={args.f} "
+          f"duration={args.duration}s base_port={args.base_port}")
+    rows = [[f"node {s['summary']['node']}", s["summary"]["rounds"],
+             s["summary"]["samples"], s["summary"]["messages"]]
+            for s in sorted(summaries, key=lambda s: s["summary"]["node"])]
+    print(table(["process", "syncs", "samples", "messages"], rows,
+                title="per-process summary"))
+    if series:
+        max_spread = max(spread for _, spread in series)
+        bounded = not failed and max_spread <= bound
+        print(f"\ncluster spread over {len(series)} aligned buckets: "
+              f"max {max_spread:.6f} final {series[-1][1]:.6f} "
+              f"bound {bound:.6f} {check_mark(bounded)}")
+        return 0 if bounded else 1
+    print("\nno aligned sample buckets (children overlapped too little)")
+    return 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """Print the available scenarios and registered protocols."""
     print("scenarios: " + ", ".join(sorted(SCENARIOS)))
@@ -353,7 +497,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
-                "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep}
+                "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep,
+                "live": cmd_live}
     return handlers[args.command](args)
 
 

@@ -29,10 +29,10 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.net.message import Message, Ping, Pong
+from repro.runtime.messages import Message, Ping, Pong
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.process import Process
+    from repro.runtime.process import Process
 
 
 @dataclass(frozen=True)

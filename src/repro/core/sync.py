@@ -1,9 +1,9 @@
-"""The Sync protocol (Figure 1) as a simulation process.
+"""The Sync protocol (Figure 1) as a runtime-agnostic process.
 
 Each :class:`SyncProcess`:
 
-* answers every :class:`~repro.net.message.Ping` immediately with its
-  *current* clock value — the "no rounds" property of Section 3.3;
+* answers every :class:`~repro.runtime.messages.Ping` immediately with
+  its *current* clock value — the "no rounds" property of Section 3.3;
 * every ``SyncInt`` units of local time runs one Sync: pings all peers
   in parallel, waits at most ``MaxWait`` local time (finishing early if
   everyone answered), and applies the convergence function's correction
@@ -12,6 +12,11 @@ Each :class:`SyncProcess`:
   note that the alarm "must be recovered after a break-in") while
   keeping whatever clock value the adversary left — re-synchronizing
   that value is the protocol's own job.
+
+The protocol is written purely against
+:class:`~repro.runtime.api.NodeRuntime`, so the same class runs under
+the discrete-event simulator and under real asyncio timers
+(:mod:`repro.rt`) without modification.
 
 The convergence function is pluggable (default
 :class:`~repro.core.convergence.PaperConvergence`), which is how the
@@ -29,13 +34,11 @@ from repro.core.convergence import (
 )
 from repro.core.estimation import ClockEstimate, EstimationSession, self_estimate
 from repro.core.params import ProtocolParams
-from repro.net.message import Message, Ping, Pong
-from repro.sim.process import Process
+from repro.runtime.messages import Message, Ping, Pong
+from repro.runtime.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @dataclass(frozen=True)
@@ -45,7 +48,7 @@ class SyncRecord:
     Attributes:
         node_id: The processor that synced.
         round_no: Its local Sync counter.
-        real_time: Simulated real time at completion.
+        real_time: Runtime real time at completion.
         local_before: Clock value just before the correction.
         correction: Signed amount added to ``adj``.
         m: Figure 1's low statistic (``f+1``-st smallest overestimate).
@@ -72,10 +75,8 @@ class SyncProcess(Process):
     """A processor running the paper's Sync protocol.
 
     Args:
-        node_id: This processor's identity.
-        sim: The simulator.
-        network: Message fabric.
-        clock: This processor's logical clock.
+        runtime: The execution surface this processor runs on (timers,
+            messaging, logical clock).
         params: Protocol parameterization (Section 3.2).
         convergence: Convergence function; defaults to the paper's.
         pings_per_peer: Pings per peer per Sync (Section 3.1
@@ -89,11 +90,10 @@ class SyncProcess(Process):
         sync_listeners: Callbacks invoked with each new record.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: ProtocolParams,
+    def __init__(self, runtime: "NodeRuntime", params: ProtocolParams,
                  convergence: ConvergenceFunction | None = None,
                  pings_per_peer: int = 1, start_phase: float = 0.0) -> None:
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(runtime)
         self.params = params
         self.convergence = convergence if convergence is not None else PaperConvergence()
         self.pings_per_peer = pings_per_peer
@@ -121,7 +121,7 @@ class SyncProcess(Process):
         if self.obs is not None:
             self.obs.publish("sync.begin", node=self.node_id,
                              round=self._round, local=self.local_now())
-        peers = self.network.topology.neighbors(self.node_id)
+        peers = self.neighbors()
         self._session = EstimationSession(self, peers, self.pings_per_peer)
         self._session.begin(self._round)
         self._deadline = self.set_local_timer(
@@ -163,12 +163,12 @@ class SyncProcess(Process):
         decision = self.convergence.decide(
             estimates, self.params.f, self.params.way_off
         )
-        self.clock.adjust(self.sim.now, decision.correction)
+        self.adjust_clock(decision.correction)
 
         record = SyncRecord(
             node_id=self.node_id,
             round_no=self._round,
-            real_time=self.sim.now,
+            real_time=self.real_now(),
             local_before=local_before,
             correction=decision.correction,
             m=decision.m,

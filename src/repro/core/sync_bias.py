@@ -14,7 +14,7 @@ equivalence claim checkable by experiment rather than by reading:
 implementation under identical seeds, asserting *bitwise identical*
 correction sequences and clock trajectories.
 
-This class is an analysis artifact: it reads ``sim.now`` (real time) to
+This class is an analysis artifact: it reads the runtime's real time to
 compute biases, which no deployable processor could.  Everything else —
 message flow, timers, estimation — is shared with
 :class:`~repro.core.sync.SyncProcess`, so the only difference under
@@ -61,9 +61,9 @@ class BiasSyncProcess(SyncProcess):
         if self.params.include_self:
             estimates.append(self_estimate(self.node_id))
 
-        tau = self.sim.now
+        tau = self.real_now()
         local_before = self.local_now()
-        bias_p = local_before - tau  # B_p: the simulator-only read
+        bias_p = local_before - tau  # B_p: the analysis-only read
 
         # Figure 2 lines 6-9, in absolute bias space.
         b_up = [bias_p + e.distance + e.accuracy for e in estimates]
@@ -106,8 +106,7 @@ class BiasSyncProcess(SyncProcess):
                              tag="sync-alarm")
 
 
-def make_bias_sync(node_id, sim, network, clock, params, start_phase):
+def make_bias_sync(runtime, params, start_phase):
     """Factory for the Figure 2 twin (not registered by default — it is
     an analysis artifact, not a deployable protocol)."""
-    return BiasSyncProcess(node_id, sim, network, clock, params,
-                           start_phase=start_phase)
+    return BiasSyncProcess(runtime, params, start_phase=start_phase)

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.sync import SyncRecord
-    from repro.net.message import Message
+    from repro.runtime.messages import Message
 
 
 @dataclass(frozen=True)

@@ -18,12 +18,12 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.net.links import DelayModel
-from repro.net.message import Message
+from repro.runtime.messages import Message
 from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.api import MessageHandler
     from repro.sim.engine import Simulator
-    from repro.sim.process import Process
 
 
 class Network:
@@ -51,7 +51,7 @@ class Network:
         self.delay_model = delay_model
         self.delta = delay_model.delta
         self.loss_rate = float(loss_rate)
-        self._processes: dict[int, "Process"] = {}
+        self._processes: dict[int, "MessageHandler"] = {}
         self._down_links: set[frozenset[int]] = set()
         self._next_msg_id = 0
         # Per-link caches: the edge check, RNG stream, and delivery tag
@@ -72,7 +72,7 @@ class Network:
     # Wiring
     # ------------------------------------------------------------------
 
-    def bind(self, process: "Process") -> None:
+    def bind(self, process: "MessageHandler") -> None:
         """Attach ``process`` as the handler for its node id.
 
         Raises:
@@ -86,7 +86,7 @@ class Network:
             raise ConfigurationError(f"node {node} already has a bound process")
         self._processes[node] = process
 
-    def process_for(self, node: int) -> "Process":
+    def process_for(self, node: int) -> "MessageHandler":
         """Return the process bound to ``node``.
 
         Raises:

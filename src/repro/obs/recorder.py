@@ -45,8 +45,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
     from repro.net.network import Network
+    from repro.runtime.process import Process
     from repro.sim.engine import Simulator
-    from repro.sim.process import Process
 
 
 @dataclass

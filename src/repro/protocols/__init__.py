@@ -24,18 +24,15 @@ from repro.protocols.round_based import RoundBasedProcess
 from repro.protocols.srikanth_toueg import SrikanthTouegProcess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @register_protocol("sync")
-def make_sync(node_id: int, sim: "Simulator", network: "Network",
-              clock: "LogicalClock", params: "ProtocolParams",
+def make_sync(runtime: "NodeRuntime", params: "ProtocolParams",
               start_phase: float) -> SyncProcess:
     """Factory for the paper's Sync protocol."""
-    return SyncProcess(node_id, sim, network, clock, params, start_phase=start_phase)
+    return SyncProcess(runtime, params, start_phase=start_phase)
 
 
 __all__ = [

@@ -19,25 +19,21 @@ from repro.core.sync import SyncProcess
 from repro.protocols.base import register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 class AveragingProcess(SyncProcess):
     """Sync machinery with an unprotected mean convergence function."""
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0) -> None:
-        super().__init__(node_id, sim, network, clock, params,
+        super().__init__(runtime, params,
                          convergence=MeanConvergence(), start_phase=start_phase)
 
 
 @register_protocol("averaging")
-def make_averaging(node_id: int, sim: "Simulator", network: "Network",
-                   clock: "LogicalClock", params: "ProtocolParams",
+def make_averaging(runtime: "NodeRuntime", params: "ProtocolParams",
                    start_phase: float) -> AveragingProcess:
     """Factory for the unprotected averaging baseline."""
-    return AveragingProcess(node_id, sim, network, clock, params, start_phase)
+    return AveragingProcess(runtime, params, start_phase)

@@ -4,6 +4,11 @@ Every protocol in this package (and the paper's own
 :class:`~repro.core.sync.SyncProcess`) is constructed through a common
 factory signature, so scenarios and sweeps can switch protocols by
 name.  The registry is the single place benchmarks look protocols up.
+
+Since the runtime seam, a factory takes a
+:class:`~repro.runtime.api.NodeRuntime` rather than simulator handles —
+the same factory builds processes for the discrete-event engine and for
+the real-time asyncio engine.
 """
 
 from __future__ import annotations
@@ -13,11 +18,9 @@ from typing import TYPE_CHECKING, Callable, Protocol
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
-    from repro.sim.process import Process
+    from repro.runtime.api import NodeRuntime
+    from repro.runtime.process import Process
 
 
 class ProtocolFactory(Protocol):
@@ -27,8 +30,7 @@ class ProtocolFactory(Protocol):
     staggers the first Sync so processors are not round-aligned.
     """
 
-    def __call__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __call__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float) -> "Process": ...
 
 

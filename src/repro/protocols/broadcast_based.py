@@ -46,15 +46,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ParameterError
-from repro.net.message import Message
 from repro.protocols.base import register_protocol
-from repro.sim.process import Process
+from repro.runtime.messages import Message
+from repro.runtime.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @dataclass(frozen=True)
@@ -94,12 +92,11 @@ class BroadcastSyncProcess(Process):
         resyncs_accepted: Count of accepted epochs (diagnostics).
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0, resync_period: float | None = None,
                  accept_window: float | None = None,
                  detection: bool = False) -> None:
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(runtime)
         self.params = params
         if params.n < 2 * params.f + 1:
             raise ParameterError(
@@ -146,8 +143,7 @@ class BroadcastSyncProcess(Process):
         if epoch != self.epoch or epoch in self._initiated_epochs:
             return
         self._initiated_epochs.add(epoch)
-        self.network.broadcast(self.node_id, Resync(epoch=epoch,
-                                                    signers=(self.node_id,)))
+        self.broadcast(Resync(epoch=epoch, signers=(self.node_id,)))
         self._accept(epoch, initiated=True)
 
     def on_message(self, message: Message) -> None:
@@ -204,9 +200,7 @@ class BroadcastSyncProcess(Process):
         if length in seen:
             return
         seen.add(length)
-        self.network.broadcast(
-            self.node_id, Resync(epoch=epoch,
-                                 signers=signers + (self.node_id,)))
+        self.broadcast(Resync(epoch=epoch, signers=signers + (self.node_id,)))
 
     def _accept(self, epoch: int, initiated: bool = False) -> None:
         if epoch < self.epoch:
@@ -214,7 +208,7 @@ class BroadcastSyncProcess(Process):
         # Set the clock to the epoch target plus expected one-hop latency.
         target = epoch * self.resync_period + (0.0 if initiated
                                                else self.params.delta / 2.0)
-        self.clock.set_value(self.sim.now, target)
+        self.set_clock_value(target)
         self.resyncs_accepted += 1
         self.epoch = epoch + 1
         if len(self._initiated_epochs) > 8:
@@ -226,18 +220,16 @@ class BroadcastSyncProcess(Process):
 
 
 @register_protocol("broadcast-detected")
-def make_broadcast_detected(node_id: int, sim: "Simulator", network: "Network",
-                            clock: "LogicalClock", params: "ProtocolParams",
+def make_broadcast_detected(runtime: "NodeRuntime", params: "ProtocolParams",
                             start_phase: float) -> BroadcastSyncProcess:
     """[10]-style broadcast sync WITH the fault-detection assumption."""
-    return BroadcastSyncProcess(node_id, sim, network, clock, params,
+    return BroadcastSyncProcess(runtime, params,
                                 start_phase=start_phase, detection=True)
 
 
 @register_protocol("broadcast-undetected")
-def make_broadcast_undetected(node_id: int, sim: "Simulator", network: "Network",
-                              clock: "LogicalClock", params: "ProtocolParams",
+def make_broadcast_undetected(runtime: "NodeRuntime", params: "ProtocolParams",
                               start_phase: float) -> BroadcastSyncProcess:
     """[10]-style broadcast sync in the realistic undetected-fault world."""
-    return BroadcastSyncProcess(node_id, sim, network, clock, params,
+    return BroadcastSyncProcess(runtime, params,
                                 start_phase=start_phase, detection=False)

@@ -41,14 +41,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.estimation import ClockEstimate, timeout_estimate
 from repro.core.sync import SyncProcess
-from repro.net.message import Message, Ping, Pong
 from repro.protocols.base import register_protocol
+from repro.runtime.messages import Message, Ping, Pong
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @dataclass
@@ -74,13 +72,11 @@ class CachedEstimationProcess(SyncProcess):
             paper warns about.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0, probe_interval: float | None = None,
                  max_staleness: float | None = None,
                  compensate: bool = False) -> None:
-        super().__init__(node_id, sim, network, clock, params,
-                         start_phase=start_phase)
+        super().__init__(runtime, params, start_phase=start_phase)
         self.probe_interval = (params.sync_interval / max(1, params.n)
                                if probe_interval is None else float(probe_interval))
         self.max_staleness = (2.0 * params.sync_interval if max_staleness is None
@@ -104,7 +100,7 @@ class CachedEstimationProcess(SyncProcess):
 
     def _probe_next(self) -> None:
         if not self._probe_targets:
-            self._probe_targets = self.network.topology.neighbors(self.node_id)
+            self._probe_targets = self.neighbors()
         if self._probe_targets:
             peer = self._probe_targets.pop(0)
             nonce = -next(self._probe_nonces)  # negative: never collides
@@ -149,7 +145,7 @@ class CachedEstimationProcess(SyncProcess):
         """
         now_local = self.local_now()
         estimates: dict[int, ClockEstimate] = {}
-        for peer in self.network.topology.neighbors(self.node_id):
+        for peer in self.neighbors():
             entry = self._cache.get(peer)
             if entry is None or now_local - entry.measured_local > self.max_staleness:
                 estimates[peer] = timeout_estimate(peer)
@@ -186,18 +182,16 @@ class _CacheSession:
 
 
 @register_protocol("cached-naive")
-def make_cached_naive(node_id: int, sim: "Simulator", network: "Network",
-                      clock: "LogicalClock", params: "ProtocolParams",
+def make_cached_naive(runtime: "NodeRuntime", params: "ProtocolParams",
                       start_phase: float) -> CachedEstimationProcess:
     """Factory for the naive cached-estimation variant (the caveat)."""
-    return CachedEstimationProcess(node_id, sim, network, clock, params,
+    return CachedEstimationProcess(runtime, params,
                                    start_phase=start_phase, compensate=False)
 
 
 @register_protocol("cached-compensated")
-def make_cached_compensated(node_id: int, sim: "Simulator", network: "Network",
-                            clock: "LogicalClock", params: "ProtocolParams",
+def make_cached_compensated(runtime: "NodeRuntime", params: "ProtocolParams",
                             start_phase: float) -> CachedEstimationProcess:
     """Factory for the adjustment/staleness-compensated cached variant."""
-    return CachedEstimationProcess(node_id, sim, network, clock, params,
+    return CachedEstimationProcess(runtime, params,
                                    start_phase=start_phase, compensate=True)

@@ -34,10 +34,8 @@ from repro.core.sync import SyncProcess
 from repro.protocols.base import register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 class DriftCompensatingProcess(SyncProcess):
@@ -53,12 +51,10 @@ class DriftCompensatingProcess(SyncProcess):
             second); reset on recovery.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0, gain: float = 0.3,
                  comp_limit: float | None = None) -> None:
-        super().__init__(node_id, sim, network, clock, params,
-                         start_phase=start_phase)
+        super().__init__(runtime, params, start_phase=start_phase)
         if not (0.0 < gain <= 1.0):
             raise ValueError(f"gain must be in (0, 1], got {gain}")
         self.gain = float(gain)
@@ -82,7 +78,7 @@ class DriftCompensatingProcess(SyncProcess):
             # Slew: apply the predicted drift correction for the elapsed
             # stretch before measuring, so the measured correction is
             # the *residual* rate error.
-            self.clock.adjust(self.sim.now, self.comp_rate * elapsed)
+            self.adjust_clock(self.comp_rate * elapsed)
 
         records_before = len(self.sync_records)
         super()._complete_sync()
@@ -96,9 +92,7 @@ class DriftCompensatingProcess(SyncProcess):
 
 
 @register_protocol("drift-compensating")
-def make_drift_compensating(node_id: int, sim: "Simulator", network: "Network",
-                            clock: "LogicalClock", params: "ProtocolParams",
+def make_drift_compensating(runtime: "NodeRuntime", params: "ProtocolParams",
                             start_phase: float) -> DriftCompensatingProcess:
     """Factory for the drift-compensating Sync extension."""
-    return DriftCompensatingProcess(node_id, sim, network, clock, params,
-                                    start_phase=start_phase)
+    return DriftCompensatingProcess(runtime, params, start_phase=start_phase)

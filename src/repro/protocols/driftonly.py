@@ -10,24 +10,21 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.net.message import Message, Ping, Pong
 from repro.protocols.base import register_protocol
-from repro.sim.process import Process
+from repro.runtime.messages import Message, Ping, Pong
+from repro.runtime.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 class DriftOnlyProcess(Process):
     """Answers clock queries, never synchronizes."""
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0) -> None:
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(runtime)
         self.params = params
         self.sync_records: list = []  # uniform interface with SyncProcess
         self.sync_listeners: list = []
@@ -39,8 +36,7 @@ class DriftOnlyProcess(Process):
 
 
 @register_protocol("drift-only")
-def make_drift_only(node_id: int, sim: "Simulator", network: "Network",
-                    clock: "LogicalClock", params: "ProtocolParams",
+def make_drift_only(runtime: "NodeRuntime", params: "ProtocolParams",
                     start_phase: float) -> DriftOnlyProcess:
     """Factory for the drift-only baseline."""
-    return DriftOnlyProcess(node_id, sim, network, clock, params, start_phase)
+    return DriftOnlyProcess(runtime, params, start_phase)

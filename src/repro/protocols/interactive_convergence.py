@@ -24,28 +24,23 @@ from repro.core.sync import SyncProcess
 from repro.protocols.base import register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 class InteractiveConvergenceProcess(SyncProcess):
     """Sync machinery with the [19] egocentric-mean convergence."""
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0) -> None:
-        super().__init__(node_id, sim, network, clock, params,
+        super().__init__(runtime, params,
                          convergence=EgocentricMeanConvergence(),
                          start_phase=start_phase)
 
 
 @register_protocol("interactive-convergence")
-def make_interactive_convergence(node_id: int, sim: "Simulator",
-                                 network: "Network", clock: "LogicalClock",
+def make_interactive_convergence(runtime: "NodeRuntime",
                                  params: "ProtocolParams",
                                  start_phase: float) -> InteractiveConvergenceProcess:
     """Factory for the [19] interactive-convergence baseline."""
-    return InteractiveConvergenceProcess(node_id, sim, network, clock, params,
-                                         start_phase)
+    return InteractiveConvergenceProcess(runtime, params, start_phase)

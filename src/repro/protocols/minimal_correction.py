@@ -25,10 +25,8 @@ from repro.core.sync import SyncProcess
 from repro.protocols.base import register_protocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 def default_max_step(params: "ProtocolParams") -> float:
@@ -48,12 +46,11 @@ class MinimalCorrectionProcess(SyncProcess):
             :func:`default_max_step`.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0, max_step: float | None = None) -> None:
         step = default_max_step(params) if max_step is None else float(max_step)
         super().__init__(
-            node_id, sim, network, clock, params,
+            runtime, params,
             convergence=ClampedConvergence(PaperConvergence(), step),
             start_phase=start_phase,
         )
@@ -61,8 +58,7 @@ class MinimalCorrectionProcess(SyncProcess):
 
 
 @register_protocol("minimal-correction")
-def make_minimal_correction(node_id: int, sim: "Simulator", network: "Network",
-                            clock: "LogicalClock", params: "ProtocolParams",
+def make_minimal_correction(runtime: "NodeRuntime", params: "ProtocolParams",
                             start_phase: float) -> MinimalCorrectionProcess:
     """Factory for the minimal-correction baseline."""
-    return MinimalCorrectionProcess(node_id, sim, network, clock, params, start_phase)
+    return MinimalCorrectionProcess(runtime, params, start_phase)

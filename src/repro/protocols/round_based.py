@@ -28,14 +28,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.convergence import MidpointConvergence
 from repro.core.sync import SyncProcess
-from repro.net.message import Message, Ping, Pong
 from repro.protocols.base import register_protocol
+from repro.runtime.messages import Message, Ping, Pong
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 class RoundBasedProcess(SyncProcess):
@@ -46,10 +44,9 @@ class RoundBasedProcess(SyncProcess):
             this node's rounds (lost on break-in, like all round state).
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0) -> None:
-        super().__init__(node_id, sim, network, clock, params,
+        super().__init__(runtime, params,
                          convergence=MidpointConvergence(), start_phase=start_phase)
         self.corrections_by_round: dict[int, float] = {}
 
@@ -87,8 +84,7 @@ class RoundBasedProcess(SyncProcess):
 
 
 @register_protocol("round-based")
-def make_round_based(node_id: int, sim: "Simulator", network: "Network",
-                     clock: "LogicalClock", params: "ProtocolParams",
+def make_round_based(runtime: "NodeRuntime", params: "ProtocolParams",
                      start_phase: float) -> RoundBasedProcess:
     """Factory for the round-based baseline."""
-    return RoundBasedProcess(node_id, sim, network, clock, params, start_phase)
+    return RoundBasedProcess(runtime, params, start_phase)

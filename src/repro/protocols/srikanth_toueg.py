@@ -28,15 +28,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ParameterError
-from repro.net.message import Message
 from repro.protocols.base import register_protocol
-from repro.sim.process import Process
+from repro.runtime.messages import Message
+from repro.runtime.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @dataclass(frozen=True)
@@ -65,11 +63,10 @@ class SrikanthTouegProcess(Process):
         accepts: Count of accepted rounds.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0,
                  resync_period: float | None = None) -> None:
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(runtime)
         self.params = params
         if params.n < 2 * params.f + 1:
             raise ParameterError(
@@ -98,8 +95,7 @@ class SrikanthTouegProcess(Process):
         if round_no != self.round_no or round_no in self._announced:
             return
         self._announced.add(round_no)
-        self.network.broadcast(self.node_id,
-                               RoundReady(round_no=round_no, signer=self.node_id))
+        self.broadcast(RoundReady(round_no=round_no, signer=self.node_id))
         self._note_signer(round_no, self.node_id)
 
     def on_message(self, message: Message) -> None:
@@ -125,15 +121,13 @@ class SrikanthTouegProcess(Process):
     def _accept(self, round_no: int) -> None:
         # f+1 distinct signers include a good one whose clock truly
         # reached the round target: resync to it (plus expected latency).
-        self.clock.set_value(self.sim.now,
-                             round_no * self.resync_period
+        self.set_clock_value(round_no * self.resync_period
                              + self.params.delta / 2.0)
         self.accepts += 1
         # Relay own signature so slower processors reach f+1 too.
         if round_no not in self._announced:
             self._announced.add(round_no)
-            self.network.broadcast(
-                self.node_id, RoundReady(round_no=round_no, signer=self.node_id))
+            self.broadcast(RoundReady(round_no=round_no, signer=self.node_id))
         self.round_no = round_no + 1
         for old in [r for r in self._signers_by_round if r < round_no - 1]:
             del self._signers_by_round[old]
@@ -142,9 +136,7 @@ class SrikanthTouegProcess(Process):
 
 
 @register_protocol("srikanth-toueg")
-def make_srikanth_toueg(node_id: int, sim: "Simulator", network: "Network",
-                        clock: "LogicalClock", params: "ProtocolParams",
+def make_srikanth_toueg(runtime: "NodeRuntime", params: "ProtocolParams",
                         start_phase: float) -> SrikanthTouegProcess:
     """Factory for the [27]-style round-broadcast baseline."""
-    return SrikanthTouegProcess(node_id, sim, network, clock, params,
-                                start_phase=start_phase)
+    return SrikanthTouegProcess(runtime, params, start_phase=start_phase)

@@ -1,0 +1,60 @@
+"""Real-time deployment path: the same protocols on asyncio.
+
+The packages below :mod:`repro.runtime` split along the seam the paper
+itself draws between the algorithm (Figure 1, defined against local
+clocks, timers, and bounded-delay links) and the execution substrate.
+:mod:`repro.sim` provides the analysis substrate; this package provides
+the deployment one:
+
+* :mod:`repro.rt.runtime` — :class:`AsyncioRuntime`, mapping local-clock
+  timers onto ``loop.call_at`` and messages onto a transport;
+* :mod:`repro.rt.transport` — in-memory loopback and UDP transports
+  plus the JSON wire codec;
+* :mod:`repro.rt.virtualtime` — a controllable virtual-time loop so the
+  rt path is testable deterministically;
+* :mod:`repro.rt.live` — cluster wiring and the ``repro live`` engine.
+"""
+
+from repro.rt.live import (
+    LiveCluster,
+    LiveReport,
+    build_cluster,
+    default_live_params,
+    make_live_clocks,
+    run_live,
+)
+from repro.rt.runtime import AsyncioRuntime, RtTimerHandle
+from repro.rt.transport import (
+    LoopbackTransport,
+    Transport,
+    TransportError,
+    UdpTransport,
+    decode_datagram,
+    decode_payload,
+    encode_datagram,
+    encode_payload,
+    register_payload,
+)
+from repro.rt.virtualtime import ScheduledCall, VirtualTimeLoop
+
+__all__ = [
+    "AsyncioRuntime",
+    "RtTimerHandle",
+    "LiveCluster",
+    "LiveReport",
+    "build_cluster",
+    "default_live_params",
+    "make_live_clocks",
+    "run_live",
+    "LoopbackTransport",
+    "Transport",
+    "TransportError",
+    "UdpTransport",
+    "decode_datagram",
+    "decode_payload",
+    "encode_datagram",
+    "encode_payload",
+    "register_payload",
+    "ScheduledCall",
+    "VirtualTimeLoop",
+]

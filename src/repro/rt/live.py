@@ -1,0 +1,415 @@
+"""Live deployment: run the paper's Sync on a real event loop.
+
+This module is the ``repro live`` engine.  It spawns ``n``
+:class:`~repro.rt.runtime.AsyncioRuntime` nodes — each with its own
+drift-and-offset hardware-clock model layered over the wall clock —
+wires them through a UDP (or in-memory loopback) transport, runs the
+*unmodified* :class:`~repro.core.sync.SyncProcess` for a wall-clock
+duration, and streams Theorem5Probe-style deviation telemetry through
+the standard :class:`~repro.obs.bus.EventBus`:
+
+* ``live.deviation`` — per node per sample: clock reading and signed
+  deviation from the cluster median;
+* ``live.spread`` — per sample: the max-minus-min cluster spread, the
+  live analogue of Definition 3's pairwise deviation;
+* ``live.sync`` — one event per completed Sync (correction, round).
+
+The same wiring runs under a :class:`~repro.rt.virtualtime.VirtualTimeLoop`
+via :func:`build_cluster` + ``loop.run_until`` — that path is what the
+cross-runtime conformance suite drives deterministically.
+
+:func:`run_live` finishes by fronting each node with a
+:class:`~repro.service.timeservice.SecureTimeService`, so the service
+stack of PR 3 finally answers ``now()`` from a clock that ticks in real
+time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.clocks.hardware import FixedRateClock
+from repro.clocks.logical import LogicalClock
+from repro.core.params import ProtocolParams
+from repro.core.sync import SyncProcess
+from repro.errors import ConfigurationError
+from repro.obs.bus import EventBus
+from repro.rt.runtime import AsyncioRuntime
+from repro.rt.transport import LoopbackTransport, Transport, UdpTransport
+from repro.service.timeservice import SecureTimeService
+
+
+def default_live_params(n: int = 4, f: int = 1, delta: float = 0.02,
+                        rho: float = 1e-4, pi: float = 2.0) -> ProtocolParams:
+    """Parameters sized for localhost: ``delta`` far above real RTTs
+    yet small enough that ``PI`` fits the Section 4 ``K >= 5`` windows."""
+    return ProtocolParams.derive(n=n, f=f, delta=delta, rho=rho, pi=pi)
+
+
+def make_live_clocks(params: ProtocolParams, seed: int,
+                     offset_spread: float | None = None
+                     ) -> dict[int, LogicalClock]:
+    """Deterministic per-node clock models over the wall clock.
+
+    Each node gets a :class:`~repro.clocks.hardware.FixedRateClock` with
+    a seed-derived rate inside the drift bound and a seed-derived
+    initial offset, so a live cluster starts visibly disagreeing and
+    must *converge* — the demo is Sync doing real work, not clocks that
+    agree by construction.
+
+    Args:
+        offset_spread: Width of the uniform initial-offset range;
+            defaults to half the Theorem 5 deviation bound.
+    """
+    rng = random.Random(seed)
+    if offset_spread is None:
+        offset_spread = 0.5 * params.bounds().max_deviation
+    clocks = {}
+    for node in range(params.n):
+        rate = 1.0 + rng.uniform(-0.5, 0.5) * params.rho
+        offset = rng.uniform(0.0, offset_spread)
+        clocks[node] = LogicalClock(FixedRateClock(rho=params.rho, rate=rate),
+                                    adj=offset)
+    return clocks
+
+
+@dataclass
+class LiveCluster:
+    """One wired-up live cluster (runtimes, processes, telemetry).
+
+    Built by :func:`build_cluster`; drive it with a real loop
+    (:func:`run_live`) or a virtual one (``loop.run_until``).
+
+    Attributes:
+        params: Protocol parameterization.
+        loop: The event loop (real or virtual).
+        epoch: Loop time corresponding to ``tau = 0``.
+        clocks: Logical clocks by node.
+        runtimes: The per-node runtimes.
+        processes: The per-node ``SyncProcess`` instances.
+        transports: Per-node transports (one shared entry under
+            loopback).
+        bus: The observability event bus telemetry publishes into.
+        series: Per-node ``(tau, deviation-from-median)`` samples.
+        spread: Cluster ``(tau, max - min)`` samples.
+    """
+
+    params: ProtocolParams
+    loop: Any
+    epoch: float
+    clocks: dict[int, LogicalClock]
+    runtimes: dict[int, AsyncioRuntime]
+    processes: dict[int, SyncProcess]
+    transports: dict[int, Transport]
+    bus: EventBus
+    series: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
+    spread: list[tuple[float, float]] = field(default_factory=list)
+    _sampler: Any = None
+
+    def now(self) -> float:
+        """Cluster tau: loop time rebased to the epoch."""
+        return self.loop.time() - self.epoch
+
+    # -- telemetry ------------------------------------------------------
+
+    def sample_once(self) -> float:
+        """Read every clock, publish telemetry, record series; returns
+        the cluster spread at this instant."""
+        tau = self.now()
+        readings = {node: clock.read(tau) for node, clock in self.clocks.items()}
+        ordered = sorted(readings.values())
+        mid = len(ordered) // 2
+        median = (ordered[mid] if len(ordered) % 2
+                  else 0.5 * (ordered[mid - 1] + ordered[mid]))
+        for node, value in readings.items():
+            deviation = value - median
+            self.series.setdefault(node, []).append((tau, deviation))
+            self.bus.publish("live.deviation", node=node,
+                             clock=value, deviation=deviation)
+        spread = ordered[-1] - ordered[0]
+        self.spread.append((tau, spread))
+        self.bus.publish("live.spread", spread=spread,
+                         bound=self.params.bounds().max_deviation)
+        return spread
+
+    def start_sampler(self, interval: float) -> None:
+        """Arm the periodic telemetry sampler on the loop."""
+
+        def tick() -> None:
+            self.sample_once()
+            self._sampler = self.loop.call_at(self.loop.time() + interval, tick)
+
+        self._sampler = self.loop.call_at(self.loop.time() + interval, tick)
+
+    def start(self, sample_interval: float = 0.1) -> None:
+        """Start every process and the telemetry sampler."""
+        for process in self.processes.values():
+            process.start()
+        self.start_sampler(sample_interval)
+
+    def stop(self) -> None:
+        """Cancel timers and close sockets (idempotent)."""
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
+        for process in self.processes.values():
+            process.cancel_all_timers()
+        for transport in self.transports.values():
+            close = getattr(transport, "close", None)
+            if close is not None:
+                close()
+
+    # -- service front --------------------------------------------------
+
+    def time_service(self, node: int) -> SecureTimeService:
+        """A :class:`SecureTimeService` fronting ``node``'s live clock."""
+        return SecureTimeService(self.processes[node], self.params)
+
+
+def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
+                  transport: str = "loopback", bus: EventBus | None = None,
+                  epoch: float | None = None,
+                  loopback_delay: float | None = None,
+                  stagger: bool = True) -> LiveCluster:
+    """Wire clocks, runtimes, transports, and Sync processes.
+
+    With ``transport="loopback"`` the cluster is complete on return.
+    With ``transport="udp"`` the per-node transports still need
+    ``await transport.start()`` + ``set_peers`` —
+    :func:`run_live` does that; tests use loopback.
+
+    Args:
+        loopback_delay: One-way loopback delay; defaults to
+            ``params.delta / 2`` (the simulator's ``FixedDelay``
+            default, keeping conformance runs aligned).
+        stagger: Give node ``i`` a start phase of
+            ``i * sync_interval / n`` so first Syncs don't collide.
+    """
+    if transport not in ("loopback", "udp"):
+        raise ConfigurationError(f"unknown transport {transport!r}")
+    epoch = loop.time() if epoch is None else float(epoch)
+    bus = bus if bus is not None else EventBus()
+
+    def now() -> float:
+        return loop.time() - epoch
+
+    bus.set_clock(now)
+    clocks = make_live_clocks(params, seed)
+
+    transports: dict[int, Transport] = {}
+    if transport == "loopback":
+        delay = (params.delta / 2.0 if loopback_delay is None
+                 else float(loopback_delay))
+        hub = LoopbackTransport(loop, delay=delay, now=now)
+        for node in range(params.n):
+            transports[node] = hub
+    else:
+        for node in range(params.n):
+            transports[node] = UdpTransport(node, now)
+
+    runtimes: dict[int, AsyncioRuntime] = {}
+    processes: dict[int, SyncProcess] = {}
+    for node in range(params.n):
+        runtime = AsyncioRuntime(node, clocks[node], transports[node], loop,
+                                 epoch=epoch, obs=bus)
+        phase = (node * params.sync_interval / params.n) if stagger else 0.0
+        process = SyncProcess(runtime, params, start_phase=phase)
+        runtime.bind(process)
+        process.sync_listeners.append(
+            lambda record: bus.publish("live.sync", node=record.node_id,
+                                       round_no=record.round_no,
+                                       correction=record.correction,
+                                       replies=record.replies))
+        runtimes[node] = runtime
+        processes[node] = process
+
+    return LiveCluster(params=params, loop=loop, epoch=epoch, clocks=clocks,
+                       runtimes=runtimes, processes=processes,
+                       transports=transports, bus=bus)
+
+
+@dataclass
+class LiveReport:
+    """Outcome of one :func:`run_live` deployment.
+
+    Attributes:
+        params: The parameterization the cluster ran.
+        transport: ``"udp"`` or ``"loopback"``.
+        duration: Requested wall-clock duration (seconds).
+        series: Per-node ``(tau, deviation-from-median)`` samples.
+        spread: Cluster ``(tau, spread)`` samples.
+        rounds: Completed Sync rounds per node.
+        corrections: Applied corrections per node, in order.
+        bound: The Theorem 5 deviation bound for ``params``.
+        events_published: Total obs-bus events emitted.
+        service_readings: One final ``SecureTimeService.now()`` per node.
+    """
+
+    params: ProtocolParams
+    transport: str
+    duration: float
+    series: dict[int, list[tuple[float, float]]]
+    spread: list[tuple[float, float]]
+    rounds: dict[int, int]
+    corrections: dict[int, list[float]]
+    bound: float
+    events_published: int
+    service_readings: dict[int, float]
+
+    def bounded(self) -> bool:
+        """Every node produced samples and every spread is under the
+        Theorem 5 bound (the live acceptance criterion)."""
+        if len(self.series) < self.params.n:
+            return False
+        if not all(self.series.get(node) for node in range(self.params.n)):
+            return False
+        return all(spread <= self.bound for _, spread in self.spread)
+
+    def max_spread(self) -> float:
+        """Largest observed cluster spread."""
+        return max((s for _, s in self.spread), default=0.0)
+
+    def final_spread(self) -> float:
+        """Cluster spread at the last sample."""
+        return self.spread[-1][1] if self.spread else 0.0
+
+
+async def _run_cluster_async(params: ProtocolParams, duration: float,
+                             seed: int, transport: str,
+                             sample_interval: float,
+                             bus: EventBus | None) -> LiveReport:
+    loop = asyncio.get_running_loop()
+    cluster = build_cluster(params, loop, seed=seed, transport=transport,
+                            bus=bus)
+    try:
+        if transport == "udp":
+            addresses: dict[int, tuple[str, int]] = {}
+            for node, udp in cluster.transports.items():
+                addresses[node] = await udp.start()
+            for udp in cluster.transports.values():
+                udp.set_peers(addresses)
+        cluster.start(sample_interval=sample_interval)
+        await asyncio.sleep(duration)
+        cluster.sample_once()  # guarantee a final post-convergence sample
+        services = {node: cluster.time_service(node).now()
+                    for node in cluster.processes}
+    finally:
+        cluster.stop()
+    return LiveReport(
+        params=params,
+        transport=transport,
+        duration=duration,
+        series=cluster.series,
+        spread=cluster.spread,
+        rounds={node: proc.rounds_completed
+                for node, proc in cluster.processes.items()},
+        corrections={node: [r.correction for r in proc.sync_records]
+                     for node, proc in cluster.processes.items()},
+        bound=params.bounds().max_deviation,
+        events_published=cluster.bus.events_published,
+        service_readings=services,
+    )
+
+
+def run_live(nodes: int = 4, f: int = 1, duration: float = 2.0,
+             delta: float = 0.02, rho: float = 1e-4, pi: float = 2.0,
+             transport: str = "udp", sample_interval: float = 0.1,
+             seed: int = 0, bus: EventBus | None = None) -> LiveReport:
+    """Deploy a live Sync cluster and run it for ``duration`` seconds.
+
+    Blocking entry point (wraps ``asyncio.run``): spawns ``nodes``
+    asyncio runtimes on localhost — real UDP sockets by default — runs
+    the paper's Sync protocol on wall-clock timers, and returns the
+    telemetry report.  Pass ``bus`` to additionally receive every
+    ``live.*`` event (e.g. for JSONL capture).
+    """
+    params = default_live_params(n=nodes, f=f, delta=delta, rho=rho, pi=pi)
+    return asyncio.run(_run_cluster_async(params, duration, seed, transport,
+                                          sample_interval, bus))
+
+
+# ---------------------------------------------------------------------------
+# Multi-process deployment (``repro live --processes``)
+# ---------------------------------------------------------------------------
+
+async def _run_single_node_async(node_index: int, params: ProtocolParams,
+                                 duration: float, seed: int, base_port: int,
+                                 epoch: float, sample_interval: float,
+                                 emit) -> dict:
+    loop = asyncio.get_running_loop()
+    clock = make_live_clocks(params, seed)[node_index]
+
+    def now() -> float:
+        return loop.time() - epoch
+
+    transport = UdpTransport(node_index, now)
+    await transport.start(port=base_port + node_index)
+    transport.set_peers({node: ("127.0.0.1", base_port + node)
+                         for node in range(params.n)})
+    runtime = AsyncioRuntime(node_index, clock, transport, loop, epoch=epoch)
+    phase = node_index * params.sync_interval / params.n
+    process = SyncProcess(runtime, params, start_phase=phase)
+    runtime.bind(process)
+
+    # All processes rebase tau to the same monotonic epoch (Linux's
+    # CLOCK_MONOTONIC is system-wide, so tau is comparable across
+    # processes on one host); wait for it before starting.
+    await asyncio.sleep(max(0.0, epoch - loop.time()))
+    process.start()
+    samples = 0
+    try:
+        deadline = loop.time() + duration
+        while loop.time() < deadline:
+            await asyncio.sleep(min(sample_interval, deadline - loop.time()))
+            tau = now()
+            emit({"node": node_index, "tau": tau, "clock": clock.read(tau)})
+            samples += 1
+    finally:
+        process.cancel_all_timers()
+        transport.close()
+    return {"node": node_index, "rounds": process.rounds_completed,
+            "samples": samples,
+            "messages": transport.messages_delivered}
+
+
+def run_single_node(node_index: int, nodes: int, f: int, duration: float,
+                    delta: float = 0.02, rho: float = 1e-4, pi: float = 2.0,
+                    base_port: int = 19200, epoch: float = 0.0,
+                    sample_interval: float = 0.1, seed: int = 0,
+                    emit=None) -> dict:
+    """Run ONE node of a multi-process cluster (the child entry point).
+
+    ``emit`` receives one dict per sample (``node``, ``tau``, ``clock``);
+    the CLI child prints them as JSON lines for the parent to aggregate.
+    Returns a summary dict.
+    """
+    params = default_live_params(n=nodes, f=f, delta=delta, rho=rho, pi=pi)
+    emit = emit if emit is not None else (lambda record: None)
+    return asyncio.run(_run_single_node_async(
+        node_index, params, duration, seed, base_port, epoch,
+        sample_interval, emit))
+
+
+def aggregate_process_samples(samples: list[dict], nodes: int,
+                              sample_interval: float
+                              ) -> list[tuple[float, float]]:
+    """Bucket per-process clock samples into a cluster spread series.
+
+    Children sample on their own schedules, so samples are grouped into
+    ``sample_interval``-wide tau buckets; a bucket contributes a spread
+    point only when every node reported in it (per-node latest wins).
+    """
+    buckets: dict[int, dict[int, float]] = {}
+    for record in samples:
+        bucket = int(record["tau"] / sample_interval)
+        buckets.setdefault(bucket, {})[record["node"]] = record["clock"]
+    series = []
+    for bucket in sorted(buckets):
+        readings = buckets[bucket]
+        if len(readings) == nodes:
+            values = sorted(readings.values())
+            series.append((bucket * sample_interval, values[-1] - values[0]))
+    return series

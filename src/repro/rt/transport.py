@@ -1,0 +1,279 @@
+"""Real-time transports and the wire codec for protocol payloads.
+
+Two transports implement the paper's link model (authenticated
+point-to-point channels, delivery within ``delta``) for the rt path:
+
+* :class:`LoopbackTransport` — an in-memory hub for N nodes sharing one
+  event loop.  Delivery is a ``call_at`` with a configurable fixed
+  delay, so under a :class:`~repro.rt.virtualtime.VirtualTimeLoop` it
+  reproduces the simulator's ``FixedDelay`` network exactly — the
+  substrate of the cross-runtime conformance tests.
+* :class:`UdpTransport` — one UDP socket per node on localhost, JSON
+  datagrams, for genuine multi-node (and multi-process) deployment.
+  Sender identity is carried in the datagram and trusted, standing in
+  for the authenticated links the paper assumes ("we assume ... a
+  can identify the sender of every message it receives"); a production
+  deployment would MAC each datagram under a pairwise key.
+
+The codec (:func:`encode_payload` / :func:`decode_payload`) covers the
+protocol payloads that cross the wire — :class:`~repro.runtime.messages.Ping`,
+:class:`~repro.runtime.messages.Pong`,
+:class:`~repro.runtime.messages.AppPayload` — via a registry that
+deployments can extend with :func:`register_payload`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from abc import ABC, abstractmethod
+from dataclasses import asdict, fields, is_dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, ReproError
+from repro.runtime.api import MessageHandler
+from repro.runtime.messages import AppPayload, Message, Ping, Pong
+
+
+class TransportError(ReproError):
+    """A transport was used before setup or received a malformed datagram."""
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+_PAYLOAD_REGISTRY: dict[str, type] = {}
+
+
+def register_payload(key: str, cls: type) -> None:
+    """Register a dataclass payload type under a wire ``key``.
+
+    Args:
+        key: Short type tag carried in the datagram's ``k`` field.
+        cls: A dataclass whose fields are JSON-serializable.
+    """
+    if not is_dataclass(cls):
+        raise ConfigurationError(f"payload type {cls!r} must be a dataclass")
+    existing = _PAYLOAD_REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"wire key {key!r} already registered for {existing!r}")
+    _PAYLOAD_REGISTRY[key] = cls
+
+
+register_payload("ping", Ping)
+register_payload("pong", Pong)
+register_payload("app", AppPayload)
+
+
+def encode_payload(payload: Any) -> dict[str, Any]:
+    """Encode a registered payload to its JSON-able wire dict."""
+    for key, cls in _PAYLOAD_REGISTRY.items():
+        if type(payload) is cls:
+            wire = asdict(payload)
+            wire["k"] = key
+            return wire
+    raise TransportError(
+        f"payload type {type(payload).__name__} is not wire-registered; "
+        f"call repro.rt.transport.register_payload first")
+
+
+def decode_payload(wire: dict[str, Any]) -> Any:
+    """Decode a wire dict produced by :func:`encode_payload`."""
+    key = wire.get("k")
+    cls = _PAYLOAD_REGISTRY.get(key)
+    if cls is None:
+        raise TransportError(f"unknown wire payload key {key!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{name: value for name, value in wire.items() if name in names})
+
+
+def encode_datagram(sender: int, recipient: int, payload: Any,
+                    sent_at: float) -> bytes:
+    """Serialize one message to a UDP datagram (compact JSON)."""
+    return json.dumps(
+        {"s": sender, "r": recipient, "t": sent_at,
+         "p": encode_payload(payload)},
+        sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_datagram(data: bytes) -> tuple[int, int, Any, float]:
+    """Parse a datagram back to ``(sender, recipient, payload, sent_at)``."""
+    try:
+        raw = json.loads(data.decode())
+        return (int(raw["s"]), int(raw["r"]), decode_payload(raw["p"]),
+                float(raw["t"]))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TransportError(f"malformed datagram: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+class Transport(ABC):
+    """Message fabric interface consumed by
+    :class:`~repro.rt.runtime.AsyncioRuntime`."""
+
+    @abstractmethod
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        """Transmit ``payload``; delivery is asynchronous."""
+
+    @abstractmethod
+    def bind(self, node_id: int, handler: MessageHandler) -> None:
+        """Attach the inbound-message handler for ``node_id``."""
+
+    @abstractmethod
+    def neighbors(self, node_id: int) -> list[int]:
+        """Peers ``node_id`` may exchange messages with (fresh list)."""
+
+
+class LoopbackTransport(Transport):
+    """In-memory full-mesh transport for nodes sharing one event loop.
+
+    Args:
+        loop: Real asyncio loop or virtual-time loop (needs ``time()``
+            and ``call_at()``).
+        delay: Fixed one-way delivery delay in seconds.  Constant on
+            purpose: under a virtual loop this makes the transport a
+            faithful twin of the simulator's ``FixedDelay`` network.
+        now: Callable returning the cluster tau used to stamp
+            ``sent_at`` / ``delivered_at``; defaults to ``loop.time``.
+
+    Attributes:
+        messages_delivered: Total messages handed to handlers.
+    """
+
+    def __init__(self, loop: Any, delay: float = 0.001,
+                 now: Callable[[], float] | None = None) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.loop = loop
+        self.delay = float(delay)
+        self._now = now if now is not None else loop.time
+        self._handlers: dict[int, MessageHandler] = {}
+        self._msg_id = 0
+        self.messages_delivered = 0
+
+    def bind(self, node_id: int, handler: MessageHandler) -> None:
+        self._handlers[node_id] = handler
+
+    def neighbors(self, node_id: int) -> list[int]:
+        return [node for node in self._handlers if node != node_id]
+
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        sent_at = self._now()
+        self._msg_id += 1
+        msg_id = self._msg_id
+        delivered_at = sent_at + self.delay
+
+        def deliver() -> None:
+            handler = self._handlers.get(recipient)
+            if handler is None:
+                return  # recipient gone: datagram silently dropped
+            self.messages_delivered += 1
+            handler.deliver(Message(sender=sender, recipient=recipient,
+                                    payload=payload, sent_at=sent_at,
+                                    delivered_at=delivered_at, msg_id=msg_id))
+
+        self.loop.call_at(self.loop.time() + self.delay, deliver)
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    """asyncio glue: forwards received datagrams to the owning transport."""
+
+    def __init__(self, owner: "UdpTransport") -> None:
+        self.owner = owner
+
+    def datagram_received(self, data: bytes, addr: tuple) -> None:
+        """Decode and deliver one datagram (malformed ones are dropped)."""
+        self.owner._on_datagram(data)
+
+
+class UdpTransport(Transport):
+    """One node's UDP endpoint on localhost.
+
+    Unlike :class:`LoopbackTransport` (a shared hub), each node owns a
+    ``UdpTransport``; peers are wired up with :meth:`set_peers` after
+    every endpoint has bound its socket and learned its port.
+
+    Args:
+        node_id: The owning node.
+        now: Callable returning the cluster tau for message stamps.
+
+    Attributes:
+        address: ``(host, port)`` after :meth:`start`.
+        messages_delivered: Datagrams decoded and handed to the handler.
+        malformed_dropped: Datagrams that failed to decode.
+    """
+
+    def __init__(self, node_id: int, now: Callable[[], float]) -> None:
+        self.node_id = node_id
+        self._now = now
+        self._handler: MessageHandler | None = None
+        self._peers: dict[int, tuple[str, int]] = {}
+        self._endpoint = None
+        self.address: tuple[str, int] | None = None
+        self._msg_id = 0
+        self.messages_delivered = 0
+        self.malformed_dropped = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind the UDP socket; returns the actual ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        self._endpoint, _ = await loop.create_datagram_endpoint(
+            lambda: _UdpProtocol(self), local_addr=(host, port))
+        sockname = self._endpoint.get_extra_info("sockname")
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def set_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        """Install the node-id to address map (excluding this node)."""
+        self._peers = {node: addr for node, addr in peers.items()
+                       if node != self.node_id}
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
+
+    def bind(self, node_id: int, handler: MessageHandler) -> None:
+        if node_id != self.node_id:
+            raise ConfigurationError(
+                f"UdpTransport for node {self.node_id} cannot bind node {node_id}")
+        self._handler = handler
+
+    def neighbors(self, node_id: int) -> list[int]:
+        return sorted(self._peers)
+
+    def send(self, sender: int, recipient: int, payload: Any) -> None:
+        if sender != self.node_id:
+            raise ConfigurationError(
+                f"UdpTransport for node {self.node_id} cannot send as {sender}")
+        if self._endpoint is None:
+            raise TransportError("transport not started")
+        addr = self._peers.get(recipient)
+        if addr is None:
+            return  # unknown peer: dropped, like a dead link
+        self._endpoint.sendto(encode_datagram(sender, recipient, payload,
+                                              self._now()), addr)
+
+    def _on_datagram(self, data: bytes) -> None:
+        if self._handler is None:
+            return
+        try:
+            sender, recipient, payload, sent_at = decode_datagram(data)
+        except TransportError:
+            self.malformed_dropped += 1
+            return
+        if recipient != self.node_id:
+            self.malformed_dropped += 1
+            return
+        self._msg_id += 1
+        self.messages_delivered += 1
+        self._handler.deliver(Message(sender=sender, recipient=recipient,
+                                      payload=payload, sent_at=sent_at,
+                                      delivered_at=self._now(),
+                                      msg_id=self._msg_id))

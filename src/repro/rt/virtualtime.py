@@ -1,0 +1,125 @@
+"""A controllable virtual-time event loop for deterministic rt tests.
+
+:class:`VirtualTimeLoop` exposes the tiny slice of the asyncio event
+loop API that :class:`~repro.rt.runtime.AsyncioRuntime` and the
+transports use — ``time()``, ``call_at()``, ``call_later()`` — but
+advances time only when told to (:meth:`VirtualTimeLoop.run_until`),
+executing callbacks in deterministic ``(fire_time, insertion_seq)``
+order.  That ordering mirrors the simulator's event queue
+(:mod:`repro.sim.events`), which is what makes cross-runtime
+conformance meaningful: the same protocol code produces the same
+decision sequence on either substrate (``tests/test_runtime_conformance.py``).
+
+The loop is synchronous on purpose.  Real deployments use a real
+asyncio loop (wall-clock timers, UDP datagrams); tests swap in this
+class and drive time by hand, so rt-path tests are as repeatable as
+simulator tests — no sleeps, no flakiness, no timing-dependent
+assertions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class ScheduledCall:
+    """Handle for one scheduled callback (the loop-level timer token).
+
+    Mirrors the surface of :class:`asyncio.TimerHandle` that the rt
+    runtime relies on: :meth:`cancel` and the ``when`` attribute.
+
+    Attributes:
+        when: Absolute loop time at which the callback fires.
+    """
+
+    __slots__ = ("when", "_seq", "_callback", "_cancelled")
+
+    def __init__(self, when: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.when = when
+        self._seq = seq
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._cancelled = True
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called (asyncio-compatible)."""
+        return self._cancelled
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.when, self._seq) < (other.when, other._seq)
+
+
+class VirtualTimeLoop:
+    """Deterministic replacement for an asyncio loop's timer surface.
+
+    Time starts at 0.0 and only moves inside :meth:`run_until` /
+    :meth:`run_until_idle`.  Callbacks scheduled for the same instant
+    run in insertion order, exactly like the simulator's ``(time, seq)``
+    event queue.
+    """
+
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._seq = 0
+        self._heap: list[ScheduledCall] = []
+
+    def time(self) -> float:
+        """Current virtual time (seconds since loop creation)."""
+        return self._time
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> ScheduledCall:
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        A ``when`` in the past fires at the current time (asyncio
+        semantics), never rewinds the clock.
+        """
+        call = ScheduledCall(max(float(when), self._time), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, call)
+        return call
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> ScheduledCall:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        return self.call_at(self._time + float(delay), callback)
+
+    def run_until(self, deadline: float) -> int:
+        """Advance time to ``deadline``, firing every due callback.
+
+        Callbacks may schedule further callbacks; anything landing at or
+        before ``deadline`` runs in this call.  On return the loop time
+        equals ``deadline`` even if the queue emptied earlier (matching
+        ``Simulator.run(until=...)``).  Returns the number of callbacks
+        executed.
+        """
+        executed = 0
+        while self._heap and self._heap[0].when <= deadline:
+            call = heapq.heappop(self._heap)
+            if call._cancelled:
+                continue
+            self._time = call.when
+            call._callback()
+            executed += 1
+        self._time = max(self._time, float(deadline))
+        return executed
+
+    def run_until_idle(self) -> int:
+        """Run until no scheduled callbacks remain; returns the count."""
+        executed = 0
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if call._cancelled:
+                continue
+            self._time = call.when
+            call._callback()
+            executed += 1
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled callbacks."""
+        return sum(1 for call in self._heap if not call._cancelled)

@@ -42,8 +42,9 @@ from repro.metrics.trace import TraceRecorder
 from repro.net.network import Network
 from repro.protocols.base import protocol_factory
 from repro.runner.scenario import Scenario
+from repro.runtime.process import Process
 from repro.sim.engine import EnginePerfCounters, Simulator
-from repro.sim.process import Process
+from repro.sim.runtime import SimRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.recorder import FlightRecorder
@@ -225,8 +226,9 @@ def run(scenario: Scenario, recorder: "FlightRecorder | None" = None,
     processes: dict[int, Process] = {}
     for node in range(params.n):
         phase = phase_rng.uniform(0.0, params.sync_interval) if scenario.stagger_phases else 0.0
-        process = factory(node, sim, network, clocks[node], params, phase)
-        network.bind(process)
+        runtime = SimRuntime(node, sim, network, clocks[node])
+        process = factory(runtime, params, phase)
+        runtime.bind(process)
         processes[node] = process
         if hasattr(process, "sync_listeners"):
             process.sync_listeners.append(trace.on_sync)

@@ -1,0 +1,36 @@
+"""Runtime abstraction layer: the seam between protocols and engines.
+
+The paper defines the ``Sync`` protocol (Section 3, Figure 1) against an
+abstract execution model — a local hardware clock, local-clock timers,
+and authenticated point-to-point messages delivered within ``delta`` —
+not against any particular scheduler.  This package is that model as
+code: :class:`NodeRuntime` is the *complete* surface a protocol process
+may touch, and :class:`Process` is the behaviour base class written
+against it.
+
+Two engines implement the interface:
+
+* :class:`repro.sim.runtime.SimRuntime` — the discrete-event simulator
+  adapter (deterministic, byte-identical to the pre-seam engine);
+* :class:`repro.rt.AsyncioRuntime` — real timers on an asyncio event
+  loop, with in-memory loopback or UDP transports, so the *same*
+  protocol objects run in deployment.
+
+Everything above this layer (runner, obs, service, cli) may know about
+concrete engines; ``repro.core`` and ``repro.protocols`` may not — a
+contract enforced statically by ``tools/check_layering.py``.
+"""
+
+from repro.runtime.api import NodeRuntime, TimerHandle
+from repro.runtime.messages import AppPayload, Message, Ping, Pong
+from repro.runtime.process import Process
+
+__all__ = [
+    "AppPayload",
+    "Message",
+    "NodeRuntime",
+    "Ping",
+    "Pong",
+    "Process",
+    "TimerHandle",
+]

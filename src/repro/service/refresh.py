@@ -38,13 +38,11 @@ from typing import TYPE_CHECKING
 
 from repro.core.sync import SyncProcess
 from repro.errors import ConfigurationError
-from repro.net.message import Message
+from repro.runtime.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
     from repro.core.params import ProtocolParams
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
+    from repro.runtime.api import NodeRuntime
 
 
 @dataclass(frozen=True)
@@ -90,11 +88,9 @@ class RefreshingSyncProcess(SyncProcess):
         peer_epochs: Last epoch announced by each peer.
     """
 
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock", params: "ProtocolParams",
+    def __init__(self, runtime: "NodeRuntime", params: "ProtocolParams",
                  start_phase: float = 0.0, epoch_len: float = 1.0) -> None:
-        super().__init__(node_id, sim, network, clock, params,
-                         start_phase=start_phase)
+        super().__init__(runtime, params, start_phase=start_phase)
         bound = params.bounds().max_deviation
         if epoch_len <= 2.0 * bound:
             raise ConfigurationError(
@@ -141,11 +137,10 @@ class RefreshingSyncProcess(SyncProcess):
         # Monotone: rotate forward to the clock-derived epoch, never back.
         self.key_epoch = max(self.key_epoch, self._current_clock_epoch())
         self.rotations.append(RotationRecord(
-            epoch=self.key_epoch, real_time=self.sim.now,
+            epoch=self.key_epoch, real_time=self.real_now(),
             clock_value=self.local_now()))
-        self.network.broadcast(
-            self.node_id,
-            KeyAnnouncement(epoch=self.key_epoch, holder=self.node_id))
+        self.broadcast(KeyAnnouncement(epoch=self.key_epoch,
+                                       holder=self.node_id))
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -170,8 +165,8 @@ class RefreshingSyncProcess(SyncProcess):
 def make_refreshing(epoch_len: float = 1.0):
     """Factory-factory for scenarios: ``protocol=make_refreshing(0.5)``."""
 
-    def factory(node_id, sim, network, clock, params, start_phase):
-        return RefreshingSyncProcess(node_id, sim, network, clock, params,
+    def factory(runtime, params, start_phase):
+        return RefreshingSyncProcess(runtime, params,
                                      start_phase=start_phase,
                                      epoch_len=epoch_len)
 

@@ -35,7 +35,7 @@ from repro.core.params import ProtocolParams
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.process import Process
+    from repro.runtime.process import Process
 
 
 @dataclass(frozen=True)

@@ -3,14 +3,16 @@
 This subpackage is the foundation everything else runs on: a
 deterministic event queue (:mod:`repro.sim.events`), the simulation
 engine that owns real time (:mod:`repro.sim.engine`), named random
-streams (:mod:`repro.sim.rng`), and the per-node process abstraction
-(:mod:`repro.sim.process`).
+streams (:mod:`repro.sim.rng`), and the simulator-backed runtime
+adapter (:mod:`repro.sim.runtime`) that plugs the engine into the
+:mod:`repro.runtime` seam.
 """
 
 from repro.sim.engine import EnginePerfCounters, Simulator
 from repro.sim.events import Event, EventQueue
-from repro.sim.process import LocalTimer, Process
 from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.runtime import LocalTimer, SimRuntime
+from repro.runtime.process import Process
 
 __all__ = [
     "Simulator",
@@ -19,6 +21,7 @@ __all__ = [
     "EventQueue",
     "Process",
     "LocalTimer",
+    "SimRuntime",
     "RngRegistry",
     "derive_seed",
 ]

@@ -1,179 +1,16 @@
-"""Process abstraction shared by protocol implementations and adversaries.
+"""Compatibility shim: the process base class moved behind the runtime seam.
 
-A :class:`Process` is the unit of behaviour attached to a network node:
-it receives messages (:meth:`Process.on_message`) and owns local-clock
-timers.  Timers are expressed in *local clock duration* — "call me after
-``SyncInt`` units of my own clock" — which the process converts to a
-simulated real time through its hardware clock.  That conversion is
-exactly the mechanism the paper relies on when it says a processor
-performs a ``Sync`` "every SyncInt time units" of local time.
-
-The base class also implements the corruption hand-off used by the
-mobile adversary: while a node is controlled, incoming messages and
-timers are routed to the controlling strategy instead of the protocol
-logic, and on release :meth:`Process.on_recover` re-initializes the
-protocol loop (the paper's "alarm ... recovered after a break-in")
-while deliberately *keeping* whatever clock adjustment the adversary
-left behind.
+:class:`~repro.runtime.process.Process` is now runtime-agnostic and
+lives in :mod:`repro.runtime.process`; the simulator-specific timer
+handle is :class:`repro.sim.runtime.LocalTimer`.  This module re-exports
+both so existing imports keep working.  New code should import from
+:mod:`repro.runtime` (protocol side) or :mod:`repro.sim.runtime`
+(engine side).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from repro.runtime.process import Process
+from repro.sim.runtime import LocalTimer, SimRuntime
 
-from repro.sim.events import Event
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.clocks.logical import LogicalClock
-    from repro.net.message import Message
-    from repro.net.network import Network
-    from repro.sim.engine import Simulator
-
-
-class LocalTimer:
-    """Handle for a pending local-clock timer.
-
-    Wraps the underlying simulator :class:`Event` so the owner can cancel
-    it without knowing about real-time scheduling.
-    """
-
-    __slots__ = ("event", "tag")
-
-    def __init__(self, event: Event, tag: str):
-        self.event = event
-        self.tag = tag
-
-    def cancel(self) -> None:
-        """Cancel the timer if it has not fired yet.
-
-        Safe to call twice or after the timer fired: the underlying
-        event's cancellation is queue-honest (see
-        :mod:`repro.sim.events`), so the simulator's live-event count
-        stays exact either way.
-        """
-        self.event.cancel()
-
-    @property
-    def cancelled(self) -> bool:
-        return self.event.cancelled
-
-
-class Process:
-    """Base class for per-node behaviour (protocols, adversary shells).
-
-    Subclasses override :meth:`start`, :meth:`on_message`, and timer
-    callbacks they register via :meth:`set_local_timer`.
-
-    Attributes:
-        node_id: Integer identity of the node this process runs on.
-        sim: The owning simulator.
-        network: Network used to send messages.
-        clock: The node's logical clock (hardware + adjustment).
-        controlled: Whether the adversary currently controls this node.
-        obs: Observability event bus, or ``None`` (the default) when no
-            flight recorder is attached; protocol logic never reads it.
-    """
-
-    def __init__(self, node_id: int, sim: "Simulator", network: "Network",
-                 clock: "LogicalClock") -> None:
-        self.node_id = node_id
-        self.sim = sim
-        self.network = network
-        self.clock = clock
-        self.controlled = False
-        self.obs = None
-        self._controller: Any | None = None
-        self._timers: list[LocalTimer] = []
-
-    # ------------------------------------------------------------------
-    # Behaviour hooks (overridden by protocol subclasses)
-    # ------------------------------------------------------------------
-
-    def start(self) -> None:
-        """Called once at simulation start to kick off the protocol."""
-
-    def on_message(self, message: "Message") -> None:
-        """Handle a delivered message (good-state behaviour)."""
-
-    def on_recover(self) -> None:
-        """Called when the adversary releases this node.
-
-        The default restarts the protocol loop via :meth:`start`, after
-        dropping any timers the adversary may have left armed.  Clock
-        state (``adj``) is *not* touched: recovery of the clock value is
-        the protocol's job, per the paper.
-        """
-        self.cancel_all_timers()
-        self.start()
-
-    # ------------------------------------------------------------------
-    # Messaging / timers
-    # ------------------------------------------------------------------
-
-    def send(self, recipient: int, payload: Any) -> None:
-        """Send ``payload`` to ``recipient`` over the network."""
-        self.network.send(self.node_id, recipient, payload)
-
-    def local_now(self) -> float:
-        """Current reading of this node's logical clock."""
-        return self.clock.read(self.sim.now)
-
-    def set_local_timer(self, duration: float, callback: Callable[[], None],
-                        tag: str = "timer") -> LocalTimer:
-        """Arm a timer that fires after ``duration`` units of *local* clock.
-
-        The duration is measured on the hardware clock (adjustments to
-        ``adj`` shift the clock value but not elapsed local time, matching
-        Definition 1 where ``adj`` is a constant between resets).
-        """
-        fire_at = self.clock.hardware.real_time_after(self.sim.now, duration)
-        event = self.sim.schedule_at(fire_at, self._timer_shim(callback),
-                                     tag=f"n{self.node_id}:{tag}")
-        timer = LocalTimer(event, tag)
-        self._timers.append(timer)
-        if len(self._timers) > 64:
-            self._timers = [t for t in self._timers if not t.cancelled]
-        return timer
-
-    def _timer_shim(self, callback: Callable[[], None]) -> Callable[[], None]:
-        """Wrap a timer callback so adversary control suppresses it."""
-
-        def fire() -> None:
-            if self.controlled:
-                return  # the adversary killed protocol activity on this node
-            callback()
-
-        return fire
-
-    def cancel_all_timers(self) -> None:
-        """Cancel every pending timer owned by this process."""
-        for timer in self._timers:
-            timer.cancel()
-        self._timers.clear()
-
-    # ------------------------------------------------------------------
-    # Adversary hand-off (called by repro.adversary.mobile)
-    # ------------------------------------------------------------------
-
-    def seize(self, controller: Any) -> None:
-        """Transfer control of this node to ``controller`` (break-in)."""
-        self.controlled = True
-        self._controller = controller
-        self.cancel_all_timers()
-
-    def release(self) -> None:
-        """Return control of this node to the protocol (adversary leaves)."""
-        self.controlled = False
-        self._controller = None
-        self.on_recover()
-
-    def deliver(self, message: "Message") -> None:
-        """Entry point used by the network to hand a message to this node."""
-        if self.controlled and self._controller is not None:
-            self._controller.on_message(self, message)
-        else:
-            self.on_message(message)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "controlled" if self.controlled else "ok"
-        return f"{type(self).__name__}(node={self.node_id}, {state})"
+__all__ = ["LocalTimer", "Process", "SimRuntime"]

@@ -23,7 +23,8 @@ from repro.metrics.trace import TraceRecorder
 from repro.net.links import FixedDelay
 from repro.net.network import Network
 from repro.net.topology import full_mesh
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 def corruption(node, start, end):
@@ -133,19 +134,19 @@ class RecordingStrategy(ByzantineStrategy):
         self.events = []
 
     def on_break_in(self, process, rng):
-        self.events.append(("in", process.sim.now))
+        self.events.append(("in", process.real_now()))
 
     def on_message(self, process, message, rng):
         self.events.append(("msg", message.payload))
 
     def on_leave(self, process, rng):
-        self.events.append(("out", process.sim.now))
+        self.events.append(("out", process.real_now()))
 
 
 class Victim(Process):
     def __init__(self, node_id, sim, network):
-        super().__init__(node_id, sim, network,
-                         LogicalClock(FixedRateClock(rho=0.0)))
+        super().__init__(SimRuntime(node_id, sim, network,
+                                    LogicalClock(FixedRateClock(rho=0.0))))
         self.inbox = []
 
     def on_message(self, message):

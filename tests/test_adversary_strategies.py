@@ -19,16 +19,17 @@ from repro.adversary.strategies import (
 from repro.clocks.hardware import FixedRateClock
 from repro.clocks.logical import LogicalClock
 from repro.net.links import FixedDelay
-from repro.net.message import Message, Ping, Pong
+from repro.runtime.messages import Message, Ping, Pong
 from repro.net.network import Network
 from repro.net.topology import full_mesh
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 class Inbox(Process):
     def __init__(self, node_id, sim, network, clock=None):
         clock = clock or LogicalClock(FixedRateClock(rho=0.0))
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(SimRuntime(node_id, sim, network, clock))
         self.pongs = []
 
     def on_message(self, message):

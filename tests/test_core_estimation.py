@@ -15,10 +15,11 @@ from repro.core.estimation import (
     timeout_estimate,
 )
 from repro.net.links import AsymmetricDelay, FixedDelay
-from repro.net.message import Ping, Pong
+from repro.runtime.messages import Ping, Pong
 from repro.net.network import Network
 from repro.net.topology import full_mesh
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 class Responder(Process):
@@ -34,7 +35,7 @@ class Estimator(Process):
     """Runs one estimation session against its peers."""
 
     def __init__(self, node_id, sim, network, clock, pings_per_peer=1):
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(SimRuntime(node_id, sim, network, clock))
         self.pings_per_peer = pings_per_peer
         self.session = None
         self.results = None
@@ -64,7 +65,7 @@ def build(sim, offsets, rates=None, delay=None, pings_per_peer=1):
     estimator = Estimator(0, sim, network, clocks[0], pings_per_peer)
     network.bind(estimator)
     for i in range(1, n):
-        network.bind(Responder(i, sim, network, clocks[i]))
+        network.bind(Responder(SimRuntime(i, sim, network, clocks[i])))
     return estimator
 
 
@@ -102,7 +103,7 @@ def test_definition4_guarantee_holds_under_asymmetry(sim):
 def test_timeout_produces_placeholder(sim):
     estimator = build(sim, offsets=[0.0, 0.0])
     # Peer 1 exists but we ping an unreachable peer list via a dead link.
-    estimator.network.fail_link(0, 1)
+    estimator.runtime.network.fail_link(0, 1)
     estimator.begin([1], max_wait=0.05)
     sim.run()
     result = estimator.results[1]
@@ -150,7 +151,7 @@ def test_reply_only_accepted_from_addressed_peer(sim):
     sim.run(until=0.001)
     # Node 2 forges a pong with node 1's nonce.
     nonce = next(iter(estimator.session._send_times))
-    estimator.network.send(2, 0, Pong(nonce=nonce, clock_value=1e9))
+    estimator.runtime.network.send(2, 0, Pong(nonce=nonce, clock_value=1e9))
     sim.run()
     result = estimator.results[1]
     assert abs(result.distance) < 1.0  # the forgery did not land

@@ -9,11 +9,12 @@ from repro.clocks.logical import LogicalClock
 from repro.core.params import ProtocolParams
 from repro.core.sync import SyncProcess
 from repro.net.links import FixedDelay
-from repro.net.message import Ping, Pong
+from repro.runtime.messages import Ping, Pong
 from repro.net.network import Network
 from repro.net.topology import full_mesh
 from repro.sim.engine import Simulator
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 def make_params(n=4, f=1) -> ProtocolParams:
@@ -28,7 +29,7 @@ def build_cluster(sim, params, offsets=None, rates=None):
     procs = []
     for i in range(n):
         clock = LogicalClock(FixedRateClock(rho=params.rho, rate=rates[i]), adj=offsets[i])
-        proc = SyncProcess(i, sim, network, clock, params,
+        proc = SyncProcess(SimRuntime(i, sim, network, clock), params,
                            start_phase=0.01 * i)
         network.bind(proc)
         procs.append(proc)
@@ -79,7 +80,7 @@ def test_ping_answered_with_current_clock(sim):
     class Probe(Process):
         def on_message(self, message):
             if isinstance(message.payload, Pong):
-                replies.append((self.sim.now, message.payload.clock_value))
+                replies.append((self.real_now(), message.payload.clock_value))
 
     # Rebuild with a probe on node 3's slot is complex; instead ping from
     # node 0's identity via the network and watch node 0's inbox... use a

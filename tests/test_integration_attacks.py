@@ -125,12 +125,12 @@ class TestLinkFailures:
         from repro.protocols.base import protocol_factory
         inner = protocol_factory("sync")
 
-        def factory(node_id, sim, network, clock, params_, start_phase):
+        def factory(runtime, params_, start_phase):
             if not outages:
-                network.schedule_outage(0, 1, start=2.0, end=4.0)
-                network.schedule_outage(2, 3, start=3.0, end=5.0)
+                runtime.network.schedule_outage(0, 1, start=2.0, end=4.0)
+                runtime.network.schedule_outage(2, 3, start=3.0, end=5.0)
                 outages.append(True)
-            return inner(node_id, sim, network, clock, params_, start_phase)
+            return inner(runtime, params_, start_phase)
 
         result = run_fn(dataclasses.replace(result_scenario, protocol=factory))
         assert result.max_deviation(warmup_for(params)) <= params.bounds().max_deviation

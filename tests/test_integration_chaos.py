@@ -38,13 +38,13 @@ def chaos_result():
     inner = protocol_factory("sync")
     armed = []
 
-    def factory(node_id, sim, network, clock, params_, start_phase):
+    def factory(runtime, params_, start_phase):
         if not armed:
             for k, (u, v) in enumerate(((0, 1), (2, 3), (4, 5), (1, 6))):
                 start = 3.0 + 6.0 * k
-                network.schedule_outage(u, v, start=start, end=start + 1.0)
+                runtime.network.schedule_outage(u, v, start=start, end=start + 1.0)
             armed.append(True)
-        return inner(node_id, sim, network, clock, params_, start_phase)
+        return inner(runtime, params_, start_phase)
 
     return run(dataclasses.replace(scenario, protocol=factory))
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.sync import SyncRecord
 from repro.metrics.trace import TraceRecorder
-from repro.net.message import Message, Ping
+from repro.runtime.messages import Message, Ping
 
 
 def sync_record(node=0, round_no=1, real_time=1.0, own_discarded=False):

@@ -10,7 +10,8 @@ from repro.errors import ConfigurationError, TopologyError
 from repro.net.links import FixedDelay
 from repro.net.network import Network
 from repro.net.topology import from_edges, full_mesh
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 class Recorder(Process):
@@ -18,7 +19,7 @@ class Recorder(Process):
 
     def __init__(self, node_id, sim, network):
         clock = LogicalClock(FixedRateClock(rho=0.0))
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(SimRuntime(node_id, sim, network, clock))
         self.received = []
 
     def on_message(self, message):

@@ -76,7 +76,7 @@ class TestRecorderIntegration:
     def test_finalize_is_idempotent(self):
         recorder, result = record_run(benign_scenario(duration=5.0, seed=2))
         before = len(recorder.events)
-        recorder.finalize(result.processes[0].sim)
+        recorder.finalize(result.processes[0].runtime.sim)
         assert len(recorder.events) == before
 
 

@@ -11,15 +11,16 @@ from repro.net.links import FixedDelay, UniformDelay
 from repro.net.network import Network
 from repro.net.topology import full_mesh
 from repro.sim.engine import Simulator
-from repro.sim.process import Process
+from repro.runtime.process import Process
+from repro.sim.runtime import SimRuntime
 
 
 class Collector(Process):
     """Records (sender, payload, delivered_at) triples."""
 
     def __init__(self, node_id, sim, network):
-        super().__init__(node_id, sim, network,
-                         LogicalClock(FixedRateClock(rho=0.0)))
+        super().__init__(SimRuntime(node_id, sim, network,
+                                    LogicalClock(FixedRateClock(rho=0.0))))
         self.received = []
 
     def on_message(self, message):

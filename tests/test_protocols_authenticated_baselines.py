@@ -136,10 +136,12 @@ class TestSrikanthToueg:
         params = dataclasses.replace(default_params(n=7, f=2), n=4,
                                      strict=False)
         network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        from repro.sim.runtime import SimRuntime
         with pytest.raises(ParameterError, match="majority"):
-            SrikanthTouegProcess(0, sim, network,
-                                 LogicalClock(FixedRateClock(rho=params.rho)),
-                                 params)
+            SrikanthTouegProcess(
+                SimRuntime(0, sim, network,
+                           LogicalClock(FixedRateClock(rho=params.rho))),
+                params)
 
     def test_premature_round_needs_f_plus_1_signers(self):
         """f colluding early announcers cannot trigger acceptance: the
@@ -150,7 +152,7 @@ class TestSrikanthToueg:
             name = "early-round"
 
             def on_break_in(self, process, rng):
-                for peer in process.network.topology.neighbors(process.node_id):
+                for peer in process.neighbors():
                     process.send(peer, RoundReady(round_no=30,
                                                   signer=process.node_id))
 

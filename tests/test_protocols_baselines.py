@@ -120,8 +120,8 @@ class TestCustomFactory:
 
         built = []
 
-        def factory(node_id, sim, network, clock, params, start_phase):
-            process = SyncProcess(node_id, sim, network, clock, params,
+        def factory(runtime, params, start_phase):
+            process = SyncProcess(runtime, params,
                                   start_phase=start_phase, pings_per_peer=2)
             built.append(process)
             return process

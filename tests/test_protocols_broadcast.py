@@ -29,7 +29,7 @@ class ScrambleState(ByzantineStrategy):
         self.epoch_offset = epoch_offset
 
     def on_leave(self, process, rng: random.Random) -> None:
-        process.clock.hijack_set(process.sim.now,
+        process.clock.hijack_set(process.real_now(),
                                  process.clock.adj + self.clock_offset)
         if hasattr(process, "epoch"):
             process.epoch += self.epoch_offset
@@ -64,8 +64,9 @@ class TestRegistration:
         params = dataclasses.replace(default_params(n=4, f=1), n=2, strict=False)
         network = Network(sim, full_mesh(2), FixedDelay(delta=params.delta))
         clock = LogicalClock(FixedRateClock(rho=params.rho))
+        from repro.sim.runtime import SimRuntime
         with pytest.raises(ParameterError, match="majority"):
-            BroadcastSyncProcess(0, sim, network, clock, params)
+            BroadcastSyncProcess(SimRuntime(0, sim, network, clock), params)
 
 
 class TestBenign:
@@ -129,8 +130,7 @@ class TestSignatureChains:
             name = "early-announcer"
 
             def on_break_in(self, process, rng):
-                process.network.broadcast(process.node_id,
-                                          Resync(epoch=40, signers=(process.node_id,)))
+                process.broadcast(Resync(epoch=40, signers=(process.node_id,)))
 
         def plan(scenario, clocks):
             return single_burst_plan([0], start=2.0, dwell=1.0,

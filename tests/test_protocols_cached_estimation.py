@@ -20,11 +20,11 @@ def fast_params(n=4, f=1):
 
 
 def factory(probe_fraction=None, compensate=False, staleness_mult=8.0):
-    def make(node_id, sim, network, clock, params, start_phase):
+    def make(runtime, params, start_phase):
         probe = (None if probe_fraction is None
                  else params.sync_interval * probe_fraction)
         return CachedEstimationProcess(
-            node_id, sim, network, clock, params, start_phase=start_phase,
+            runtime, params, start_phase=start_phase,
             probe_interval=probe,
             max_staleness=staleness_mult * params.sync_interval,
             compensate=compensate)
@@ -94,7 +94,7 @@ class TestTheCaveat:
                                      protocol=factory(0.25, compensate=True)))
         process = result.processes[0]
         estimates_before = process.cached_estimates()
-        process.clock.adjust(process.sim.now, 1.0)
+        process.clock.adjust(process.real_now(), 1.0)
         estimates_after = process.cached_estimates()
         for peer in estimates_before:
             if not estimates_before[peer].timed_out:

@@ -35,8 +35,10 @@ class TestConstruction:
         params = fast_params()
         network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
         clock = LogicalClock(FixedRateClock(rho=params.rho))
+        from repro.sim.runtime import SimRuntime
         with pytest.raises(ValueError):
-            DriftCompensatingProcess(0, sim, network, clock, params, gain=0.0)
+            DriftCompensatingProcess(SimRuntime(0, sim, network, clock),
+                                     params, gain=0.0)
 
     def test_default_limit_is_twice_rho(self, sim):
         from repro.clocks.hardware import FixedRateClock
@@ -48,7 +50,9 @@ class TestConstruction:
         params = fast_params()
         network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
         clock = LogicalClock(FixedRateClock(rho=params.rho))
-        process = DriftCompensatingProcess(0, sim, network, clock, params)
+        from repro.sim.runtime import SimRuntime
+        process = DriftCompensatingProcess(SimRuntime(0, sim, network, clock),
+                                           params)
         assert process.comp_limit == pytest.approx(2 * params.rho)
 
 

@@ -1,0 +1,124 @@
+"""Live-cluster wiring tests (deterministic via the virtual loop, plus
+one short real-asyncio smoke)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.rt.live import (
+    aggregate_process_samples,
+    build_cluster,
+    default_live_params,
+    make_live_clocks,
+    run_live,
+)
+from repro.rt.virtualtime import VirtualTimeLoop
+
+
+def virtual_run(duration=4.0, seed=3, n=4, f=1):
+    params = default_live_params(n=n, f=f)
+    loop = VirtualTimeLoop()
+    cluster = build_cluster(params, loop, seed=seed, transport="loopback")
+    cluster.start(sample_interval=0.1)
+    loop.run_until(duration)
+    cluster.sample_once()
+    return params, cluster
+
+
+class TestVirtualCluster:
+    def test_sync_converges_under_bound(self):
+        params, cluster = virtual_run()
+        bound = params.bounds().max_deviation
+        assert all(spread <= bound for _, spread in cluster.spread)
+        # Converged: the last spread is far tighter than the first.
+        assert cluster.spread[-1][1] < 0.5 * cluster.spread[0][1]
+
+    def test_every_node_reports_a_series(self):
+        params, cluster = virtual_run()
+        assert set(cluster.series) == set(range(params.n))
+        lengths = {len(samples) for samples in cluster.series.values()}
+        assert len(lengths) == 1  # same sampling grid for everyone
+
+    def test_bus_receives_live_events(self):
+        bus = EventBus()
+        kinds = []
+        bus.subscribe(lambda event: kinds.append(event.kind))
+        params = default_live_params()
+        loop = VirtualTimeLoop()
+        cluster = build_cluster(params, loop, seed=1, transport="loopback",
+                                bus=bus)
+        cluster.start(sample_interval=0.25)
+        loop.run_until(2.0)
+        assert "live.deviation" in kinds
+        assert "live.spread" in kinds
+        assert "live.sync" in kinds
+
+    def test_deterministic_under_virtual_time(self):
+        _, first = virtual_run(seed=9)
+        _, second = virtual_run(seed=9)
+        assert first.spread == second.spread
+        assert first.series == second.series
+
+    def test_time_service_fronts_live_clock(self):
+        params, cluster = virtual_run()
+        service = cluster.time_service(0)
+        now = cluster.now()
+        assert service.now() == pytest.approx(cluster.clocks[0].read(now),
+                                              abs=1e-9)
+
+    def test_stop_is_idempotent(self):
+        _, cluster = virtual_run(duration=1.0)
+        cluster.stop()
+        cluster.stop()
+
+
+class TestLiveClocks:
+    def test_seed_determinism(self):
+        params = default_live_params()
+        a = make_live_clocks(params, seed=5)
+        b = make_live_clocks(params, seed=5)
+        assert all(a[n].read(1.0) == b[n].read(1.0) for n in a)
+
+    def test_rates_within_drift_bound(self):
+        params = default_live_params()
+        for clock in make_live_clocks(params, seed=2).values():
+            rate = clock.hardware.rate
+            assert 1.0 / (1.0 + params.rho) <= rate <= 1.0 + params.rho
+
+    def test_offsets_span_visible_disagreement(self):
+        params = default_live_params()
+        clocks = make_live_clocks(params, seed=0)
+        readings = [clock.read(0.0) for clock in clocks.values()]
+        assert max(readings) - min(readings) > 0.0
+
+
+class TestAggregation:
+    def test_buckets_require_all_nodes(self):
+        samples = [
+            {"node": 0, "tau": 0.05, "clock": 1.00},
+            {"node": 1, "tau": 0.06, "clock": 1.02},
+            {"node": 0, "tau": 0.15, "clock": 1.10},  # node 1 missing here
+        ]
+        series = aggregate_process_samples(samples, nodes=2,
+                                           sample_interval=0.1)
+        assert series == [(0.0, pytest.approx(0.02))]
+
+    def test_latest_sample_wins_within_bucket(self):
+        samples = [
+            {"node": 0, "tau": 0.01, "clock": 5.0},
+            {"node": 0, "tau": 0.09, "clock": 1.00},
+            {"node": 1, "tau": 0.05, "clock": 1.01},
+        ]
+        series = aggregate_process_samples(samples, nodes=2,
+                                           sample_interval=0.1)
+        assert series == [(0.0, pytest.approx(0.01))]
+
+
+def test_real_udp_smoke():
+    """0.6 wall-clock seconds of genuine UDP Sync on localhost."""
+    report = run_live(nodes=4, f=1, duration=0.6, transport="udp",
+                      sample_interval=0.1, seed=1)
+    assert report.bounded()
+    assert all(rounds >= 1 for rounds in report.rounds.values())
+    assert report.events_published > 0

@@ -1,0 +1,191 @@
+"""Wire codec and transport tests for the rt path."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.messages import AppPayload, Message, Ping, Pong
+from repro.rt.transport import (
+    LoopbackTransport,
+    TransportError,
+    UdpTransport,
+    decode_datagram,
+    decode_payload,
+    encode_datagram,
+    encode_payload,
+    register_payload,
+)
+from repro.rt.virtualtime import VirtualTimeLoop
+
+
+class Inbox:
+    """Minimal MessageHandler: records deliveries."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+class TestCodec:
+    def test_ping_roundtrip(self):
+        ping = Ping(nonce=42, round_no=7)
+        assert decode_payload(encode_payload(ping)) == ping
+
+    def test_pong_roundtrip(self):
+        pong = Pong(nonce=9, clock_value=123.456789)
+        assert decode_payload(encode_payload(pong)) == pong
+
+    def test_app_payload_roundtrip(self):
+        payload = AppPayload(kind="audit", body={"x": [1, 2, 3]})
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_datagram_roundtrip_preserves_floats(self):
+        sender, recipient, payload, sent_at = decode_datagram(
+            encode_datagram(3, 5, Pong(nonce=1, clock_value=0.1 + 0.2), 1.75))
+        assert (sender, recipient, sent_at) == (3, 5, 1.75)
+        assert payload.clock_value == 0.1 + 0.2  # exact, not approximate
+
+    def test_unregistered_payload_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class Unknown:
+            x: int
+
+        with pytest.raises(TransportError):
+            encode_payload(Unknown(x=1))
+
+    def test_unknown_wire_key_rejected(self):
+        with pytest.raises(TransportError):
+            decode_payload({"k": "nope"})
+
+    def test_malformed_datagram_rejected(self):
+        with pytest.raises(TransportError):
+            decode_datagram(b"not json at all")
+
+    def test_register_payload_extends_codec(self):
+        @dataclasses.dataclass(frozen=True)
+        class Heartbeat:
+            beat: int
+
+        register_payload("test-heartbeat", Heartbeat)
+        assert decode_payload(encode_payload(Heartbeat(beat=3))) == Heartbeat(beat=3)
+
+    def test_register_conflicting_key_rejected(self):
+        @dataclasses.dataclass(frozen=True)
+        class Impostor:
+            nonce: int
+
+        with pytest.raises(ConfigurationError):
+            register_payload("ping", Impostor)
+
+
+class TestLoopback:
+    def test_delivery_after_fixed_delay(self):
+        loop = VirtualTimeLoop()
+        hub = LoopbackTransport(loop, delay=0.25)
+        a, b = Inbox(0), Inbox(1)
+        hub.bind(0, a)
+        hub.bind(1, b)
+        hub.send(0, 1, Ping(nonce=1))
+        loop.run_until(0.2)
+        assert b.received == []
+        loop.run_until(0.3)
+        assert len(b.received) == 1
+        message = b.received[0]
+        assert message.sender == 0 and message.recipient == 1
+        assert message.sent_at == 0.0
+        assert message.delivered_at == 0.25
+
+    def test_neighbors_excludes_self(self):
+        loop = VirtualTimeLoop()
+        hub = LoopbackTransport(loop, delay=0.01)
+        for node in range(3):
+            hub.bind(node, Inbox(node))
+        assert sorted(hub.neighbors(1)) == [0, 2]
+
+    def test_send_to_unbound_node_is_dropped(self):
+        loop = VirtualTimeLoop()
+        hub = LoopbackTransport(loop, delay=0.01)
+        hub.bind(0, Inbox(0))
+        hub.send(0, 99, Ping(nonce=1))
+        loop.run_until(1.0)
+        assert hub.messages_delivered == 0
+
+    def test_fifo_per_link(self):
+        loop = VirtualTimeLoop()
+        hub = LoopbackTransport(loop, delay=0.1)
+        receiver = Inbox(1)
+        hub.bind(0, Inbox(0))
+        hub.bind(1, receiver)
+        for nonce in range(5):
+            hub.send(0, 1, Ping(nonce=nonce))
+        loop.run_until(1.0)
+        assert [m.payload.nonce for m in receiver.received] == list(range(5))
+
+
+class TestUdp:
+    def run_pair(self, coro):
+        return asyncio.run(coro)
+
+    def test_roundtrip_over_real_sockets(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            epoch = loop.time()
+            now = lambda: loop.time() - epoch
+            a, b = UdpTransport(0, now), UdpTransport(1, now)
+            addr_a = await a.start()
+            addr_b = await b.start()
+            peers = {0: addr_a, 1: addr_b}
+            a.set_peers(peers)
+            b.set_peers(peers)
+            inbox = Inbox(1)
+            b.bind(1, inbox)
+            a.send(0, 1, Pong(nonce=5, clock_value=1.25))
+            for _ in range(100):
+                if inbox.received:
+                    break
+                await asyncio.sleep(0.01)
+            a.close()
+            b.close()
+            return inbox.received
+
+        received = self.run_pair(scenario())
+        assert len(received) == 1
+        message = received[0]
+        assert message.payload == Pong(nonce=5, clock_value=1.25)
+        assert message.sender == 0
+        assert message.delivered_at >= message.sent_at >= 0.0
+
+    def test_malformed_datagrams_counted_and_dropped(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport = UdpTransport(0, loop.time)
+            await transport.start()
+            transport.bind(0, Inbox(0))
+            transport._on_datagram(b"garbage")
+            dropped = transport.malformed_dropped
+            transport.close()
+            return dropped
+
+        assert self.run_pair(scenario()) == 1
+
+    def test_send_as_other_node_rejected(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport = UdpTransport(0, loop.time)
+            await transport.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    transport.send(1, 0, Ping(nonce=1))
+                with pytest.raises(ConfigurationError):
+                    transport.bind(1, Inbox(1))
+            finally:
+                transport.close()
+
+        self.run_pair(scenario())

@@ -1,0 +1,110 @@
+"""Unit tests for the virtual-time event loop."""
+
+from __future__ import annotations
+
+from repro.rt.virtualtime import VirtualTimeLoop
+
+
+def test_time_starts_at_zero():
+    loop = VirtualTimeLoop()
+    assert loop.time() == 0.0
+
+
+def test_callbacks_fire_in_time_order():
+    loop = VirtualTimeLoop()
+    order = []
+    loop.call_at(0.3, lambda: order.append("c"))
+    loop.call_at(0.1, lambda: order.append("a"))
+    loop.call_at(0.2, lambda: order.append("b"))
+    loop.run_until(1.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    loop = VirtualTimeLoop()
+    order = []
+    for label in ("first", "second", "third"):
+        loop.call_at(0.5, lambda label=label: order.append(label))
+    loop.run_until(1.0)
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_sets_time_to_deadline():
+    loop = VirtualTimeLoop()
+    loop.call_at(0.25, lambda: None)
+    loop.run_until(2.0)
+    assert loop.time() == 2.0
+
+
+def test_callback_sees_its_own_fire_time():
+    loop = VirtualTimeLoop()
+    seen = []
+    loop.call_at(0.75, lambda: seen.append(loop.time()))
+    loop.run_until(1.0)
+    assert seen == [0.75]
+
+
+def test_callbacks_can_reschedule():
+    loop = VirtualTimeLoop()
+    fired = []
+
+    def tick():
+        fired.append(loop.time())
+        if len(fired) < 5:
+            loop.call_later(0.1, tick)
+
+    loop.call_later(0.1, tick)
+    loop.run_until(1.0)
+    assert len(fired) == 5
+    assert fired[-1] == 0.5
+
+
+def test_deadline_excludes_later_events():
+    loop = VirtualTimeLoop()
+    fired = []
+    loop.call_at(0.5, lambda: fired.append("early"))
+    loop.call_at(1.5, lambda: fired.append("late"))
+    loop.run_until(1.0)
+    assert fired == ["early"]
+    loop.run_until(2.0)
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_calls_do_not_run():
+    loop = VirtualTimeLoop()
+    fired = []
+    handle = loop.call_at(0.5, lambda: fired.append(1))
+    handle.cancel()
+    assert handle.cancelled()
+    executed = loop.run_until(1.0)
+    assert fired == []
+    assert executed == 0
+
+
+def test_past_deadline_clamps_to_now():
+    loop = VirtualTimeLoop()
+    loop.run_until(1.0)
+    fired = []
+    loop.call_at(0.2, lambda: fired.append(loop.time()))
+    loop.run_until(1.5)
+    assert fired == [1.0]  # past-due schedules fire "now", never rewind
+
+
+def test_run_until_idle_drains_everything():
+    loop = VirtualTimeLoop()
+    fired = []
+    loop.call_at(3.0, lambda: fired.append(1))
+    loop.call_at(7.0, lambda: fired.append(2))
+    count = loop.run_until_idle()
+    assert count == 2
+    assert loop.time() == 7.0
+    assert loop.pending == 0
+
+
+def test_pending_counts_live_callbacks():
+    loop = VirtualTimeLoop()
+    keep = loop.call_at(1.0, lambda: None)
+    drop = loop.call_at(2.0, lambda: None)
+    drop.cancel()
+    assert loop.pending == 1
+    assert keep.when == 1.0

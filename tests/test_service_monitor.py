@@ -94,11 +94,11 @@ class TestLiveWiring:
         from repro.protocols.base import protocol_factory
         inner = protocol_factory("sync")
 
-        def factory(node_id, sim, network, clock, params_, start_phase):
-            process = inner(node_id, sim, network, clock, params_, start_phase)
-            monitor = SyncHealthMonitor(params_, node_id)
+        def factory(runtime, params_, start_phase):
+            process = inner(runtime, params_, start_phase)
+            monitor = SyncHealthMonitor(params_, runtime.node_id)
             process.sync_listeners.append(monitor.on_sync)
-            monitors[node_id] = monitor
+            monitors[runtime.node_id] = monitor
             return process
 
         result = run(recovery_scenario(params, duration=6.0, seed=11,
@@ -117,11 +117,11 @@ class TestLiveWiring:
         from repro.protocols.base import protocol_factory
         inner = protocol_factory("sync")
 
-        def factory(node_id, sim, network, clock, params_, start_phase):
-            process = inner(node_id, sim, network, clock, params_, start_phase)
-            monitor = SyncHealthMonitor(params_, node_id)
+        def factory(runtime, params_, start_phase):
+            process = inner(runtime, params_, start_phase)
+            monitor = SyncHealthMonitor(params_, runtime.node_id)
             process.sync_listeners.append(monitor.on_sync)
-            monitors[node_id] = monitor
+            monitors[runtime.node_id] = monitor
             return process
 
         run(benign_scenario(params, duration=5.0, seed=12, protocol=factory))

@@ -35,10 +35,12 @@ class TestConstruction:
 
         params = default_params(n=4, f=1)
         network = Network(sim, full_mesh(4), FixedDelay(delta=params.delta))
+        from repro.sim.runtime import SimRuntime
         with pytest.raises(ConfigurationError):
-            RefreshingSyncProcess(0, sim, network,
-                                  LogicalClock(FixedRateClock(rho=params.rho)),
-                                  params, epoch_len=0.01)
+            RefreshingSyncProcess(
+                SimRuntime(0, sim, network,
+                           LogicalClock(FixedRateClock(rho=params.rho))),
+                params, epoch_len=0.01)
 
 
 class TestBenign:

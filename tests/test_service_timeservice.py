@@ -30,7 +30,7 @@ class TestBasics:
         tau = synced_run.samples.times[-1]
         # After the run, sim.now is the end; now() reads the clock then.
         assert service.now() == pytest.approx(
-            synced_run.clocks[0].read(synced_run.processes[0].sim.now))
+            synced_run.clocks[0].read(synced_run.processes[0].real_now()))
 
     def test_timestamp_carries_issuer(self, synced_run):
         service = make_service(synced_run, 2)

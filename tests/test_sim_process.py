@@ -9,13 +9,14 @@ from repro.clocks.logical import LogicalClock
 from repro.net.links import FixedDelay
 from repro.net.network import Network
 from repro.net.topology import full_mesh
-from repro.sim.process import Process
+from repro.sim.runtime import SimRuntime
+from repro.runtime.process import Process
 
 
 class TimerProcess(Process):
     def __init__(self, node_id, sim, network, rate=1.0):
         clock = LogicalClock(FixedRateClock(rho=0.5, rate=rate))
-        super().__init__(node_id, sim, network, clock)
+        super().__init__(SimRuntime(node_id, sim, network, clock))
         self.fired = []
         self.started = 0
         self.recovered = 0

@@ -73,3 +73,29 @@ def test_collector_resolves_relative_imports():
 def test_kernel_layers_have_no_upward_imports():
     tool = _load_tool()
     assert tool.check() == []
+
+
+def test_runtime_seam_rules_enforced():
+    """The runtime-seam refactor's contract: protocol layers must not
+    import the concrete substrates, and the substrates must not import
+    each other."""
+    tool = _load_tool()
+    for layer in ("core", "protocols", "runtime"):
+        assert {"sim", "net"} <= tool.FORBIDDEN[layer], (
+            f"{layer} must forbid the concrete substrates")
+    assert "sim" in tool.FORBIDDEN["rt"]
+    assert "rt" in tool.FORBIDDEN["sim"]
+
+
+def test_collector_flags_substrate_import_from_protocol_layer():
+    tool = _load_tool()
+    source = (
+        "from repro.sim.engine import Simulator\n"
+        "from repro.net.network import Network\n"
+        "from repro.runtime.process import Process\n"
+    )
+    collector = tool.ImportCollector("repro.protocols.averaging")
+    collector.visit(ast.parse(source))
+    flagged = {tool.layer_of(target) for _, target in collector.imports
+               if tool.layer_of(target) in tool.FORBIDDEN["protocols"]}
+    assert flagged == {"sim", "net"}

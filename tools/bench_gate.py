@@ -16,10 +16,14 @@ verdict on a laptop and a CI runner:
 * ``end_to_end.normalized`` — streamed-run events/sec divided by the
   same legacy yardstick.
 
-The gate fails when any gated figure drops more than 20% below the
-baseline, or when the python-backend speedup falls under the 5x floor
-the engine is required to deliver.  Absolute samples/sec and events/sec
-are recorded in ``BENCH_PR4.json`` for the trajectory but not gated.
+The gate fails when any gated figure drops below its tolerance —
+20% for the analysis figures, and only 5% for the end-to-end
+events/sec figure, which since the runtime-seam refactor dispatches
+through ``SimRuntime`` and therefore doubles as the proof that the
+indirection is near-free — or when the python-backend speedup falls
+under the 5x floor the engine is required to deliver.  Absolute
+samples/sec and events/sec are recorded in ``BENCH_PR4.json`` for the
+trajectory but not gated.
 
 Run from the repository root:
 
@@ -44,14 +48,24 @@ RESULT_PATH = REPO / "BENCH_PR4.json"
 #: Maximum tolerated drop of a gated figure below its baseline.
 TOLERANCE = 0.20
 
+#: Tighter tolerance for the end-to-end events/sec figure: the run
+#: dispatches every timer and message through the ``SimRuntime`` seam,
+#: and the runtime-abstraction contract is that this indirection costs
+#: less than 5% against the direct-dispatch PR 4 baseline.
+DISPATCH_TOLERANCE = 0.05
+
 #: Hard floor on the python-backend analysis speedup (acceptance bar).
 SPEEDUP_FLOOR = 5.0
 
-#: Gated figures: (dotted path, human label).
+#: Gated figures: (dotted path, human label, tolerated drop).
 GATED = [
-    ("analysis.python.speedup", "analysis speedup (python backend)"),
-    ("analysis.numpy.speedup", "analysis speedup (numpy backend)"),
-    ("end_to_end.normalized", "end-to-end normalized throughput"),
+    ("analysis.python.speedup", "analysis speedup (python backend)",
+     TOLERANCE),
+    ("analysis.numpy.speedup", "analysis speedup (numpy backend)",
+     TOLERANCE),
+    ("end_to_end.normalized",
+     "end-to-end normalized throughput (SimRuntime dispatch)",
+     DISPATCH_TOLERANCE),
 ]
 
 
@@ -83,7 +97,7 @@ def main() -> int:
         # measure twice and keep, per gated figure, the worse of the
         # two runs — an optimistic baseline would make the gate flaky.
         second = measure()
-        for dotted, _ in GATED:
+        for dotted, _, _tol in GATED:
             a, b = lookup(metrics, dotted), lookup(second, dotted)
             if a is None or b is None:
                 continue
@@ -112,7 +126,7 @@ def main() -> int:
               file=sys.stderr)
         ok = False
 
-    for dotted, label in GATED:
+    for dotted, label, tolerance in GATED:
         base = lookup(baseline, dotted)
         current = lookup(metrics, dotted)
         if base is None or current is None:
@@ -121,7 +135,7 @@ def main() -> int:
             print(f"  {label}: skipped (not measured on "
                   f"{'baseline' if base is None else 'this run'})")
             continue
-        floor = base * (1.0 - TOLERANCE)
+        floor = base * (1.0 - tolerance)
         verdict = "ok" if current >= floor else "REGRESSION"
         print(f"  {label}: {current:.2f} vs baseline {base:.2f} "
               f"(floor {floor:.2f}) -- {verdict}")
@@ -131,8 +145,8 @@ def main() -> int:
     if ok:
         print("bench gate passed")
         return 0
-    print("BENCH GATE FAILURE: measurement engine regressed >20% below "
-          "the committed baseline", file=sys.stderr)
+    print("BENCH GATE FAILURE: a gated figure regressed below its "
+          "tolerance against the committed baseline", file=sys.stderr)
     return 1
 
 

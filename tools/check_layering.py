@@ -31,10 +31,20 @@ SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
 PACKAGE = "repro"
 
 # layer -> layers it must never import (at runtime).
+#
+# Since the runtime-seam refactor, protocol code programs against
+# ``repro.runtime`` only: ``core`` and ``protocols`` may not import the
+# concrete simulator (``repro.sim``) or network (``repro.net``) — those
+# are substrates plugged in behind :class:`repro.runtime.api.NodeRuntime`.
+# The seam itself (``runtime``) must stay substrate-free too, and the
+# real-time substrate (``rt``) must never reach back into the simulator.
 FORBIDDEN: dict[str, frozenset[str]] = {
-    "core": frozenset({"obs", "runner"}),
-    "sim": frozenset({"obs", "runner"}),
+    "core": frozenset({"obs", "runner", "sim", "net"}),
+    "protocols": frozenset({"obs", "runner", "sim", "net"}),
+    "runtime": frozenset({"obs", "runner", "sim", "net", "rt"}),
+    "sim": frozenset({"obs", "runner", "rt"}),
     "clocks": frozenset({"obs", "runner"}),
+    "rt": frozenset({"sim", "net", "runner"}),
 }
 
 
