@@ -29,7 +29,12 @@ Subcommands:
   (localhost UDP by default, ``--processes`` for one OS process per
   node) for a wall-clock duration, streaming live deviation telemetry
   through the observability bus; exits non-zero unless every sampled
-  cluster spread stays under the Theorem 5 bound.
+  cluster spread stays under the Theorem 5 bound.  With ``--serve``
+  every node additionally answers client time queries on UDP port
+  ``--serve-base-port + node``.
+* ``query`` — client side of ``live --serve``: issue ``now`` /
+  ``validate`` / ``epoch`` queries against a serving node and print
+  QPS and latency percentiles; exits non-zero on any failed query.
 * ``list`` — show the available scenarios and protocols.
 """
 
@@ -179,6 +184,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)  # child mode, spawned by --processes
     live_p.add_argument("--epoch", type=float, default=None,
                         help=argparse.SUPPRESS)  # shared monotonic epoch for children
+    live_p.add_argument("--serve", action="store_true",
+                        help="answer client time queries during the run "
+                             "(one UDP endpoint per node)")
+    live_p.add_argument("--serve-base-port", type=int, default=19300,
+                        help="query port of node 0; node i serves on "
+                             "base+i (0 = ephemeral ports)")
+
+    query_p = sub.add_parser("query", help="query a node served by "
+                                           "`repro live --serve`")
+    query_p.add_argument("--host", default="127.0.0.1")
+    query_p.add_argument("--port", type=int, default=19300,
+                         help="query port of the target node")
+    query_p.add_argument("--count", type=int, default=10,
+                         help="number of queries to issue")
+    query_p.add_argument("--op", choices=("now", "validate", "epoch", "mixed"),
+                         default="mixed",
+                         help="operation to issue (mixed cycles all three)")
+    query_p.add_argument("--max-age", type=float, default=1.0,
+                         help="freshness window for validate queries (s)")
+    query_p.add_argument("--epoch-length", type=float, default=10.0,
+                         help="epoch length for epoch queries (s)")
+    query_p.add_argument("--timeout", type=float, default=2.0,
+                         help="per-query reply timeout (s)")
 
     sub.add_parser("list", help="list scenarios and protocols")
     return parser
@@ -409,9 +437,17 @@ def cmd_live(args: argparse.Namespace) -> int:
                       delta=args.delta, rho=args.rho, pi=args.pi,
                       transport=args.transport,
                       sample_interval=args.sample_interval,
-                      seed=args.seed, bus=bus)
+                      seed=args.seed, bus=bus,
+                      serve_base_port=(args.serve_base_port if args.serve
+                                       else None))
     print(f"live transport={report.transport} nodes={args.nodes} "
           f"f={args.f} duration={report.duration}s seed={args.seed}")
+    if report.query_ports:
+        answered = sum(report.queries_answered.values())
+        failed = sum(report.queries_failed.values())
+        ports = sorted(report.query_ports.values())
+        print(f"time service: ports {ports[0]}-{ports[-1]}, "
+              f"{answered} queries answered ({failed} failed)")
     rows = []
     for node in sorted(report.series):
         deviations = [abs(dev) for _, dev in report.series[node]]
@@ -486,6 +522,65 @@ def _cmd_live_processes(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Issue client time queries against a `live --serve` node."""
+    import asyncio
+    from statistics import median
+    from time import perf_counter
+
+    from repro.service.query import OP_EPOCH, OP_NOW, OP_VALIDATE, QueryError, TimeQueryClient
+
+    async def drive() -> tuple[int, int, list[float]]:
+        client = TimeQueryClient(host=args.host, port=args.port,
+                                 timeout=args.timeout)
+        await client.connect()
+        succeeded = failed = 0
+        latencies: list[float] = []
+        try:
+            # Seed validate queries with a real server timestamp.
+            reply, _ = await client.request(OP_NOW)
+            anchor_value, anchor_node = reply.value, reply.node
+            ops = ([args.op] if args.op != "mixed"
+                   else [OP_NOW, OP_VALIDATE, OP_EPOCH])
+            for index in range(args.count):
+                op = ops[index % len(ops)]
+                start = perf_counter()
+                try:
+                    if op == OP_NOW:
+                        await client.request(OP_NOW)
+                    elif op == OP_VALIDATE:
+                        await client.request(OP_VALIDATE,
+                                             ts_value=anchor_value,
+                                             ts_issuer=anchor_node,
+                                             max_age=args.max_age)
+                    else:
+                        await client.request(OP_EPOCH,
+                                             epoch_length=args.epoch_length)
+                    succeeded += 1
+                    latencies.append(perf_counter() - start)
+                except QueryError as exc:
+                    failed += 1
+                    print(f"query {index} ({op}) failed: {exc}",
+                          file=sys.stderr)
+        finally:
+            client.close()
+        return succeeded, failed, latencies
+
+    try:
+        succeeded, failed, latencies = asyncio.run(drive())
+    except QueryError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    if latencies:
+        ordered = sorted(latencies)
+        p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        print(f"queries: {succeeded} ok, {failed} failed against "
+              f"{args.host}:{args.port}")
+        print(f"latency: p50 {median(ordered) * 1e3:.2f} ms, "
+              f"p99 {p99 * 1e3:.2f} ms")
+    return 0 if failed == 0 and succeeded == args.count else 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """Print the available scenarios and registered protocols."""
     print("scenarios: " + ", ".join(sorted(SCENARIOS)))
@@ -498,7 +593,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
                 "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep,
-                "live": cmd_live}
+                "live": cmd_live, "query": cmd_query}
     return handlers[args.command](args)
 
 

@@ -8,13 +8,27 @@ the deployment one:
 
 * :mod:`repro.rt.runtime` — :class:`AsyncioRuntime`, mapping local-clock
   timers onto ``loop.call_at`` and messages onto a transport;
+* :mod:`repro.rt.codec` — the versioned binary wire codec (legacy JSON
+  accepted on decode for rolling upgrades);
 * :mod:`repro.rt.transport` — in-memory loopback and UDP transports
-  plus the JSON wire codec;
+  over the codec;
 * :mod:`repro.rt.virtualtime` — a controllable virtual-time loop so the
   rt path is testable deterministically;
 * :mod:`repro.rt.live` — cluster wiring and the ``repro live`` engine.
 """
 
+from repro.rt.codec import (
+    GENERIC_TAG,
+    MAGIC,
+    WIRE_VERSION,
+    CodecVersionError,
+    PayloadSpec,
+    encode_datagram_binary,
+    encode_datagram_json,
+    pack_payload,
+    registered_payloads,
+    unpack_payload,
+)
 from repro.rt.live import (
     LiveCluster,
     LiveReport,
@@ -38,6 +52,16 @@ from repro.rt.transport import (
 from repro.rt.virtualtime import ScheduledCall, VirtualTimeLoop
 
 __all__ = [
+    "GENERIC_TAG",
+    "MAGIC",
+    "WIRE_VERSION",
+    "CodecVersionError",
+    "PayloadSpec",
+    "encode_datagram_binary",
+    "encode_datagram_json",
+    "pack_payload",
+    "registered_payloads",
+    "unpack_payload",
     "AsyncioRuntime",
     "RtTimerHandle",
     "LiveCluster",

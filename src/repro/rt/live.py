@@ -27,9 +27,10 @@ time.
 from __future__ import annotations
 
 import asyncio
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.clocks.hardware import FixedRateClock
 from repro.clocks.logical import LogicalClock
@@ -40,6 +41,9 @@ from repro.obs.bus import EventBus
 from repro.rt.runtime import AsyncioRuntime
 from repro.rt.transport import LoopbackTransport, Transport, UdpTransport
 from repro.service.timeservice import SecureTimeService
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.query import TimeQueryServer
 
 
 def default_live_params(n: int = 4, f: int = 1, delta: float = 0.02,
@@ -107,6 +111,7 @@ class LiveCluster:
     bus: EventBus
     series: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
     spread: list[tuple[float, float]] = field(default_factory=list)
+    query_servers: dict[int, "TimeQueryServer"] = field(default_factory=dict)
     _sampler: Any = None
 
     def now(self) -> float:
@@ -157,6 +162,8 @@ class LiveCluster:
             self._sampler = None
         for process in self.processes.values():
             process.cancel_all_timers()
+        for server in self.query_servers.values():
+            server.close()
         for transport in self.transports.values():
             close = getattr(transport, "close", None)
             if close is not None:
@@ -168,12 +175,28 @@ class LiveCluster:
         """A :class:`SecureTimeService` fronting ``node``'s live clock."""
         return SecureTimeService(self.processes[node], self.params)
 
+    async def serve_queries(self, node: int, host: str = "127.0.0.1",
+                            port: int = 0) -> "TimeQueryServer":
+        """Open a client-facing :class:`TimeQueryServer` for ``node``.
+
+        The server answers ``now`` / ``validate_timestamp`` / ``epoch``
+        queries at estimation cost from the node's live clock; it is
+        closed by :meth:`stop`.
+        """
+        from repro.service.query import TimeQueryServer
+
+        server = TimeQueryServer(self.time_service(node), node_id=node)
+        await server.start(host=host, port=port)
+        self.query_servers[node] = server
+        return server
+
 
 def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
                   transport: str = "loopback", bus: EventBus | None = None,
                   epoch: float | None = None,
                   loopback_delay: float | None = None,
-                  stagger: bool = True) -> LiveCluster:
+                  stagger: bool = True,
+                  wire: str | dict[int, str] = "binary") -> LiveCluster:
     """Wire clocks, runtimes, transports, and Sync processes.
 
     With ``transport="loopback"`` the cluster is complete on return.
@@ -187,6 +210,11 @@ def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
             default, keeping conformance runs aligned).
         stagger: Give node ``i`` a start phase of
             ``i * sync_interval / n`` so first Syncs don't collide.
+        wire: Outbound datagram encoding for UDP transports —
+            ``"binary"``, ``"json"``, or a per-node mapping (missing
+            nodes default to binary).  Decoding always accepts both, so
+            mixed-wire clusters interoperate (the rolling-upgrade /
+            version-negotiation scenario).
     """
     if transport not in ("loopback", "udp"):
         raise ConfigurationError(f"unknown transport {transport!r}")
@@ -208,7 +236,9 @@ def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
             transports[node] = hub
     else:
         for node in range(params.n):
-            transports[node] = UdpTransport(node, now)
+            node_wire = (wire if isinstance(wire, str)
+                         else wire.get(node, "binary"))
+            transports[node] = UdpTransport(node, now, wire=node_wire)
 
     runtimes: dict[int, AsyncioRuntime] = {}
     processes: dict[int, SyncProcess] = {}
@@ -246,6 +276,9 @@ class LiveReport:
         bound: The Theorem 5 deviation bound for ``params``.
         events_published: Total obs-bus events emitted.
         service_readings: One final ``SecureTimeService.now()`` per node.
+        query_ports: Query-server port per node (``--serve`` runs only).
+        queries_answered: Queries answered per node (``--serve`` only).
+        queries_failed: ``ok=False`` replies per node (``--serve`` only).
     """
 
     params: ProtocolParams
@@ -258,6 +291,9 @@ class LiveReport:
     bound: float
     events_published: int
     service_readings: dict[int, float]
+    query_ports: dict[int, int] = field(default_factory=dict)
+    queries_answered: dict[int, int] = field(default_factory=dict)
+    queries_failed: dict[int, int] = field(default_factory=dict)
 
     def bounded(self) -> bool:
         """Every node produced samples and every spread is under the
@@ -280,10 +316,13 @@ class LiveReport:
 async def _run_cluster_async(params: ProtocolParams, duration: float,
                              seed: int, transport: str,
                              sample_interval: float,
-                             bus: EventBus | None) -> LiveReport:
+                             bus: EventBus | None,
+                             serve_base_port: int | None = None,
+                             wire: str | dict[int, str] = "binary"
+                             ) -> LiveReport:
     loop = asyncio.get_running_loop()
     cluster = build_cluster(params, loop, seed=seed, transport=transport,
-                            bus=bus)
+                            bus=bus, wire=wire)
     try:
         if transport == "udp":
             addresses: dict[int, tuple[str, int]] = {}
@@ -291,6 +330,10 @@ async def _run_cluster_async(params: ProtocolParams, duration: float,
                 addresses[node] = await udp.start()
             for udp in cluster.transports.values():
                 udp.set_peers(addresses)
+        if serve_base_port is not None:
+            for node in cluster.processes:
+                port = 0 if serve_base_port == 0 else serve_base_port + node
+                await cluster.serve_queries(node, port=port)
         cluster.start(sample_interval=sample_interval)
         await asyncio.sleep(duration)
         cluster.sample_once()  # guarantee a final post-convergence sample
@@ -311,24 +354,39 @@ async def _run_cluster_async(params: ProtocolParams, duration: float,
         bound=params.bounds().max_deviation,
         events_published=cluster.bus.events_published,
         service_readings=services,
+        query_ports={node: server.address[1]
+                     for node, server in cluster.query_servers.items()},
+        queries_answered={node: server.queries_answered
+                          for node, server in cluster.query_servers.items()},
+        queries_failed={node: server.queries_failed
+                        for node, server in cluster.query_servers.items()},
     )
 
 
 def run_live(nodes: int = 4, f: int = 1, duration: float = 2.0,
              delta: float = 0.02, rho: float = 1e-4, pi: float = 2.0,
              transport: str = "udp", sample_interval: float = 0.1,
-             seed: int = 0, bus: EventBus | None = None) -> LiveReport:
+             seed: int = 0, bus: EventBus | None = None,
+             serve_base_port: int | None = None,
+             wire: str | dict[int, str] = "binary") -> LiveReport:
     """Deploy a live Sync cluster and run it for ``duration`` seconds.
 
     Blocking entry point (wraps ``asyncio.run``): spawns ``nodes``
     asyncio runtimes on localhost — real UDP sockets by default — runs
     the paper's Sync protocol on wall-clock timers, and returns the
     telemetry report.  Pass ``bus`` to additionally receive every
-    ``live.*`` event (e.g. for JSONL capture).
+    ``live.*`` event (e.g. for JSONL capture).  With ``serve_base_port``
+    each node additionally answers client time queries on UDP port
+    ``serve_base_port + node`` (see :mod:`repro.service.query`).
+    ``wire`` selects each node's outbound datagram encoding (see
+    :func:`build_cluster`) — a mixed mapping exercises the rolling
+    binary/JSON upgrade path.
     """
     params = default_live_params(n=nodes, f=f, delta=delta, rho=rho, pi=pi)
     return asyncio.run(_run_cluster_async(params, duration, seed, transport,
-                                          sample_interval, bus))
+                                          sample_interval, bus,
+                                          serve_base_port=serve_base_port,
+                                          wire=wire))
 
 
 # ---------------------------------------------------------------------------
@@ -401,10 +459,16 @@ def aggregate_process_samples(samples: list[dict], nodes: int,
     Children sample on their own schedules, so samples are grouped into
     ``sample_interval``-wide tau buckets; a bucket contributes a spread
     point only when every node reported in it (per-node latest wins).
+
+    Bucketing uses ``math.floor``, not ``int()``: children that start
+    slightly before the shared epoch emit samples with small *negative*
+    tau, and ``int()``'s truncation toward zero would fold the whole
+    ``(-interval, +interval)`` range into bucket 0, corrupting the
+    first spread point with pre-epoch readings.
     """
     buckets: dict[int, dict[int, float]] = {}
     for record in samples:
-        bucket = int(record["tau"] / sample_interval)
+        bucket = math.floor(record["tau"] / sample_interval)
         buckets.setdefault(bucket, {})[record["node"]] = record["clock"]
     series = []
     for bucket in sorted(buckets):

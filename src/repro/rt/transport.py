@@ -1,4 +1,4 @@
-"""Real-time transports and the wire codec for protocol payloads.
+"""Real-time transports for protocol payloads.
 
 Two transports implement the paper's link model (authenticated
 point-to-point channels, delivery within ``delta``) for the rt path:
@@ -8,109 +8,52 @@ point-to-point channels, delivery within ``delta``) for the rt path:
   delay, so under a :class:`~repro.rt.virtualtime.VirtualTimeLoop` it
   reproduces the simulator's ``FixedDelay`` network exactly — the
   substrate of the cross-runtime conformance tests.
-* :class:`UdpTransport` — one UDP socket per node on localhost, JSON
-  datagrams, for genuine multi-node (and multi-process) deployment.
-  Sender identity is carried in the datagram and trusted, standing in
-  for the authenticated links the paper assumes ("we assume ... a
-  can identify the sender of every message it receives"); a production
-  deployment would MAC each datagram under a pairwise key.
+* :class:`UdpTransport` — one UDP socket per node on localhost, binary
+  datagrams (see :mod:`repro.rt.codec`), for genuine multi-node (and
+  multi-process) deployment.  Sender identity is carried in the
+  datagram and trusted, standing in for the authenticated links the
+  paper assumes ("we assume ... a can identify the sender of every
+  message it receives"); a production deployment would MAC each
+  datagram under a pairwise key.
 
-The codec (:func:`encode_payload` / :func:`decode_payload`) covers the
-protocol payloads that cross the wire — :class:`~repro.runtime.messages.Ping`,
-:class:`~repro.runtime.messages.Pong`,
-:class:`~repro.runtime.messages.AppPayload` — via a registry that
-deployments can extend with :func:`register_payload`.
+The wire codec itself lives in :mod:`repro.rt.codec`; its entry points
+(:func:`register_payload`, :func:`encode_datagram`,
+:func:`decode_datagram`, ...) are re-exported here for compatibility
+with pre-codec deployments.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 from abc import ABC, abstractmethod
-from dataclasses import asdict, fields, is_dataclass
 from typing import Any, Callable
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError
+from repro.rt.codec import (
+    CodecVersionError,
+    TransportError,
+    decode_datagram,
+    decode_payload,
+    encode_datagram,
+    encode_payload,
+    register_payload,
+)
 from repro.runtime.api import MessageHandler
-from repro.runtime.messages import AppPayload, Message, Ping, Pong
+from repro.runtime.messages import Message
 
+__all__ = [
+    "CodecVersionError",
+    "LoopbackTransport",
+    "Transport",
+    "TransportError",
+    "UdpTransport",
+    "decode_datagram",
+    "decode_payload",
+    "encode_datagram",
+    "encode_payload",
+    "register_payload",
+]
 
-class TransportError(ReproError):
-    """A transport was used before setup or received a malformed datagram."""
-
-
-# ---------------------------------------------------------------------------
-# Wire codec
-# ---------------------------------------------------------------------------
-
-_PAYLOAD_REGISTRY: dict[str, type] = {}
-
-
-def register_payload(key: str, cls: type) -> None:
-    """Register a dataclass payload type under a wire ``key``.
-
-    Args:
-        key: Short type tag carried in the datagram's ``k`` field.
-        cls: A dataclass whose fields are JSON-serializable.
-    """
-    if not is_dataclass(cls):
-        raise ConfigurationError(f"payload type {cls!r} must be a dataclass")
-    existing = _PAYLOAD_REGISTRY.get(key)
-    if existing is not None and existing is not cls:
-        raise ConfigurationError(
-            f"wire key {key!r} already registered for {existing!r}")
-    _PAYLOAD_REGISTRY[key] = cls
-
-
-register_payload("ping", Ping)
-register_payload("pong", Pong)
-register_payload("app", AppPayload)
-
-
-def encode_payload(payload: Any) -> dict[str, Any]:
-    """Encode a registered payload to its JSON-able wire dict."""
-    for key, cls in _PAYLOAD_REGISTRY.items():
-        if type(payload) is cls:
-            wire = asdict(payload)
-            wire["k"] = key
-            return wire
-    raise TransportError(
-        f"payload type {type(payload).__name__} is not wire-registered; "
-        f"call repro.rt.transport.register_payload first")
-
-
-def decode_payload(wire: dict[str, Any]) -> Any:
-    """Decode a wire dict produced by :func:`encode_payload`."""
-    key = wire.get("k")
-    cls = _PAYLOAD_REGISTRY.get(key)
-    if cls is None:
-        raise TransportError(f"unknown wire payload key {key!r}")
-    names = {f.name for f in fields(cls)}
-    return cls(**{name: value for name, value in wire.items() if name in names})
-
-
-def encode_datagram(sender: int, recipient: int, payload: Any,
-                    sent_at: float) -> bytes:
-    """Serialize one message to a UDP datagram (compact JSON)."""
-    return json.dumps(
-        {"s": sender, "r": recipient, "t": sent_at,
-         "p": encode_payload(payload)},
-        sort_keys=True, separators=(",", ":")).encode()
-
-
-def decode_datagram(data: bytes) -> tuple[int, int, Any, float]:
-    """Parse a datagram back to ``(sender, recipient, payload, sent_at)``."""
-    try:
-        raw = json.loads(data.decode())
-        return (int(raw["s"]), int(raw["r"]), decode_payload(raw["p"]),
-                float(raw["t"]))
-    except (ValueError, KeyError, TypeError) as exc:
-        raise TransportError(f"malformed datagram: {exc}") from exc
-
-
-# ---------------------------------------------------------------------------
-# Transports
-# ---------------------------------------------------------------------------
 
 class Transport(ABC):
     """Message fabric interface consumed by
@@ -201,15 +144,28 @@ class UdpTransport(Transport):
     Args:
         node_id: The owning node.
         now: Callable returning the cluster tau for message stamps.
+        wire: Encoding used for *outbound* datagrams: ``"binary"``
+            (default) or ``"json"`` (the pre-codec form, for rolling
+            upgrades).  Inbound datagrams are always accepted in both
+            forms — that asymmetry is the upgrade path: flip senders to
+            binary one node at a time, old-format peers keep working.
 
     Attributes:
         address: ``(host, port)`` after :meth:`start`.
         messages_delivered: Datagrams decoded and handed to the handler.
-        malformed_dropped: Datagrams that failed to decode.
+        malformed_dropped: Datagrams that failed to decode (corruption).
+        misrouted_dropped: Well-formed datagrams addressed to a
+            different node (a routing/config error, not corruption).
+        version_dropped: Datagrams with an unsupported wire version
+            (deployment skew: a peer is running a newer codec).
     """
 
-    def __init__(self, node_id: int, now: Callable[[], float]) -> None:
+    def __init__(self, node_id: int, now: Callable[[], float],
+                 wire: str = "binary") -> None:
+        if wire not in ("binary", "json"):
+            raise ConfigurationError(f"unknown wire format {wire!r}")
         self.node_id = node_id
+        self.wire = wire
         self._now = now
         self._handler: MessageHandler | None = None
         self._peers: dict[int, tuple[str, int]] = {}
@@ -218,6 +174,8 @@ class UdpTransport(Transport):
         self._msg_id = 0
         self.messages_delivered = 0
         self.malformed_dropped = 0
+        self.misrouted_dropped = 0
+        self.version_dropped = 0
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Bind the UDP socket; returns the actual ``(host, port)``."""
@@ -258,18 +216,22 @@ class UdpTransport(Transport):
         if addr is None:
             return  # unknown peer: dropped, like a dead link
         self._endpoint.sendto(encode_datagram(sender, recipient, payload,
-                                              self._now()), addr)
+                                              self._now(), wire=self.wire),
+                              addr)
 
     def _on_datagram(self, data: bytes) -> None:
         if self._handler is None:
             return
         try:
             sender, recipient, payload, sent_at = decode_datagram(data)
+        except CodecVersionError:
+            self.version_dropped += 1
+            return
         except TransportError:
             self.malformed_dropped += 1
             return
         if recipient != self.node_id:
-            self.malformed_dropped += 1
+            self.misrouted_dropped += 1
             return
         self._msg_id += 1
         self.messages_delivered += 1

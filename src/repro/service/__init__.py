@@ -6,6 +6,14 @@ derive from the Theorem 5 bounds.
 """
 
 from repro.service.monitor import Alert, MonitorThresholds, SyncHealthMonitor
+from repro.service.query import (
+    QueryError,
+    TimeQuery,
+    TimeQueryClient,
+    TimeQueryServer,
+    TimeReply,
+    answer_query,
+)
 from repro.service.refresh import (
     KeyAnnouncement,
     RefreshingSyncProcess,
@@ -17,6 +25,12 @@ from repro.service.timeservice import SecureTimeService, Timestamp
 __all__ = [
     "SecureTimeService",
     "Timestamp",
+    "TimeQuery",
+    "TimeReply",
+    "TimeQueryServer",
+    "TimeQueryClient",
+    "QueryError",
+    "answer_query",
     "SyncHealthMonitor",
     "MonitorThresholds",
     "Alert",

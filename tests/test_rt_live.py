@@ -3,6 +3,8 @@ one short real-asyncio smoke)."""
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
 
 from repro.obs.bus import EventBus
@@ -114,6 +116,19 @@ class TestAggregation:
                                            sample_interval=0.1)
         assert series == [(0.0, pytest.approx(0.01))]
 
+    def test_negative_tau_stays_out_of_bucket_zero(self):
+        # int() truncates toward zero, so a sample at tau in
+        # (-interval, 0) used to land in bucket 0 and clobber the
+        # legitimate t=0 samples with a wildly different clock value.
+        samples = [
+            {"node": 0, "tau": 0.04, "clock": 1.00},
+            {"node": 1, "tau": 0.05, "clock": 1.01},
+            {"node": 0, "tau": -0.05, "clock": 999.0},
+        ]
+        series = aggregate_process_samples(samples, nodes=2,
+                                           sample_interval=0.1)
+        assert series == [(0.0, pytest.approx(0.01))]
+
 
 def test_real_udp_smoke():
     """0.6 wall-clock seconds of genuine UDP Sync on localhost."""
@@ -122,3 +137,42 @@ def test_real_udp_smoke():
     assert report.bounded()
     assert all(rounds >= 1 for rounds in report.rounds.values())
     assert report.events_published > 0
+
+
+def test_mixed_wire_cluster_interops():
+    """Version negotiation: a JSON-wire node Syncs with binary peers.
+
+    Decoding sniffs the leader byte, so a cluster mid-rolling-upgrade
+    (node 0 still sending legacy JSON, the rest binary) must converge
+    exactly like a homogeneous one, with nothing dropped as malformed
+    or version-skewed.
+    """
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        params = default_live_params(n=4, f=1)
+        cluster = build_cluster(params, loop, seed=1, transport="udp",
+                                wire={0: "json"})
+        try:
+            addresses = {node: await udp.start()
+                         for node, udp in cluster.transports.items()}
+            for udp in cluster.transports.values():
+                udp.set_peers(addresses)
+            cluster.start(sample_interval=0.1)
+            await asyncio.sleep(0.6)
+            cluster.sample_once()
+        finally:
+            cluster.stop()
+        drops = [(udp.malformed_dropped, udp.version_dropped,
+                  udp.misrouted_dropped)
+                 for udp in cluster.transports.values()]
+        rounds = [proc.rounds_completed
+                  for proc in cluster.processes.values()]
+        return cluster, drops, rounds
+
+    cluster, drops, rounds = asyncio.run(scenario())
+    assert cluster.transports[0].wire == "json"
+    assert cluster.transports[1].wire == "binary"
+    assert all(drop == (0, 0, 0) for drop in drops)
+    assert all(count >= 1 for count in rounds)
+    bound = cluster.params.bounds().max_deviation
+    assert cluster.spread and all(s <= bound for _, s in cluster.spread)

@@ -84,6 +84,14 @@ class TestCodec:
         with pytest.raises(ConfigurationError):
             register_payload("ping", Impostor)
 
+    def test_missing_required_field_raises_transport_error(self):
+        # A wire dict naming a known payload but missing one of its
+        # required fields used to escape as a bare TypeError from the
+        # dataclass constructor; corrupt input must stay TransportError
+        # so the transport's malformed counter catches it.
+        with pytest.raises(TransportError):
+            decode_payload({"k": "pong", "nonce": 1})
+
 
 class TestLoopback:
     def test_delivery_after_fixed_delay(self):
@@ -174,6 +182,40 @@ class TestUdp:
             return dropped
 
         assert self.run_pair(scenario()) == 1
+
+    def test_misrouted_datagram_counted_separately(self):
+        # A well-formed datagram for another node is a routing problem,
+        # not corruption: it must land in misrouted_dropped, leaving
+        # malformed_dropped for genuinely broken input.
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport = UdpTransport(0, loop.time)
+            await transport.start()
+            transport.bind(0, Inbox(0))
+            transport._on_datagram(
+                encode_datagram(5, 7, Ping(nonce=1), 0.0))
+            counters = (transport.misrouted_dropped,
+                        transport.malformed_dropped)
+            transport.close()
+            return counters
+
+        assert self.run_pair(scenario()) == (1, 0)
+
+    def test_future_wire_version_counted_separately(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport = UdpTransport(0, loop.time)
+            await transport.start()
+            transport.bind(0, Inbox(0))
+            datagram = bytearray(encode_datagram(1, 0, Ping(nonce=1), 0.0))
+            datagram[1] = 9  # a wire version from the future
+            transport._on_datagram(bytes(datagram))
+            counters = (transport.version_dropped,
+                        transport.malformed_dropped)
+            transport.close()
+            return counters
+
+        assert self.run_pair(scenario()) == (1, 0)
 
     def test_send_as_other_node_rejected(self):
         async def scenario():

@@ -1,0 +1,102 @@
+"""Self-test for the bench-gate verdict logic (tools/bench_gate.py).
+
+Drives the pure ``evaluate(metrics, baseline)`` function with stubbed
+metrics dicts — no benchmarking — so the gate's own failure modes are
+covered: a clean message (not a formatting crash) when a gated figure
+is missing, regression detection, SLO floors, and the skip path for
+figures one side lacks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO / "tools" / "bench_gate.py")
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def healthy_metrics() -> dict:
+    return {
+        "analysis": {
+            "python": {"speedup": 20.0},
+            "numpy": {"speedup": 60.0},
+        },
+        "end_to_end": {"normalized": 4.5},
+        "service": {
+            "normalized_qps": 1.2,
+            "qps": 18_000.0,
+            "p99_vs_delta": 0.3,
+            "errors": 0,
+        },
+    }
+
+
+class TestEvaluate:
+    def test_healthy_run_passes(self):
+        ok, lines = bench_gate.evaluate(healthy_metrics(), healthy_metrics())
+        assert ok
+        assert not any("FAIL" in line or "REGRESSION" in line
+                       for line in lines)
+
+    def test_missing_figure_fails_cleanly(self):
+        # analysis.python.speedup absent used to crash the gate with a
+        # TypeError from formatting None; it must fail with a message.
+        metrics = healthy_metrics()
+        del metrics["analysis"]["python"]
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("analysis.python.speedup" in line and "missing" in line
+                   for line in lines)
+
+    def test_regression_below_tolerance_fails(self):
+        metrics = healthy_metrics()
+        metrics["analysis"]["python"]["speedup"] = 20.0 * 0.7  # >20% drop
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_drop_within_tolerance_passes(self):
+        metrics = healthy_metrics()
+        metrics["analysis"]["python"]["speedup"] = 20.0 * 0.9  # <20% drop
+        ok, _ = bench_gate.evaluate(metrics, healthy_metrics())
+        assert ok
+
+    def test_service_slo_floor_enforced(self):
+        metrics = healthy_metrics()
+        metrics["service"]["qps"] = 9_000.0
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("sustained QPS" in line and "FAILED" in line
+                   for line in lines)
+
+    def test_service_p99_ceiling_enforced(self):
+        metrics = healthy_metrics()
+        metrics["service"]["p99_vs_delta"] = 1.4
+        ok, _ = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+
+    def test_failed_queries_fail_the_gate(self):
+        metrics = healthy_metrics()
+        metrics["service"]["errors"] = 2
+        ok, _ = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+
+    def test_numpy_leg_skipped_when_absent(self):
+        # Pure-python environments have no numpy figure on either side;
+        # the baseline comparison skips it instead of failing.
+        metrics = healthy_metrics()
+        del metrics["analysis"]["numpy"]
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert ok
+        assert any("numpy" in line and "skipped" in line for line in lines)
+
+    def test_lookup_resolves_and_misses(self):
+        metrics = healthy_metrics()
+        assert bench_gate.lookup(metrics, "service.qps") == 18_000.0
+        assert bench_gate.lookup(metrics, "service.nope") is None
+        assert bench_gate.lookup(metrics, "nope.deep.path") is None
