@@ -1,28 +1,44 @@
-"""Observability overhead: flight recorder cost on the E1 workload.
+"""Observability overhead: flight recorder cost, sim and live path.
 
-Runs the standard rotating mobile-Byzantine scenario three ways —
-recorder off (the default), metrics-only, and full tracing (spans +
-metrics + probes) — and reports wall time and simulator throughput for
-each.  With the recorder off every publisher reduces to a single
-``if self.obs is not None`` attribute check, so that mode should sit
-within noise of the seed's throughput; the table makes the cost of the
-richer modes visible so it never creeps up silently.
+Two legs, one contract (telemetry must be close to free when off and
+affordable when on):
 
-Observability is write-only by contract, so all three modes must
-process the *identical* event schedule — asserted below, not just
-eyeballed.
+* **Simulator leg** — runs the standard rotating mobile-Byzantine
+  scenario three ways — recorder off (the default), metrics-only, and
+  full tracing (spans + metrics + probes) — and reports wall time and
+  simulator throughput for each.  With the recorder off every publisher
+  reduces to a single ``if self.obs is not None`` attribute check, so
+  that mode should sit within noise of the seed's throughput.
+  Observability is write-only by contract, so all three modes must
+  process the *identical* event schedule — asserted, not eyeballed.
+* **Live leg** (:func:`measure_live_overhead`) — deploys a loopback
+  cluster on a real asyncio loop, fronts node 0 with a
+  :class:`~repro.service.query.TimeQueryServer`, and drives it with the
+  same windowed load generator ``bench_service`` uses, in three modes:
+  telemetry off, counters-only (``ObsConfig(spans=False,
+  probes=False)``), and full (spans + metrics + wall-clock Theorem 5
+  probe + per-query latency histogram).  The figure that matters is
+  ``full_ratio`` — full-telemetry QPS over telemetry-off QPS — which
+  ``tools/bench_gate.py`` floors at 0.90: full telemetry may not cost
+  more than 10% of query throughput.
 """
 
 from __future__ import annotations
 
+import asyncio
+import gc
 import time
+from collections import deque
+from time import perf_counter
 
 from _util import emit, once
 
 from repro.metrics.report import table
 from repro.obs import FlightRecorder, ObsConfig
+from repro.rt.live import build_cluster, default_live_params
 from repro.runner.builders import default_params, mobile_byzantine_scenario
 from repro.runner.experiment import run
+from repro.service.query import OP_NOW, TimeQueryClient
 
 
 DURATION = 12.0
@@ -77,3 +93,129 @@ def test_obs_overhead(benchmark):
     # Same schedule in every mode (already asserted per-row inside
     # run_overhead; re-check the collected table for good measure).
     assert len({row[1] for row in rows}) == 1
+
+
+# -- live-path leg -------------------------------------------------------
+
+#: Smaller than bench_service's workload: three modes x ``passes``
+#: full load runs have to fit in the gate's time budget, and a ratio
+#: needs matched conditions more than it needs long runs.
+LIVE_WORKLOAD = {
+    "queries": 6_000,
+    "window": 32,
+    "warmup": 200,
+    "nodes": 4,
+    "f": 1,
+    "delta": 0.02,
+    "seed": 0,
+    "passes": 3,
+}
+
+#: ``telemetry=`` argument to :func:`build_cluster` per mode.  Factories,
+#: not values: each pass gets a fresh ``ObsConfig``.
+LIVE_MODES = [
+    ("off", lambda: False),
+    ("counters-only", lambda: ObsConfig(spans=False, probes=False)),
+    ("full", lambda: True),
+]
+
+
+async def _drive_live_queries(spec: dict, telemetry) -> float:
+    """One load run against a fresh cluster; returns sustained QPS."""
+    loop = asyncio.get_running_loop()
+    params = default_live_params(n=spec["nodes"], f=spec["f"],
+                                 delta=spec["delta"])
+    cluster = build_cluster(params, loop, seed=spec["seed"],
+                            transport="loopback", telemetry=telemetry)
+    client = TimeQueryClient(timeout=5.0)
+    try:
+        cluster.start(sample_interval=0.25)
+        server = await cluster.serve_queries(0)
+        client.port = server.address[1]
+        await client.connect()
+
+        for _ in range(spec["warmup"]):
+            await client.request(OP_NOW)
+
+        # Same sliding-window generator as bench_service: `window`
+        # queries in flight, FIFO retirement, GC paused over the
+        # measured stretch so a collection pass cannot skew one mode.
+        total, window = spec["queries"], spec["window"]
+        errors = 0
+        pending: deque[asyncio.Future] = deque()
+        gc.collect()
+        gc.disable()
+        try:
+            started = perf_counter()
+            for _ in range(total):
+                if len(pending) >= window:
+                    reply, _stamp = await pending.popleft()
+                    if not reply.ok:
+                        errors += 1
+                pending.append(client.submit(OP_NOW))
+            while pending:
+                reply, _stamp = await pending.popleft()
+                if not reply.ok:
+                    errors += 1
+            elapsed = perf_counter() - started
+        finally:
+            gc.enable()
+    finally:
+        client.close()
+        cluster.stop()
+    if errors:
+        raise AssertionError(f"{errors} failed queries under telemetry "
+                             f"mode {telemetry!r}")
+    return total / elapsed
+
+
+def measure_live_overhead(spec: dict | None = None) -> dict:
+    """Measure live-path telemetry overhead; returns the metrics block.
+
+    Modes are interleaved within each pass (off, counters, full, off,
+    counters, full, ...) so machine-load drift hits every mode alike
+    instead of biasing whichever ran last; per mode the best pass is
+    kept, the same best-of-N policy the other benchmarks use.
+    """
+    spec = dict(LIVE_WORKLOAD, **(spec or {}))
+    best = {name: 0.0 for name, _ in LIVE_MODES}
+    for _ in range(spec["passes"]):
+        for name, factory in LIVE_MODES:
+            qps = asyncio.run(_drive_live_queries(spec, factory()))
+            best[name] = max(best[name], qps)
+    return {
+        "workload": spec,
+        "off_qps": best["off"],
+        "counters_qps": best["counters-only"],
+        "full_qps": best["full"],
+        "counters_ratio": best["counters-only"] / best["off"],
+        "full_ratio": best["full"] / best["off"],
+    }
+
+
+def live_table(metrics: dict) -> str:
+    spec = metrics["workload"]
+    rows = [
+        ("off", f"{metrics['off_qps']:,.0f}", "1.000", "-"),
+        ("counters-only", f"{metrics['counters_qps']:,.0f}",
+         f"{metrics['counters_ratio']:.3f}", "-"),
+        ("full", f"{metrics['full_qps']:,.0f}",
+         f"{metrics['full_ratio']:.3f}", ">= 0.90 (gated)"),
+    ]
+    return table(
+        ["telemetry mode", "QPS", "vs off", "floor"], rows,
+        title=(f"Live telemetry overhead, {spec['queries']:,} queries, "
+               f"window {spec['window']}, n={spec['nodes']} loopback "
+               f"cluster, best of {spec['passes']} interleaved passes"))
+
+
+def test_obs_live_overhead(benchmark):
+    """Full live telemetry keeps at least half the QPS (loose sanity
+
+    bar; the committed 0.90 floor is enforced by ``tools/bench_gate.py``
+    where the run is not sharing the machine with a pytest session).
+    """
+    metrics = once(benchmark, measure_live_overhead)
+    emit("obs_live_overhead", live_table(metrics))
+    assert metrics["full_ratio"] >= 0.5
+    assert metrics["counters_ratio"] >= 0.5

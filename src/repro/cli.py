@@ -31,10 +31,20 @@ Subcommands:
   through the observability bus; exits non-zero unless every sampled
   cluster spread stays under the Theorem 5 bound.  With ``--serve``
   every node additionally answers client time queries on UDP port
-  ``--serve-base-port + node``.
+  ``--serve-base-port + node``; ``--telemetry`` attaches the live
+  telemetry plane (metrics registry + wall-clock Theorem 5 probe) and
+  ``--metrics-port`` serves it as Prometheus text exposition plus JSON
+  ``/health`` and ``/stats``.
 * ``query`` — client side of ``live --serve``: issue ``now`` /
   ``validate`` / ``epoch`` queries against a serving node and print
   QPS and latency percentiles; exits non-zero on any failed query.
+  ``--stats`` / ``--health`` instead fetch the node's introspection
+  documents over the same UDP protocol.
+* ``stats`` — scrape a running cluster's ``--metrics-port`` HTTP
+  endpoint and print the health table (spread vs the Theorem 5 bound,
+  per-node transport drop counters, query latency percentiles); exits
+  non-zero unless the cluster is bounded and every ``--require`` metric
+  family is present.
 * ``list`` — show the available scenarios and protocols.
 """
 
@@ -190,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
     live_p.add_argument("--serve-base-port", type=int, default=19300,
                         help="query port of node 0; node i serves on "
                              "base+i (0 = ephemeral ports)")
+    live_p.add_argument("--telemetry", action="store_true",
+                        help="attach the live telemetry plane (metrics "
+                             "registry, span tracer, wall-clock Theorem 5 "
+                             "probe); implied by --metrics-port and --trace")
+    live_p.add_argument("--metrics-port", type=int, default=None,
+                        help="serve Prometheus /metrics plus JSON /health "
+                             "and /stats on this HTTP port while the "
+                             "cluster runs (0 = ephemeral; implies "
+                             "--telemetry)")
+    live_p.add_argument("--json", dest="json_out", default=None,
+                        help="write the full live report (incl. transport "
+                             "drop counters) to this JSON file, '-' for "
+                             "stdout")
 
     query_p = sub.add_parser("query", help="query a node served by "
                                            "`repro live --serve`")
@@ -207,6 +230,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="epoch length for epoch queries (s)")
     query_p.add_argument("--timeout", type=float, default=2.0,
                          help="per-query reply timeout (s)")
+    query_p.add_argument("--stats", action="store_true",
+                         help="fetch the node's introspection stats "
+                              "document instead of issuing time queries")
+    query_p.add_argument("--health", action="store_true",
+                         help="fetch the node's live Theorem 5 health "
+                              "document instead of issuing time queries")
+    query_p.add_argument("--json", dest="json_out", default=None,
+                         help="write the query/stats result to this JSON "
+                              "file, '-' for stdout")
+
+    stats_p = sub.add_parser("stats", help="scrape a running cluster's "
+                                           "metrics endpoint and print a "
+                                           "health table")
+    stats_p.add_argument("--host", default="127.0.0.1")
+    stats_p.add_argument("--port", type=int, required=True,
+                         help="the cluster's --metrics-port")
+    stats_p.add_argument("--timeout", type=float, default=5.0,
+                         help="HTTP timeout per request (s)")
+    stats_p.add_argument("--require", default=None,
+                         help="comma-separated metric families that must be "
+                              "present in the Prometheus exposition "
+                              "(exit nonzero otherwise)")
+    stats_p.add_argument("--json", dest="json_out", default=None,
+                         help="write the scraped stats document to this "
+                              "JSON file, '-' for stdout")
 
     sub.add_parser("list", help="list scenarios and protocols")
     return parser
@@ -427,6 +475,8 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.processes:
         return _cmd_live_processes(args)
 
+    telemetry = (args.telemetry or args.metrics_port is not None
+                 or args.trace_out is not None)
     bus = None
     captured = []
     if args.trace_out is not None:
@@ -439,15 +489,22 @@ def cmd_live(args: argparse.Namespace) -> int:
                       sample_interval=args.sample_interval,
                       seed=args.seed, bus=bus,
                       serve_base_port=(args.serve_base_port if args.serve
-                                       else None))
+                                       else None),
+                      telemetry=telemetry,
+                      metrics_port=args.metrics_port)
     print(f"live transport={report.transport} nodes={args.nodes} "
           f"f={args.f} duration={report.duration}s seed={args.seed}")
+    if report.metrics_port is not None:
+        print(f"metrics endpoint: http://127.0.0.1:{report.metrics_port}"
+              f"/metrics (also /health, /stats)")
     if report.query_ports:
         answered = sum(report.queries_answered.values())
         failed = sum(report.queries_failed.values())
+        malformed = sum(report.queries_malformed.values())
         ports = sorted(report.query_ports.values())
         print(f"time service: ports {ports[0]}-{ports[-1]}, "
-              f"{answered} queries answered ({failed} failed)")
+              f"{answered} queries answered ({failed} failed, "
+              f"{malformed} malformed dropped)")
     rows = []
     for node in sorted(report.series):
         deviations = [abs(dev) for _, dev in report.series[node]]
@@ -457,18 +514,50 @@ def cmd_live(args: argparse.Namespace) -> int:
     print(table(["node", "syncs", "samples", "max |dev|", "final |dev|",
                  "service now()"], rows, title="per-node deviation series",
                 precision=6))
+    if report.transport_counters:
+        drop_rows = [[f"node {node}" if node != "_" else "hub",
+                      counters.get("transport_sent", 0),
+                      counters.get("transport_delivered", 0),
+                      counters.get("transport_malformed_dropped", "-"),
+                      counters.get("transport_misrouted_dropped", "-"),
+                      counters.get("transport_version_dropped", "-")]
+                     for node, counters
+                     in sorted(report.transport_counters.items())]
+        print()
+        print(table(["transport", "sent", "delivered", "malformed",
+                     "misrouted", "version"], drop_rows,
+                    title="transport counters", precision=0))
     bounded = report.bounded()
     print(f"\ncluster spread: max {report.max_spread():.6f} "
           f"final {report.final_spread():.6f} "
           f"bound {report.bound:.6f} {check_mark(bounded)}")
     print(f"obs events published: {report.events_published}")
+    if report.telemetry:
+        print(f"telemetry: wall-clock Theorem 5 probe violations: "
+              f"{report.probe_violations}")
     if args.trace_out is not None:
         from repro.obs import event_to_json
         with open(args.trace_out, "w") as handle:
             for event in captured:
                 handle.write(event_to_json(event) + "\n")
-        print(f"{len(captured)} live events written to {args.trace_out}")
+        print(f"{len(captured)} live events written to {args.trace_out} "
+              f"(summarize with `repro trace`)")
+    if args.json_out is not None:
+        _write_json(report.to_dict(), args.json_out)
     return 0 if bounded else 1
+
+
+def _write_json(payload, destination: str) -> None:
+    """Write a JSON document to a file, or stdout for ``"-"``."""
+    import json as _json
+
+    text = _json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+        print(f"JSON written to {destination}")
 
 
 def _cmd_live_processes(args: argparse.Namespace) -> int:
@@ -530,6 +619,9 @@ def cmd_query(args: argparse.Namespace) -> int:
 
     from repro.service.query import OP_EPOCH, OP_NOW, OP_VALIDATE, QueryError, TimeQueryClient
 
+    if args.stats or args.health:
+        return _cmd_query_admin(args)
+
     async def drive() -> tuple[int, int, list[float]]:
         client = TimeQueryClient(host=args.host, port=args.port,
                                  timeout=args.timeout)
@@ -578,7 +670,131 @@ def cmd_query(args: argparse.Namespace) -> int:
               f"{args.host}:{args.port}")
         print(f"latency: p50 {median(ordered) * 1e3:.2f} ms, "
               f"p99 {p99 * 1e3:.2f} ms")
+    if args.json_out is not None and latencies:
+        ordered = sorted(latencies)
+        _write_json({"host": args.host, "port": args.port,
+                     "succeeded": succeeded, "failed": failed,
+                     "p50_s": median(ordered),
+                     "p99_s": ordered[min(len(ordered) - 1,
+                                          int(0.99 * len(ordered)))]},
+                    args.json_out)
     return 0 if failed == 0 and succeeded == args.count else 1
+
+
+def _cmd_query_admin(args: argparse.Namespace) -> int:
+    """`repro query --stats/--health`: fetch introspection documents."""
+    import asyncio
+    import json as _json
+
+    from repro.service.query import QueryError, TimeQueryClient
+
+    async def fetch() -> dict:
+        client = TimeQueryClient(host=args.host, port=args.port,
+                                 timeout=args.timeout)
+        await client.connect()
+        try:
+            return (await client.stats() if args.stats
+                    else await client.health())
+        finally:
+            client.close()
+
+    try:
+        document = asyncio.run(fetch())
+    except QueryError as exc:
+        print(f"admin query failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json_out is not None:
+        _write_json(document, args.json_out)
+    else:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    health = document.get("health", document)
+    return 0 if health.get("bounded") else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape a running cluster's metrics endpoint; print health tables.
+
+    Exit code 0 requires: all three documents fetched, every
+    ``--require`` metric family present in the exposition, and the
+    health document reporting ``bounded=true``.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.expo import metric_families
+
+    base = f"http://{args.host}:{args.port}"
+
+    def fetch(path: str) -> bytes:
+        with urllib.request.urlopen(base + path,
+                                    timeout=args.timeout) as response:
+            return response.read()
+
+    try:
+        exposition = fetch("/metrics").decode("utf-8")
+        stats = _json.loads(fetch("/stats"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"scrape of {base} failed: {exc}", file=sys.stderr)
+        return 1
+
+    health = stats.get("health", {})
+    bound = health.get("bound")
+    spread = health.get("spread")
+    bounded = bool(health.get("bounded"))
+    print(f"cluster at {base}: tau={health.get('tau', 0.0):.3f}s "
+          f"nodes={health.get('nodes')} f={health.get('f')} "
+          f"samples={health.get('samples')}")
+    print(table(
+        ["quantity", "value"],
+        [
+            ["spread (last sample)", spread if spread is not None else "-"],
+            ["max spread", health.get("max_spread") or "-"],
+            ["Theorem 5 bound", bound],
+            ["bounded", check_mark(bounded)],
+            ["probe violations", health.get("violations", "-")],
+            ["query p50 (s)", health.get("query_p50") or "-"],
+            ["query p99 (s)", health.get("query_p99") or "-"],
+        ],
+        title="live Theorem 5 health", precision=6,
+    ))
+    transport = stats.get("transport", {})
+    queries = stats.get("queries", {})
+    if transport:
+        rows = []
+        for node in sorted(transport, key=lambda k: (k == "_", k)):
+            counters = transport[node]
+            qc = queries.get(node, {})
+            rows.append([
+                "hub" if node == "_" else f"node {node}",
+                health.get("rounds", {}).get(node, "-"),
+                counters.get("transport_sent", 0),
+                counters.get("transport_delivered", 0),
+                counters.get("transport_malformed_dropped", "-"),
+                counters.get("transport_misrouted_dropped", "-"),
+                counters.get("transport_version_dropped", "-"),
+                qc.get("queries_answered", "-"),
+                qc.get("queries_failed", "-"),
+            ])
+        print()
+        print(table(["node", "syncs", "sent", "delivered", "malformed",
+                     "misrouted", "version", "answered", "q_failed"],
+                    rows, title="per-node transport / query counters",
+                    precision=0))
+    missing: list[str] = []
+    if args.require:
+        present = metric_families(exposition)
+        missing = [family for family in
+                   (f.strip() for f in args.require.split(","))
+                   if family and family not in present]
+        if missing:
+            print(f"\nMISSING metric families: {', '.join(missing)}",
+                  file=sys.stderr)
+        else:
+            print(f"\nall required metric families present")
+    if args.json_out is not None:
+        _write_json(stats, args.json_out)
+    return 0 if bounded and not missing else 1
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -593,7 +809,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
                 "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep,
-                "live": cmd_live, "query": cmd_query}
+                "live": cmd_live, "query": cmd_query, "stats": cmd_stats}
     return handlers[args.command](args)
 
 

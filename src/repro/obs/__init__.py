@@ -21,7 +21,15 @@ from repro.obs.bus import (
     events_to_jsonl,
     read_events_jsonl,
 )
+from repro.obs.expo import (
+    MetricsHttpServer,
+    metric_families,
+    render_prometheus,
+    snapshot_percentile,
+)
+from repro.obs.live import ClusterIntrospection, LiveTelemetry, merged_latency
 from repro.obs.metricsreg import (
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -47,8 +55,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "MetricsCollector",
+    "LiveTelemetry",
+    "ClusterIntrospection",
+    "merged_latency",
+    "MetricsHttpServer",
+    "render_prometheus",
+    "metric_families",
+    "snapshot_percentile",
     "Theorem5Probe",
     "ProbeViolation",
     "violations_from_events",

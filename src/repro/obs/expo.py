@@ -1,0 +1,217 @@
+"""Metrics exposition: Prometheus text format and the admin scrape port.
+
+Renders a :meth:`~repro.obs.metricsreg.MetricsRegistry.snapshot` into
+the Prometheus text exposition format (version 0.0.4, the format every
+scraper speaks) and serves it — together with JSON ``/health`` and
+``/stats`` documents — over a deliberately tiny HTTP/1.0 server built
+on ``asyncio.start_server``.  No third-party dependency: the server
+answers exactly three GET paths and closes the connection, which is all
+a Prometheus scrape (or ``repro stats``) needs.
+
+Naming follows the Prometheus conventions: every family is prefixed
+(``repro_`` by default), counters gain a ``_total`` suffix, and
+per-node series carry a ``node`` label (the run-global series carries
+no label).  Histograms emit the canonical triplet — cumulative
+``_bucket{le="..."}`` series ending in ``le="+Inf"``, ``_sum`` and
+``_count`` — when the histogram was created with bucket bounds, and
+just ``_sum``/``_count`` otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Callable
+
+#: Default metric-family prefix.
+PREFIX = "repro_"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: shortest float repr, inf/nan spelled out."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value)
+
+
+def _labels(node: str, extra: str = "") -> str:
+    """Render the label block for a snapshot node key (``"_"`` = global)."""
+    parts = []
+    if node != "_":
+        parts.append(f'node="{node}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: dict[str, Any], prefix: str = PREFIX) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Args:
+        snapshot: A :meth:`MetricsRegistry.snapshot` dict.
+        prefix: Family-name prefix (``repro_``).
+
+    Returns:
+        The exposition body, one family per ``# TYPE`` block, ending in
+        a trailing newline (scrapers require it).
+    """
+    lines: list[str] = []
+    for name, series in snapshot.get("counters", {}).items():
+        family = f"{prefix}{name}_total"
+        lines.append(f"# TYPE {family} counter")
+        for node, value in series.items():
+            lines.append(f"{family}{_labels(node)} {_format_value(value)}")
+    for name, series in snapshot.get("gauges", {}).items():
+        family = f"{prefix}{name}"
+        lines.append(f"# TYPE {family} gauge")
+        for node, value in series.items():
+            lines.append(f"{family}{_labels(node)} {_format_value(value)}")
+    for name, series in snapshot.get("histograms", {}).items():
+        family = f"{prefix}{name}"
+        lines.append(f"# TYPE {family} histogram")
+        for node, entry in series.items():
+            bounds = entry.get("bucket_bounds")
+            if bounds:
+                cumulative = 0
+                for bound, count in zip(bounds, entry["bucket_counts"]):
+                    cumulative += count
+                    le = 'le="' + _format_value(float(bound)) + '"'
+                    lines.append(f"{family}_bucket{_labels(node, le)}"
+                                 f" {cumulative}")
+                inf_le = 'le="+Inf"'
+                lines.append(f"{family}_bucket{_labels(node, inf_le)}"
+                             f" {entry['count']}")
+            lines.append(f"{family}_sum{_labels(node)} "
+                         f"{_format_value(entry['sum'])}")
+            lines.append(f"{family}_count{_labels(node)} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def metric_families(exposition: str) -> set[str]:
+    """The family names present in an exposition body (scrape checking).
+
+    A histogram family contributes its base name plus the ``_bucket`` /
+    ``_sum`` / ``_count`` series names, so callers can require either.
+    """
+    families: set[str] = set()
+    for line in exposition.splitlines():
+        if line.startswith("# TYPE "):
+            families.add(line.split()[2])
+        elif line and not line.startswith("#"):
+            families.add(line.split("{")[0].split()[0])
+    return families
+
+
+def snapshot_percentile(entry: dict[str, Any], q: float) -> float:
+    """:meth:`Histogram.percentile` over a *snapshot* histogram entry.
+
+    Lets a scraper (``repro stats``) estimate latency quantiles from the
+    serialized bucket counts without holding the live registry.  Returns
+    ``nan`` for an empty or bucket-less entry.
+    """
+    count = entry.get("count", 0)
+    bounds = entry.get("bucket_bounds")
+    if not count or not bounds:
+        return math.nan
+    target = q * count
+    low, high = entry.get("min"), entry.get("max")
+    cumulative = 0
+    for i, bucket_count in enumerate(entry["bucket_counts"]):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            if i == len(bounds):
+                return high
+            upper = bounds[i]
+            lower = bounds[i - 1] if i > 0 else low
+            lower = min(lower, upper)
+            estimate = lower + (target - cumulative) / bucket_count * (upper - lower)
+            return min(max(estimate, low), high)
+        cumulative += bucket_count
+    return high
+
+
+class MetricsHttpServer:
+    """Minimal admin HTTP endpoint: ``/metrics``, ``/health``, ``/stats``.
+
+    Args:
+        render_metrics: Zero-argument callable returning the Prometheus
+            exposition body (``/metrics``).
+        health: Callable returning the JSON-able health document
+            (``/health``).
+        stats: Callable returning the JSON-able stats document
+            (``/stats``); defaults to the health callable.
+
+    Attributes:
+        address: ``(host, port)`` after :meth:`start`.
+        scrapes: Requests answered with a 200, by path.
+    """
+
+    def __init__(self, render_metrics: Callable[[], str],
+                 health: Callable[[], dict],
+                 stats: Callable[[], dict] | None = None) -> None:
+        self._render_metrics = render_metrics
+        self._health = health
+        self._stats = stats if stats is not None else health
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+        self.scrapes: dict[str, int] = {}
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        """Bind the listening socket; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def close(self) -> None:
+        """Stop listening (idempotent; open scrapes finish on their own)."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # Drain the remaining request headers (HTTP/1.0, no body).
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) < 2 or parts[0] != "GET":
+                body, content_type, status = "bad request\n", "text/plain", 400
+            elif path == "/metrics":
+                body, content_type, status = (self._render_metrics(),
+                                              "text/plain; version=0.0.4", 200)
+            elif path == "/health":
+                body = json.dumps(self._health(), sort_keys=True) + "\n"
+                content_type, status = "application/json", 200
+            elif path == "/stats":
+                body = json.dumps(self._stats(), sort_keys=True) + "\n"
+                content_type, status = "application/json", 200
+            else:
+                body, content_type, status = "not found\n", "text/plain", 404
+            if status == 200:
+                self.scrapes[path] = self.scrapes.get(path, 0) + 1
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}[status]
+            writer.write((f"HTTP/1.0 {status} {reason}\r\n"
+                          f"Content-Type: {content_type}\r\n"
+                          f"Content-Length: {len(payload)}\r\n"
+                          f"Connection: close\r\n\r\n").encode("latin-1"))
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # scraper went away mid-request: nothing to answer
+        finally:
+            writer.close()

@@ -1,0 +1,363 @@
+"""Live telemetry plane: the PR 2 flight-recorder stack on a real cluster.
+
+:class:`LiveTelemetry` is the wall-clock sibling of
+:class:`~repro.obs.recorder.FlightRecorder`.  It owns the same
+subsystems — event capture, :class:`~repro.obs.spans.SpanTracer`,
+:class:`~repro.obs.metricsreg.MetricsCollector`,
+:class:`~repro.obs.probes.Theorem5Probe` — selected by the same
+:class:`~repro.obs.recorder.ObsConfig`, and publishes the same
+``run.start`` / ``metrics.snapshot`` / ``run.end`` schema, so a JSONL
+stream captured from a live cluster replays through ``repro trace``
+exactly like a simulator trace.  What differs is the substrate: instead
+of a :class:`~repro.sim.engine.Simulator` it attaches to a (duck-typed)
+:class:`~repro.rt.live.LiveCluster`, rides its telemetry sampler
+instead of the clock-sampling grid, and folds the transports' bare-int
+drop counters into the registry on each sample (a *pull*, so the
+datagram hot path stays untouched — the attribute-guard overhead
+contract of PR 2 extends to the live path).
+
+:class:`ClusterIntrospection` is the read side: the ``stats`` /
+``health`` documents served by the admin endpoints
+(:class:`~repro.service.query.TimeQueryServer` query kinds and the
+Prometheus scrape port — :mod:`repro.obs.expo`).  It works with or
+without telemetry attached; without it the metrics section is absent
+but spread-vs-bound health still answers.
+
+This module never imports :mod:`repro.rt` at runtime (the rt layer
+imports obs, not vice versa); the cluster is duck-typed on the handful
+of attributes it actually reads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.bus import EventBus, ObsEvent, events_to_jsonl
+from repro.obs.metricsreg import MetricsCollector, MetricsRegistry
+from repro.obs.probes import ProbeViolation, Theorem5Probe
+from repro.obs.recorder import ObsConfig
+from repro.obs.spans import SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.params import ProtocolParams
+
+
+#: Transport counter attributes pulled into the registry, in metric
+#: name order: ``(registry counter name, transport attribute)``.
+TRANSPORT_COUNTERS = (
+    ("transport_sent", "messages_sent"),
+    ("transport_delivered", "messages_delivered"),
+    ("transport_malformed_dropped", "malformed_dropped"),
+    ("transport_misrouted_dropped", "misrouted_dropped"),
+    ("transport_version_dropped", "version_dropped"),
+)
+
+#: Query-server counter attributes pulled into the registry.
+QUERY_COUNTERS = (
+    ("queries_answered", "queries_answered"),
+    ("queries_failed", "queries_failed"),
+    ("queries_malformed", "malformed_dropped"),
+)
+
+#: The query-latency histogram family (log-spaced latency buckets),
+#: populated by :class:`~repro.service.query.TimeQueryServer`.
+QUERY_LATENCY_METRIC = "query_latency_seconds"
+
+
+def _pull_counters(registry: MetricsRegistry, source: Any, node: int | None,
+                   table: tuple[tuple[str, str], ...]) -> None:
+    """Mirror an object's bare-int counters into registry counters.
+
+    The source objects (transports, query servers) increment plain
+    ints on their hot paths; mirroring happens only on the sampling
+    grid, so the counters stay current to within one sample interval at
+    zero per-datagram cost.  Missing attributes are skipped (loopback
+    has no drop counters).
+    """
+    for name, attr in table:
+        value = getattr(source, attr, None)
+        if value is not None:
+            registry.counter(name, node).value = float(value)
+
+
+class LiveTelemetry:
+    """Unified observability for one live cluster.
+
+    Args:
+        params: Protocol parameterization (bounds for the probe and the
+            ``run.start`` header).
+        clocks: The cluster's logical clocks by node (read-only).
+        bus: The cluster's event bus.
+        config: Subsystem selection; defaults to spans + metrics +
+            probes, like the simulator recorder.
+
+    Attributes:
+        config: The active configuration.
+        bus: The cluster's event bus.
+        events: Every event published, in order (the JSONL stream).
+        tracer: Span tracer (``None`` when spans are disabled).
+        collector: Metrics collector (``None`` when metrics disabled).
+        probe: Wall-clock Theorem 5 probe (``None`` when disabled).
+    """
+
+    def __init__(self, params: "ProtocolParams", clocks: dict[int, Any],
+                 bus: EventBus, config: ObsConfig | None = None) -> None:
+        self.params = params
+        self.config = config if config is not None else ObsConfig()
+        self.bus = bus
+        self.events: list[ObsEvent] = []
+        bus.subscribe(self.events.append)
+        self.tracer: SpanTracer | None = (SpanTracer() if self.config.spans
+                                          else None)
+        if self.tracer is not None:
+            bus.subscribe(self.tracer.on_event)
+        self.collector: MetricsCollector | None = (
+            MetricsCollector() if self.config.metrics else None)
+        if self.collector is not None:
+            bus.subscribe(self.collector.on_event)
+        self.probe: Theorem5Probe | None = None
+        if self.config.probes:
+            self.probe = Theorem5Probe(params, clocks, bus=bus,
+                                       warmup=self.config.probe_warmup)
+            bus.subscribe(self.probe.on_event)
+        self._cluster: Any = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, cluster: Any) -> None:
+        """Point the cluster's processes at the bus; emit ``run.start``.
+
+        ``cluster`` is duck-typed (needs ``processes``, ``transports``,
+        ``query_servers``, ``spread``); called by ``build_cluster`` when
+        telemetry is enabled.
+        """
+        self._cluster = cluster
+        for process in cluster.processes.values():
+            process.obs = self.bus
+        params = self.params
+        bounds = params.bounds()
+        self.bus.publish(
+            "run.start",
+            n=params.n, f=params.f, delta=params.delta, rho=params.rho,
+            pi=params.pi, sync_interval=params.sync_interval,
+            max_wait=params.max_wait, way_off=params.way_off,
+            max_deviation_bound=bounds.max_deviation,
+            logical_drift_bound=bounds.logical_drift,
+            discontinuity_bound=bounds.discontinuity,
+            probe_warmup=self.config.probe_warmup,
+        )
+
+    def on_sample(self, tau: float, spread: float | None = None) -> None:
+        """Sampler hook: drive the probe and refresh pulled counters."""
+        if self.probe is not None:
+            self.probe.on_sample(tau)
+        if self.collector is not None:
+            registry = self.collector.registry
+            if spread is not None:
+                registry.gauge("cluster_spread").set(spread)
+                registry.gauge("cluster_spread_bound").set(
+                    self.params.bounds().max_deviation)
+            self.pull_counters()
+
+    def pull_counters(self) -> None:
+        """Fold transport / query-server bare-int counters into the
+        registry (idempotent: counters are *set*, not incremented)."""
+        if self.collector is None or self._cluster is None:
+            return
+        registry = self.collector.registry
+        seen: set[int] = set()
+        for node, transport in self._cluster.transports.items():
+            if id(transport) in seen:
+                continue  # loopback: one shared hub for every node
+            seen.add(id(transport))
+            owner = getattr(transport, "node_id", None)
+            _pull_counters(registry, transport,
+                           node if owner is not None else None,
+                           TRANSPORT_COUNTERS)
+        for node, server in self._cluster.query_servers.items():
+            _pull_counters(registry, server, node, QUERY_COUNTERS)
+
+    def finalize(self) -> None:
+        """Emit the end-of-run snapshot events (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.pull_counters()
+        if self.collector is not None:
+            self.bus.publish("metrics.snapshot",
+                             snapshot=self.collector.registry.snapshot())
+        self.bus.publish("run.end", violations=len(self.violations))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry (empty when metrics are disabled)."""
+        if self.collector is None:
+            return MetricsRegistry()
+        return self.collector.registry
+
+    @property
+    def violations(self) -> list[ProbeViolation]:
+        """Wall-clock probe violations (empty when probes disabled)."""
+        return self.probe.violations if self.probe is not None else []
+
+    def events_jsonl(self) -> str:
+        """The captured event stream as canonical JSONL text."""
+        return events_to_jsonl(self.events)
+
+    def write_jsonl(self, path: str | pathlib.Path) -> None:
+        """Write the event stream to ``path`` as JSONL (``repro trace``
+        replays it like a simulator stream)."""
+        pathlib.Path(path).write_text(self.events_jsonl())
+
+
+def merged_latency(snapshot: dict[str, Any],
+                   name: str = QUERY_LATENCY_METRIC) -> dict[str, Any] | None:
+    """Merge a snapshot histogram family across nodes into one entry.
+
+    All per-node query-latency histograms share the same bucket bounds,
+    so their bucket counts add; the merged entry feeds the cluster-wide
+    p50/p99 in :meth:`ClusterIntrospection.health`.  Returns ``None``
+    when the family is absent or empty.
+    """
+    series = snapshot.get("histograms", {}).get(name, {})
+    merged: dict[str, Any] | None = None
+    for entry in series.values():
+        if not entry.get("count") or not entry.get("bucket_bounds"):
+            continue
+        if merged is None:
+            merged = {
+                "count": 0, "sum": 0.0, "min": entry["min"],
+                "max": entry["max"],
+                "bucket_bounds": list(entry["bucket_bounds"]),
+                "bucket_counts": [0] * len(entry["bucket_counts"]),
+            }
+        merged["count"] += entry["count"]
+        merged["sum"] += entry["sum"]
+        merged["min"] = min(merged["min"], entry["min"])
+        merged["max"] = max(merged["max"], entry["max"])
+        for i, count in enumerate(entry["bucket_counts"]):
+            merged["bucket_counts"][i] += count
+    return merged
+
+
+class ClusterIntrospection:
+    """Read-only stats/health view over a running (duck-typed) cluster.
+
+    The single source behind every admin surface: the ``stats`` /
+    ``health`` query kinds of
+    :class:`~repro.service.query.TimeQueryServer`, the scrape port's
+    ``/stats`` and ``/health`` documents, and ``repro stats``.
+
+    Args:
+        cluster: Duck-typed live cluster (``params``, ``spread``,
+            ``processes``, ``transports``, ``query_servers``, ``now``).
+        telemetry: The cluster's :class:`LiveTelemetry`, or ``None``
+            for an uninstrumented cluster (health still answers from
+            the sampler's spread series; the metrics section is empty).
+    """
+
+    def __init__(self, cluster: Any,
+                 telemetry: LiveTelemetry | None = None) -> None:
+        self.cluster = cluster
+        self.telemetry = telemetry
+
+    @property
+    def registry(self) -> MetricsRegistry | None:
+        """The live registry, or ``None`` without metrics telemetry."""
+        if self.telemetry is None or self.telemetry.collector is None:
+            return None
+        return self.telemetry.collector.registry
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Current registry snapshot (fresh counter pull first)."""
+        if self.telemetry is not None:
+            self.telemetry.pull_counters()
+        registry = self.registry
+        return registry.snapshot() if registry is not None else {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def transport_counters(self) -> dict[str, dict[str, int]]:
+        """Per-node transport counters straight off the transports.
+
+        Keys are stringified node ids (``"_"`` for a shared loopback
+        hub), mirroring the registry snapshot convention.
+        """
+        out: dict[str, dict[str, int]] = {}
+        seen: set[int] = set()
+        for node, transport in self.cluster.transports.items():
+            if id(transport) in seen:
+                continue
+            seen.add(id(transport))
+            owner = getattr(transport, "node_id", None)
+            key = "_" if owner is None else str(node)
+            counters = {}
+            for name, attr in TRANSPORT_COUNTERS:
+                value = getattr(transport, attr, None)
+                if value is not None:
+                    counters[name] = int(value)
+            out[key] = counters
+        return out
+
+    def query_counters(self) -> dict[str, dict[str, int]]:
+        """Per-node query-server counters (empty when not serving)."""
+        return {
+            str(node): {name: int(getattr(server, attr))
+                        for name, attr in QUERY_COUNTERS}
+            for node, server in self.cluster.query_servers.items()
+        }
+
+    def health(self) -> dict[str, Any]:
+        """The operator's one-look document: is Theorem 5 holding?
+
+        ``bounded`` is true iff the sampler has produced spread samples
+        and every one stayed under the Theorem 5(i) deviation bound —
+        the same criterion as ``LiveReport.bounded()``, answered while
+        the cluster runs.
+        """
+        cluster = self.cluster
+        bound = cluster.params.bounds().max_deviation
+        spreads = [s for _, s in cluster.spread]
+        telemetry = self.telemetry
+        doc: dict[str, Any] = {
+            "tau": cluster.now(),
+            "nodes": cluster.params.n,
+            "f": cluster.params.f,
+            "bound": bound,
+            "samples": len(spreads),
+            "spread": spreads[-1] if spreads else None,
+            "max_spread": max(spreads) if spreads else None,
+            "bounded": bool(spreads) and all(s <= bound for s in spreads),
+            "rounds": {str(node): proc.rounds_completed
+                       for node, proc in cluster.processes.items()},
+            "telemetry": telemetry is not None,
+            "violations": (len(telemetry.violations)
+                           if telemetry is not None else None),
+        }
+        entry = merged_latency(self.metrics_snapshot())
+        if entry is not None:
+            from repro.obs.expo import snapshot_percentile
+
+            doc["query_p50"] = snapshot_percentile(entry, 0.50)
+            doc["query_p99"] = snapshot_percentile(entry, 0.99)
+        else:
+            doc["query_p50"] = None
+            doc["query_p99"] = None
+        return doc
+
+    def stats(self) -> dict[str, Any]:
+        """The full introspection document: health + raw counters +
+        metrics snapshot."""
+        return {
+            "health": self.health(),
+            "transport": self.transport_counters(),
+            "queries": self.query_counters(),
+            "metrics": self.metrics_snapshot(),
+        }

@@ -16,10 +16,19 @@ JSONL event stream.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.bus import ObsEvent
+
+
+#: Default log-spaced latency buckets (seconds): four bounds per decade
+#: from 10 us to 10 s, sized so one histogram resolves everything from
+#: an in-process dispatch (~tens of us) to a badly stalled event loop.
+LATENCY_BUCKETS = tuple(
+    round(10.0 ** (exponent / 4.0), 12) for exponent in range(-20, 5)
+)
 
 
 class Counter:
@@ -53,7 +62,8 @@ class Histogram:
 
     Args:
         buckets: Ascending upper bounds; an implicit ``+inf`` bucket
-            catches the tail.
+            catches the tail.  :meth:`latency` builds one with the
+            default log-spaced :data:`LATENCY_BUCKETS`.
     """
 
     __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
@@ -66,6 +76,11 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
 
+    @classmethod
+    def latency(cls) -> "Histogram":
+        """A histogram pre-bucketed for latencies (:data:`LATENCY_BUCKETS`)."""
+        return cls(LATENCY_BUCKETS)
+
     def observe(self, value: float) -> None:
         """Record one sample."""
         self.count += 1
@@ -74,16 +89,47 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # bisect_left yields the first bound >= value (its bucket under
+        # the `value <= bound` convention); len(buckets) is the +inf
+        # overflow slot.
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
+
+        Standard bucketed estimation with linear interpolation inside
+        the containing bucket, sharpened by the tracked extremes: the
+        first populated bucket interpolates up from the observed ``min``
+        rather than the bucket's lower bound, and a quantile landing in
+        the ``+inf`` overflow bucket reports the observed ``max`` (there
+        is no upper bound to interpolate toward).  The estimate is
+        clamped to ``[min, max]``; an empty histogram returns ``nan``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if i == len(self.buckets):
+                    return self.max
+                upper = self.buckets[i]
+                lower = self.buckets[i - 1] if i > 0 else self.min
+                lower = min(lower, upper)
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - cumulative always reaches count
 
 
 class MetricsRegistry:
@@ -124,6 +170,11 @@ class MetricsRegistry:
             metric = self._histograms[key] = Histogram(buckets)
         return metric
 
+    def latency_histogram(self, name: str, node: int | None = None) -> Histogram:
+        """The histogram ``name`` with the default log-spaced latency
+        buckets (created on first use)."""
+        return self.histogram(name, node, LATENCY_BUCKETS)
+
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
@@ -148,13 +199,20 @@ class MetricsRegistry:
         histograms: dict[str, dict[str, Any]] = {}
         for (name, node), metric in sorted(self._histograms.items(),
                                            key=lambda kv: (kv[0][0], str(kv[0][1]))):
-            histograms.setdefault(name, {})[node_key(node)] = {
+            entry = {
                 "count": metric.count,
                 "sum": metric.total,
                 "min": metric.min if metric.count else None,
                 "max": metric.max if metric.count else None,
                 "mean": metric.mean,
             }
+            if metric.buckets:
+                # Per-bucket (non-cumulative) counts; the last slot is
+                # the +inf overflow bucket.  Exposition formats that
+                # want cumulative counts derive them from these.
+                entry["bucket_bounds"] = list(metric.buckets)
+                entry["bucket_counts"] = list(metric.bucket_counts)
+            histograms.setdefault(name, {})[node_key(node)] = entry
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def delta(self, previous: dict[str, Any]) -> dict[str, Any]:

@@ -43,6 +43,8 @@ from repro.rt.transport import LoopbackTransport, Transport, UdpTransport
 from repro.service.timeservice import SecureTimeService
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.live import ClusterIntrospection, LiveTelemetry
+    from repro.obs.recorder import ObsConfig
     from repro.service.query import TimeQueryServer
 
 
@@ -99,6 +101,13 @@ class LiveCluster:
         bus: The observability event bus telemetry publishes into.
         series: Per-node ``(tau, deviation-from-median)`` samples.
         spread: Cluster ``(tau, max - min)`` samples.
+        telemetry: The cluster's
+            :class:`~repro.obs.live.LiveTelemetry`, or ``None`` when
+            the cluster runs uninstrumented (the default — the sampler
+            still records ``series``/``spread``, but no registry, span
+            tracer, wall-clock probe, or event capture is attached).
+        metrics_server: The admin scrape endpoint after
+            :meth:`serve_metrics` (``None`` otherwise).
     """
 
     params: ProtocolParams
@@ -112,6 +121,8 @@ class LiveCluster:
     series: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
     spread: list[tuple[float, float]] = field(default_factory=list)
     query_servers: dict[int, "TimeQueryServer"] = field(default_factory=dict)
+    telemetry: "LiveTelemetry | None" = None
+    metrics_server: Any = None
     _sampler: Any = None
 
     def now(self) -> float:
@@ -138,6 +149,8 @@ class LiveCluster:
         self.spread.append((tau, spread))
         self.bus.publish("live.spread", spread=spread,
                          bound=self.params.bounds().max_deviation)
+        if self.telemetry is not None:
+            self.telemetry.on_sample(tau, spread=spread)
         return spread
 
     def start_sampler(self, interval: float) -> None:
@@ -156,7 +169,7 @@ class LiveCluster:
         self.start_sampler(sample_interval)
 
     def stop(self) -> None:
-        """Cancel timers and close sockets (idempotent)."""
+        """Cancel timers, close sockets, finalize telemetry (idempotent)."""
         if self._sampler is not None:
             self._sampler.cancel()
             self._sampler = None
@@ -164,10 +177,15 @@ class LiveCluster:
             process.cancel_all_timers()
         for server in self.query_servers.values():
             server.close()
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+            self.metrics_server = None
         for transport in self.transports.values():
             close = getattr(transport, "close", None)
             if close is not None:
                 close()
+        if self.telemetry is not None:
+            self.telemetry.finalize()
 
     # -- service front --------------------------------------------------
 
@@ -175,20 +193,53 @@ class LiveCluster:
         """A :class:`SecureTimeService` fronting ``node``'s live clock."""
         return SecureTimeService(self.processes[node], self.params)
 
+    def introspection(self) -> "ClusterIntrospection":
+        """The cluster's stats/health view (works without telemetry)."""
+        from repro.obs.live import ClusterIntrospection
+
+        return ClusterIntrospection(self, self.telemetry)
+
     async def serve_queries(self, node: int, host: str = "127.0.0.1",
                             port: int = 0) -> "TimeQueryServer":
         """Open a client-facing :class:`TimeQueryServer` for ``node``.
 
         The server answers ``now`` / ``validate_timestamp`` / ``epoch``
-        queries at estimation cost from the node's live clock; it is
-        closed by :meth:`stop`.
+        queries at estimation cost from the node's live clock, plus the
+        ``stats`` / ``health`` admin ops from the cluster introspection
+        view; when telemetry is attached, query service times feed the
+        node's ``query_latency_seconds`` histogram.  Closed by
+        :meth:`stop`.
         """
         from repro.service.query import TimeQueryServer
 
-        server = TimeQueryServer(self.time_service(node), node_id=node)
+        registry = (self.telemetry.collector.registry
+                    if self.telemetry is not None
+                    and self.telemetry.collector is not None else None)
+        server = TimeQueryServer(self.time_service(node), node_id=node,
+                                 metrics=registry,
+                                 introspection=self.introspection())
         await server.start(host=host, port=port)
         self.query_servers[node] = server
         return server
+
+    async def serve_metrics(self, host: str = "127.0.0.1",
+                            port: int = 0) -> tuple[str, int]:
+        """Open the admin scrape endpoint; returns ``(host, port)``.
+
+        Serves Prometheus text exposition at ``/metrics`` (rendered
+        fresh from the registry snapshot on every scrape) and the JSON
+        introspection documents at ``/health`` / ``/stats``.  Closed by
+        :meth:`stop`.
+        """
+        from repro.obs.expo import MetricsHttpServer, render_prometheus
+
+        intro = self.introspection()
+        server = MetricsHttpServer(
+            lambda: render_prometheus(intro.metrics_snapshot()),
+            intro.health, intro.stats)
+        address = await server.start(host=host, port=port)
+        self.metrics_server = server
+        return address
 
 
 def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
@@ -196,7 +247,8 @@ def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
                   epoch: float | None = None,
                   loopback_delay: float | None = None,
                   stagger: bool = True,
-                  wire: str | dict[int, str] = "binary") -> LiveCluster:
+                  wire: str | dict[int, str] = "binary",
+                  telemetry: "bool | ObsConfig" = False) -> LiveCluster:
     """Wire clocks, runtimes, transports, and Sync processes.
 
     With ``transport="loopback"`` the cluster is complete on return.
@@ -215,6 +267,14 @@ def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
             nodes default to binary).  Decoding always accepts both, so
             mixed-wire clusters interoperate (the rolling-upgrade /
             version-negotiation scenario).
+        telemetry: ``False`` (default) leaves the cluster
+            uninstrumented — processes never publish protocol events
+            and no registry or probe exists, the zero-overhead
+            configuration.  ``True`` attaches a
+            :class:`~repro.obs.live.LiveTelemetry` with the default
+            :class:`~repro.obs.recorder.ObsConfig` (spans + metrics +
+            wall-clock Theorem 5 probe); pass an ``ObsConfig`` to
+            select subsystems.
     """
     if transport not in ("loopback", "udp"):
         raise ConfigurationError(f"unknown transport {transport!r}")
@@ -256,9 +316,17 @@ def build_cluster(params: ProtocolParams, loop: Any, seed: int = 0,
         runtimes[node] = runtime
         processes[node] = process
 
-    return LiveCluster(params=params, loop=loop, epoch=epoch, clocks=clocks,
-                       runtimes=runtimes, processes=processes,
-                       transports=transports, bus=bus)
+    cluster = LiveCluster(params=params, loop=loop, epoch=epoch, clocks=clocks,
+                          runtimes=runtimes, processes=processes,
+                          transports=transports, bus=bus)
+    if telemetry:
+        from repro.obs.live import LiveTelemetry
+        from repro.obs.recorder import ObsConfig
+
+        config = telemetry if isinstance(telemetry, ObsConfig) else None
+        cluster.telemetry = LiveTelemetry(params, clocks, bus, config=config)
+        cluster.telemetry.attach(cluster)
+    return cluster
 
 
 @dataclass
@@ -279,6 +347,18 @@ class LiveReport:
         query_ports: Query-server port per node (``--serve`` runs only).
         queries_answered: Queries answered per node (``--serve`` only).
         queries_failed: ``ok=False`` replies per node (``--serve`` only).
+        queries_malformed: Undecodable query datagrams per node
+            (``--serve`` only).
+        transport_counters: Per-node transport counters (sent,
+            delivered, and the three drop classes) at shutdown; node
+            keys are stringified, ``"_"`` for a shared loopback hub.
+        telemetry: Whether the run carried a live telemetry plane.
+        probe_violations: Wall-clock Theorem 5 probe violations
+            (``None`` when telemetry was off).
+        metrics_port: The admin scrape port (``None`` when not serving
+            metrics).
+        metrics_snapshot: Final registry snapshot (``None`` when
+            telemetry was off).
     """
 
     params: ProtocolParams
@@ -294,6 +374,12 @@ class LiveReport:
     query_ports: dict[int, int] = field(default_factory=dict)
     queries_answered: dict[int, int] = field(default_factory=dict)
     queries_failed: dict[int, int] = field(default_factory=dict)
+    queries_malformed: dict[int, int] = field(default_factory=dict)
+    transport_counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    telemetry: bool = False
+    probe_violations: int | None = None
+    metrics_port: int | None = None
+    metrics_snapshot: dict | None = None
 
     def bounded(self) -> bool:
         """Every node produced samples and every spread is under the
@@ -312,17 +398,58 @@ class LiveReport:
         """Cluster spread at the last sample."""
         return self.spread[-1][1] if self.spread else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-able summary (the ``repro live --json`` document).
+
+        Per-node deviation series are summarized away (they can run to
+        thousands of points); the spread series is kept — it is what
+        ``bounded`` is judged on.
+        """
+        return {
+            "params": {"n": self.params.n, "f": self.params.f,
+                       "delta": self.params.delta, "rho": self.params.rho,
+                       "pi": self.params.pi},
+            "transport": self.transport,
+            "duration": self.duration,
+            "bound": self.bound,
+            "bounded": self.bounded(),
+            "max_spread": self.max_spread(),
+            "final_spread": self.final_spread(),
+            "samples": len(self.spread),
+            "spread": [[tau, s] for tau, s in self.spread],
+            "rounds": {str(n): r for n, r in self.rounds.items()},
+            "corrections": {str(n): len(c)
+                            for n, c in self.corrections.items()},
+            "events_published": self.events_published,
+            "service_readings": {str(n): v
+                                 for n, v in self.service_readings.items()},
+            "query_ports": {str(n): p for n, p in self.query_ports.items()},
+            "queries_answered": {str(n): v
+                                 for n, v in self.queries_answered.items()},
+            "queries_failed": {str(n): v
+                               for n, v in self.queries_failed.items()},
+            "queries_malformed": {str(n): v
+                                  for n, v in self.queries_malformed.items()},
+            "transport_counters": self.transport_counters,
+            "telemetry": self.telemetry,
+            "probe_violations": self.probe_violations,
+            "metrics_port": self.metrics_port,
+        }
+
 
 async def _run_cluster_async(params: ProtocolParams, duration: float,
                              seed: int, transport: str,
                              sample_interval: float,
                              bus: EventBus | None,
                              serve_base_port: int | None = None,
-                             wire: str | dict[int, str] = "binary"
+                             wire: str | dict[int, str] = "binary",
+                             telemetry: "bool | ObsConfig" = False,
+                             metrics_port: int | None = None
                              ) -> LiveReport:
     loop = asyncio.get_running_loop()
     cluster = build_cluster(params, loop, seed=seed, transport=transport,
-                            bus=bus, wire=wire)
+                            bus=bus, wire=wire, telemetry=telemetry)
+    metrics_address: tuple[str, int] | None = None
     try:
         if transport == "udp":
             addresses: dict[int, tuple[str, int]] = {}
@@ -334,13 +461,17 @@ async def _run_cluster_async(params: ProtocolParams, duration: float,
             for node in cluster.processes:
                 port = 0 if serve_base_port == 0 else serve_base_port + node
                 await cluster.serve_queries(node, port=port)
+        if metrics_port is not None:
+            metrics_address = await cluster.serve_metrics(port=metrics_port)
         cluster.start(sample_interval=sample_interval)
         await asyncio.sleep(duration)
         cluster.sample_once()  # guarantee a final post-convergence sample
         services = {node: cluster.time_service(node).now()
                     for node in cluster.processes}
+        transport_counters = cluster.introspection().transport_counters()
     finally:
         cluster.stop()
+    live_telemetry = cluster.telemetry
     return LiveReport(
         params=params,
         transport=transport,
@@ -360,6 +491,16 @@ async def _run_cluster_async(params: ProtocolParams, duration: float,
                           for node, server in cluster.query_servers.items()},
         queries_failed={node: server.queries_failed
                         for node, server in cluster.query_servers.items()},
+        queries_malformed={node: server.malformed_dropped
+                           for node, server in cluster.query_servers.items()},
+        transport_counters=transport_counters,
+        telemetry=live_telemetry is not None,
+        probe_violations=(len(live_telemetry.violations)
+                          if live_telemetry is not None else None),
+        metrics_port=metrics_address[1] if metrics_address else None,
+        metrics_snapshot=(live_telemetry.metrics.snapshot()
+                          if live_telemetry is not None
+                          and live_telemetry.collector is not None else None),
     )
 
 
@@ -368,7 +509,9 @@ def run_live(nodes: int = 4, f: int = 1, duration: float = 2.0,
              transport: str = "udp", sample_interval: float = 0.1,
              seed: int = 0, bus: EventBus | None = None,
              serve_base_port: int | None = None,
-             wire: str | dict[int, str] = "binary") -> LiveReport:
+             wire: str | dict[int, str] = "binary",
+             telemetry: "bool | ObsConfig" = False,
+             metrics_port: int | None = None) -> LiveReport:
     """Deploy a live Sync cluster and run it for ``duration`` seconds.
 
     Blocking entry point (wraps ``asyncio.run``): spawns ``nodes``
@@ -380,13 +523,17 @@ def run_live(nodes: int = 4, f: int = 1, duration: float = 2.0,
     ``serve_base_port + node`` (see :mod:`repro.service.query`).
     ``wire`` selects each node's outbound datagram encoding (see
     :func:`build_cluster`) — a mixed mapping exercises the rolling
-    binary/JSON upgrade path.
+    binary/JSON upgrade path.  ``telemetry`` attaches the live
+    telemetry plane (see :func:`build_cluster`); ``metrics_port`` (0 =
+    ephemeral) additionally serves the Prometheus/health/stats admin
+    endpoint while the cluster runs.
     """
     params = default_live_params(n=nodes, f=f, delta=delta, rho=rho, pi=pi)
     return asyncio.run(_run_cluster_async(params, duration, seed, transport,
                                           sample_interval, bus,
                                           serve_base_port=serve_base_port,
-                                          wire=wire))
+                                          wire=wire, telemetry=telemetry,
+                                          metrics_port=metrics_port))
 
 
 # ---------------------------------------------------------------------------

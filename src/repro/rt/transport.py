@@ -85,6 +85,7 @@ class LoopbackTransport(Transport):
             ``sent_at`` / ``delivered_at``; defaults to ``loop.time``.
 
     Attributes:
+        messages_sent: Total messages accepted for delivery.
         messages_delivered: Total messages handed to handlers.
     """
 
@@ -97,6 +98,7 @@ class LoopbackTransport(Transport):
         self._now = now if now is not None else loop.time
         self._handlers: dict[int, MessageHandler] = {}
         self._msg_id = 0
+        self.messages_sent = 0
         self.messages_delivered = 0
 
     def bind(self, node_id: int, handler: MessageHandler) -> None:
@@ -107,6 +109,7 @@ class LoopbackTransport(Transport):
 
     def send(self, sender: int, recipient: int, payload: Any) -> None:
         sent_at = self._now()
+        self.messages_sent += 1
         self._msg_id += 1
         msg_id = self._msg_id
         delivered_at = sent_at + self.delay
@@ -152,6 +155,7 @@ class UdpTransport(Transport):
 
     Attributes:
         address: ``(host, port)`` after :meth:`start`.
+        messages_sent: Datagrams sent to known peers.
         messages_delivered: Datagrams decoded and handed to the handler.
         malformed_dropped: Datagrams that failed to decode (corruption).
         misrouted_dropped: Well-formed datagrams addressed to a
@@ -172,6 +176,7 @@ class UdpTransport(Transport):
         self._endpoint = None
         self.address: tuple[str, int] | None = None
         self._msg_id = 0
+        self.messages_sent = 0
         self.messages_delivered = 0
         self.malformed_dropped = 0
         self.misrouted_dropped = 0
@@ -215,6 +220,7 @@ class UdpTransport(Transport):
         addr = self._peers.get(recipient)
         if addr is None:
             return  # unknown peer: dropped, like a dead link
+        self.messages_sent += 1
         self._endpoint.sendto(encode_datagram(sender, recipient, payload,
                                               self._now(), wire=self.wire),
                               addr)

@@ -34,7 +34,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import struct
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, ReproError
 from repro.rt.codec import (
@@ -45,10 +47,20 @@ from repro.rt.codec import (
 )
 from repro.service.timeservice import SecureTimeService, Timestamp
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.live import ClusterIntrospection
+    from repro.obs.metricsreg import MetricsRegistry
+
 #: Query operations (the ``op`` field of :class:`TimeQuery`).
 OP_NOW = "now"
 OP_VALIDATE = "validate"
 OP_EPOCH = "epoch"
+#: Admin introspection operations: answered with an :class:`AdminReply`
+#: carrying the cluster's stats/health document (see
+#: :class:`repro.obs.live.ClusterIntrospection`); require the server to
+#: be wired with an introspection object, else they fail ``ok=False``.
+OP_STATS = "stats"
+OP_HEALTH = "health"
 
 #: Sender id used by clients when none is given: outside the node-id
 #: space (node ids are >= 0), so a reply can never be mistaken for
@@ -65,7 +77,8 @@ class TimeQuery:
     """One client request against a node's secure time service.
 
     Attributes:
-        op: ``"now"``, ``"validate"`` or ``"epoch"``.
+        op: ``"now"``, ``"validate"``, ``"epoch"``, or an admin op
+            (``"stats"`` / ``"health"``).
         qid: Client-chosen correlation id echoed in the reply.
         ts_value: For ``validate``: the timestamp's clock value.
         ts_issuer: For ``validate``: the issuing node id.
@@ -103,11 +116,38 @@ class TimeReply:
     error: str = ""
 
 
+@dataclass(frozen=True)
+class AdminReply:
+    """A node's answer to a ``stats`` / ``health`` introspection query.
+
+    Travels as a generic (key-prefixed JSON) codec body on both wires:
+    introspection documents are nested dicts of unpredictable shape, so
+    a struct packer would buy nothing on this cold path.
+
+    Attributes:
+        qid: Echo of the request's correlation id.
+        ok: False iff the query failed (introspection not enabled).
+        node: The answering node id.
+        kind: ``"stats"`` or ``"health"``.
+        payload: The introspection document (empty when ``ok`` is
+            False).
+        error: Human-readable reason when ``ok`` is False.
+    """
+
+    qid: int
+    ok: bool
+    node: int = -1
+    kind: str = ""
+    payload: dict = field(default_factory=dict)
+    error: str = ""
+
+
 # ---------------------------------------------------------------------------
 # Binary packers (registered alongside ping/pong in the codec registry)
 # ---------------------------------------------------------------------------
 
-_OP_CODES = {OP_NOW: 1, OP_VALIDATE: 2, OP_EPOCH: 3}
+_OP_CODES = {OP_NOW: 1, OP_VALIDATE: 2, OP_EPOCH: 3, OP_STATS: 4,
+             OP_HEALTH: 5}
 _OP_NAMES = {code: op for op, code in _OP_CODES.items()}
 
 _QUERY = struct.Struct("!Bqdidd")
@@ -148,6 +188,7 @@ register_payload("tq", TimeQuery, tag=16, pack=_pack_query,
                  unpack=_unpack_query)
 register_payload("tr", TimeReply, tag=17, pack=_pack_reply,
                  unpack=_unpack_reply)
+register_payload("ar", AdminReply)
 
 
 # ---------------------------------------------------------------------------
@@ -156,14 +197,32 @@ register_payload("tr", TimeReply, tag=17, pack=_pack_reply,
 
 
 def answer_query(service: SecureTimeService, query: TimeQuery,
-                 node_id: int | None = None) -> TimeReply:
+                 node_id: int | None = None,
+                 introspection: "ClusterIntrospection | None" = None
+                 ) -> TimeReply | AdminReply:
     """Answer one query against a service — the whole server semantics.
 
-    Every path costs one clock read plus bound arithmetic (estimation
-    cost); errors become ``ok=False`` replies, never exceptions, so a
-    misbehaving client cannot take the server down.
+    Every time-query path costs one clock read plus bound arithmetic
+    (estimation cost); errors become ``ok=False`` replies, never
+    exceptions, so a misbehaving client cannot take the server down.
+    The admin ops (``stats`` / ``health``) return an :class:`AdminReply`
+    rendered from ``introspection`` — or an ``ok=False`` one when the
+    server was not wired for introspection.
     """
     node = service.process.node_id if node_id is None else node_id
+    if query.op in (OP_STATS, OP_HEALTH):
+        if introspection is None:
+            return AdminReply(qid=query.qid, ok=False, node=node,
+                              kind=query.op,
+                              error="introspection not enabled")
+        try:
+            payload = (introspection.stats() if query.op == OP_STATS
+                       else introspection.health())
+            return AdminReply(qid=query.qid, ok=True, node=node,
+                              kind=query.op, payload=payload)
+        except ReproError as exc:
+            return AdminReply(qid=query.qid, ok=False, node=node,
+                              kind=query.op, error=str(exc))
     try:
         if query.op == OP_NOW:
             return TimeReply(qid=query.qid, ok=True, value=service.now(),
@@ -209,6 +268,15 @@ class TimeQueryServer:
             service's node.
         wire: Outbound encoding (``"binary"`` or ``"json"``); inbound
             queries are accepted in both forms.
+        metrics: Optional :class:`~repro.obs.metricsreg.MetricsRegistry`
+            — when given, every answered query records its service time
+            into the node's ``query_latency_seconds`` log-bucketed
+            histogram.  ``None`` (the default) keeps the query path
+            free of any telemetry work, the PR 2 attribute-guard
+            contract.
+        introspection: Optional
+            :class:`~repro.obs.live.ClusterIntrospection` enabling the
+            ``stats`` / ``health`` admin ops.
 
     Attributes:
         address: ``(host, port)`` after :meth:`start`.
@@ -218,13 +286,19 @@ class TimeQueryServer:
     """
 
     def __init__(self, service: SecureTimeService, node_id: int | None = None,
-                 wire: str = "binary") -> None:
+                 wire: str = "binary",
+                 metrics: "MetricsRegistry | None" = None,
+                 introspection: "ClusterIntrospection | None" = None) -> None:
         if wire not in ("binary", "json"):
             raise ConfigurationError(f"unknown wire format {wire!r}")
         self.service = service
         self.node_id = (service.process.node_id if node_id is None
                         else int(node_id))
         self.wire = wire
+        self.introspection = introspection
+        self._latency = (metrics.latency_histogram("query_latency_seconds",
+                                                   self.node_id)
+                         if metrics is not None else None)
         self._endpoint = None
         self.address: tuple[str, int] | None = None
         self.queries_answered = 0
@@ -257,7 +331,9 @@ class TimeQueryServer:
         if not isinstance(payload, TimeQuery):
             self.malformed_dropped += 1
             return
-        reply = answer_query(self.service, payload, node_id=self.node_id)
+        started = time.perf_counter() if self._latency is not None else 0.0
+        reply = answer_query(self.service, payload, node_id=self.node_id,
+                             introspection=self.introspection)
         self.queries_answered += 1
         if not reply.ok:
             self.queries_failed += 1
@@ -265,6 +341,8 @@ class TimeQueryServer:
             self._endpoint.sendto(
                 encode_datagram(self.node_id, sender, reply,
                                 self.service.now(), wire=self.wire), addr)
+        if self._latency is not None:
+            self._latency.observe(time.perf_counter() - started)
 
 
 # ---------------------------------------------------------------------------
@@ -331,7 +409,7 @@ class TimeQueryClient:
         except TransportError:
             self.replies_unmatched += 1
             return
-        if not isinstance(payload, TimeReply):
+        if not isinstance(payload, (TimeReply, AdminReply)):
             self.replies_unmatched += 1
             return
         future = self._pending.pop(payload.qid, None)
@@ -397,3 +475,21 @@ class TimeQueryClient:
         """The serving node's proactive-security epoch number."""
         reply, _ = await self.request(OP_EPOCH, epoch_length=length)
         return int(reply.value)
+
+    async def stats(self) -> dict:
+        """The serving node's full introspection document.
+
+        Raises:
+            QueryError: Timeout, or introspection not enabled.
+        """
+        reply, _ = await self.request(OP_STATS)
+        return reply.payload
+
+    async def health(self) -> dict:
+        """The serving node's live Theorem 5 health document.
+
+        Raises:
+            QueryError: Timeout, or introspection not enabled.
+        """
+        reply, _ = await self.request(OP_HEALTH)
+        return reply.payload

@@ -191,3 +191,46 @@ def test_sweep_stream_flag_caches_separately(tmp_path, capsys):
     out = capsys.readouterr().out
     # stream_measures is part of the cache identity: no stale hit.
     assert "1 executed, 0 cached" in out
+
+
+def test_live_telemetry_loopback_with_metrics_and_json(tmp_path, capsys):
+    """The PR 7 surface through the CLI: telemetry plane, scrape port,
+    live trace, JSON report — one short loopback run."""
+    stream = tmp_path / "live.jsonl"
+    report = tmp_path / "live.json"
+    code = main(["live", "--transport", "loopback", "--nodes", "4",
+                 "--duration", "1.2", "--seed", "1", "--telemetry",
+                 "--metrics-port", "0", "--trace", str(stream),
+                 "--json", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "metrics endpoint: http://127.0.0.1:" in out
+    assert "probe violations: 0" in out
+    assert "transport counters" in out
+
+    import json
+
+    document = json.loads(report.read_text())
+    assert document["telemetry"] is True
+    assert document["bounded"] is True
+    assert document["probe_violations"] == 0
+    assert document["metrics_port"] is not None
+    assert document["transport_counters"]["_"]["transport_sent"] > 0
+
+    # The live JSONL replays through `repro trace` like a sim stream.
+    assert main(["trace", str(stream), "--top", "3"]) == 0
+    trace_out = capsys.readouterr().out
+    assert "Per-node metrics" in trace_out
+    assert "envelope probes: 0 violations" in trace_out
+
+
+def test_query_health_unreachable_is_clean_failure(capsys):
+    code = main(["query", "--health", "--port", "1", "--timeout", "0.05"])
+    assert code == 1
+    assert "admin query failed" in capsys.readouterr().err
+
+
+def test_stats_unreachable_is_clean_failure(capsys):
+    code = main(["stats", "--port", "1", "--timeout", "0.2"])
+    assert code == 1
+    assert "scrape" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Tests for the Prometheus exposition renderer and the admin HTTP
+endpoint (repro.obs.expo)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.expo import (
+    MetricsHttpServer,
+    metric_families,
+    render_prometheus,
+    snapshot_percentile,
+)
+
+
+def sample_snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.counter("syncs_completed", 0).inc(3)
+    registry.counter("syncs_completed", 1).inc(5)
+    registry.counter("probe_violations").inc()  # global series
+    registry.gauge("cluster_spread").set(0.0125)
+    hist = registry.histogram("query_latency_seconds", 0,
+                              buckets=(0.001, 0.01, 0.1))
+    for value in (0.0004, 0.002, 0.003, 0.5):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix_and_node_label(self):
+        body = render_prometheus(sample_snapshot())
+        assert "# TYPE repro_syncs_completed_total counter" in body
+        assert 'repro_syncs_completed_total{node="0"} 3' in body
+        assert 'repro_syncs_completed_total{node="1"} 5' in body
+
+    def test_global_series_carries_no_node_label(self):
+        body = render_prometheus(sample_snapshot())
+        assert "repro_probe_violations_total 1" in body
+
+    def test_gauges_render_verbatim(self):
+        body = render_prometheus(sample_snapshot())
+        assert "# TYPE repro_cluster_spread gauge" in body
+        assert "repro_cluster_spread 0.0125" in body
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = render_prometheus(sample_snapshot()).splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("repro_query_latency_seconds_bucket")]
+        # Cumulative counts: 1 (<=0.001), 3 (<=0.01), 3 (<=0.1), 4 (+Inf).
+        assert buckets == [
+            'repro_query_latency_seconds_bucket{node="0",le="0.001"} 1',
+            'repro_query_latency_seconds_bucket{node="0",le="0.01"} 3',
+            'repro_query_latency_seconds_bucket{node="0",le="0.1"} 3',
+            'repro_query_latency_seconds_bucket{node="0",le="+Inf"} 4',
+        ]
+        assert 'repro_query_latency_seconds_count{node="0"} 4' in lines
+
+    def test_histogram_sum_matches_observations(self):
+        body = render_prometheus(sample_snapshot())
+        total = 0.0004 + 0.002 + 0.003 + 0.5
+        sum_line = next(line for line in body.splitlines()
+                        if line.startswith("repro_query_latency_seconds_sum"))
+        assert float(sum_line.split()[-1]) == pytest.approx(total)
+
+    def test_custom_prefix_and_trailing_newline(self):
+        body = render_prometheus(sample_snapshot(), prefix="x_")
+        assert "# TYPE x_syncs_completed_total counter" in body
+        assert body.endswith("\n")
+
+    def test_empty_snapshot_renders_empty_body(self):
+        assert render_prometheus({}) == "\n"
+
+
+class TestMetricFamilies:
+    def test_extracts_type_and_sample_families(self):
+        families = metric_families(render_prometheus(sample_snapshot()))
+        assert "repro_syncs_completed_total" in families
+        assert "repro_cluster_spread" in families
+        assert "repro_query_latency_seconds" in families
+        assert "repro_query_latency_seconds_bucket" in families
+        assert "repro_query_latency_seconds_count" in families
+
+    def test_empty_body_has_no_families(self):
+        assert metric_families("\n") == set()
+
+
+class TestSnapshotPercentile:
+    def entry(self) -> dict:
+        hist = MetricsRegistry().histogram("lat", 0, buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.7, 5.0):
+            hist.observe(value)
+        return {
+            "count": hist.count, "sum": hist.total,
+            "min": hist.min, "max": hist.max, "mean": hist.mean,
+            "bucket_bounds": list(hist.buckets),
+            "bucket_counts": list(hist.bucket_counts),
+        }
+
+    def test_matches_live_histogram_estimate(self):
+        from repro.obs.metricsreg import Histogram
+
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.7, 5.0):
+            hist.observe(value)
+        entry = self.entry()
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert snapshot_percentile(entry, q) == hist.percentile(q)
+
+    def test_empty_or_bucketless_entry_is_nan(self):
+        assert math.isnan(snapshot_percentile({"count": 0}, 0.5))
+        assert math.isnan(snapshot_percentile(
+            {"count": 3, "sum": 1.0, "min": 0.1, "max": 0.9}, 0.5))
+
+    def test_overflow_quantile_reports_max(self):
+        assert snapshot_percentile(self.entry(), 1.0) == 5.0
+
+
+class TestMetricsHttpServer:
+    async def scrape(self, server: MetricsHttpServer, path: str):
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        head, _, body = raw.decode().partition("\r\n\r\n")
+        status = int(head.split()[1])
+        return status, head, body
+
+    def serve(self, coro):
+        async def scenario():
+            server = MetricsHttpServer(
+                lambda: render_prometheus(sample_snapshot()),
+                lambda: {"bounded": True, "spread": 0.01},
+                lambda: {"queries": {"0": 7}})
+            await server.start()
+            try:
+                return await coro(self, server)
+            finally:
+                server.close()
+
+        return asyncio.run(scenario())
+
+    def test_metrics_endpoint_serves_exposition(self):
+        async def check(self, server):
+            return await self.scrape(server, "/metrics")
+
+        status, head, body = self.serve(check)
+        assert status == 200
+        assert "text/plain; version=0.0.4" in head
+        assert "repro_syncs_completed_total" in metric_families(body)
+
+    def test_health_and_stats_serve_json(self):
+        async def check(self, server):
+            health = await self.scrape(server, "/health")
+            stats = await self.scrape(server, "/stats")
+            return health, stats
+
+        (h_status, h_head, h_body), (s_status, _, s_body) = self.serve(check)
+        assert h_status == 200 and s_status == 200
+        assert "application/json" in h_head
+        assert json.loads(h_body) == {"bounded": True, "spread": 0.01}
+        assert json.loads(s_body) == {"queries": {"0": 7}}
+
+    def test_unknown_path_is_404_and_uncounted(self):
+        async def check(self, server):
+            status, _, _ = await self.scrape(server, "/nope")
+            return status, dict(server.scrapes)
+
+        status, scrapes = self.serve(check)
+        assert status == 404
+        assert "/nope" not in scrapes
+
+    def test_non_get_is_400(self):
+        async def check(self, server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return int(raw.split()[1])
+
+        assert self.serve(check) == 400
+
+    def test_scrape_counter_and_idempotent_close(self):
+        async def check(self, server):
+            await self.scrape(server, "/metrics")
+            await self.scrape(server, "/metrics")
+            await self.scrape(server, "/health")
+            return dict(server.scrapes)
+
+        scrapes = self.serve(check)
+        assert scrapes == {"/metrics": 2, "/health": 1}

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from repro.obs import EventBus, MetricsCollector, MetricsRegistry
-from repro.obs.metricsreg import Counter, Gauge, Histogram
+from repro.obs.metricsreg import LATENCY_BUCKETS, Counter, Gauge, Histogram
 
 
 class TestPrimitives:
@@ -34,6 +36,77 @@ class TestPrimitives:
         assert Histogram().mean == 0.0
 
 
+class TestLatencyBuckets:
+    def test_shape_log_spaced_four_per_decade(self):
+        # 10 us .. 10 s, four bounds per decade, strictly ascending.
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+        assert len(LATENCY_BUCKETS) == 25
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        # Constant ratio between consecutive bounds: 10^(1/4)
+        # (bounds are rounded to 12 decimals, hence the tolerance).
+        ratio = 10.0 ** 0.25
+        for lo, hi in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]):
+            assert hi / lo == pytest.approx(ratio, rel=1e-6)
+
+    def test_latency_classmethod_uses_default_buckets(self):
+        hist = Histogram.latency()
+        assert hist.buckets == LATENCY_BUCKETS
+        hist.observe(0.003)
+        assert sum(hist.bucket_counts) == 1
+
+
+class TestPercentile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0,)).percentile(0.5))
+        assert math.isnan(Histogram().percentile(0.5))
+
+    def test_quantile_out_of_range_raises(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.1)
+
+    def test_single_bucket_interpolates_from_observed_min(self):
+        # All mass in one bucket: the estimate interpolates between the
+        # observed min and the bucket's upper bound, clamped to max.
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (1.2, 1.4, 1.6, 1.8):
+            hist.observe(value)
+        p50 = hist.percentile(0.5)
+        assert 1.2 <= p50 <= 1.8
+        assert hist.percentile(0.0) == pytest.approx(1.2)
+        assert hist.percentile(1.0) == pytest.approx(1.8)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        # A quantile landing in the +inf tail has no upper bound to
+        # interpolate toward: it must report the observed max.
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(50.0)
+        hist.observe(70.0)
+        assert hist.percentile(0.99) == 70.0
+
+    def test_estimates_bracket_the_true_quantile(self):
+        hist = Histogram.latency()
+        samples = [i * 1e-4 for i in range(1, 101)]  # 0.1 ms .. 10 ms
+        for value in samples:
+            hist.observe(value)
+        p50 = hist.percentile(0.5)
+        # The estimate lands within the bucket containing the true
+        # median (5 ms); one log bucket spans a 10^0.25 ratio.
+        assert 5e-3 / (10 ** 0.25) <= p50 <= 5e-3 * (10 ** 0.25)
+        assert hist.percentile(0.0) == pytest.approx(1e-4)
+        assert hist.percentile(1.0) == pytest.approx(1e-2)
+
+    def test_estimate_clamped_to_extremes(self):
+        hist = Histogram(buckets=(10.0,))
+        hist.observe(3.0)
+        assert hist.percentile(0.5) == 3.0  # clamp: min == max == 3.0
+
+
 class TestRegistry:
     def test_get_or_create_is_stable(self):
         registry = MetricsRegistry()
@@ -53,6 +126,23 @@ class TestRegistry:
         rtt = snap["histograms"]["rtt"]["0"]
         assert rtt == {"count": 1, "sum": 0.004, "min": 0.004, "max": 0.004,
                        "mean": 0.004}
+
+    def test_latency_histogram_get_or_create(self):
+        registry = MetricsRegistry()
+        hist = registry.latency_histogram("query_latency_seconds", 0)
+        assert hist.buckets == LATENCY_BUCKETS
+        assert registry.latency_histogram("query_latency_seconds", 0) is hist
+
+    def test_snapshot_includes_bucket_layout(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", 0, buckets=(1.0, 2.0)).observe(1.5)
+        entry = registry.snapshot()["histograms"]["lat"]["0"]
+        assert entry["bucket_bounds"] == [1.0, 2.0]
+        assert entry["bucket_counts"] == [0, 1, 0]  # last = +inf overflow
+        # A bucket-less histogram stays lean: no bucket keys at all.
+        registry.histogram("plain", 0).observe(1.0)
+        plain = registry.snapshot()["histograms"]["plain"]["0"]
+        assert "bucket_bounds" not in plain
 
     def test_snapshot_empty_histogram_has_null_extremes(self):
         registry = MetricsRegistry()

@@ -130,6 +130,63 @@ class TestAggregation:
         assert series == [(0.0, pytest.approx(0.01))]
 
 
+class TestTelemetryWiring:
+    def test_build_cluster_attaches_telemetry(self):
+        params = default_live_params()
+        loop = VirtualTimeLoop()
+        cluster = build_cluster(params, loop, seed=1, transport="loopback",
+                                telemetry=True)
+        assert cluster.telemetry is not None
+        # Every process publishes into the telemetry bus.
+        assert all(proc.obs is cluster.bus
+                   for proc in cluster.processes.values())
+        # Default stays uninstrumented: no bus on any process.
+        bare = build_cluster(params, VirtualTimeLoop(), seed=1,
+                             transport="loopback")
+        assert bare.telemetry is None
+        assert all(proc.obs is None for proc in bare.processes.values())
+
+    def test_obsconfig_value_selects_subsystems(self):
+        from repro.obs import ObsConfig
+
+        params = default_live_params()
+        cluster = build_cluster(params, VirtualTimeLoop(), seed=1,
+                                transport="loopback",
+                                telemetry=ObsConfig(spans=False,
+                                                    probes=False))
+        assert cluster.telemetry.tracer is None
+        assert cluster.telemetry.probe is None
+        assert cluster.telemetry.collector is not None
+
+    def test_serve_metrics_scrape_round_trip(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            params = default_live_params(n=4, f=1)
+            cluster = build_cluster(params, loop, seed=1,
+                                    transport="loopback", telemetry=True)
+            try:
+                cluster.start(sample_interval=0.1)
+                host, port = await cluster.serve_metrics()
+                await asyncio.sleep(0.3)
+                cluster.sample_once()
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+            finally:
+                cluster.stop()
+            return raw.decode()
+
+        body = asyncio.run(scenario())
+        from repro.obs.expo import metric_families
+
+        families = metric_families(body.partition("\r\n\r\n")[2])
+        assert "repro_syncs_completed_total" in families
+        assert "repro_transport_sent_total" in families
+        assert "repro_cluster_spread" in families
+
+
 def test_real_udp_smoke():
     """0.6 wall-clock seconds of genuine UDP Sync on localhost."""
     report = run_live(nodes=4, f=1, duration=0.6, transport="udp",
@@ -137,6 +194,43 @@ def test_real_udp_smoke():
     assert report.bounded()
     assert all(rounds >= 1 for rounds in report.rounds.values())
     assert report.events_published > 0
+    # Uninstrumented run: drop counters still reported off the
+    # transports, but no telemetry plane exists.
+    assert report.telemetry is False
+    assert report.probe_violations is None
+    assert report.metrics_snapshot is None
+    for counters in report.transport_counters.values():
+        assert counters["transport_malformed_dropped"] == 0
+        assert counters["transport_misrouted_dropped"] == 0
+        assert counters["transport_version_dropped"] == 0
+        assert counters["transport_sent"] > 0
+
+
+def test_telemetry_udp_run_with_metrics_port():
+    """Full PR 7 surface in one short run: telemetry plane, scrape
+    port, served queries — the report carries all of it."""
+    report = run_live(nodes=4, f=1, duration=0.6, transport="udp",
+                      sample_interval=0.1, seed=1, telemetry=True,
+                      serve_base_port=0, metrics_port=0)
+    assert report.telemetry is True
+    assert report.probe_violations == 0
+    assert report.metrics_port is not None
+    snap = report.metrics_snapshot
+    assert snap["counters"]["syncs_completed"]
+    assert set(snap["counters"]["transport_sent"]) == {"0", "1", "2", "3"}
+    assert set(report.query_ports) == set(range(4))
+    assert report.queries_malformed == {node: 0 for node in range(4)}
+
+    document = report.to_dict()
+    import json
+
+    parsed = json.loads(json.dumps(document))
+    assert parsed["telemetry"] is True
+    assert parsed["bounded"] is True
+    assert parsed["probe_violations"] == 0
+    assert parsed["metrics_port"] == report.metrics_port
+    assert parsed["transport_counters"] == report.transport_counters
+    assert "series" not in parsed  # per-node series summarized away
 
 
 def test_mixed_wire_cluster_interops():

@@ -79,15 +79,28 @@ def run_on_sim(params: ProtocolParams, cluster, crashed=()) -> dict:
     return processes
 
 
-def run_on_rt(params: ProtocolParams, cluster, crashed=()) -> dict:
+def run_on_rt(params: ProtocolParams, cluster, crashed=(),
+              instrument=False) -> dict:
     loop = VirtualTimeLoop()
     transport = LoopbackTransport(loop, delay=params.delta / 2.0)
     processes = {}
+    bus = None
+    if instrument:
+        # Full telemetry on the rt substrate: events flowing into a
+        # metrics collector must not perturb a single decision.
+        from repro.obs import EventBus, MetricsCollector
+
+        bus = EventBus()
+        bus.set_clock(loop.time)
+        MetricsCollector(bus)
     for node, (rate, offset, phase) in enumerate(cluster):
         clock = LogicalClock(FixedRateClock(rho=params.rho, rate=rate),
                              adj=offset)
-        runtime = AsyncioRuntime(node, clock, transport, loop, epoch=0.0)
+        runtime = AsyncioRuntime(node, clock, transport, loop, epoch=0.0,
+                                 obs=bus)
         process = SyncProcess(runtime, params, start_phase=phase)
+        if bus is not None:
+            process.obs = bus
         runtime.bind(process)
         processes[node] = process
     for node, process in processes.items():
@@ -121,6 +134,25 @@ def test_final_clocks_match(seed):
     for node in range(params.n):
         assert (on_sim[node].clock.read(DURATION)
                 == on_rt[node].clock.read(DURATION))
+
+
+@pytest.mark.parametrize("seed", (0, 5))
+def test_telemetry_is_write_only_on_rt(seed):
+    """Full telemetry on the rt substrate changes no decision and no
+    final clock — float-exact, so the live path's instrumented and
+    uninstrumented deployments remain the same protocol execution."""
+    params = make_params()
+    cluster = seed_derived_cluster(params, seed)
+    plain = run_on_rt(params, cluster)
+    instrumented = run_on_rt(params, cluster, instrument=True)
+    for node in range(params.n):
+        assert decisions(plain[node]) == decisions(instrumented[node])
+        assert (plain[node].clock.read(DURATION)
+                == instrumented[node].clock.read(DURATION))
+    # And the instrumented rt run still conforms to the simulator.
+    on_sim = run_on_sim(params, cluster)
+    for node in range(params.n):
+        assert decisions(on_sim[node]) == decisions(instrumented[node])
 
 
 def test_larger_cluster_with_crashed_node():

@@ -14,11 +14,14 @@ from types import SimpleNamespace
 import pytest
 
 from repro.errors import ConfigurationError, ReproError
-from repro.rt.codec import encode_datagram
+from repro.rt.codec import decode_datagram, encode_datagram
 from repro.service.query import (
     OP_EPOCH,
+    OP_HEALTH,
     OP_NOW,
+    OP_STATS,
     OP_VALIDATE,
+    AdminReply,
     QueryError,
     TimeQuery,
     TimeQueryClient,
@@ -92,6 +95,57 @@ class TestAnswerQuery:
         reply = answer_query(FakeTimeService(node_id=0),
                              TimeQuery(op=OP_NOW, qid=6), node_id=3)
         assert reply.node == 3
+
+
+class FakeIntrospection:
+    """ClusterIntrospection stand-in with canned documents."""
+
+    def stats(self):
+        return {"health": {"bounded": True}, "queries": {"0": {}}}
+
+    def health(self):
+        return {"bounded": True, "spread": 0.001}
+
+
+class TestAdminOps:
+    def test_stats_and_health_render_introspection(self):
+        intro = FakeIntrospection()
+        stats = answer_query(FakeTimeService(), TimeQuery(op=OP_STATS, qid=1),
+                             introspection=intro)
+        health = answer_query(FakeTimeService(),
+                              TimeQuery(op=OP_HEALTH, qid=2),
+                              introspection=intro)
+        assert isinstance(stats, AdminReply) and stats.ok
+        assert stats.kind == OP_STATS
+        assert stats.payload == intro.stats()
+        assert health.ok and health.payload == intro.health()
+
+    def test_disabled_introspection_fails_cleanly(self):
+        reply = answer_query(FakeTimeService(), TimeQuery(op=OP_STATS, qid=3))
+        assert isinstance(reply, AdminReply)
+        assert not reply.ok
+        assert reply.error == "introspection not enabled"
+        assert reply.payload == {}
+
+    def test_introspection_error_is_error_reply_not_exception(self):
+        class Exploding:
+            def health(self):
+                raise ReproError("sampler gone")
+
+        reply = answer_query(FakeTimeService(),
+                             TimeQuery(op=OP_HEALTH, qid=4),
+                             introspection=Exploding())
+        assert not reply.ok
+        assert "sampler gone" in reply.error
+
+    @pytest.mark.parametrize("wire", ("binary", "json"))
+    def test_admin_reply_round_trips_both_wires(self, wire):
+        reply = AdminReply(qid=9, ok=True, node=2, kind=OP_HEALTH,
+                           payload={"bounded": True, "rounds": {"0": 3}})
+        datagram = encode_datagram(2, -1, reply, 10.5, wire=wire)
+        sender, recipient, decoded, sent_at = decode_datagram(datagram)
+        assert (sender, recipient, sent_at) == (2, -1, 10.5)
+        assert decoded == reply  # dict payload survives the generic body
 
 
 async def _serve(service, *, server_wire="binary"):
@@ -260,3 +314,82 @@ class TestConformance:
         assert [strip(r) for r in over_udp] == [strip(r) for r in direct]
         assert over_udp[4].error == direct[4].error
         assert not over_udp[3].ok and "unknown query op" in over_udp[3].error
+
+
+class TestAdminOverUdp:
+    def test_stats_and_health_coroutines(self):
+        async def scenario():
+            server = TimeQueryServer(FakeTimeService(),
+                                     introspection=FakeIntrospection())
+            await server.start()
+            client = TimeQueryClient(port=server.address[1])
+            try:
+                await client.connect()
+                return await client.stats(), await client.health()
+            finally:
+                client.close()
+                server.close()
+
+        stats, health = asyncio.run(scenario())
+        assert stats == FakeIntrospection().stats()
+        assert health == FakeIntrospection().health()
+
+    def test_disabled_introspection_raises_query_error(self):
+        async def scenario():
+            server = await _serve(FakeTimeService())
+            client = TimeQueryClient(port=server.address[1])
+            try:
+                await client.connect()
+                with pytest.raises(QueryError, match="introspection"):
+                    await client.health()
+                return server.queries_answered, server.queries_failed
+            finally:
+                client.close()
+                server.close()
+
+        assert asyncio.run(scenario()) == (1, 1)
+
+
+class TestTelemetryOnQueryPath:
+    def make_server(self, metrics):
+        service = FakeTimeService(start=100.0, step=0.0)
+        server = TimeQueryServer(service, metrics=metrics)
+        sent = []
+        server._endpoint = SimpleNamespace(
+            sendto=lambda data, addr=None: sent.append(data))
+        return server, sent
+
+    def drive(self, server):
+        queries = [
+            TimeQuery(op=OP_NOW, qid=1),
+            TimeQuery(op=OP_VALIDATE, qid=2, ts_value=99.9, ts_issuer=1,
+                      max_age=1.0),
+            TimeQuery(op=OP_EPOCH, qid=3, epoch_length=30.0),
+        ]
+        for query in queries:
+            server._on_datagram(encode_datagram(-1, 0, query, 0.0),
+                                ("127.0.0.1", 9))
+        return len(queries)
+
+    def test_latency_histogram_observes_each_query(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        server, _ = self.make_server(registry)
+        count = self.drive(server)
+        hist = registry.latency_histogram("query_latency_seconds",
+                                          server.node_id)
+        assert hist.count == count
+        assert hist.min > 0.0
+
+    def test_metrics_do_not_change_reply_bytes(self):
+        """The wire-byte guard: instrumenting the server changes nothing
+        a client can see — identical reply datagrams, byte for byte."""
+        from repro.obs import MetricsRegistry
+
+        plain_server, plain_sent = self.make_server(None)
+        self.drive(plain_server)
+        metered_server, metered_sent = self.make_server(MetricsRegistry())
+        self.drive(metered_server)
+        assert plain_sent == metered_sent
+        assert plain_sent  # the comparison is not vacuous

@@ -33,6 +33,7 @@ def healthy_metrics() -> dict:
             "p99_vs_delta": 0.3,
             "errors": 0,
         },
+        "obs_live": {"full_ratio": 0.97},
     }
 
 
@@ -85,6 +86,23 @@ class TestEvaluate:
         metrics["service"]["errors"] = 2
         ok, _ = bench_gate.evaluate(metrics, healthy_metrics())
         assert not ok
+
+    def test_telemetry_overhead_floor_enforced(self):
+        # Full live telemetry costing more than 10% QPS fails the gate.
+        metrics = healthy_metrics()
+        metrics["obs_live"]["full_ratio"] = 0.85
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("telemetry" in line and "FAILED" in line
+                   for line in lines)
+
+    def test_missing_telemetry_ratio_fails(self):
+        metrics = healthy_metrics()
+        del metrics["obs_live"]
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("obs_live.full_ratio" in line and "missing" in line
+                   for line in lines)
 
     def test_numpy_leg_skipped_when_absent(self):
         # Pure-python environments have no numpy figure on either side;

@@ -21,11 +21,14 @@ verdict on a laptop and a CI runner:
 * ``service.normalized_qps`` — sustained time-service queries/sec
   divided by the same legacy yardstick.
 
-On top of the baseline comparison, two classes of absolute floors are
-enforced: the python-backend speedup must stay above 5x (the PR 4
-acceptance bar) and the time service must meet its SLO — at least
-10,000 queries/sec with p99 latency under ``delta`` and zero failed
-queries (the PR 6 acceptance bar).
+On top of the baseline comparison, absolute floors are enforced: the
+python-backend speedup must stay above 5x (the PR 4 acceptance bar),
+the time service must meet its SLO — at least 10,000 queries/sec with
+p99 latency under ``delta`` and zero failed queries (the PR 6
+acceptance bar) — and full live telemetry
+(:func:`benchmarks.bench_obs_overhead.measure_live_overhead`) must
+retain at least 90% of the uninstrumented query throughput (the PR 7
+acceptance bar).
 
 The gate fails when any gated figure drops below its tolerance —
 20% for the analysis figures, 5% for the end-to-end events/sec figure
@@ -76,6 +79,11 @@ SPEEDUP_FLOOR = 5.0
 SERVICE_QPS_FLOOR = 10_000.0
 SERVICE_P99_CEILING = 1.0  # p99 / delta
 
+#: Live telemetry overhead contract (PR 7 acceptance bar): a fully
+#: instrumented cluster (metrics + spans + wall-clock probe + latency
+#: histograms) must retain at least 90% of the uninstrumented QPS.
+OBS_LIVE_RATIO_FLOOR = 0.90
+
 #: Gated figures: (dotted path, human label, tolerated drop).
 GATED = [
     ("analysis.python.speedup", "analysis speedup (python backend)",
@@ -102,6 +110,8 @@ LIMITS = [
     ("service.p99_vs_delta", "time-service p99 latency / delta",
      "ceiling", SERVICE_P99_CEILING),
     ("service.errors", "time-service failed queries", "ceiling", 0),
+    ("obs_live.full_ratio", "live full-telemetry QPS retention",
+     "floor", OBS_LIVE_RATIO_FLOOR),
 ]
 
 
@@ -165,6 +175,7 @@ def evaluate(metrics: dict, baseline: dict) -> tuple[bool, list[str]]:
 def run_benchmarks() -> dict:
     """Measure everything; returns the merged metrics dict."""
     from bench_measures import measure, metrics_table
+    from bench_obs_overhead import live_table, measure_live_overhead
     from bench_service import measure_service
     from bench_service import metrics_table as service_table
 
@@ -174,6 +185,9 @@ def run_benchmarks() -> dict:
     metrics["service"] = measure_service(legacy_sps=legacy_sps)
     print()
     print(service_table(metrics["service"]))
+    metrics["obs_live"] = measure_live_overhead()
+    print()
+    print(live_table(metrics["obs_live"]))
     return metrics
 
 

@@ -14,7 +14,13 @@ mobile-Byzantine adversary):
   accumulated online, no clock trace kept) and compares the record
   byte-for-byte against the post-hoc one: the streaming engine must be
   an exact mirror of the recorded-trace pipeline, not merely
-  reproducible on its own.
+  reproducible on its own;
+* **live** — runs a loopback cluster under the virtual-time loop twice,
+  telemetry off and fully instrumented
+  (:class:`repro.obs.live.LiveTelemetry`): every Figure 1 correction
+  decision and every final logical clock must be float-exact identical
+  — live telemetry is write-only, like the recorder — and two
+  instrumented runs must serialize byte-identical JSONL event streams.
 
 Any difference — a float that drifted in the last bit, a counter off by
 one, a wall-clock quantity that leaked into an event payload — is a
@@ -126,10 +132,69 @@ def check_stream() -> bool:
     return False
 
 
+def live_run(telemetry: bool, duration: float = 4.0, seed: int = 3):
+    """One virtual-time loopback cluster run; returns its observables.
+
+    Returns ``(decisions, finals, jsonl)`` where decisions maps node to
+    its Figure 1 record tuples, finals maps node to the logical-clock
+    reading at the horizon, and jsonl is the serialized telemetry event
+    stream (``b""`` when uninstrumented).
+    """
+    from repro.rt.live import build_cluster, default_live_params
+    from repro.rt.virtualtime import VirtualTimeLoop
+
+    params = default_live_params(n=4, f=1)
+    loop = VirtualTimeLoop()
+    cluster = build_cluster(params, loop, seed=seed, transport="loopback",
+                            telemetry=telemetry)
+    cluster.start(sample_interval=0.1)
+    loop.run_until(duration)
+    cluster.sample_once()
+    decisions = {node: [(r.round_no, r.correction, r.m, r.big_m,
+                         r.own_discarded, r.replies)
+                        for r in proc.sync_records]
+                 for node, proc in cluster.processes.items()}
+    finals = {node: clock.read(duration)
+              for node, clock in cluster.clocks.items()}
+    cluster.stop()  # finalizes telemetry: metrics.snapshot + run.end
+    jsonl = (cluster.telemetry.events_jsonl().encode()
+             if cluster.telemetry is not None else b"")
+    return decisions, finals, jsonl
+
+
+def check_live() -> bool:
+    """Live telemetry is write-only and its event stream reproducible."""
+    plain_decisions, plain_finals, _ = live_run(telemetry=False)
+    decisions_a, finals_a, jsonl_a = live_run(telemetry=True)
+    _, _, jsonl_b = live_run(telemetry=True)
+    ok = True
+    if (plain_decisions, plain_finals) != (decisions_a, finals_a):
+        print("DETERMINISM FAILURE: enabling live telemetry changed a "
+              "correction decision or final clock", file=sys.stderr)
+        for node in plain_decisions:
+            if plain_decisions[node] != decisions_a[node]:
+                print(f"  node {node} decisions diverged", file=sys.stderr)
+            if plain_finals[node] != finals_a[node]:
+                print(f"  node {node} final clock: {plain_finals[node]!r}"
+                      f" vs {finals_a[node]!r}", file=sys.stderr)
+        ok = False
+    if jsonl_a != jsonl_b:
+        print("DETERMINISM FAILURE: two instrumented live runs produced "
+              "different telemetry streams", file=sys.stderr)
+        print(diff_jsonl(jsonl_a, jsonl_b), file=sys.stderr)
+        ok = False
+    if ok:
+        events = jsonl_a.decode().count("\n")
+        print(f"deterministic: live telemetry write-only, {len(jsonl_a)} "
+              f"live trace bytes ({events} events) identical across runs")
+    return ok
+
+
 def main() -> int:
     ok = check_summary()
     ok = check_trace() and ok
     ok = check_stream() and ok
+    ok = check_live() and ok
     return 0 if ok else 1
 
 
