@@ -8,16 +8,25 @@ statistics (many rounds), unlike the one-shot experiment benches.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import time
+
 from _util import emit
 
+from repro.adversary.plans import PlanSpec, StrategySpec
 from repro.clocks.hardware import FixedRateClock
 from repro.clocks.logical import LogicalClock
+from repro.metrics.columns import backend_name
 from repro.metrics.report import table
 from repro.net.links import FixedDelay
 from repro.net.network import Network
 from repro.net.topology import full_mesh
 from repro.runner.builders import benign_scenario, default_params, mobile_byzantine_scenario
+from repro.runner.campaign import run_config
 from repro.runner.experiment import run
+from repro.runner.scenario import Scenario
+from repro.runner.vector import run_batch, vector_spec
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, SimRuntime
 
@@ -164,3 +173,124 @@ def test_engine_throughput_e1_workload(benchmark):
     ))
     assert perf.events_processed > 1000
     assert perf.events_per_second > 0.0
+
+
+# --------------------------------------------------------------------------
+# Mega-sim batch mode: the vector backend against the scalar reference.
+
+
+def mega_scenario(n: int, seed: int, duration_intervals: float) -> Scenario:
+    """The mega-sim campaign workload: full mesh, rotating silent faults.
+
+    Full mesh keeps every node in every round's estimation exchange (the
+    densest event schedule per simulated second), the rotating silent
+    plan exercises the crash/recovery masking on both backends, and the
+    lossless links keep the scalar comparator honest — loss barely
+    changes scalar wall time but adds a draw per delivery to the vector
+    hot loop, so a lossy workload would flatter the speedup's
+    denominator.
+    """
+    params = default_params(n=n, f=2, delta=0.002, rho=1e-3, pi=1.0,
+                            target_k=8)
+    return Scenario(
+        params=params,
+        duration=duration_intervals * params.sync_interval,
+        seed=seed,
+        plan_builder=PlanSpec(kind="rotating",
+                              strategy=StrategySpec(name="silent")),
+        initial_offset_spread=0.0005,
+        sample_interval=params.sync_interval / 4.0,
+        name=f"mega-n{n}-seed{seed}",
+    )
+
+
+def _record_bytes(record) -> str:
+    return json.dumps(dataclasses.asdict(record), sort_keys=True,
+                      default=repr)
+
+
+def measure_mega_sim(n: int = 64, batch_seeds: int = 256,
+                     duration_intervals: float = 8.0,
+                     scalar_seeds: int = 2) -> dict:
+    """Vector-batch throughput vs the scalar engine, same workload.
+
+    Both figures are *effective* events/sec — engine-reported events
+    divided by wall time including per-run setup (stream derivation,
+    clock construction), measured in the same process.  The scalar legs
+    run before and after the batch and the better pass is kept, so a
+    mid-measurement machine-speed shift cannot manufacture a speedup.
+    The ratio, not the absolute rates, is the machine-portable figure.
+
+    Also replays seed 0 through both backends via the campaign executor
+    and compares the full ``RunRecord`` JSON — ``record_parity`` is 1.0
+    only when the records are byte-identical.
+    """
+    scenarios = [mega_scenario(n, seed, duration_intervals)
+                 for seed in range(batch_seeds)]
+
+    config = scenarios[0].to_config()
+    scalar_record = run_config(config, warmup_intervals=1.0,
+                               stream_measures=True, backend="scalar")
+    vector_record = run_config(config, warmup_intervals=1.0,
+                               stream_measures=True, backend="vector")
+    parity = float(_record_bytes(scalar_record)
+                   == _record_bytes(vector_record))
+
+    def scalar_pass() -> tuple[int, float]:
+        events = 0
+        start = time.perf_counter()
+        for scenario in scenarios[:scalar_seeds]:
+            events += run(scenario, stream_measures=True).events_processed
+        return events, time.perf_counter() - start
+
+    scalar_events, wall_before = scalar_pass()
+
+    specs = [vector_spec(scenario, stream_measures=True)
+             for scenario in scenarios]
+    batch = run_batch(specs)
+
+    _, wall_after = scalar_pass()
+    scalar_eps = scalar_events / min(wall_before, wall_after)
+    vector_eps = batch.events_per_second()
+
+    return {
+        "n": n,
+        "batch_seeds": batch_seeds,
+        "duration_intervals": duration_intervals,
+        "batch_events": batch.events_processed,
+        "batch_wall_s": batch.wall_time,
+        "scalar_events_per_sec": scalar_eps,
+        "vector_events_per_sec": vector_eps,
+        "speedup": vector_eps / scalar_eps if scalar_eps > 0.0 else 0.0,
+        "record_parity": parity,
+        "columns_backend": backend_name(),
+    }
+
+
+def mega_table(metrics: dict) -> str:
+    return table(
+        ["n", "seeds", "events", "scalar_ev_s", "vector_ev_s", "speedup",
+         "parity"],
+        [[metrics["n"], metrics["batch_seeds"], metrics["batch_events"],
+          metrics["scalar_events_per_sec"], metrics["vector_events_per_sec"],
+          metrics["speedup"], metrics["record_parity"]]],
+        title=(f"Mega-sim batch throughput "
+               f"({metrics['columns_backend']} columns backend)"),
+        precision=2,
+    )
+
+
+def test_mega_sim_batch_smoke(benchmark):
+    """Small-batch smoke of the gate-grade measurement (full scale runs
+    under ``tools/bench_gate.py``, which records the ``mega_sim``
+    section of ``BENCH_PR4.json``)."""
+
+    metrics = benchmark.pedantic(
+        lambda: measure_mega_sim(n=16, batch_seeds=8,
+                                 duration_intervals=3.0, scalar_seeds=1),
+        rounds=1, iterations=1)
+    emit("mega_sim_smoke", mega_table(metrics))
+    assert metrics["record_parity"] == 1.0
+    assert metrics["batch_events"] > 1000
+    # The real bar lives in bench_gate.py LIMITS; here only sanity.
+    assert metrics["speedup"] > 1.0

@@ -21,7 +21,9 @@ Subcommands:
   executor: ``--workers N`` fans out over a process pool (results
   byte-identical to serial), ``--cache-dir`` caches records by content
   hash so re-invocations and interrupted campaigns re-execute only the
-  missing runs (``--fresh`` ignores the cache).
+  missing runs (``--fresh`` ignores the cache), and ``--backend
+  vector`` swaps in the vectorized batch engine (byte-identical
+  records, automatic scalar fallback outside its envelope).
 * ``soak`` — long randomized stress run (random f-limited plans,
   seeds advancing per segment) with per-segment invariant checks;
   exits non-zero on the first violated guarantee.
@@ -152,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workers accumulate measures online instead "
                               "of keeping full clock traces (records are "
                               "byte-identical; part of the cache identity)")
+    sweep_p.add_argument("--backend", choices=["scalar", "vector"],
+                         default="scalar",
+                         help="simulation backend: the scalar reference "
+                              "engine or the vectorized batch engine "
+                              "(byte-identical records, automatic scalar "
+                              "fallback outside the vector envelope; part "
+                              "of the cache identity)")
     sweep_p.add_argument("--json", dest="json_out", default=None,
                          help="write all run records to this JSON file")
 
@@ -396,7 +405,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     campaign = Campaign(configs=configs, warmup_intervals=args.warmup_intervals,
                         cache_dir=args.cache_dir,
-                        stream_measures=args.stream)
+                        stream_measures=args.stream,
+                        backend=args.backend)
     result = campaign.run(workers=args.workers, fresh=args.fresh)
 
     rows = []

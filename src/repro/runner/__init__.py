@@ -40,6 +40,7 @@ from repro.runner.scenario import (
     perfect_clocks,
     wander_clocks,
 )
+from repro.runner.vector import run_vector, scalar_only_reason, vector_spec
 
 __all__ = [
     "Scenario",
@@ -73,4 +74,7 @@ __all__ = [
     "summarize_replications",
     "replicate_measure",
     "ReplicationSummary",
+    "run_vector",
+    "vector_spec",
+    "scalar_only_reason",
 ]

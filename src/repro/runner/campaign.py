@@ -51,7 +51,14 @@ from repro.runner.scenario import Scenario
 #: a way that invalidates cached records independent of the package
 #: version.  2: columnar/streaming measurement engine — RunRecord grew
 #: ``envelope_occupancy`` and the ``stream_measures`` identity field.
-CACHE_FORMAT = 2
+#: 3: selectable simulation backend — the ``backend`` identity field
+#: keeps scalar and vector records from colliding (they are
+#: byte-identical by contract, but a parity bug must never be masked by
+#: a stale cache hit from the other engine).
+CACHE_FORMAT = 3
+
+#: Simulation backends a campaign can select.
+BACKENDS = ("scalar", "vector")
 
 
 @dataclass(frozen=True)
@@ -186,7 +193,8 @@ def _obs_summary(recorder) -> dict[str, Any]:
 def execute_run(index: int, config: dict[str, Any],
                 warmup_intervals: float = 3.0,
                 observe: bool = False,
-                stream_measures: bool = False) -> RunRecord:
+                stream_measures: bool = False,
+                backend: str = "scalar") -> RunRecord:
     """Execute one config into a :class:`RunRecord` (raises on failure).
 
     Args:
@@ -197,18 +205,30 @@ def execute_run(index: int, config: dict[str, Any],
         stream_measures: Accumulate the measures online during the run
             (no clock trace is kept); the record is byte-identical to
             the post-hoc path.
+        backend: ``"scalar"`` (reference engine) or ``"vector"`` (the
+            batch engine, with automatic scalar fallback outside its
+            envelope).  Records are byte-identical across backends;
+            observed runs always use the scalar engine (the flight
+            recorder hooks the per-process path).
     """
     # Imports kept local so worker startup stays cheap when the module
     # is imported only for the dataclasses.
     from repro.runner.config import scenario_from_config
     from repro.runner.experiment import run
 
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
     scenario = scenario_from_config(config)
     recorder = None
     if observe:
         from repro.obs import FlightRecorder
         recorder = FlightRecorder()
-    result = run(scenario, recorder=recorder, stream_measures=stream_measures)
+    if backend == "vector" and recorder is None:
+        from repro.runner.vector import run_vector
+        result = run_vector(scenario, stream_measures=stream_measures)
+    else:
+        result = run(scenario, recorder=recorder, stream_measures=stream_measures)
     warmup = warmup_intervals * result.params.t_interval
     verdict = result.verdict(warmup=warmup)
     perf = result.perf
@@ -242,12 +262,13 @@ def execute_run(index: int, config: dict[str, Any],
 
 def _execute_isolated(index: int, config: dict[str, Any],
                       warmup_intervals: float, observe: bool,
-                      stream_measures: bool = False) -> RunRecord:
+                      stream_measures: bool = False,
+                      backend: str = "scalar") -> RunRecord:
     """Worker wrapper: any failure becomes an error record, so one bad
     config cannot take down the pool or the sweep."""
     try:
         return execute_run(index, config, warmup_intervals, observe,
-                           stream_measures)
+                           stream_measures, backend)
     except BaseException as exc:  # noqa: BLE001 -- isolation is the point
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
@@ -284,6 +305,10 @@ class Campaign:
             cache identity; workers keep O(n) state instead of the full
             O(samples x n) trace).  Records are byte-identical either
             way.
+        backend: Simulation backend for every run: ``"scalar"``
+            (reference engine) or ``"vector"`` (batch engine with
+            scalar fallback outside its envelope).  Part of the cache
+            identity so the two engines' records never collide.
     """
 
     configs: list[dict[str, Any]]
@@ -291,6 +316,7 @@ class Campaign:
     cache_dir: str | pathlib.Path | None = None
     observe: bool = False
     stream_measures: bool = False
+    backend: str = "scalar"
 
     # -- construction --------------------------------------------------
 
@@ -334,6 +360,7 @@ class Campaign:
             "warmup_intervals": self.warmup_intervals,
             "observe": self.observe,
             "stream_measures": self.stream_measures,
+            "backend": self.backend,
         }
         canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
@@ -385,6 +412,9 @@ class Campaign:
             raise ConfigurationError("campaign needs at least one config")
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
 
         records: list[RunRecord | None] = [None] * len(self.configs)
         cached = 0
@@ -403,7 +433,8 @@ class Campaign:
         if workers is None or workers == 1:
             fresh_records = [
                 _execute_isolated(index, config, self.warmup_intervals,
-                                  self.observe, self.stream_measures)
+                                  self.observe, self.stream_measures,
+                                  self.backend)
                 for index, config in pending
             ]
         else:
@@ -411,7 +442,7 @@ class Campaign:
                 futures = [
                     pool.submit(_execute_isolated, index, config,
                                 self.warmup_intervals, self.observe,
-                                self.stream_measures)
+                                self.stream_measures, self.backend)
                     for index, config in pending
                 ]
                 fresh_records = [future.result() for future in futures]
@@ -454,10 +485,11 @@ def replicate(base: Scenario, seeds: Sequence[int],
 
 
 def run_config(config: dict[str, Any], warmup_intervals: float = 3.0,
-               stream_measures: bool = False) -> RunRecord:
+               stream_measures: bool = False,
+               backend: str = "scalar") -> RunRecord:
     """Execute one config in-process (no isolation; exceptions raise)."""
     return execute_run(0, config, warmup_intervals=warmup_intervals,
-                       stream_measures=stream_measures)
+                       stream_measures=stream_measures, backend=backend)
 
 
 def run_configs(configs: Sequence[dict[str, Any]], workers: int | None = None,

@@ -12,6 +12,14 @@ from repro.sim.engine import EnginePerfCounters, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.runtime import LocalTimer, SimRuntime
+from repro.sim.vector import (
+    BatchResult,
+    VectorRunOutput,
+    VectorSpec,
+    VectorUnsupported,
+    run_batch,
+    simulate_run,
+)
 from repro.runtime.process import Process
 
 __all__ = [
@@ -24,4 +32,10 @@ __all__ = [
     "SimRuntime",
     "RngRegistry",
     "derive_seed",
+    "VectorSpec",
+    "VectorRunOutput",
+    "VectorUnsupported",
+    "BatchResult",
+    "simulate_run",
+    "run_batch",
 ]

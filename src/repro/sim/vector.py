@@ -1,0 +1,919 @@
+"""The vectorized mega-sim: a batch backend for cross-seed campaigns.
+
+The scalar engine (:mod:`repro.sim.engine` + :mod:`repro.runner`)
+dispatches one Python callback per event through ``Event`` objects,
+``Message`` dataclasses, and the ``SimRuntime`` seam — roughly 12µs per
+event.  For campaign-scale work (10^5–10^6 runs mapping resilience
+boundaries) that dispatch overhead dominates.  This module executes the
+same simulation as a tight loop over plain tuples and flat
+struct-of-arrays state, at an order of magnitude more events per
+second, while remaining **byte-identical** to the scalar reference:
+
+* the event schedule is replayed exactly — same push order, same
+  ``(time, seq)`` tie-breaking, same lazy cancellation accounting, so
+  even the engine perf counters (pushed/fired/cancelled/high-water)
+  match the scalar run;
+* every random draw comes from the same named streams
+  (:mod:`repro.sim.rng`) in the same order;
+* all clock/estimation/convergence arithmetic reuses the *real*
+  objects and kernels (:class:`~repro.clocks.logical.LogicalClock`,
+  :func:`~repro.core.convergence.decide_arrays`), so floats are
+  bit-exact, not merely close.
+
+Per-node protocol state lives in flat struct-of-arrays columns: one
+``array('d')`` row of ``(distance, accuracy)`` per (node, peer) pair, a
+``bytearray`` reply mask, and per-node adjustment/ session/round
+columns.  :func:`run_batch` stacks many runs and exposes final clock
+state as ``(batch, node)`` columns (:mod:`repro.metrics.columns`), and
+can re-verify every recorded :class:`ConvergenceDecision` of the whole
+batch in one masked-array :func:`~repro.core.convergence.decide_columns`
+call — the numpy fast path and the pure-python fallback agree
+byte-for-byte.
+
+The engine supports the *vector envelope*: the ``"sync"`` protocol with
+its default convergence function, any clock model / topology / delay
+model / loss rate / initial offsets, and corruption plans whose
+strategies are all :class:`~repro.adversary.strategies.SilentStrategy`
+(crash / napping faults, including recovery after release).  Anything
+else raises :class:`VectorUnsupported`, and the runner-side wrapper
+(:mod:`repro.runner.vector`) falls back to the scalar engine — so the
+``vector`` backend is *always* correct, merely not always fast.
+
+Within one run, Sync decisions are inherently sequential — each round's
+ping/pong estimates read clocks already corrected by the previous
+round — so the per-run loop applies the scalar decision kernel round by
+round; the batch axis for masked array updates is across runs/rounds
+(verification, summaries, benchmarks), never within one round's
+dependency chain.  DESIGN.md §12 documents the layout and the masking
+rules.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+from array import array
+from dataclasses import dataclass, field
+from bisect import insort
+from hashlib import sha256
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+try:  # the raw C generator: same MT19937 stream, ~35% cheaper to seed
+    from _random import Random as _CoreRandom
+except ImportError:  # pragma: no cover - non-CPython fallback
+    from random import Random as _CoreRandom
+
+from repro.adversary.mobile import PlannedCorruption, audit_f_limited
+from repro.adversary.strategies import SilentStrategy
+from repro.clocks.hardware import FixedRateClock, PiecewiseRateClock
+from repro.clocks.logical import LogicalClock
+from repro.core.convergence import decide_arrays, decide_columns
+from repro.core.params import ProtocolParams
+from repro.core.sync import SyncRecord
+from repro.errors import AdversaryError, SimulationError
+from repro.metrics.columns import new_column
+from repro.metrics.sampler import ClockSamples, CorruptionInterval
+from repro.metrics.streaming import OnlineMeasures
+from repro.metrics.trace import TraceRecorder
+from repro.net.links import UniformDelay
+from repro.sim.engine import EnginePerfCounters
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "VectorUnsupported",
+    "VectorSpec",
+    "VectorRunOutput",
+    "DecisionLog",
+    "BatchResult",
+    "simulate_run",
+    "run_batch",
+]
+
+_INF = math.inf
+_NEG_INF = -math.inf
+
+# Event kinds in the shadow heap (plain tuples, compared on (time, seq)):
+#   (t, seq, SAMPLE)
+#   (t, seq, ALARM, node)
+#   (t, seq, DEADLINE, node, session)
+#   (t, seq, PING, recipient, sender, session)
+#   (t, seq, PONG, recipient, sender, session, clock_value)
+#   (t, seq, BREAK, plan_index)
+#   (t, seq, LEAVE, plan_index)
+_SAMPLE, _ALARM, _DEADLINE, _PING, _PONG, _BREAK, _LEAVE = range(7)
+
+
+class VectorUnsupported(Exception):
+    """The scenario falls outside the vector envelope.
+
+    Raised by :func:`simulate_run` when a feature it cannot replicate
+    byte-exactly is requested (non-silent Byzantine strategies, a
+    non-``"sync"`` protocol, message recording, ...).  The runner-side
+    wrapper catches this and falls back to the scalar engine.
+    """
+
+
+@dataclass
+class VectorSpec:
+    """Resolved inputs of one batch run (a :class:`Scenario`, flattened).
+
+    The engine lives below the runner layer, so it cannot import
+    :class:`~repro.runner.scenario.Scenario`; the wrapper resolves the
+    scenario's factories/specs into concrete objects and passes them
+    here.  ``plan_context`` is the opaque first argument handed to
+    ``plan_builder`` (the scenario itself when coming from the runner).
+
+    Attributes:
+        params: Protocol parameters.
+        duration: Simulated real-time horizon.
+        seed: Root seed of the named random streams.
+        topology: Resolved topology object (``neighbors`` per node).
+        delay_model: Resolved :class:`~repro.net.links.DelayModel`.
+        clock_factory: ``(node, params, rng, horizon) -> HardwareClock``.
+        initial_offsets: Explicit per-node initial ``adj``, or ``None``.
+        initial_offset_spread: Uniform initial-offset spread when no
+            explicit offsets are given.
+        plan_builder: ``(plan_context, clocks) -> [PlannedCorruption]``
+            or ``None`` for a fault-free run.
+        plan_context: Opaque first argument for ``plan_builder``.
+        enforce_f_limit: Audit the plan against Definition 2.
+        sample_interval: Resolved sampling grid step.
+        loss_rate: Per-message loss probability.
+        stagger_phases: Randomize first-sync phases per node.
+        stream_measures: Accumulate Definition 3 measures online
+            (``samples`` stay empty) instead of recording the trace.
+    """
+
+    params: ProtocolParams
+    duration: float
+    seed: int
+    topology: Any
+    delay_model: Any
+    clock_factory: Callable[..., Any]
+    initial_offsets: Sequence[float] | None = None
+    initial_offset_spread: float = 0.0
+    plan_builder: Callable[..., Sequence[PlannedCorruption]] | None = None
+    plan_context: Any = None
+    enforce_f_limit: bool = True
+    sample_interval: float = 0.0
+    loss_rate: float = 0.0
+    stagger_phases: bool = True
+    stream_measures: bool = False
+
+
+@dataclass
+class DecisionLog:
+    """Every convergence decision of one run, as raw array rows.
+
+    ``over_rows[i]`` / ``under_rows[i]`` are the estimate views passed
+    to the decision kernel for the ``i``-th Sync completion (run-global
+    event order); the remaining columns are the kernel's outputs.  Used
+    by :func:`run_batch` to re-verify the whole batch through the
+    batched :func:`~repro.core.convergence.decide_columns` kernel.
+    """
+
+    over_rows: list[list[float]] = field(default_factory=list)
+    under_rows: list[list[float]] = field(default_factory=list)
+    corrections: list[float] = field(default_factory=list)
+    ms: list[float] = field(default_factory=list)
+    big_ms: list[float] = field(default_factory=list)
+    own_discarded: list[bool] = field(default_factory=list)
+
+
+@dataclass
+class VectorRunOutput:
+    """Everything the runner needs to assemble a ``RunResult``.
+
+    Field-for-field byte-identical to what the scalar engine produces
+    for the same spec: real clocks with full adjustment histories, the
+    real trace recorder, the same sample columns (or the same finalized
+    online measures), and the same deterministic engine counters.
+    """
+
+    clocks: dict[int, LogicalClock]
+    corruptions: list[CorruptionInterval]
+    trace: TraceRecorder
+    samples: ClockSamples
+    stream: OnlineMeasures | None
+    events_processed: int
+    messages_delivered: int
+    perf: EnginePerfCounters
+    decisions: DecisionLog | None = None
+
+
+@dataclass
+class BatchResult:
+    """One vectorized batch: per-run outputs plus struct-of-arrays state.
+
+    Attributes:
+        outputs: One :class:`VectorRunOutput` per input spec, in order.
+        final_clock_columns: ``(batch, node)`` logical-clock readings at
+            each run's horizon — node-keyed float columns with one entry
+            per run.  Empty when the specs mix different ``n``.
+        final_adj_columns: ``(batch, node)`` final adjustment columns,
+            same layout.
+        events_processed: Total events executed across the batch.
+        wall_time: Wall-clock seconds for the whole batch.
+        decisions_verified: Number of convergence decisions re-verified
+            through :func:`~repro.core.convergence.decide_columns`
+            (0 unless ``check_decisions`` was requested).
+    """
+
+    outputs: list[VectorRunOutput]
+    final_clock_columns: dict[int, array]
+    final_adj_columns: dict[int, array]
+    events_processed: int
+    wall_time: float
+    decisions_verified: int = 0
+
+    def events_per_second(self) -> float:
+        """Batch-level effective throughput (events / wall seconds)."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_time
+
+
+def simulate_run(spec: VectorSpec, collect_decisions: bool = False) -> VectorRunOutput:
+    """Execute one run of the vector envelope, byte-identical to scalar.
+
+    Args:
+        spec: Resolved scenario inputs.
+        collect_decisions: Record every decision's estimate rows and
+            outputs in a :class:`DecisionLog` (memory-proportional to
+            the number of Sync completions; off for benchmarks).
+
+    Raises:
+        VectorUnsupported: When the spec falls outside the envelope
+            (non-silent strategies, non-positive sample interval).
+        Same exceptions as the scalar engine otherwise — adversary
+        audit failures, clock domain errors, parameter errors — with
+        identical messages, so error records also match.
+    """
+    params = spec.params
+    n = params.n
+    duration = spec.duration
+    interval = spec.sample_interval
+    if interval <= 0:
+        raise VectorUnsupported(f"non-positive sample interval {interval}")
+
+    rngs = RngRegistry(spec.seed)
+    stream_fn = rngs.stream
+    trace = TraceRecorder(record_messages=False)
+
+    # -- clocks (real factories, real streams, same draw order) ---------
+    clocks: dict[int, LogicalClock] = {}
+    offsets_rng = stream_fn("initial-offsets")
+    offsets = spec.initial_offsets
+    spread = spec.initial_offset_spread
+    for node in range(n):
+        hardware = spec.clock_factory(node, params, stream_fn(f"clock:{node}"),
+                                      duration)
+        if offsets is not None:
+            adj0 = float(offsets[node])
+        elif spread > 0.0:
+            adj0 = offsets_rng.uniform(-spread / 2.0, spread / 2.0)
+        else:
+            adj0 = 0.0
+        clocks[node] = LogicalClock(hardware, adj=adj0)
+
+    phase_rng = stream_fn("phases")
+    sync_interval = params.sync_interval
+    if spec.stagger_phases:
+        phases = [phase_rng.uniform(0.0, sync_interval) for _ in range(n)]
+    else:
+        phases = [0.0] * n
+
+    # -- corruption plan (silent strategies only) -----------------------
+    plan: list[PlannedCorruption] = []
+    corruptions: list[CorruptionInterval] = []
+    if spec.plan_builder is not None:
+        plan = list(spec.plan_builder(spec.plan_context, clocks))
+        for corruption in plan:
+            if type(corruption.strategy) is not SilentStrategy:
+                raise VectorUnsupported(
+                    f"strategy {corruption.strategy.name!r} is not in the "
+                    f"vector envelope (silent crash faults only)")
+        if spec.enforce_f_limit:
+            audit_f_limited(plan, params.f, params.pi)
+        corruptions = [c.interval() for c in plan]
+
+    # -- measurement sinks ----------------------------------------------
+    record = not spec.stream_measures
+    samples = ClockSamples(times=new_column(),
+                           clocks={node: new_column() for node in range(n)})
+    stream: OnlineMeasures | None = None
+    if spec.stream_measures:
+        stream = OnlineMeasures(
+            clocks, corruptions, pi=params.pi, n=params.n,
+            recovery_tolerance=params.bounds().max_deviation,
+            recovery_settle=params.pi,
+        )
+
+    # -- struct-of-arrays node state ------------------------------------
+    nn = n * n
+    est_d = [0.0] * nn                    # per (node, peer) distance
+    est_a = [0.0] * nn                    # per (node, peer) accuracy
+    replied = bytearray(nn)               # per (node, peer) reply mask
+    zero_row = bytes(n)
+    adj = [clocks[node].adj for node in range(n)]  # mirror of clocks[i].adj
+    sess_send = [0.0] * n                 # send-local of the open session
+    controlled = bytearray(n)             # adversary occupation mask
+    sess_active = [-1] * n                # open session token, -1 = none
+    awaiting = [0] * n                    # outstanding pongs this session
+    round_no = [0] * n
+    node_timer = [-1] * n                 # seq of the pending local timer
+
+    topology = spec.topology
+    neighbor_list = [topology.neighbors(node) for node in range(n)]
+    readers = [clocks[node].hardware.read for node in range(n)]
+    afters = [clocks[node].hardware.real_time_after for node in range(n)]
+    times_append = samples.times.append
+    sample_appends = [samples.clocks[node].append for node in range(n)]
+    on_sync = trace.on_sync
+    on_corruption = trace.on_corruption
+    on_sample = stream.on_sample if stream is not None else None
+
+    # -- inlined clock reads --------------------------------------------
+    # Hardware reads dominate message handling, so the per-segment
+    # linear map of the two standard clock shapes is mirrored into flat
+    # columns and evaluated inline with the *identical* float
+    # expression (``h + (tau - start) * rate``, then ``+ adj``).  Event
+    # times pop in non-decreasing order, so segments only ever advance;
+    # `_read_slow` re-anchors the columns when ``t`` crosses a segment
+    # boundary, and serves exotic clock shapes (quantized, custom) via
+    # the real ``read`` method by pinning ``ck_next`` to ``-inf``.
+    ck_h = [0.0] * n                      # segment-start hardware value
+    ck_s = [0.0] * n                      # segment-start real time
+    ck_r = [1.0] * n                      # segment rate
+    ck_next = [_INF] * n                  # real time of the next segment
+    pw_starts: list[list[float] | None] = [None] * n
+    pw_h: list[list[float] | None] = [None] * n
+    pw_rates: list[list[float] | None] = [None] * n
+    pw_idx = [0] * n
+    for node in range(n):
+        hw = clocks[node].hardware
+        hw_type = type(hw)
+        if hw_type is FixedRateClock and hw.origin == 0.0:
+            ck_h[node] = hw.offset
+            ck_s[node] = hw.origin
+            ck_r[node] = hw.rate
+        elif hw_type is PiecewiseRateClock and hw.origin == 0.0:
+            starts = hw._starts
+            pw_starts[node] = starts
+            pw_h[node] = hw._h_at_start
+            pw_rates[node] = hw._rates
+            ck_h[node] = hw._h_at_start[0]
+            ck_s[node] = starts[0]
+            ck_r[node] = hw._rates[0]
+            ck_next[node] = starts[1] if len(starts) > 1 else _INF
+        else:
+            ck_next[node] = _NEG_INF      # always take the slow path
+
+    def _read_slow(node: int, tau: float) -> float:
+        """Logical-clock read outside the cached segment (rare)."""
+        starts = pw_starts[node]
+        if starts is None:
+            return readers[node](tau) + adj[node]
+        i = pw_idx[node] + 1
+        last = len(starts) - 1
+        while i < last and tau >= starts[i + 1]:
+            i += 1
+        pw_idx[node] = i
+        ck_h[node] = h = pw_h[node][i]
+        ck_s[node] = s = starts[i]
+        ck_r[node] = r = pw_rates[node][i]
+        ck_next[node] = starts[i + 1] if i < last else _INF
+        return h + (tau - s) * r + adj[node]
+
+    read_slow = _read_slow
+
+    # -- per-link random streams ----------------------------------------
+    # Byte-parity pins the *values*: each link/loss stream is the
+    # MT19937 sequence of ``random.Random(derive_seed(seed, name))``.
+    # The loop consumes them through raw ``_random.Random`` instances
+    # (cheaper to seed, identical output) and applies CPython's
+    # ``uniform`` formula ``a + (b - a) * random()`` inline on the
+    # bound C ``random`` method.
+    seed_prefix = f"{spec.seed}:".encode()
+
+    def _link_random(sender: int, recipient: int) -> Callable[[], float]:
+        digest = sha256(seed_prefix + b"link:%d->%d"
+                        % (sender, recipient)).digest()
+        return _CoreRandom(int.from_bytes(digest[:8], "big")).random
+
+    def _loss_random(sender: int, recipient: int) -> Callable[[], float]:
+        digest = sha256(seed_prefix + b"loss:%d->%d"
+                        % (sender, recipient)).digest()
+        return _CoreRandom(int.from_bytes(digest[:8], "big")).random
+
+    delay_model = spec.delay_model
+    dm_sample = delay_model.sample
+    uniform_fast = type(delay_model) is UniformDelay
+    if uniform_fast:
+        dm_lo, dm_hi, dm_delta = delay_model.lo, delay_model.hi, delay_model.delta
+    else:
+        dm_lo = dm_hi = dm_delta = 0.0
+    dm_span = dm_hi - dm_lo
+    loss_rate = spec.loss_rate
+    draw_fast: list[Callable[[], float] | None] = [None] * nn
+    link_rngs: list[Any] = [None] * nn
+    loss_draws: list[Callable[[], float] | None] = [None] * nn
+
+    include_self = params.include_self
+    f_param = params.f
+    way_off = params.way_off
+    max_wait = params.max_wait
+    decide = decide_arrays
+    log = DecisionLog() if collect_decisions else None
+
+    # -- calendar event queue: exact heap order, O(1) amortized ---------
+    # Replays the scalar heap's total order exactly.  Events are
+    # bucketed by time (equal times always share a bucket); a bucket is
+    # sorted in bulk when the cursor enters it — full-tuple comparison
+    # with unique ``seq`` numbers reproduces heapq's ``(time, seq)``
+    # tie-breaking — and pushes that land in the bucket currently being
+    # drained insert in sorted position past the read cursor.  ``hsize``
+    # tracks the number of *pending* entries (lazily cancelled
+    # included), which is exactly the scalar heap's size, so the
+    # high-water and pending counters stay byte-identical.
+    cancelled: set[int] = set()
+    cancelled_add = cancelled.add
+    cancelled_discard = cancelled.discard
+    avg_degree = (sum(len(peers) for peers in neighbor_list) / n) if n else 0.0
+    rounds_est = duration / sync_interval if sync_interval > 0.0 else 0.0
+    est_events = (n * rounds_est * (2.0 * avg_degree + 2.0)
+                  + duration / interval + 2.0 * len(plan) + n)
+    nb = int(est_events / 8.0)
+    if nb < 16:
+        nb = 16
+    elif nb > 131072:
+        nb = 131072
+    inv_w = nb / duration if duration > 0.0 else 0.0
+    buckets: list[list[tuple] | None] = [[] for _ in range(nb)]
+    last_b = nb - 1
+    cur_b = -1
+    cl: list[tuple] = []                  # the bucket being drained
+    ci = 0                                # read cursor into ``cl``
+    nseq = 0
+    hsize = 0
+    high_water = 0
+    fired = 0
+    ncancelled = 0
+    delivered = 0
+    sample_count = 0
+
+    def _seed_push(event: tuple) -> None:
+        b = int(event[0] * inv_w)
+        bucket = buckets[b if b < last_b else last_b]
+        assert bucket is not None
+        bucket.append(event)
+
+    # Push order mirrors repro.runner.experiment.run: adversary install
+    # (plan order: break-in, then finite release), then the sample grid,
+    # then each node's first sync alarm.
+    for idx, corruption in enumerate(plan):
+        if corruption.start < 0.0:
+            raise SimulationError(
+                f"cannot schedule at t={corruption.start!r}; "
+                f"simulator time is already 0.0")
+        _seed_push((corruption.start, nseq, _BREAK, idx))
+        nseq += 1
+        hsize += 1
+        if math.isfinite(corruption.end):
+            _seed_push((corruption.end, nseq, _LEAVE, idx))
+            nseq += 1
+            hsize += 1
+    grid_t = 0.0
+    while grid_t <= duration + 1e-12:
+        _seed_push((grid_t, nseq, _SAMPLE))
+        nseq += 1
+        hsize += 1
+        grid_t += interval
+    for node in range(n):
+        fire = afters[node](0.0, phases[node])
+        _seed_push((fire, nseq, _ALARM, node))
+        node_timer[node] = nseq
+        nseq += 1
+        hsize += 1
+    high_water = hsize
+
+    sess_counter = 0
+    complete_node = -1
+    wall_start = perf_counter()
+    cn = 0                                # cached len(cl); insort bumps it
+    while True:
+        if ci == cn:
+            b = cur_b + 1
+            while b < nb and not buckets[b]:
+                b += 1
+            if b == nb:
+                break
+            if cur_b >= 0:
+                buckets[cur_b] = None     # free drained buckets early
+            cur_b = b
+            cl = buckets[b]
+            cl.sort()
+            cn = len(cl)
+            ci = 0
+            continue
+        ev = cl[ci]
+        if cancelled and ev[1] in cancelled:
+            ci += 1
+            hsize -= 1
+            cancelled_discard(ev[1])
+            continue
+        t = ev[0]
+        if t > duration:
+            break
+        ci += 1
+        hsize -= 1
+        fired += 1
+        kind = ev[2]
+
+        if kind == _PING:
+            # Deliver a ping: a good node always answers with a pong
+            # carrying its current logical clock; a controlled (silent)
+            # node drops it after the delivery is counted.
+            r = ev[3]
+            delivered += 1
+            if controlled[r]:
+                continue
+            if t < ck_next[r]:
+                clock_value = ck_h[r] + (t - ck_s[r]) * ck_r[r] + adj[r]
+            else:
+                clock_value = read_slow(r, t)
+            s_node = ev[4]
+            key = r * n + s_node
+            if loss_rate > 0.0:
+                loss = loss_draws[key]
+                if loss is None:
+                    loss = loss_draws[key] = _loss_random(r, s_node)
+                if loss() < loss_rate:
+                    continue
+            if uniform_fast:
+                draw = draw_fast[key]
+                if draw is None:
+                    draw = draw_fast[key] = _link_random(r, s_node)
+                delay = dm_lo + dm_span * draw()
+                if delay > dm_delta:
+                    delay = dm_delta
+            else:
+                rng = link_rngs[key]
+                if rng is None:
+                    rng = link_rngs[key] = stream_fn(f"link:{r}->{s_node}")
+                delay = dm_sample(r, s_node, rng)
+            tm = t + delay
+            event = (tm, nseq, _PONG, s_node, r, ev[5], clock_value)
+            b = int(tm * inv_w)
+            if b >= last_b:
+                b = last_b
+            if b != cur_b:
+                buckets[b].append(event)
+            else:
+                insort(cl, event, ci)
+                cn += 1
+            nseq += 1
+            hsize += 1
+            if hsize > high_water:
+                high_water = hsize
+
+        elif kind == _PONG:
+            # Deliver a pong: accepted only by the session that sent the
+            # matching ping (stale/duplicate replies are no-ops, exactly
+            # like the scalar nonce check).
+            o = ev[3]
+            delivered += 1
+            if controlled[o]:
+                continue
+            if ev[5] != sess_active[o]:
+                continue
+            base = o * n + ev[4]
+            if replied[base]:
+                continue
+            if t < ck_next[o]:
+                receive_local = ck_h[o] + (t - ck_s[o]) * ck_r[o] + adj[o]
+            else:
+                receive_local = read_slow(o, t)
+            sent_local = sess_send[o]
+            est_d[base] = ev[6] - (receive_local + sent_local) / 2.0
+            est_a[base] = (receive_local - sent_local) / 2.0
+            replied[base] = 1
+            remaining = awaiting[o] - 1
+            awaiting[o] = remaining
+            if remaining == 0:
+                cancelled_add(node_timer[o])
+                ncancelled += 1
+                node_timer[o] = -1
+                complete_node = o
+
+        elif kind == _SAMPLE:
+            if record:
+                times_append(t)
+                for node in range(n):
+                    if t < ck_next[node]:
+                        value = (ck_h[node] + (t - ck_s[node]) * ck_r[node]
+                                 + adj[node])
+                    else:
+                        value = read_slow(node, t)
+                    sample_appends[node](value)
+            else:
+                on_sample(t, sample_count)
+            sample_count += 1
+
+        elif kind == _ALARM:
+            # Begin a Sync round: one send-local read, a ping per peer
+            # (loss then delay draw, per-link streams, peer order), then
+            # the max-wait deadline.
+            node = ev[3]
+            if node_timer[node] == ev[1]:
+                node_timer[node] = -1
+            round_no[node] += 1
+            sess_counter += 1
+            token = sess_counter
+            sess_active[node] = token
+            if t < ck_next[node]:
+                send_local = ck_h[node] + (t - ck_s[node]) * ck_r[node] \
+                    + adj[node]
+            else:
+                send_local = read_slow(node, t)
+            sess_send[node] = send_local
+            row = node * n
+            peers = neighbor_list[node]
+            replied[row:row + n] = zero_row
+            awaiting[node] = len(peers)
+            nseq_before = nseq
+            for peer in peers:
+                key = row + peer
+                if loss_rate > 0.0:
+                    loss = loss_draws[key]
+                    if loss is None:
+                        loss = loss_draws[key] = _loss_random(node, peer)
+                    if loss() < loss_rate:
+                        continue
+                if uniform_fast:
+                    draw = draw_fast[key]
+                    if draw is None:
+                        draw = draw_fast[key] = _link_random(node, peer)
+                    delay = dm_lo + dm_span * draw()
+                    if delay > dm_delta:
+                        delay = dm_delta
+                else:
+                    rng = link_rngs[key]
+                    if rng is None:
+                        rng = link_rngs[key] = stream_fn(f"link:{node}->{peer}")
+                    delay = dm_sample(node, peer, rng)
+                tm = t + delay
+                event = (tm, nseq, _PING, peer, node, token)
+                b = int(tm * inv_w)
+                if b >= last_b:
+                    b = last_b
+                if b != cur_b:
+                    buckets[b].append(event)
+                else:
+                    insort(cl, event, ci)
+                    cn += 1
+                nseq += 1
+            fire = afters[node](t, max_wait)
+            event = (fire, nseq, _DEADLINE, node, token)
+            b = int(fire * inv_w)
+            if b >= last_b:
+                b = last_b
+            if b != cur_b:
+                buckets[b].append(event)
+            else:
+                insort(cl, event, ci)
+                cn += 1
+            node_timer[node] = nseq
+            nseq += 1
+            # hsize rises monotonically through this handler (every
+            # push bumps nseq, lost pings bump neither), so one
+            # high-water check after the deadline push is exact.
+            hsize += nseq - nseq_before
+            if hsize > high_water:
+                high_water = hsize
+
+        elif kind == _DEADLINE:
+            node = ev[3]
+            if node_timer[node] == ev[1]:
+                node_timer[node] = -1
+            if ev[4] == sess_active[node]:
+                complete_node = node
+
+        elif kind == _BREAK:
+            corruption = plan[ev[3]]
+            node = corruption.node
+            if controlled[node]:
+                raise AdversaryError(
+                    f"node {node} is already controlled at break-in")
+            controlled[node] = 1
+            timer = node_timer[node]
+            if timer >= 0:
+                cancelled_add(timer)
+                ncancelled += 1
+                node_timer[node] = -1
+            on_corruption(node, t, "break_in", corruption.strategy.name)
+
+        else:  # _LEAVE
+            corruption = plan[ev[3]]
+            node = corruption.node
+            if not controlled[node]:
+                raise AdversaryError(
+                    f"release of node {node} that is not controlled")
+            controlled[node] = 0
+            # Recovery restart: fresh session, first delay is the start
+            # phase when the node never ran a round, else SyncInt.
+            sess_active[node] = -1
+            first_delay = phases[node] if round_no[node] == 0 else sync_interval
+            fire = afters[node](t, first_delay)
+            event = (fire, nseq, _ALARM, node)
+            b = int(fire * inv_w)
+            if b >= last_b:
+                b = last_b
+            if b != cur_b:
+                buckets[b].append(event)
+            else:
+                insort(cl, event, ci)
+                cn += 1
+            node_timer[node] = nseq
+            nseq += 1
+            hsize += 1
+            if hsize > high_water:
+                high_water = hsize
+            on_corruption(node, t, "release", corruption.strategy.name)
+
+        if complete_node >= 0:
+            # Complete the Sync: estimates in sorted-peer order (timeout
+            # = (0, inf)), optional self estimate, one decision-kernel
+            # call, real clock adjustment, real trace record, next alarm.
+            o = complete_node
+            complete_node = -1
+            sess_active[o] = -1
+            row = o * n
+            overs: list[float] = []
+            unders: list[float] = []
+            replies = 0
+            for peer in neighbor_list[o]:
+                base = row + peer
+                if replied[base]:
+                    distance = est_d[base]
+                    accuracy = est_a[base]
+                    overs.append(distance + accuracy)
+                    unders.append(distance - accuracy)
+                    replies += 1
+                else:
+                    overs.append(_INF)
+                    unders.append(_NEG_INF)
+            if include_self:
+                overs.append(0.0)
+                unders.append(0.0)
+            if t < ck_next[o]:
+                local_before = ck_h[o] + (t - ck_s[o]) * ck_r[o] + adj[o]
+            else:
+                local_before = read_slow(o, t)
+            decision = decide(overs, unders, f_param, way_off)
+            clock = clocks[o]
+            clock.adjust(t, decision.correction)
+            adj[o] = clock.adj
+            on_sync(SyncRecord(o, round_no[o], t, local_before,
+                               decision.correction, decision.m,
+                               decision.big_m, decision.own_discarded,
+                               replies))
+            if log is not None:
+                log.over_rows.append(overs)
+                log.under_rows.append(unders)
+                log.corrections.append(decision.correction)
+                log.ms.append(decision.m)
+                log.big_ms.append(decision.big_m)
+                log.own_discarded.append(decision.own_discarded)
+            fire = afters[o](t, sync_interval)
+            event = (fire, nseq, _ALARM, o)
+            b = int(fire * inv_w)
+            if b >= last_b:
+                b = last_b
+            if b != cur_b:
+                buckets[b].append(event)
+            else:
+                insort(cl, event, ci)
+                cn += 1
+            node_timer[o] = nseq
+            nseq += 1
+            hsize += 1
+            if hsize > high_water:
+                high_water = hsize
+
+    wall = perf_counter() - wall_start
+    if stream is not None:
+        stream.finalize()
+
+    perf = EnginePerfCounters(
+        events_processed=fired,
+        events_pushed=nseq,
+        events_cancelled=ncancelled,
+        cancelled_ratio=(ncancelled / nseq) if nseq else 0.0,
+        heap_high_water=high_water,
+        run_wall_time=wall,
+        events_per_second=(fired / wall) if wall > 0.0 else 0.0,
+        pending_events=nseq - fired - ncancelled,
+    )
+    return VectorRunOutput(
+        clocks=clocks,
+        corruptions=corruptions,
+        trace=trace,
+        samples=samples,
+        stream=stream,
+        events_processed=fired,
+        messages_delivered=delivered,
+        perf=perf,
+        decisions=log,
+    )
+
+
+def run_batch(specs: Sequence[VectorSpec],
+              check_decisions: bool = False) -> BatchResult:
+    """Run many independent specs as one batch in a single process.
+
+    Each run executes through :func:`simulate_run` (runs are
+    independent, but their internal event schedules are data-dependent,
+    so they cannot share one heap); the batch layer stacks the final
+    per-node clock state into ``(batch, node)`` struct-of-arrays columns
+    and, with ``check_decisions``, re-evaluates **every** recorded
+    convergence decision of the whole batch through the masked
+    :func:`~repro.core.convergence.decide_columns` kernel, asserting
+    float-exact agreement with the corrections the runs applied.
+
+    Raises:
+        SimulationError: When the batched kernel disagrees with a
+            sequentially applied decision (would indicate a backend
+            divergence bug — this is the batch self-check).
+    """
+    outputs: list[VectorRunOutput] = []
+    # The hot loop's allocations are balanced (every event tuple pushed
+    # is popped and dropped), so cyclic-gc passes triggered by the sheer
+    # allocation *rate* find nothing and only cost time.  Batches own
+    # their process slot, so suspend collection for the duration.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    wall_start = perf_counter()
+    try:
+        for spec in specs:
+            outputs.append(
+                simulate_run(spec, collect_decisions=check_decisions))
+    finally:
+        wall = perf_counter() - wall_start
+        if gc_was_enabled:
+            gc.enable()
+
+    clock_columns: dict[int, array] = {}
+    adj_columns: dict[int, array] = {}
+    sizes = {len(output.clocks) for output in outputs}
+    if len(sizes) == 1 and outputs:
+        n = sizes.pop()
+        clock_columns = {node: new_column() for node in range(n)}
+        adj_columns = {node: new_column() for node in range(n)}
+        for spec, output in zip(specs, outputs):
+            horizon = spec.duration
+            for node in range(n):
+                clock = output.clocks[node]
+                clock_columns[node].append(clock.read(horizon))
+                adj_columns[node].append(clock.adj)
+
+    verified = 0
+    if check_decisions:
+        # Group rows by width (mixed-degree topologies and mixed specs
+        # produce different estimate counts), one batched kernel call
+        # per group.
+        grouped: dict[tuple[int, int, float], list[tuple[list[float], list[float], float, float, float, bool]]] = {}
+        for spec, output in zip(specs, outputs):
+            log = output.decisions
+            if log is None:
+                continue
+            for i, over_row in enumerate(log.over_rows):
+                group_key = (len(over_row), spec.params.f, spec.params.way_off)
+                grouped.setdefault(group_key, []).append(
+                    (over_row, log.under_rows[i], log.corrections[i],
+                     log.ms[i], log.big_ms[i], log.own_discarded[i]))
+        for (width, f, way_off), rows in grouped.items():
+            over_rows = [row[0] for row in rows]
+            under_rows = [row[1] for row in rows]
+            corrections, ms, big_ms, discarded = decide_columns(
+                over_rows, under_rows, f, way_off)
+            for i, row in enumerate(rows):
+                if (corrections[i] != row[2] or ms[i] != row[3]
+                        or big_ms[i] != row[4] or discarded[i] != row[5]):
+                    raise SimulationError(
+                        f"batched decision kernel diverged from the applied "
+                        f"decision: row width {width}, f={f}: "
+                        f"({corrections[i]!r}, {ms[i]!r}, {big_ms[i]!r}, "
+                        f"{discarded[i]!r}) != ({row[2]!r}, {row[3]!r}, "
+                        f"{row[4]!r}, {row[5]!r})")
+                verified += 1
+
+    return BatchResult(
+        outputs=outputs,
+        final_clock_columns=clock_columns,
+        final_adj_columns=adj_columns,
+        events_processed=sum(output.events_processed for output in outputs),
+        wall_time=wall,
+        decisions_verified=verified,
+    )

@@ -34,6 +34,7 @@ def healthy_metrics() -> dict:
             "errors": 0,
         },
         "obs_live": {"full_ratio": 0.97},
+        "mega_sim": {"speedup": 4.5, "record_parity": 1.0},
     }
 
 
@@ -112,6 +113,55 @@ class TestEvaluate:
         ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
         assert ok
         assert any("numpy" in line and "skipped" in line for line in lines)
+
+    def test_stale_baseline_predating_sections_is_skipped(self):
+        # A baseline JSON written before the obs_live / mega_sim
+        # sections existed must not crash the gate (and must not fail
+        # it on the baseline comparison): the new sections' GATED
+        # figures are skipped while absolute limits still apply.
+        stale = healthy_metrics()
+        del stale["obs_live"]
+        del stale["mega_sim"]
+        ok, lines = bench_gate.evaluate(healthy_metrics(), stale)
+        assert ok
+        assert any("mega-sim" in line and "skipped" in line
+                   for line in lines)
+
+    def test_mega_speedup_floor_enforced(self):
+        metrics = healthy_metrics()
+        metrics["mega_sim"]["speedup"] = bench_gate.MEGA_SPEEDUP_FLOOR - 0.5
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("mega-sim" in line and "FAILED" in line
+                   for line in lines)
+
+    def test_mega_speedup_regression_fails(self):
+        metrics = healthy_metrics()
+        # Below the gate's own floor would trip LIMITS; pick a value
+        # above the floor but >MEGA_TOLERANCE below the baseline.
+        baseline = healthy_metrics()
+        baseline["mega_sim"]["speedup"] = 8.0
+        metrics["mega_sim"]["speedup"] = 8.0 * (
+            1.0 - bench_gate.MEGA_TOLERANCE - 0.1)
+        ok, lines = bench_gate.evaluate(metrics, baseline)
+        assert not ok
+        assert any("mega-sim" in line and "REGRESSION" in line
+                   for line in lines)
+
+    def test_record_parity_is_an_absolute_bar(self):
+        metrics = healthy_metrics()
+        metrics["mega_sim"]["record_parity"] = 0.0
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("parity" in line and "FAILED" in line for line in lines)
+
+    def test_missing_mega_section_fails_limits(self):
+        metrics = healthy_metrics()
+        del metrics["mega_sim"]
+        ok, lines = bench_gate.evaluate(metrics, healthy_metrics())
+        assert not ok
+        assert any("mega_sim.speedup" in line and "missing" in line
+                   for line in lines)
 
     def test_lookup_resolves_and_misses(self):
         metrics = healthy_metrics()

@@ -19,7 +19,11 @@ verdict on a laptop and a CI runner:
 * ``end_to_end.normalized`` — streamed-run events/sec divided by the
   same legacy yardstick;
 * ``service.normalized_qps`` — sustained time-service queries/sec
-  divided by the same legacy yardstick.
+  divided by the same legacy yardstick;
+* ``mega_sim.speedup`` — the vector batch engine's effective events/sec
+  relative to the scalar engine on the same workload, measured
+  interleaved in the same process
+  (:func:`benchmarks.bench_engine.measure_mega_sim`).
 
 On top of the baseline comparison, absolute floors are enforced: the
 python-backend speedup must stay above 5x (the PR 4 acceptance bar),
@@ -28,7 +32,14 @@ p99 latency under ``delta`` and zero failed queries (the PR 6
 acceptance bar) — and full live telemetry
 (:func:`benchmarks.bench_obs_overhead.measure_live_overhead`) must
 retain at least 90% of the uninstrumented query throughput (the PR 7
-acceptance bar).
+acceptance bar).  The mega-sim section additionally enforces the
+vector-backend bars: batch speedup above :data:`MEGA_SPEEDUP_FLOOR`
+and byte-identical scalar/vector ``RunRecord``\\ s (``record_parity``).
+
+A baseline that predates a section (an older ``baseline_pr4.json``
+without, say, the ``obs_live`` or ``mega_sim`` keys) skips that
+section's baseline comparison instead of crashing; absolute limits
+still apply to the measured run.
 
 The gate fails when any gated figure drops below its tolerance —
 20% for the analysis figures, 5% for the end-to-end events/sec figure
@@ -71,6 +82,15 @@ DISPATCH_TOLERANCE = 0.05
 #: run spread is wider than the pure-computation figures'.
 SERVICE_TOLERANCE = 0.30
 
+#: Tolerance for the mega-sim batch speedup.  Both sides are measured
+#: in the same process, but the ratio is less portable than the other
+#: gated figures: machine-speed shifts hit the two engines
+#: asymmetrically (the vector loop is cache-hotter than the scalar
+#: call stack), and CPython versions specialize the two styles
+#: differently (3.11's inline-bytecode specialization favors the
+#: vector loop; the 3.10 CI leg does not have it).
+MEGA_TOLERANCE = 0.40
+
 #: Hard floor on the python-backend analysis speedup (acceptance bar).
 SPEEDUP_FLOOR = 5.0
 
@@ -84,6 +104,16 @@ SERVICE_P99_CEILING = 1.0  # p99 / delta
 #: histograms) must retain at least 90% of the uninstrumented QPS.
 OBS_LIVE_RATIO_FLOOR = 0.90
 
+#: Hard floor on the mega-sim batch speedup (vector vs scalar engine,
+#: n=64, 256 batched seeds) and the record-parity requirement.  The
+#: measured speedup on this workload is ~4-5x on CPython 3.11
+#: depending on machine mood (and grows with n: ~8.7x at n=256); see
+#: EXPERIMENTS.md for why the issue's 10x target is not reachable at
+#: n=64 with byte-identical per-event semantics.  The floor sits below
+#: the worst honest measurement across supported interpreters so the
+#: gate trips on real regressions, not on moods or CPython versions.
+MEGA_SPEEDUP_FLOOR = 2.5
+
 #: Gated figures: (dotted path, human label, tolerated drop).
 GATED = [
     ("analysis.python.speedup", "analysis speedup (python backend)",
@@ -96,6 +126,9 @@ GATED = [
     ("service.normalized_qps",
      "time-service normalized QPS (UDP loopback)",
      SERVICE_TOLERANCE),
+    ("mega_sim.speedup",
+     "mega-sim batch speedup (vector vs scalar engine)",
+     MEGA_TOLERANCE),
 ]
 
 #: Absolute floors/ceilings: (dotted path, human label, kind, limit)
@@ -112,6 +145,10 @@ LIMITS = [
     ("service.errors", "time-service failed queries", "ceiling", 0),
     ("obs_live.full_ratio", "live full-telemetry QPS retention",
      "floor", OBS_LIVE_RATIO_FLOOR),
+    ("mega_sim.speedup", "mega-sim batch speedup (n=64, 256 seeds)",
+     "floor", MEGA_SPEEDUP_FLOOR),
+    ("mega_sim.record_parity", "mega-sim scalar/vector record parity",
+     "floor", 1.0),
 ]
 
 
@@ -174,6 +211,7 @@ def evaluate(metrics: dict, baseline: dict) -> tuple[bool, list[str]]:
 
 def run_benchmarks() -> dict:
     """Measure everything; returns the merged metrics dict."""
+    from bench_engine import measure_mega_sim, mega_table
     from bench_measures import measure, metrics_table
     from bench_obs_overhead import live_table, measure_live_overhead
     from bench_service import measure_service
@@ -188,6 +226,9 @@ def run_benchmarks() -> dict:
     metrics["obs_live"] = measure_live_overhead()
     print()
     print(live_table(metrics["obs_live"]))
+    metrics["mega_sim"] = measure_mega_sim()
+    print()
+    print(mega_table(metrics["mega_sim"]))
     return metrics
 
 

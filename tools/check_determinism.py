@@ -15,6 +15,12 @@ mobile-Byzantine adversary):
   byte-for-byte against the post-hoc one: the streaming engine must be
   an exact mirror of the recorded-trace pipeline, not merely
   reproducible on its own;
+* **vector** — replays the same seed list through the scalar and
+  vector simulation backends twice each and compares all record
+  serializations per seed: the batch engine must be byte-identical to
+  the reference *and* reproducible across repeats (the check first
+  proves the config is inside the vector envelope, so an accidental
+  scalar fallback cannot make it vacuous);
 * **live** — runs a loopback cluster under the virtual-time loop twice,
   telemetry off and fully instrumented
   (:class:`repro.obs.live.LiveTelemetry`): every Figure 1 correction
@@ -56,10 +62,28 @@ E1_CONFIG = {
     "seed": 1,
 }
 
+# A declarative rotating-silent config inside the *vector envelope*
+# (the E1 mobile-Byzantine mix uses non-silent strategies, which the
+# vector backend refuses and would silently fall back to scalar —
+# making the cross-backend check vacuous).  Crash, recovery, wander
+# clocks, staggered phases: the full batch-engine masking machinery.
+VECTOR_CONFIG = {
+    "params": {"n": 5, "f": 1, "delta": 0.002, "rho": 1e-3, "pi": 1.0},
+    "duration": 8.0,
+    "seed": 1,
+    "protocol": "sync",
+    "clocks": "wander",
+    "initial_offset_spread": 0.0005,
+    "name": "vector-determinism",
+    "plan": {"kind": "rotating", "strategy": {"name": "silent"}},
+}
 
-def summary_bytes(config: dict, stream_measures: bool = False) -> bytes:
+
+def summary_bytes(config: dict, stream_measures: bool = False,
+                  backend: str = "scalar") -> bytes:
     """Run one config and serialize its summary canonically."""
-    summary = run_config(config, stream_measures=stream_measures)
+    summary = run_config(config, stream_measures=stream_measures,
+                         backend=backend)
     return json.dumps(dataclasses.asdict(summary), sort_keys=True).encode()
 
 
@@ -132,6 +156,59 @@ def check_stream() -> bool:
     return False
 
 
+def check_vector() -> bool:
+    """Vector backend byte-identical to scalar, and both reproducible.
+
+    Replays the same seed list through the scalar and vector backends
+    twice each (streamed measures, the campaign fast path): all four
+    record serializations must match per seed — across backends *and*
+    across repeats.  A vector-side RNG reorder, a masked update that
+    rounds differently, or a nondeterministic dict walk all surface
+    here as a one-line diff.
+    """
+    from repro.runner.config import scenario_from_config
+    from repro.runner.vector import scalar_only_reason, vector_spec
+    from repro.sim.vector import simulate_run
+
+    # Guard against vacuity: the config must actually enter the vector
+    # engine (a silent scalar fallback would compare scalar to scalar).
+    scenario = scenario_from_config(dict(VECTOR_CONFIG))
+    reason = scalar_only_reason(scenario)
+    if reason is not None:
+        print(f"DETERMINISM FAILURE: vector check config fell out of the "
+              f"vector envelope: {reason}", file=sys.stderr)
+        return False
+    simulate_run(vector_spec(scenario, stream_measures=True))  # must not raise
+
+    ok = True
+    for seed in (1, 2, 3):
+        config = dict(VECTOR_CONFIG, seed=seed)
+        runs = {
+            "scalar#1": summary_bytes(config, stream_measures=True,
+                                      backend="scalar"),
+            "scalar#2": summary_bytes(config, stream_measures=True,
+                                      backend="scalar"),
+            "vector#1": summary_bytes(config, stream_measures=True,
+                                      backend="vector"),
+            "vector#2": summary_bytes(config, stream_measures=True,
+                                      backend="vector"),
+        }
+        reference = runs["scalar#1"]
+        diverged = [label for label, blob in runs.items() if blob != reference]
+        if diverged:
+            print(f"DETERMINISM FAILURE: seed {seed} records diverged "
+                  f"from scalar#1: {', '.join(diverged)}", file=sys.stderr)
+            for label in diverged:
+                print(f"  {label}: {runs[label].decode()[:400]}",
+                      file=sys.stderr)
+            ok = False
+        else:
+            print(f"deterministic: seed {seed} scalar/vector records "
+                  f"byte-identical across backends and repeats "
+                  f"({len(reference)} bytes)")
+    return ok
+
+
 def live_run(telemetry: bool, duration: float = 4.0, seed: int = 3):
     """One virtual-time loopback cluster run; returns its observables.
 
@@ -194,6 +271,7 @@ def main() -> int:
     ok = check_summary()
     ok = check_trace() and ok
     ok = check_stream() and ok
+    ok = check_vector() and ok
     ok = check_live() and ok
     return 0 if ok else 1
 
