@@ -40,20 +40,25 @@ from repro.errors import (
     CampaignError,
     ClockError,
     ConfigurationError,
+    EvaluationError,
     MeasurementError,
     ParameterError,
     ReproError,
     SimulationError,
+    StoreError,
     TopologyError,
 )
 from repro.runner import (
     Campaign,
     CampaignResult,
+    EvaluationSpec,
+    ResultStore,
     RunRecord,
     RunResult,
     Scenario,
     benign_scenario,
     default_params,
+    evaluate,
     mobile_byzantine_scenario,
     recovery_scenario,
     replicate,
@@ -86,6 +91,10 @@ __all__ = [
     "recovery_scenario",
     "split_world_scenario",
     "two_clique_scenario",
+    # results as data
+    "ResultStore",
+    "EvaluationSpec",
+    "evaluate",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -95,5 +104,7 @@ __all__ = [
     "ClockError",
     "AdversaryError",
     "MeasurementError",
+    "StoreError",
+    "EvaluationError",
     "CampaignError",
 ]

@@ -24,6 +24,13 @@ Subcommands:
   missing runs (``--fresh`` ignores the cache), and ``--backend
   vector`` swaps in the vectorized batch engine (byte-identical
   records, automatic scalar fallback outside its envelope).
+  ``--store DIR`` appends the results to a columnar
+  :class:`~repro.runner.store.ResultStore` for later querying and
+  evaluation.
+* ``evaluate`` — judge a campaign's result store against registered
+  :class:`~repro.runner.evaluation.EvaluationSpec` s and print a
+  pass/fail report per spec; exits non-zero when any applicable spec
+  fails (``--list`` shows the registry).
 * ``soak`` — long randomized stress run (random f-limited plans,
   seeds advancing per segment) with per-segment invariant checks;
   exits non-zero on the first violated guarantee.
@@ -162,7 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "fallback outside the vector envelope; part "
                               "of the cache identity)")
     sweep_p.add_argument("--json", dest="json_out", default=None,
-                         help="write all run records to this JSON file")
+                         help="write records and campaign summary to this "
+                              "JSON file")
+    sweep_p.add_argument("--store", dest="store_dir", default=None,
+                         help="append results to the columnar ResultStore at "
+                              "this directory (the `repro evaluate` input)")
+
+    evaluate_p = sub.add_parser(
+        "evaluate", help="judge a campaign's result store against "
+                         "registered evaluation specs")
+    evaluate_p.add_argument("store_dir", nargs="?", default=None,
+                            help="a ResultStore directory (written by "
+                                 "`repro sweep --store` or Campaign(store_dir=…))")
+    evaluate_p.add_argument("--spec", action="append", default=None,
+                            help="spec name to evaluate (repeatable; default: "
+                                 "every registered spec, skipping the "
+                                 "inapplicable ones)")
+    evaluate_p.add_argument("--json", dest="json_out", default=None,
+                            help="additionally write the reports to this "
+                                 "JSON file")
+    evaluate_p.add_argument("--list", action="store_true", dest="list_specs",
+                            help="list registered specs and exit")
 
     soak_p = sub.add_parser("soak", help="randomized long-run invariant check")
     soak_p.add_argument("--segments", type=int, default=10,
@@ -406,30 +433,107 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     campaign = Campaign(configs=configs, warmup_intervals=args.warmup_intervals,
                         cache_dir=args.cache_dir,
                         stream_measures=args.stream,
-                        backend=args.backend)
+                        backend=args.backend,
+                        store_dir=args.store_dir)
     result = campaign.run(workers=args.workers, fresh=args.fresh)
 
+    # The table and the JSON payload are both read back through the
+    # columnar store — the sweep output exercises the same round trip
+    # `repro evaluate` relies on.
+    store = result.store()
+    columns = store.query().select(
+        "index", "name", "seed", "verdict.measured_deviation",
+        "verdict.bound.max_deviation", "ok", "error")
     rows = []
-    for record in result.records:
-        if record.error is not None:
-            rows.append([record.index, record.name, record.seed,
-                         "-", "-", f"ERROR: {record.error}"])
+    for position in range(store.n_runs):
+        if columns["error"][position] is not None:
+            rows.append([columns["index"][position], columns["name"][position],
+                         columns["seed"][position], "-", "-",
+                         f"ERROR: {columns['error'][position]}"])
         else:
-            rows.append([record.index, record.name, record.seed,
-                         record.verdict.measured_deviation,
-                         record.verdict.bounds.max_deviation,
-                         check_mark(record.ok)])
+            rows.append([columns["index"][position], columns["name"][position],
+                         columns["seed"][position],
+                         columns["verdict.measured_deviation"][position],
+                         columns["verdict.bound.max_deviation"][position],
+                         check_mark(columns["ok"][position])])
     print(table(["run", "scenario", "seed", "max dev", "bound", "ok"],
                 rows, title="campaign", precision=4))
     print(f"\n{len(result.records)} runs: {result.executed} executed, "
           f"{result.cached} cached, {result.failed} failed")
+    if result.scalar_fallbacks:
+        print(f"{result.scalar_fallbacks} vector-backend runs fell back "
+              f"to the scalar engine:")
+        for reason, count in result.fallback_reasons().items():
+            print(f"  {count}x {reason}")
+    if args.store_dir is not None:
+        print(f"results appended to store {args.store_dir}")
     if args.json_out is not None:
         import dataclasses as dc
-        payload = [dc.asdict(record) for record in result.records]
+        payload = {
+            "records": [dc.asdict(record) for record in store.to_records()],
+            "summary": {
+                "runs": len(result.records),
+                "executed": result.executed,
+                "cached": result.cached,
+                "failed": result.failed,
+                "all_ok": result.all_ok,
+                "scalar_fallbacks": result.scalar_fallbacks,
+                "fallback_reasons": result.fallback_reasons(),
+            },
+        }
         pathlib.Path(args.json_out).write_text(
             json_module.dumps(payload, indent=2, sort_keys=True, default=str))
         print(f"records written to {args.json_out}")
     return 0 if result.all_ok else 1
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Judge a result store against registered evaluation specs."""
+    import json as json_module
+    import pathlib
+
+    from repro.errors import EvaluationError, StoreError
+    from repro.runner.evaluation import evaluate_all, registered_specs
+    from repro.runner.store import ResultStore
+
+    if args.list_specs:
+        for name, spec in sorted(registered_specs().items()):
+            print(f"{name}: {spec.description}")
+        return 0
+    if args.store_dir is None:
+        print("store_dir is required (or use --list)", file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore.load(args.store_dir)
+    except StoreError as exc:
+        print(f"cannot load store: {exc}", file=sys.stderr)
+        return 2
+    try:
+        reports = evaluate_all(store, names=args.spec)
+    except EvaluationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.render())
+        print()
+    judged = [report for report in reports if not report.skipped]
+    failed = [report for report in judged if not report.passed]
+    print(f"{len(reports)} specs: {len(judged) - len(failed)} passed, "
+          f"{len(failed)} failed, {len(reports) - len(judged)} skipped "
+          f"({store.n_runs} runs)")
+    if args.json_out is not None:
+        payload = {
+            "store": str(args.store_dir),
+            "runs": store.n_runs,
+            "reports": [report.to_json() for report in reports],
+        }
+        pathlib.Path(args.json_out).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True))
+        print(f"reports written to {args.json_out}")
+    if not judged:
+        print("no spec applied to this store", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
 
 
 def cmd_soak(args: argparse.Namespace) -> int:
@@ -819,6 +923,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "bounds": cmd_bounds, "list": cmd_list,
                 "soak": cmd_soak, "trace": cmd_trace, "sweep": cmd_sweep,
+                "evaluate": cmd_evaluate,
                 "live": cmd_live, "query": cmd_query, "stats": cmd_stats}
     return handlers[args.command](args)
 

@@ -64,6 +64,25 @@ class MeasurementError(ReproError):
     """A metric was requested over an empty or inconsistent sample set."""
 
 
+class StoreError(ReproError):
+    """A result store could not be built, persisted, or loaded.
+
+    Examples: a record whose config does not round-trip through JSON,
+    a store directory written by a newer format version, a parquet
+    chunk in an environment without pyarrow, or a query naming a
+    column the store does not have.
+    """
+
+
+class EvaluationError(ReproError):
+    """An evaluation spec is malformed or cannot run against a store.
+
+    Examples: an unknown check kind or comparison operator, a spec
+    registered twice under one name, or evaluating a spec whose
+    required columns are absent in strict mode.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign run failed and failure isolation was off.
 

@@ -35,17 +35,28 @@ import concurrent.futures
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import pickle
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.runner.store import Query, ResultStore
 
 from repro._version import __version__
-from repro.core.analysis import Theorem5Verdict
 from repro.errors import CampaignError, ConfigurationError
-from repro.metrics.measures import AccuracyReport, RecoveryReport
+from repro.runner.records import RunPerf, RunRecord
 from repro.runner.scenario import Scenario
+
+__all__ = [
+    "CACHE_FORMAT", "BACKENDS", "RunPerf", "RunRecord", "CampaignResult",
+    "Campaign", "BisectResult", "execute_run", "run_config", "run_configs",
+    "sweep", "replicate",
+]
+
+_log = logging.getLogger(__name__)
 
 #: Bumped when the RunRecord schema or measurement pipeline changes in
 #: a way that invalidates cached records independent of the package
@@ -55,95 +66,14 @@ from repro.runner.scenario import Scenario
 #: keeps scalar and vector records from colliding (they are
 #: byte-identical by contract, but a parity bug must never be masked by
 #: a stale cache hit from the other engine).
-CACHE_FORMAT = 3
+#: 4: columnar result store — RunRecord grew
+#: ``scalar_fallback_reason``, and cache files became versioned
+#: ``{"format": ..., "record": ...}`` envelopes so future schema bumps
+#: are recognized as stale instead of unpickling into garbage.
+CACHE_FORMAT = 4
 
 #: Simulation backends a campaign can select.
 BACKENDS = ("scalar", "vector")
-
-
-@dataclass(frozen=True)
-class RunPerf:
-    """Deterministic engine counters of one run.
-
-    A strict subset of :class:`~repro.sim.engine.EnginePerfCounters`:
-    the wall-clock fields (``run_wall_time``, ``events_per_second``)
-    are deliberately absent so records stay a pure function of
-    (config, seed) — identical-seed runs are byte-compared by the
-    determinism checks.
-    """
-
-    events_processed: int
-    events_pushed: int
-    events_cancelled: int
-    cancelled_ratio: float
-    heap_high_water: int
-    pending_events: int
-
-
-@dataclass(frozen=True)
-class RunRecord:
-    """Everything a campaign keeps from one run (picklable, rich).
-
-    Replaces the skeletal ``ConfigRunSummary``: all Definition 3
-    measures, the Theorem 5 verdict, the recovery report, deterministic
-    perf counters, and an optional observability summary.
-
-    Attributes:
-        index: Position of the run in its campaign (input order).
-        name: Scenario label.
-        config: The input config dict (the run's full identity together
-            with the code version).
-        seed: The run's root seed.
-        duration: Real-time length of the run.
-        warmup: Warmup (real time) applied to the measures.
-        verdict: Theorem 5 measured-vs-bound comparison (``None`` on
-            error records).
-        accuracy: Measured drift/discontinuity (Definition 3(ii)).
-        deviation_percentiles: Good-set deviation percentiles after
-            warmup, keyed by percentile.
-        recovery: Recovery report for every adversary release.
-        envelope_occupancy: Fraction of post-warmup deviation samples
-            inside the Theorem 5(i) envelope (``nan`` with no samples).
-        corruption_count: Number of planned corruption intervals.
-        events_processed: Simulator event count.
-        messages_delivered: Network delivery count.
-        sync_executions: Number of Sync executions traced.
-        perf: Deterministic engine counters (``None`` on error records).
-        obs: Small flight-recorder summary when the campaign observes
-            runs, else ``None``.
-        error: ``None`` on success; ``"ExcType: message"`` on failure
-            (all measure fields are then ``None``/zero).
-    """
-
-    index: int
-    name: str
-    config: dict[str, Any]
-    seed: int
-    duration: float
-    warmup: float = 0.0
-    verdict: Theorem5Verdict | None = None
-    accuracy: AccuracyReport | None = None
-    deviation_percentiles: dict[float, float] | None = None
-    recovery: RecoveryReport | None = None
-    envelope_occupancy: float | None = None
-    corruption_count: int = 0
-    events_processed: int = 0
-    messages_delivered: int = 0
-    sync_executions: int = 0
-    perf: RunPerf | None = None
-    obs: dict[str, Any] | None = None
-    error: str | None = None
-
-    @property
-    def ok(self) -> bool:
-        """Ran without error and every Theorem 5 guarantee held."""
-        return self.error is None and self.verdict is not None and self.verdict.all_ok
-
-    @property
-    def max_deviation(self) -> float:
-        """Shortcut to the measured Theorem 5(i) subject (``nan`` on
-        error records)."""
-        return self.verdict.measured_deviation if self.verdict is not None else float("nan")
 
 
 @dataclass(frozen=True)
@@ -170,6 +100,27 @@ class CampaignResult:
     def errors(self) -> list[RunRecord]:
         """The error records, if any."""
         return [record for record in self.records if record.error is not None]
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        """Runs that requested the vector backend but executed scalar."""
+        return sum(1 for record in self.records
+                   if record.scalar_fallback_reason is not None)
+
+    def fallback_reasons(self) -> dict[str, int]:
+        """Distinct scalar-fallback reasons with their run counts."""
+        reasons: dict[str, int] = {}
+        for record in self.records:
+            if record.scalar_fallback_reason is not None:
+                reasons[record.scalar_fallback_reason] = \
+                    reasons.get(record.scalar_fallback_reason, 0) + 1
+        return dict(sorted(reasons.items()))
+
+    def store(self, meta: dict[str, Any] | None = None):
+        """The records as a queryable in-memory
+        :class:`~repro.runner.store.ResultStore`."""
+        from repro.runner.store import ResultStore
+        return ResultStore.from_records(self.records, meta=meta)
 
 
 # ----------------------------------------------------------------------
@@ -221,13 +172,18 @@ def execute_run(index: int, config: dict[str, Any],
             f"unknown backend {backend!r}; expected one of {BACKENDS}")
     scenario = scenario_from_config(config)
     recorder = None
+    fallback_reason = None
     if observe:
         from repro.obs import FlightRecorder
         recorder = FlightRecorder()
     if backend == "vector" and recorder is None:
-        from repro.runner.vector import run_vector
-        result = run_vector(scenario, stream_measures=stream_measures)
+        from repro.runner.vector import run_vector_report
+        result, fallback_reason = run_vector_report(
+            scenario, stream_measures=stream_measures)
     else:
+        if backend == "vector":
+            fallback_reason = "observed runs use the scalar engine " \
+                              "(the flight recorder hooks the per-process path)"
         result = run(scenario, recorder=recorder, stream_measures=stream_measures)
     warmup = warmup_intervals * result.params.t_interval
     verdict = result.verdict(warmup=warmup)
@@ -257,6 +213,7 @@ def execute_run(index: int, config: dict[str, Any],
             pending_events=perf.pending_events,
         ) if perf is not None else None,
         obs=_obs_summary(recorder) if recorder is not None else None,
+        scalar_fallback_reason=fallback_reason,
     )
 
 
@@ -309,6 +266,13 @@ class Campaign:
             (reference engine) or ``"vector"`` (batch engine with
             scalar fallback outside its envelope).  Part of the cache
             identity so the two engines' records never collide.
+        store_dir: When set, :meth:`run` appends every completed
+            campaign's records to the columnar
+            :class:`~repro.runner.store.ResultStore` at this directory
+            (one chunk per invocation) — the native results output that
+            ``repro evaluate`` and the query API consume.  Not part of
+            the cache identity (where results land does not change what
+            they are).
     """
 
     configs: list[dict[str, Any]]
@@ -317,6 +281,7 @@ class Campaign:
     observe: bool = False
     stream_measures: bool = False
     backend: str = "scalar"
+    store_dir: str | pathlib.Path | None = None
 
     # -- construction --------------------------------------------------
 
@@ -372,18 +337,34 @@ class Campaign:
         path = self._cache_path(config)
         try:
             with path.open("rb") as handle:
-                record = pickle.load(handle)
+                payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             return None
-        return record if isinstance(record, RunRecord) else None
+        # Format 4 envelope: {"format": CACHE_FORMAT, "record": record}.
+        # Anything else — a bare pre-4 RunRecord, an envelope from a
+        # different format, foreign pickles — is a logged miss that
+        # re-executes, never an exception: an old cache directory must
+        # not be able to break a new campaign.
+        if isinstance(payload, dict):
+            fmt = payload.get("format")
+            record = payload.get("record")
+            if fmt != CACHE_FORMAT or not isinstance(record, RunRecord):
+                _log.info("cache %s has format %r (current %d); re-executing",
+                          path.name, fmt, CACHE_FORMAT)
+                return None
+            return record
+        if isinstance(payload, RunRecord):
+            _log.info("cache %s is a pre-format-4 bare record; re-executing",
+                      path.name)
+        return None
 
     def _cache_store(self, config: dict[str, Any], record: RunRecord) -> None:
         path = self._cache_path(config)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("wb") as handle:
-            pickle.dump(record, handle)
+            pickle.dump({"format": CACHE_FORMAT, "record": record}, handle)
         os.replace(tmp, path)
 
     # -- execution -----------------------------------------------------
@@ -463,8 +444,131 @@ class Campaign:
 
         final = [record for record in records if record is not None]
         assert len(final) == len(self.configs)
-        return CampaignResult(records=final, executed=len(fresh_records),
-                              cached=cached, failed=failed)
+        result = CampaignResult(records=final, executed=len(fresh_records),
+                                cached=cached, failed=failed)
+        if self.store_dir is not None:
+            from repro.runner.store import append_to_dir
+            append_to_dir(self.store_dir, final, meta={
+                "version": __version__,
+                "cache_format": CACHE_FORMAT,
+                "backend": self.backend,
+                "warmup_intervals": self.warmup_intervals,
+                "observe": self.observe,
+                "stream_measures": self.stream_measures,
+            })
+        return result
+
+    # -- adaptive driving ----------------------------------------------
+
+    @classmethod
+    def bisect(cls, make_config: Callable[[int, int], dict[str, Any]],
+               lo: int, hi: int, *,
+               seeds: Sequence[int] = (1,),
+               passes: Callable[["Query"], bool] | None = None,
+               store_dir: str | pathlib.Path | None = None,
+               **campaign_kwargs: Any) -> "BisectResult":
+        """Find an integer resilience boundary by adaptive bisection.
+
+        Sweeping-to-the-boundary instead of spot-checking: given a
+        monotone knob (number of colluding liars, loss rate step, ...),
+        probe integer values in ``[lo, hi]``, judging each probe by a
+        store query over the records it produced, and home in on the
+        largest passing / smallest failing value with O(log(hi - lo))
+        campaigns instead of hi - lo + 1.
+
+        Args:
+            make_config: ``(value, seed) -> config``.  Embed ``value``
+                into the config (e.g. under ``extra``) so the pooled
+                store keeps the probe identity as a queryable
+                ``config.…`` column.
+            lo: Smallest candidate, expected to pass.
+            hi: Largest candidate, expected to fail.
+            seeds: Root seeds run per probe value.
+            passes: Judgement over the probe's rows as a store
+                :class:`~repro.runner.store.Query`; default: the probe
+                passes iff every run met all Theorem 5 bounds (the
+                ``ok`` column is all-true).
+            store_dir: When set, the pooled store of every probe is
+                saved there (with the probe map in its metadata).
+            **campaign_kwargs: Forwarded to the per-probe ``Campaign``
+                (``backend=``, ``cache_dir=``, ...).
+
+        Returns:
+            A :class:`BisectResult`; when the expected orientation
+            holds, ``first_fail == last_pass + 1`` is the boundary.
+
+        Raises:
+            ConfigurationError: If ``lo > hi``.
+        """
+        from repro.runner.store import Query, ResultStore
+
+        if lo > hi:
+            raise ConfigurationError(f"bisect needs lo <= hi, got [{lo}, {hi}]")
+        if passes is None:
+            passes = lambda q: q.count() > 0 and \
+                bool(q.aggregate(verdict=("ok", "all"))["verdict"])
+
+        store = ResultStore()
+        probes: dict[int, bool] = {}
+
+        def probe(value: int) -> bool:
+            if value in probes:
+                return probes[value]
+            start = store.n_runs
+            result = cls([make_config(value, seed) for seed in seeds],
+                         **campaign_kwargs).run()
+            store.append_records(result.records)
+            verdict = bool(passes(Query(store, list(range(start, store.n_runs)))))
+            probes[value] = verdict
+            _log.info("bisect probe %d: %s", value,
+                      "pass" if verdict else "fail")
+            return verdict
+
+        if not probe(lo):
+            last_pass, first_fail = None, lo
+        elif probe(hi):
+            last_pass, first_fail = hi, None
+        else:
+            good, bad = lo, hi
+            while bad - good > 1:
+                mid = (good + bad) // 2
+                if probe(mid):
+                    good = mid
+                else:
+                    bad = mid
+            last_pass, first_fail = good, bad
+
+        store.meta["bisect"] = {
+            "lo": lo, "hi": hi, "seeds": list(seeds),
+            "last_pass": last_pass, "first_fail": first_fail,
+            "probes": {str(value): verdict
+                       for value, verdict in sorted(probes.items())},
+        }
+        if store_dir is not None:
+            store.save(store_dir)
+        return BisectResult(last_pass=last_pass, first_fail=first_fail,
+                            probes=dict(sorted(probes.items())), store=store)
+
+
+@dataclass(frozen=True)
+class BisectResult:
+    """Outcome of :meth:`Campaign.bisect`.
+
+    Attributes:
+        last_pass: Largest probed value whose runs passed (``None`` if
+            even ``lo`` failed).
+        first_fail: Smallest probed value whose runs failed (``None``
+            if even ``hi`` passed — the boundary lies beyond the
+            range).
+        probes: Every probed value with its pass/fail verdict.
+        store: Pooled :class:`~repro.runner.store.ResultStore` over all
+            probe runs (probe summary in ``store.meta["bisect"]``).
+    """
+
+    last_pass: int | None
+    first_fail: int | None
+    probes: dict[int, bool]
+    store: "ResultStore"
 
 
 # ----------------------------------------------------------------------

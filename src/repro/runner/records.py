@@ -1,0 +1,112 @@
+"""The run-record schema: what a campaign keeps from every run.
+
+:class:`RunRecord` and :class:`RunPerf` used to live in
+:mod:`repro.runner.campaign`; they are the shared vocabulary of the
+whole results path — the campaign executor produces them, the columnar
+:mod:`repro.runner.store` persists them, and the declarative
+:mod:`repro.runner.evaluation` layer judges them — so they sit at the
+bottom of the runner stack where every other module can import them
+without layering cycles.  ``repro.runner.campaign`` re-exports both
+names; existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.analysis import Theorem5Verdict
+from repro.metrics.measures import AccuracyReport, RecoveryReport
+
+
+@dataclass(frozen=True)
+class RunPerf:
+    """Deterministic engine counters of one run.
+
+    A strict subset of :class:`~repro.sim.engine.EnginePerfCounters`:
+    the wall-clock fields (``run_wall_time``, ``events_per_second``)
+    are deliberately absent so records stay a pure function of
+    (config, seed) — identical-seed runs are byte-compared by the
+    determinism checks.
+    """
+
+    events_processed: int
+    events_pushed: int
+    events_cancelled: int
+    cancelled_ratio: float
+    heap_high_water: int
+    pending_events: int
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Everything a campaign keeps from one run (picklable, rich).
+
+    Replaces the skeletal ``ConfigRunSummary``: all Definition 3
+    measures, the Theorem 5 verdict, the recovery report, deterministic
+    perf counters, and an optional observability summary.
+
+    Attributes:
+        index: Position of the run in its campaign (input order).
+        name: Scenario label.
+        config: The input config dict (the run's full identity together
+            with the code version).
+        seed: The run's root seed.
+        duration: Real-time length of the run.
+        warmup: Warmup (real time) applied to the measures.
+        verdict: Theorem 5 measured-vs-bound comparison (``None`` on
+            error records).
+        accuracy: Measured drift/discontinuity (Definition 3(ii)).
+        deviation_percentiles: Good-set deviation percentiles after
+            warmup, keyed by percentile.
+        recovery: Recovery report for every adversary release.
+        envelope_occupancy: Fraction of post-warmup deviation samples
+            inside the Theorem 5(i) envelope (``nan`` with no samples).
+        corruption_count: Number of planned corruption intervals.
+        events_processed: Simulator event count.
+        messages_delivered: Network delivery count.
+        sync_executions: Number of Sync executions traced.
+        perf: Deterministic engine counters (``None`` on error records).
+        obs: Small flight-recorder summary when the campaign observes
+            runs, else ``None``.
+        scalar_fallback_reason: ``None`` when the run executed on the
+            backend the campaign requested; otherwise the reason a
+            ``"vector"``-backend run fell back to the scalar engine
+            (out-of-envelope scenario, observed run, ...).  Fallbacks
+            are correct-by-contract but no longer silent: campaigns
+            count them (see
+            :attr:`~repro.runner.campaign.CampaignResult.scalar_fallbacks`).
+        error: ``None`` on success; ``"ExcType: message"`` on failure
+            (all measure fields are then ``None``/zero).
+    """
+
+    index: int
+    name: str
+    config: dict[str, Any]
+    seed: int
+    duration: float
+    warmup: float = 0.0
+    verdict: Theorem5Verdict | None = None
+    accuracy: AccuracyReport | None = None
+    deviation_percentiles: dict[float, float] | None = None
+    recovery: RecoveryReport | None = None
+    envelope_occupancy: float | None = None
+    corruption_count: int = 0
+    events_processed: int = 0
+    messages_delivered: int = 0
+    sync_executions: int = 0
+    perf: RunPerf | None = None
+    obs: dict[str, Any] | None = None
+    scalar_fallback_reason: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Ran without error and every Theorem 5 guarantee held."""
+        return self.error is None and self.verdict is not None and self.verdict.all_ok
+
+    @property
+    def max_deviation(self) -> float:
+        """Shortcut to the measured Theorem 5(i) subject (``nan`` on
+        error records)."""
+        return self.verdict.measured_deviation if self.verdict is not None else float("nan")

@@ -6,6 +6,13 @@ machinery — sample mean, standard deviation, and a Student-t confidence
 interval (via scipy) — for summarizing a measure across replications.
 Used by the statistics bench and available to downstream experiment
 pipelines.
+
+The store-backed entry points (:func:`summarize_column`,
+:func:`summarize_grouped`) run the *same* reduction over columns of a
+:class:`~repro.runner.store.ResultStore`: because the store preserves
+measure floats bit-exactly and the reduction code is shared, a campaign
+summarized through its store is byte-identical to summarizing the
+in-memory records directly.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import MeasurementError
+from repro.runner.store import Query, ResultStore
 
 
 @dataclass(frozen=True)
@@ -99,3 +107,40 @@ def replicate_measure(scenario_builder: Callable[[int], object],
 
     values = [measure(run(scenario_builder(seed))) for seed in seeds]
     return summarize_replications(values, confidence)
+
+
+def summarize_column(source: ResultStore | Query, column: str,
+                     confidence: float = 0.95) -> ReplicationSummary:
+    """Summarize one store column across its present rows.
+
+    ``source`` is a whole :class:`~repro.runner.store.ResultStore` or a
+    pre-filtered :class:`~repro.runner.store.Query` (e.g.
+    ``store.query().where("error", "isnull")``).  Absent cells are
+    dropped; the present values feed :func:`summarize_replications`
+    unchanged, so the result is byte-identical to summarizing the same
+    runs' records by hand.
+
+    Raises:
+        MeasurementError: When no selected row has the column present.
+    """
+    query = source.query() if isinstance(source, ResultStore) else source
+    return summarize_replications(query.values(column), confidence)
+
+
+def summarize_grouped(source: ResultStore | Query, key: str, column: str,
+                      confidence: float = 0.95
+                      ) -> dict[object, ReplicationSummary]:
+    """Per-group :func:`summarize_column`, keyed by a group-by column.
+
+    The sweep-analysis staple: one CI per parameter value, e.g.
+    ``summarize_grouped(store, "config.params.f",
+    "verdict.measured_deviation")``.  Groups whose rows have no present
+    ``column`` cell are omitted (instead of raising).
+    """
+    query = source.query() if isinstance(source, ResultStore) else source
+    out: dict[object, ReplicationSummary] = {}
+    for group_key in sorted(set(query.values(key)), key=lambda k: (str(type(k)), str(k))):
+        values = query.where(key, "==", group_key).values(column)
+        if values:
+            out[group_key] = summarize_replications(values, confidence)
+    return out

@@ -1,0 +1,888 @@
+"""Columnar campaign results: the :class:`ResultStore` and its query API.
+
+PR 9's vector backend made 10^5-run campaigns cheap to *produce*; this
+module makes them cheap to *keep and ask questions of*.  Instead of one
+JSON/pickle blob per run, a campaign's records live as struct-of-arrays
+columns over all runs:
+
+* every scalar config leaf is exploded into a ``config.<dotted.path>``
+  column (query-only; the exact input dict is preserved separately),
+* every measure — Theorem 5 verdict and bounds, Definition 3 accuracy
+  and recovery, envelope occupancy, deterministic perf counters — is a
+  typed column (``array('d')`` floats, ``array('q')`` ints, bools,
+  strings, JSON blobs), each with a presence mask so error records and
+  schema evolution never crash a reader.
+
+The round trip is **lossless**: ``RunRecord`` → store → ``RunRecord``
+reproduces float-exact measures and ``==``-equal config dicts, so the
+content-addressed cache and campaign resume keep working unchanged
+(records remain the unit of execution; the store is the unit of
+storage and analysis).
+
+On-disk format (append-friendly):
+
+    <dir>/manifest.json          store_format, meta, ordered chunk list
+    <dir>/chunk-000000.json      per-chunk column directory
+    <dir>/chunk-000000.bin       concatenated column/mask bytes
+
+Numeric columns are raw ``array.tobytes()`` slices of the ``.bin`` file
+(byte order recorded per chunk and swapped on foreign-endian load);
+string/JSON columns live in the chunk JSON.  Appending runs writes one
+new chunk plus a small manifest rewrite — no existing bytes are
+touched.  When pyarrow is installed (the ``repro[parquet]`` extra) and
+active, chunks are written as ``.parquet`` row groups instead — the
+fast path mirrors the numpy seam in :mod:`repro.metrics.columns`:
+auto-detected, forceable via :func:`set_parquet`, never a hard
+dependency, and aggregate results are byte-identical across both
+paths (both feed the same Python reduction code with the same float
+bytes).
+
+Querying (no pandas)::
+
+    store = ResultStore.load("campaign-out")
+    ok = store.query().where("error", "isnull")
+    worst = ok.aggregate(worst=("verdict.measured_deviation", "max"))
+    by_f = ok.group_by("config.params.f").aggregate(
+        runs=("index", "count"),
+        mean_dev=("verdict.measured_deviation", "mean"))
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+from array import array
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro._version import __version__
+from repro.core.analysis import Theorem5Verdict
+from repro.core.params import Theorem5Bounds
+from repro.errors import StoreError
+from repro.metrics.measures import AccuracyReport, RecoveryEvent, RecoveryReport
+from repro.runner.records import RunPerf, RunRecord
+
+try:  # pragma: no cover - exercised only with the parquet extra
+    import pyarrow as _pa
+    import pyarrow.parquet as _pq
+except ImportError:  # pragma: no cover - default environment
+    _pa = None
+    _pq = None
+
+__all__ = [
+    "ResultStore",
+    "Column",
+    "Query",
+    "GroupedQuery",
+    "ABSENT",
+    "STORE_FORMAT",
+    "HAVE_PYARROW",
+    "set_parquet",
+    "parquet_active",
+    "append_to_dir",
+    "AGGREGATES",
+]
+
+#: Bumped when the on-disk layout changes incompatibly.  Loaders refuse
+#: *newer* formats with a clear error and accept every older one.
+STORE_FORMAT = 1
+
+#: Whether pyarrow was importable in this environment.
+HAVE_PYARROW = _pa is not None
+
+#: Tri-state override: None = auto (use parquet iff pyarrow available).
+_FORCED_PARQUET: bool | None = None
+
+#: Marker for "this run has no value in this column" (distinct from a
+#: present ``None``, which JSON columns can hold).
+ABSENT = object()
+
+_KINDS = ("f8", "i8", "bool", "str", "json")
+_TYPECODES = {"f8": "d", "i8": "q", "bool": "b"}
+
+
+def set_parquet(enabled: bool | None) -> None:
+    """Force the chunk format: True/False, or None for auto-detect.
+
+    Mirrors :func:`repro.metrics.columns.set_numpy`.
+
+    Raises:
+        StoreError: When forcing parquet in an environment without
+            pyarrow.
+    """
+    global _FORCED_PARQUET
+    if enabled is True and not HAVE_PYARROW:
+        raise StoreError("cannot force the parquet path: pyarrow is not "
+                         "installed (pip install repro[parquet])")
+    _FORCED_PARQUET = enabled
+
+
+def parquet_active() -> bool:
+    """Whether new chunks will be written as parquet right now."""
+    if _FORCED_PARQUET is None:
+        return HAVE_PYARROW
+    return _FORCED_PARQUET
+
+
+# ----------------------------------------------------------------------
+# Columns
+# ----------------------------------------------------------------------
+
+
+class Column:
+    """One typed column plus its presence mask.
+
+    Kinds: ``f8`` (float, ``array('d')``), ``i8`` (int, ``array('q')``),
+    ``bool`` (``array('b')``), ``str`` (list of str), ``json`` (list of
+    JSON-serializable values).  Absent cells read as ``None``.
+    """
+
+    __slots__ = ("name", "kind", "values", "mask")
+
+    def __init__(self, name: str, kind: str) -> None:
+        if kind not in _KINDS:
+            raise StoreError(f"unknown column kind {kind!r}; known: {_KINDS}")
+        self.name = name
+        self.kind = kind
+        self.values: Any = (array(_TYPECODES[kind]) if kind in _TYPECODES
+                            else [])
+        self.mask = bytearray()
+
+    def __len__(self) -> int:
+        return len(self.mask)
+
+    def append(self, value: Any) -> None:
+        """Append one cell (``ABSENT`` for a masked hole)."""
+        if value is ABSENT:
+            self.mask.append(0)
+            if self.kind in _TYPECODES:
+                self.values.append(0)
+            else:
+                self.values.append(None)
+            return
+        self.mask.append(1)
+        try:
+            if self.kind == "f8":
+                self.values.append(float(value))
+            elif self.kind == "i8":
+                self.values.append(int(value))
+            elif self.kind == "bool":
+                self.values.append(1 if value else 0)
+            else:
+                self.values.append(value)
+        except OverflowError as exc:
+            raise StoreError(
+                f"column {self.name!r}: value {value!r} does not fit the "
+                f"{self.kind} column type") from exc
+
+    def pad_to(self, n: int) -> None:
+        """Backfill masked holes so the column reaches ``n`` rows."""
+        while len(self) < n:
+            self.append(ABSENT)
+
+    def present(self, i: int) -> bool:
+        """Whether row ``i`` holds a value (vs an ABSENT hole)."""
+        return bool(self.mask[i])
+
+    def get(self, i: int) -> Any:
+        """Cell value at row ``i`` (``None`` when absent)."""
+        if not self.mask[i]:
+            return None
+        value = self.values[i]
+        if self.kind == "bool":
+            return bool(value)
+        return value
+
+
+# ----------------------------------------------------------------------
+# RunRecord <-> columns schema
+# ----------------------------------------------------------------------
+
+_BOUNDS_FIELDS = (
+    ("t_interval", "f8"), ("k", "i8"), ("c", "f8"), ("max_deviation", "f8"),
+    ("logical_drift", "f8"), ("discontinuity", "f8"), ("d_half_width", "f8"),
+    ("way_off_required", "f8"), ("recovery_intervals", "i8"),
+)
+
+_PERF_FIELDS = (
+    ("events_processed", "i8"), ("events_pushed", "i8"),
+    ("events_cancelled", "i8"), ("cancelled_ratio", "f8"),
+    ("heap_high_water", "i8"), ("pending_events", "i8"),
+)
+
+
+def _maybe(obj: Any, attr: str) -> Any:
+    return ABSENT if obj is None else getattr(obj, attr)
+
+
+def _fixed_schema() -> list[tuple[str, str, Callable[[RunRecord], Any]]]:
+    """``(column, kind, extractor)`` triples for the fixed record schema."""
+    schema: list[tuple[str, str, Callable[[RunRecord], Any]]] = [
+        ("index", "i8", lambda r: r.index),
+        ("name", "str", lambda r: r.name),
+        ("seed", "i8", lambda r: r.seed),
+        ("duration", "f8", lambda r: r.duration),
+        ("warmup", "f8", lambda r: r.warmup),
+        ("error", "str", lambda r: ABSENT if r.error is None else r.error),
+        ("scalar_fallback_reason", "str",
+         lambda r: ABSENT if r.scalar_fallback_reason is None
+         else r.scalar_fallback_reason),
+        ("ok", "bool", lambda r: r.ok),
+        ("config_json", "str", lambda r: _canonical_config(r.config)),
+        ("verdict.measured_deviation", "f8",
+         lambda r: _maybe(r.verdict, "measured_deviation")),
+        ("verdict.measured_drift", "f8",
+         lambda r: _maybe(r.verdict, "measured_drift")),
+        ("verdict.measured_discontinuity", "f8",
+         lambda r: _maybe(r.verdict, "measured_discontinuity")),
+        ("verdict.deviation_ok", "bool",
+         lambda r: _maybe(r.verdict, "deviation_ok")),
+        ("verdict.drift_ok", "bool", lambda r: _maybe(r.verdict, "drift_ok")),
+        ("verdict.discontinuity_ok", "bool",
+         lambda r: _maybe(r.verdict, "discontinuity_ok")),
+        ("verdict.all_ok", "bool", lambda r: _maybe(r.verdict, "all_ok")),
+        ("accuracy.max_discontinuity", "f8",
+         lambda r: _maybe(r.accuracy, "max_discontinuity")),
+        ("accuracy.implied_drift", "f8",
+         lambda r: _maybe(r.accuracy, "implied_drift")),
+        ("accuracy.stretches", "i8", lambda r: _maybe(r.accuracy, "stretches")),
+        ("deviation_percentiles", "json",
+         lambda r: ABSENT if r.deviation_percentiles is None
+         else [[k, v] for k, v in sorted(r.deviation_percentiles.items())]),
+        ("recovery.tolerance", "f8", lambda r: _maybe(r.recovery, "tolerance")),
+        ("recovery.events", "json",
+         lambda r: ABSENT if r.recovery is None
+         else [[e.node, e.released_at, e.rejoined_at, e.initial_distance]
+               for e in r.recovery.events]),
+        ("recovery.count", "i8",
+         lambda r: ABSENT if r.recovery is None else len(r.recovery.events)),
+        ("recovery.max_recovery_time", "f8",
+         lambda r: _maybe(r.recovery, "max_recovery_time")),
+        ("recovery.all_recovered", "bool",
+         lambda r: _maybe(r.recovery, "all_recovered")),
+        ("envelope_occupancy", "f8",
+         lambda r: ABSENT if r.envelope_occupancy is None
+         else r.envelope_occupancy),
+        ("corruption_count", "i8", lambda r: r.corruption_count),
+        ("events_processed", "i8", lambda r: r.events_processed),
+        ("messages_delivered", "i8", lambda r: r.messages_delivered),
+        ("sync_executions", "i8", lambda r: r.sync_executions),
+        ("obs", "json", lambda r: ABSENT if r.obs is None else r.obs),
+    ]
+    for field, kind in _BOUNDS_FIELDS:
+        schema.append((f"verdict.bound.{field}", kind,
+                       lambda r, f=field: ABSENT if r.verdict is None
+                       else getattr(r.verdict.bounds, f)))
+    # Derived: the Claim 8 recovery bound in seconds, so evaluation
+    # specs can compare measured recovery times against it directly.
+    schema.append(("verdict.bound.recovery_seconds", "f8",
+                   lambda r: ABSENT if r.verdict is None
+                   else (r.verdict.bounds.recovery_intervals
+                         * r.verdict.bounds.t_interval)))
+    for field, kind in _PERF_FIELDS:
+        schema.append((f"perf.{field}", kind,
+                       lambda r, f=field: _maybe(r.perf, f)))
+    return schema
+
+
+_SCHEMA = _fixed_schema()
+_FIXED_KINDS = {name: kind for name, kind, _ in _SCHEMA}
+
+
+def _canonical_config(config: Mapping[str, Any]) -> str:
+    """Canonical JSON text of a config dict (the lossless copy).
+
+    Raises:
+        StoreError: If the config does not survive a JSON round trip
+            (non-string keys, tuples, other non-JSON values) — such a
+            config could not have been cached either, and storing a
+            lossy copy would silently break resume.
+    """
+    try:
+        text = json.dumps(config, sort_keys=True, separators=(",", ":"))
+        if json.loads(text) != config:
+            raise ValueError("round trip changed the value")
+    except (TypeError, ValueError) as exc:
+        raise StoreError(
+            f"config is not losslessly JSON-serializable ({exc}); the "
+            f"result store keeps configs as canonical JSON") from exc
+    return text
+
+
+def _config_leaves(config: Mapping[str, Any]) -> Iterable[tuple[str, Any]]:
+    """Scalar leaves of a config dict as ``config.<dotted.path>`` pairs.
+
+    Dict nesting recurses; lists and other composites stay reachable
+    only through ``config_json`` (they are poor query keys anyway).
+    """
+    def walk(obj: Mapping[str, Any], prefix: str):
+        for key in obj:
+            if not isinstance(key, str):
+                continue
+            value = obj[key]
+            if isinstance(value, Mapping):
+                yield from walk(value, f"{prefix}{key}.")
+            elif value is None or isinstance(value, (str, int, float, bool)):
+                yield f"{prefix}{key}", value
+    yield from walk(config, "config.")
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+
+class ResultStore:
+    """Struct-of-arrays storage for campaign :class:`RunRecord` s.
+
+    Build one with :meth:`from_records` (or let
+    :meth:`repro.runner.campaign.Campaign.run` write one natively via
+    ``store_dir``), extend it with :meth:`append_records`, persist with
+    :meth:`save` / :func:`append_to_dir`, reload with :meth:`load`,
+    and analyze through :meth:`query`.
+    """
+
+    def __init__(self, meta: dict[str, Any] | None = None) -> None:
+        # The fixed record schema exists from birth, so an empty store
+        # answers the same queries as a populated one (just with zero
+        # rows) instead of raising "no column".
+        self.columns: dict[str, Column] = {
+            name: Column(name, kind) for name, kind, _ in _SCHEMA}
+        self.n_runs = 0
+        self.meta: dict[str, Any] = dict(meta or {})
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[RunRecord],
+                     meta: dict[str, Any] | None = None) -> "ResultStore":
+        """Explode records into columns (see the module docstring)."""
+        store = cls(meta=meta)
+        store.append_records(records)
+        return store
+
+    def append_records(self, records: Sequence[RunRecord]) -> None:
+        """Append runs; new columns backfill masked holes, missing ones
+        extend with masked holes (schema evolution is per-row safe)."""
+        for record in records:
+            self._append_one(record)
+
+    def _column(self, name: str, kind: str) -> Column:
+        column = self.columns.get(name)
+        if column is None:
+            column = Column(name, kind)
+            column.pad_to(self.n_runs)
+            self.columns[name] = column
+        elif column.kind != kind:
+            raise StoreError(
+                f"column {name!r} already exists with kind "
+                f"{column.kind!r}, not {kind!r}")
+        return column
+
+    def _append_one(self, record: RunRecord) -> None:
+        if not isinstance(record, RunRecord):
+            raise StoreError(f"expected a RunRecord, got {type(record).__name__}")
+        for name, kind, extract in _SCHEMA:
+            self._column(name, kind).append(extract(record))
+        if isinstance(record.config, Mapping):
+            for name, value in _config_leaves(record.config):
+                self._column(name, "json").append(value)
+        self.n_runs += 1
+        for column in self.columns.values():
+            column.pad_to(self.n_runs)
+
+    # -- access --------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        """All column names, fixed schema first then config columns."""
+        return list(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether the store has a column named ``name``."""
+        return name in self.columns
+
+    def values(self, name: str) -> list[Any]:
+        """Full column as a list (``None`` where absent).
+
+        Raises:
+            StoreError: On an unknown column, naming near misses.
+        """
+        column = self.columns.get(name)
+        if column is None:
+            near = [c for c in self.columns if name in c]
+            hint = f"; similar: {sorted(near)[:6]}" if near else ""
+            raise StoreError(f"no column {name!r}{hint}")
+        return [column.get(i) for i in range(self.n_runs)]
+
+    def query(self) -> "Query":
+        """A query over every run in the store."""
+        return Query(self, list(range(self.n_runs)))
+
+    # -- record round trip ---------------------------------------------
+
+    def record(self, i: int) -> RunRecord:
+        """Reassemble the :class:`RunRecord` of row ``i`` (lossless)."""
+        if not 0 <= i < self.n_runs:
+            raise StoreError(f"row {i} out of range (store has {self.n_runs})")
+        cell = lambda name: self.columns[name].get(i) \
+            if name in self.columns else None
+        verdict = None
+        if cell("verdict.measured_deviation") is not None:
+            verdict = Theorem5Verdict(
+                bounds=Theorem5Bounds(**{
+                    field: cell(f"verdict.bound.{field}")
+                    for field, _ in _BOUNDS_FIELDS}),
+                measured_deviation=cell("verdict.measured_deviation"),
+                measured_drift=cell("verdict.measured_drift"),
+                measured_discontinuity=cell("verdict.measured_discontinuity"),
+                deviation_ok=cell("verdict.deviation_ok"),
+                drift_ok=cell("verdict.drift_ok"),
+                discontinuity_ok=cell("verdict.discontinuity_ok"),
+            )
+        accuracy = None
+        if cell("accuracy.max_discontinuity") is not None:
+            accuracy = AccuracyReport(
+                max_discontinuity=cell("accuracy.max_discontinuity"),
+                implied_drift=cell("accuracy.implied_drift"),
+                stretches=cell("accuracy.stretches"),
+            )
+        percentiles = cell("deviation_percentiles")
+        recovery = None
+        if cell("recovery.tolerance") is not None:
+            recovery = RecoveryReport(
+                events=[RecoveryEvent(node=int(node), released_at=released,
+                                      rejoined_at=rejoined,
+                                      initial_distance=distance)
+                        for node, released, rejoined, distance
+                        in (cell("recovery.events") or [])],
+                tolerance=cell("recovery.tolerance"),
+            )
+        perf = None
+        if cell("perf.events_processed") is not None:
+            perf = RunPerf(**{field: cell(f"perf.{field}")
+                              for field, _ in _PERF_FIELDS})
+        config_json = cell("config_json")
+        return RunRecord(
+            index=cell("index"),
+            name=cell("name"),
+            config=json.loads(config_json) if config_json is not None else {},
+            seed=cell("seed"),
+            duration=cell("duration"),
+            warmup=cell("warmup"),
+            verdict=verdict,
+            accuracy=accuracy,
+            deviation_percentiles=(None if percentiles is None
+                                   else {k: v for k, v in percentiles}),
+            recovery=recovery,
+            envelope_occupancy=cell("envelope_occupancy"),
+            corruption_count=cell("corruption_count"),
+            events_processed=cell("events_processed"),
+            messages_delivered=cell("messages_delivered"),
+            sync_executions=cell("sync_executions"),
+            perf=perf,
+            obs=cell("obs"),
+            scalar_fallback_reason=cell("scalar_fallback_reason"),
+            error=cell("error"),
+        )
+
+    def to_records(self) -> list[RunRecord]:
+        """All rows reassembled into records, in store order."""
+        return [self.record(i) for i in range(self.n_runs)]
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, directory: str | pathlib.Path) -> None:
+        """Write the store fresh (one chunk), replacing any existing one.
+
+        For incremental writes use :func:`append_to_dir`, which adds a
+        chunk without touching existing bytes.
+        """
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for stale in directory.glob("chunk-*"):
+            stale.unlink()
+        chunk = _write_chunk(directory, 0, self)
+        _write_manifest(directory, [chunk], self.meta)
+
+    @classmethod
+    def load(cls, directory: str | pathlib.Path) -> "ResultStore":
+        """Load a store directory (all chunks, both formats).
+
+        Raises:
+            StoreError: On a missing/corrupt manifest, a newer
+                ``store_format``, or a parquet chunk without pyarrow.
+        """
+        directory = pathlib.Path(directory)
+        manifest_path = directory / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"not a result store (no manifest.json): "
+                             f"{directory}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable store manifest {manifest_path}: "
+                             f"{exc}") from None
+        fmt = manifest.get("store_format")
+        if not isinstance(fmt, int) or fmt > STORE_FORMAT:
+            raise StoreError(
+                f"store {directory} has format {fmt!r}; this build reads "
+                f"up to {STORE_FORMAT} — upgrade repro to read it")
+        store = cls(meta=manifest.get("meta", {}))
+        for entry in manifest.get("chunks", []):
+            _read_chunk(directory, entry, store)
+        return store
+
+
+# ----------------------------------------------------------------------
+# Chunk I/O
+# ----------------------------------------------------------------------
+
+
+def _write_manifest(directory: pathlib.Path, chunks: list[dict[str, Any]],
+                    meta: dict[str, Any]) -> None:
+    payload = {
+        "store_format": STORE_FORMAT,
+        "version": __version__,
+        "meta": meta,
+        "chunks": chunks,
+    }
+    tmp = directory / f"manifest.json.tmp.{os.getpid()}"
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, directory / "manifest.json")
+
+
+def _write_chunk(directory: pathlib.Path, index: int,
+                 store: ResultStore) -> dict[str, Any]:
+    """Write one chunk holding all of ``store``'s rows; return its
+    manifest entry."""
+    name = f"chunk-{index:06d}"
+    if parquet_active():
+        _write_chunk_parquet(directory / f"{name}.parquet", store)
+        return {"name": name, "runs": store.n_runs, "format": "parquet"}
+    _write_chunk_core(directory, name, store)
+    return {"name": name, "runs": store.n_runs, "format": "core"}
+
+
+def _write_chunk_core(directory: pathlib.Path, name: str,
+                      store: ResultStore) -> None:
+    blobs: list[bytes] = []
+    offset = 0
+    entries: list[dict[str, Any]] = []
+    for column in store.columns.values():
+        entry: dict[str, Any] = {"name": column.name, "kind": column.kind}
+        if column.kind in _TYPECODES:
+            data = column.values.tobytes()
+            entry["offset"], entry["nbytes"] = offset, len(data)
+            blobs.append(data)
+            offset += len(data)
+        else:
+            entry["values"] = [
+                [column.values[i]] if column.mask[i] else 0
+                for i in range(len(column))
+            ]
+        if column.kind in _TYPECODES and 0 in column.mask:
+            mask = bytes(column.mask)
+            entry["mask_offset"] = offset
+            blobs.append(mask)
+            offset += len(mask)
+        entries.append(entry)
+    (directory / f"{name}.bin").write_bytes(b"".join(blobs))
+    header = {"runs": store.n_runs, "byteorder": sys.byteorder,
+              "columns": entries}
+    (directory / f"{name}.json").write_text(
+        json.dumps(header, sort_keys=True) + "\n")
+
+
+def _read_chunk(directory: pathlib.Path, entry: dict[str, Any],
+                store: ResultStore) -> None:
+    name, fmt = entry.get("name"), entry.get("format", "core")
+    start = store.n_runs
+    if fmt == "parquet":
+        runs = _read_chunk_parquet(directory / f"{name}.parquet", store, start)
+    elif fmt == "core":
+        runs = _read_chunk_core(directory, name, store, start)
+    else:
+        raise StoreError(f"chunk {name!r} has unknown format {fmt!r}")
+    store.n_runs = start + runs
+    for column in store.columns.values():
+        column.pad_to(store.n_runs)
+
+
+def _read_chunk_core(directory: pathlib.Path, name: str,
+                     store: ResultStore, start: int) -> int:
+    try:
+        header = json.loads((directory / f"{name}.json").read_text())
+        blob = (directory / f"{name}.bin").read_bytes()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"unreadable store chunk {name!r}: {exc}") from None
+    runs = int(header["runs"])
+    foreign = header.get("byteorder", sys.byteorder) != sys.byteorder
+    for entry in header["columns"]:
+        column = store._column(entry["name"], entry["kind"])
+        column.pad_to(start)
+        if entry["kind"] in _TYPECODES:
+            data = array(_TYPECODES[entry["kind"]])
+            data.frombytes(blob[entry["offset"]:entry["offset"] + entry["nbytes"]])
+            if foreign and entry["kind"] != "bool":
+                data.byteswap()
+            mask_offset = entry.get("mask_offset")
+            mask = (blob[mask_offset:mask_offset + runs]
+                    if mask_offset is not None else b"\x01" * runs)
+            if len(data) != runs or len(mask) != runs:
+                raise StoreError(f"chunk {name!r} column "
+                                 f"{entry['name']!r} is truncated")
+            column.values.extend(data)
+            column.mask.extend(mask)
+        else:
+            cells = entry["values"]
+            if len(cells) != runs:
+                raise StoreError(f"chunk {name!r} column "
+                                 f"{entry['name']!r} is truncated")
+            for cell in cells:
+                column.append(cell[0] if isinstance(cell, list) else ABSENT)
+    return runs
+
+
+def _write_chunk_parquet(path: pathlib.Path, store: ResultStore) -> None:
+    if not HAVE_PYARROW:  # pragma: no cover - guarded by parquet_active
+        raise StoreError("parquet chunk requested but pyarrow is not "
+                         "installed (pip install repro[parquet])")
+    arrays, fields = [], []
+    for column in store.columns.values():
+        cells = [column.get(i) for i in range(len(column))]
+        if column.kind == "json":
+            # Encode present cells as JSON text so a present None stays
+            # distinguishable from an absent cell (arrow null).
+            cells = [None if not column.present(i)
+                     else json.dumps(column.values[i], sort_keys=True)
+                     for i in range(len(column))]
+            arrow_type = _pa.string()
+        elif column.kind == "f8":
+            arrow_type = _pa.float64()
+        elif column.kind == "i8":
+            arrow_type = _pa.int64()
+        elif column.kind == "bool":
+            arrow_type = _pa.bool_()
+        else:
+            arrow_type = _pa.string()
+        arrays.append(_pa.array(cells, type=arrow_type))
+        fields.append(_pa.field(column.name, arrow_type))
+    kinds = {c.name: c.kind for c in store.columns.values()}
+    schema = _pa.schema(fields, metadata={
+        b"repro_kinds": json.dumps(kinds, sort_keys=True).encode(),
+        b"repro_store_format": str(STORE_FORMAT).encode(),
+    })
+    _pq.write_table(_pa.Table.from_arrays(arrays, schema=schema), path)
+
+
+def _read_chunk_parquet(path: pathlib.Path, store: ResultStore,
+                        start: int) -> int:
+    if not HAVE_PYARROW:
+        raise StoreError(f"store chunk {path.name} is parquet but pyarrow "
+                         f"is not installed (pip install repro[parquet])")
+    try:
+        table = _pq.read_table(path)
+    except (OSError, _pa.ArrowInvalid) as exc:  # pragma: no cover - corrupt file
+        raise StoreError(f"unreadable parquet chunk {path}: {exc}") from None
+    metadata = table.schema.metadata or {}
+    kinds = json.loads(metadata.get(b"repro_kinds", b"{}"))
+    for field in table.schema.names:
+        kind = kinds.get(field, "json")
+        column = store._column(field, kind)
+        column.pad_to(start)
+        for cell in table.column(field).to_pylist():
+            if cell is None:
+                column.append(ABSENT)
+            elif kind == "json":
+                column.append(json.loads(cell))
+            else:
+                column.append(cell)
+    return table.num_rows
+
+
+def append_to_dir(directory: str | pathlib.Path,
+                  records: Sequence[RunRecord],
+                  meta: dict[str, Any] | None = None) -> None:
+    """Append ``records`` to an on-disk store as one new chunk.
+
+    Creates the store if the directory holds none.  Existing chunk
+    files are never rewritten — only the small manifest is atomically
+    replaced — so interrupted appends leave the prior store intact.
+    ``meta`` (when given) is merged over the stored metadata.
+    """
+    directory = pathlib.Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        ResultStore.from_records(records, meta=meta).save(directory)
+        return
+    manifest = json.loads(manifest_path.read_text())
+    fmt = manifest.get("store_format")
+    if not isinstance(fmt, int) or fmt > STORE_FORMAT:
+        raise StoreError(f"cannot append to store {directory} with format "
+                         f"{fmt!r} (this build writes {STORE_FORMAT})")
+    chunks = list(manifest.get("chunks", []))
+    chunk = _write_chunk(directory, len(chunks),
+                         ResultStore.from_records(records))
+    chunks.append(chunk)
+    merged = dict(manifest.get("meta", {}))
+    merged.update(meta or {})
+    _write_manifest(directory, chunks, merged)
+
+
+# ----------------------------------------------------------------------
+# Query API
+# ----------------------------------------------------------------------
+
+#: Aggregate functions usable in :meth:`Query.aggregate` /
+#: :meth:`GroupedQuery.aggregate`.  All reduce present cells in row
+#: order with plain Python arithmetic, so results are identical no
+#: matter which on-disk path (core or parquet) produced the columns.
+AGGREGATES: dict[str, Callable[[list], Any]] = {
+    "count": len,
+    "sum": lambda vals: sum(vals),
+    "mean": lambda vals: (sum(vals) / len(vals)) if vals else None,
+    "min": lambda vals: min(vals) if vals else None,
+    "max": lambda vals: max(vals) if vals else None,
+    "any": lambda vals: any(vals),
+    "all": lambda vals: all(vals),
+    "first": lambda vals: vals[0] if vals else None,
+}
+
+_PREDICATES: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda cell, rhs: cell == rhs,
+    "!=": lambda cell, rhs: cell != rhs,
+    "<": lambda cell, rhs: cell < rhs,
+    "<=": lambda cell, rhs: cell <= rhs,
+    ">": lambda cell, rhs: cell > rhs,
+    ">=": lambda cell, rhs: cell >= rhs,
+    "in": lambda cell, rhs: cell in rhs,
+    "not-in": lambda cell, rhs: cell not in rhs,
+}
+
+
+class Query:
+    """An immutable row selection over a :class:`ResultStore`.
+
+    Every refinement returns a new query; the store is never copied.
+    """
+
+    def __init__(self, store: ResultStore, indices: list[int]) -> None:
+        self._store = store
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def count(self) -> int:
+        """Number of selected rows."""
+        return len(self._indices)
+
+    def indices(self) -> list[int]:
+        """Selected row numbers, in store order."""
+        return list(self._indices)
+
+    def where(self, column: str, op: str = "notnull",
+              value: Any = None) -> "Query":
+        """Keep rows whose ``column`` cell satisfies ``op`` / ``value``.
+
+        Ops: ``== != < <= > >= in not-in isnull notnull``.  Absent
+        cells satisfy only ``isnull``; comparisons between incompatible
+        types (a string cell vs a numeric rhs) are simply no-matches,
+        so a heterogeneous config column never aborts a query.
+
+        Raises:
+            StoreError: On an unknown column or operator.
+        """
+        if op in ("isnull", "notnull"):
+            cells = self._store.values(column)
+            want_null = op == "isnull"
+            keep = [i for i in self._indices
+                    if (cells[i] is None) == want_null]
+            return Query(self._store, keep)
+        predicate = _PREDICATES.get(op)
+        if predicate is None:
+            raise StoreError(f"unknown query op {op!r}; known: "
+                             f"{sorted(_PREDICATES) + ['isnull', 'notnull']}")
+        cells = self._store.values(column)
+        keep = []
+        for i in self._indices:
+            cell = cells[i]
+            if cell is None:
+                continue
+            try:
+                hit = predicate(cell, value)
+            except TypeError:
+                hit = False
+            if hit:
+                keep.append(i)
+        return Query(self._store, keep)
+
+    def values(self, column: str) -> list[Any]:
+        """Present cell values of ``column`` over the selection, in row
+        order (absent cells dropped)."""
+        cells = self._store.values(column)
+        return [cells[i] for i in self._indices if cells[i] is not None]
+
+    def select(self, *columns: str) -> dict[str, list[Any]]:
+        """Aligned columns over the selection (``None`` where absent)."""
+        out = {}
+        for name in columns:
+            cells = self._store.values(name)
+            out[name] = [cells[i] for i in self._indices]
+        return out
+
+    def records(self) -> list[RunRecord]:
+        """The selected rows reassembled into :class:`RunRecord` s."""
+        return [self._store.record(i) for i in self._indices]
+
+    def aggregate(self, **outputs: tuple[str, str]) -> dict[str, Any]:
+        """Reduce the selection: ``name=("column", "fn")`` per output.
+
+        Raises:
+            StoreError: On an unknown aggregate function or column.
+        """
+        result = {}
+        for out_name, (column, fn_name) in outputs.items():
+            fn = AGGREGATES.get(fn_name)
+            if fn is None:
+                raise StoreError(f"unknown aggregate {fn_name!r}; known: "
+                                 f"{sorted(AGGREGATES)}")
+            result[out_name] = fn(self.values(column))
+        return result
+
+    def group_by(self, *keys: str) -> "GroupedQuery":
+        """Partition the selection by the values of ``keys``."""
+        if not keys:
+            raise StoreError("group_by needs at least one key column")
+        return GroupedQuery(self, keys)
+
+
+class GroupedQuery:
+    """The result of :meth:`Query.group_by`, awaiting aggregation."""
+
+    def __init__(self, query: Query, keys: Sequence[str]) -> None:
+        self._query = query
+        self._keys = tuple(keys)
+        key_columns = query.select(*self._keys)
+        groups: dict[tuple, list[int]] = {}
+        for position, row in enumerate(query.indices()):
+            key = tuple(key_columns[k][position] for k in self._keys)
+            groups.setdefault(key, []).append(row)
+        self._groups = groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def aggregate(self, **outputs: tuple[str, str]) -> list[dict[str, Any]]:
+        """One result row per group: key columns plus the aggregates,
+        sorted by group key (deterministic across runs and paths)."""
+        rows = []
+        for key, indices in self._groups.items():
+            sub = Query(self._query._store, indices)
+            row = dict(zip(self._keys, key))
+            row.update(sub.aggregate(**outputs))
+            rows.append(row)
+        rows.sort(key=lambda row: json.dumps(
+            [row[k] for k in self._keys], sort_keys=True, default=str))
+        return rows

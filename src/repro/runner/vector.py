@@ -24,7 +24,8 @@ from repro.sim.vector import (
     simulate_run,
 )
 
-__all__ = ["vector_spec", "scalar_only_reason", "run_vector", "run_batch"]
+__all__ = ["vector_spec", "scalar_only_reason", "run_vector",
+           "run_vector_report", "run_batch"]
 
 
 def scalar_only_reason(scenario: Scenario) -> str | None:
@@ -78,14 +79,31 @@ def run_vector(scenario: Scenario, stream_measures: bool = False) -> RunResult:
     objects) and no flight recorder can attach; campaigns that observe
     runs use the scalar engine.
     """
+    return run_vector_report(scenario, stream_measures=stream_measures)[0]
+
+
+def run_vector_report(scenario: Scenario,
+                      stream_measures: bool = False
+                      ) -> tuple[RunResult, str | None]:
+    """Like :func:`run_vector`, also reporting why a fallback happened.
+
+    Returns ``(result, reason)`` where ``reason`` is ``None`` when the
+    batch engine actually ran, and a human-readable explanation when
+    the run fell back to the scalar engine.  The result is the same
+    either way (fallbacks are correct-by-contract); campaigns record
+    the reason so fleets of runs can audit how much of the sweep really
+    exercised the fast path.
+    """
     output = None
-    if scalar_only_reason(scenario) is None:
+    reason = scalar_only_reason(scenario)
+    if reason is None:
         try:
             output = simulate_run(vector_spec(scenario, stream_measures))
-        except VectorUnsupported:
+        except VectorUnsupported as exc:
+            reason = str(exc) or type(exc).__name__
             output = None
     if output is None:
-        return run(scenario, stream_measures=stream_measures)
+        return run(scenario, stream_measures=stream_measures), reason
     return RunResult(
         scenario=scenario,
         params=scenario.params,
@@ -99,4 +117,4 @@ def run_vector(scenario: Scenario, stream_measures: bool = False) -> RunResult:
         perf=output.perf,
         obs=None,
         stream=output.stream,
-    )
+    ), None

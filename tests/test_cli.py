@@ -153,10 +153,16 @@ def test_sweep_json_output(tmp_path, capsys):
     assert code == 0
     assert "records written" in capsys.readouterr().out
     payload = json.loads(out_path.read_text())
-    assert len(payload) == 1
-    assert payload[0]["error"] is None
-    assert payload[0]["verdict"] is not None
-    assert payload[0]["seed"] == 1
+    records = payload["records"]
+    assert len(records) == 1
+    assert records[0]["error"] is None
+    assert records[0]["verdict"] is not None
+    assert records[0]["seed"] == 1
+    summary = payload["summary"]
+    assert summary["runs"] == 1
+    assert summary["all_ok"] is True
+    assert summary["scalar_fallbacks"] == 0
+    assert summary["fallback_reasons"] == {}
 
 
 def test_sweep_bad_config_file(tmp_path, capsys):

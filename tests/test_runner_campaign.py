@@ -177,6 +177,137 @@ class TestCaching:
                         warmup_intervals=5.0)
         assert warm.cache_key(config(seed=1)) != base
 
+    def test_legacy_bare_record_cache_is_logged_miss(self, tmp_path, caplog):
+        """Regression: a pre-format-4 cache file (a bare pickled
+        RunRecord, no format envelope) must log and re-execute, never
+        raise or be silently trusted."""
+        import logging
+
+        configs = [config(seed=1)]
+        campaign = Campaign(configs=configs, cache_dir=tmp_path)
+        first = campaign.run()
+        with campaign._cache_path(configs[0]).open("wb") as handle:
+            pickle.dump(first.records[0], handle)  # the old on-disk shape
+        with caplog.at_level(logging.INFO, logger="repro.runner.campaign"):
+            result = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (result.executed, result.cached) == (1, 0)
+        assert result.records == first.records
+        assert any("re-executing" in message for message in caplog.messages)
+
+    def test_unknown_cache_format_is_logged_miss(self, tmp_path, caplog):
+        import logging
+
+        configs = [config(seed=1)]
+        campaign = Campaign(configs=configs, cache_dir=tmp_path)
+        first = campaign.run()
+        with campaign._cache_path(configs[0]).open("wb") as handle:
+            pickle.dump({"format": 99, "record": first.records[0]}, handle)
+        with caplog.at_level(logging.INFO, logger="repro.runner.campaign"):
+            result = Campaign(configs=configs, cache_dir=tmp_path).run()
+        assert (result.executed, result.cached) == (1, 0)
+        assert any("format" in message for message in caplog.messages)
+
+    def test_cache_files_carry_format_envelope(self, tmp_path):
+        from repro.runner.campaign import CACHE_FORMAT
+
+        configs = [config(seed=1)]
+        campaign = Campaign(configs=configs, cache_dir=tmp_path)
+        campaign.run()
+        with campaign._cache_path(configs[0]).open("rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["format"] == CACHE_FORMAT
+        assert isinstance(payload["record"], RunRecord)
+
+
+class TestFallbackSurfacing:
+    def test_scalar_backend_reports_no_fallbacks(self):
+        result = Campaign(configs=[config(seed=1)]).run()
+        assert result.scalar_fallbacks == 0
+        assert result.fallback_reasons() == {}
+        assert result.records[0].scalar_fallback_reason is None
+
+    def test_vector_backend_in_envelope_reports_no_fallbacks(self):
+        result = Campaign(configs=[config(seed=1)], backend="vector").run()
+        assert result.scalar_fallbacks == 0
+        assert result.records[0].scalar_fallback_reason is None
+
+    def test_vector_backend_fallback_reason_surfaces(self):
+        # Message recording is outside the vector envelope: the run
+        # still succeeds, but the fallback is counted and explained.
+        cfg = dict(config(seed=1), record_messages=True)
+        result = Campaign(configs=[cfg], backend="vector").run()
+        assert result.records[0].error is None
+        assert result.scalar_fallbacks == 1
+        reasons = result.fallback_reasons()
+        assert len(reasons) == 1
+        (reason, count), = reasons.items()
+        assert count == 1 and "scalar" in reason
+
+    def test_observed_vector_campaign_reports_fallback(self):
+        result = Campaign(configs=[config(seed=1)], backend="vector",
+                          observe=True).run()
+        assert result.scalar_fallbacks == 1
+        assert "flight recorder" in result.records[0].scalar_fallback_reason
+
+
+class TestBisect:
+    @staticmethod
+    def liar_config(liars: int, seed: int, duration: float = 6.0) -> dict:
+        """Mini-E7: `liars` colluding two-faced nodes on n=4, f=1."""
+        cfg = {
+            "name": f"e7-bisect-{liars}-{seed}",
+            "params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4,
+                       "pi": 2.0},
+            "duration": duration,
+            "seed": seed,
+            "enforce_f_limit": False,
+            "extra": {"liars": liars, "within_f": liars <= 1},
+        }
+        if liars:
+            cfg["plan"] = {
+                "kind": "single-burst",
+                "strategy": {"name": "two-faced", "magnitude": 8.0},
+                "victims": list(range(liars)),
+                "start": 1.0,
+                "dwell": duration - 1.5,
+            }
+        return cfg
+
+    def test_bisect_finds_the_f_boundary(self, tmp_path):
+        """Campaign.bisect reproduces the E7 resilience boundary on the
+        smallest network: f=1 colluding liar is survivable, f+1=2 is
+        not."""
+        result = Campaign.bisect(self.liar_config, lo=0, hi=3,
+                                 store_dir=tmp_path / "bisect")
+        assert result.last_pass == 1   # exactly f
+        assert result.first_fail == 2  # exactly f + 1
+        assert result.probes[0] is True and result.probes[3] is False
+        # The pooled store kept every probe run, tagged and queryable.
+        store = result.store
+        assert store.query().where("config.extra.within_f", "==", True) \
+            .aggregate(ok=("ok", "all"))["ok"] is True
+        broken = store.query().where("config.extra.liars", ">=", 2)
+        assert broken.aggregate(any_ok=("ok", "any"))["any_ok"] is False
+        # Saved store carries the probe map for the EXPERIMENTS entry.
+        from repro.runner.store import ResultStore
+        saved = ResultStore.load(tmp_path / "bisect")
+        assert saved.meta["bisect"]["last_pass"] == 1
+        assert saved.meta["bisect"]["first_fail"] == 2
+
+    def test_bisect_degenerate_orientations(self):
+        always_pass = lambda q: True
+        always_fail = lambda q: False
+        result = Campaign.bisect(self.liar_config, lo=0, hi=1,
+                                 passes=always_pass)
+        assert (result.last_pass, result.first_fail) == (1, None)
+        result = Campaign.bisect(self.liar_config, lo=0, hi=1,
+                                 passes=always_fail)
+        assert (result.last_pass, result.first_fail) == (None, 0)
+
+    def test_bisect_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            Campaign.bisect(self.liar_config, lo=3, hi=1)
+
 
 class TestConstruction:
     def test_from_scenarios_round_trips_builders(self):

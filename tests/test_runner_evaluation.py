@@ -1,0 +1,263 @@
+"""Tests for the declarative evaluation layer and `repro evaluate`."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.errors import EvaluationError
+from repro.runner.campaign import Campaign
+from repro.runner.evaluation import (
+    Check,
+    EvaluationSpec,
+    evaluate,
+    evaluate_all,
+    get_spec,
+    register_spec,
+    registered_specs,
+)
+from repro.runner.store import ResultStore
+
+
+def config(seed: int, within_f: bool = True) -> dict:
+    return {
+        "name": f"eval-{seed}",
+        "params": {"n": 4, "f": 1, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+        "duration": 2.0,
+        "seed": seed,
+        "extra": {"within_f": within_f},
+    }
+
+
+@pytest.fixture(scope="module")
+def clean_store() -> ResultStore:
+    return Campaign([config(s) for s in (1, 2)]).run().store()
+
+
+@pytest.fixture(scope="module")
+def broken_store(clean_store) -> ResultStore:
+    """The deliberately-broken fixture: real runs whose measured
+    deviation is forged to 100x the bound — every bound check must
+    catch it."""
+    forged = []
+    for record in clean_store.to_records():
+        verdict = dataclasses.replace(
+            record.verdict,
+            measured_deviation=record.verdict.bounds.max_deviation * 100.0,
+            deviation_ok=False,
+        )
+        forged.append(dataclasses.replace(
+            record, verdict=verdict, envelope_occupancy=0.0))
+    return ResultStore.from_records(forged)
+
+
+# ----------------------------------------------------------------------
+# Checks and specs
+# ----------------------------------------------------------------------
+
+
+def test_check_rejects_unknown_op():
+    with pytest.raises(EvaluationError, match="unknown op"):
+        Check(column="x", op="~=", value=1)
+
+
+def test_check_rejects_value_and_bound_column():
+    with pytest.raises(EvaluationError, match="mutually exclusive"):
+        Check(column="x", op="<=", value=1.0, bound_column="y")
+
+
+def test_check_labels():
+    assert Check(column="a", op="<=", value=1.5).label() == "a <= 1.5"
+    assert Check(column="a", op="<=", bound_column="b").label() == "a <= b"
+    assert Check(column="a", op="<=", bound_column="b", scale=2.0).label() \
+        == "a <= 2*b"
+    assert "tol" in Check(column="a", op="<=", value=1.0,
+                          tolerance=0.1).label()
+    assert Check(column="a", op="isnull").label() == "a isnull"
+
+
+def test_specs_are_picklable():
+    for spec in registered_specs().values():
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_builtin_registry_has_experiment_specs():
+    names = set(registered_specs())
+    assert {"theorem5-envelope", "theorem5-accuracy", "claim8-recovery",
+            "e7-resilience", "campaign-clean"} <= names
+
+
+def test_register_spec_conflict_raises():
+    spec = get_spec("campaign-clean")
+    register_spec(spec)  # idempotent for the identical spec
+    with pytest.raises(EvaluationError, match="already registered"):
+        register_spec(dataclasses.replace(spec, description="different"))
+
+
+def test_get_spec_unknown_name():
+    with pytest.raises(EvaluationError, match="unknown evaluation spec"):
+        get_spec("nope")
+
+
+# ----------------------------------------------------------------------
+# Evaluation outcomes
+# ----------------------------------------------------------------------
+
+
+def test_clean_campaign_passes_builtin_specs(clean_store):
+    for name in ("theorem5-envelope", "theorem5-accuracy", "e7-resilience",
+                 "campaign-clean"):
+        report = evaluate(name, clean_store)
+        assert report.passed, report.render()
+
+
+def test_broken_fixture_fails_bound_checks(broken_store):
+    report = evaluate("theorem5-envelope", broken_store)
+    assert report.status == "fail"
+    by_label = {c.label: c for c in report.checks}
+    dev = by_label["verdict.measured_deviation <= verdict.bound.max_deviation"]
+    assert not dev.passed and dev.failures == dev.checked
+    row, lhs, rhs = dev.worst
+    assert lhs > rhs
+    occ = by_label["envelope_occupancy >= 1.0"]
+    assert not occ.passed
+    # The forged verdict also breaks the ok flag the e7 spec checks.
+    assert evaluate("e7-resilience", broken_store).status == "fail"
+    # ...but accuracy was left intact, so that spec still passes.
+    assert evaluate("theorem5-accuracy", broken_store).passed
+
+
+def test_inapplicable_spec_is_skipped(clean_store):
+    # No recovery events in a benign campaign: claim8 must skip, not fail.
+    report = evaluate("claim8-recovery", clean_store)
+    assert report.skipped and report.selected == 0
+
+
+def test_missing_required_columns_fail():
+    spec = EvaluationSpec(name="x", description="d",
+                          required_columns=("no.such.column",))
+    store = Campaign([config(3)]).run().store()
+    report = evaluate(spec, store)
+    assert report.status == "fail"
+    assert report.missing_columns == ("no.such.column",)
+
+
+def test_min_runs_enforced(clean_store):
+    spec = EvaluationSpec(
+        name="needs-many", description="d", min_runs=50,
+        checks=(Check(column="error", op="isnull"),))
+    report = evaluate(spec, clean_store)
+    assert report.status == "fail"
+
+
+def test_tolerance_allows_slack(clean_store):
+    worst = clean_store.query().aggregate(
+        v=("verdict.measured_deviation", "max"))["v"]
+    tight = EvaluationSpec(
+        name="tight", description="d",
+        checks=(Check(column="verdict.measured_deviation", op="<=",
+                      value=worst / 2.0),))
+    slack = dataclasses.replace(
+        tight, name="slack",
+        checks=(Check(column="verdict.measured_deviation", op="<=",
+                      value=worst / 2.0, tolerance=worst),))
+    assert evaluate(tight, clean_store).status == "fail"
+    assert evaluate(slack, clean_store).passed
+
+
+def test_nan_cells_fail_checks(clean_store):
+    forged = [dataclasses.replace(r, envelope_occupancy=float("nan"))
+              for r in clean_store.to_records()]
+    store = ResultStore.from_records(forged)
+    assert evaluate("theorem5-envelope", store).status == "fail"
+
+
+def test_report_json_shape(clean_store):
+    payload = evaluate("theorem5-envelope", clean_store).to_json()
+    assert payload["status"] == "pass"
+    assert payload["checks"] and all("label" in c for c in payload["checks"])
+    json.dumps(payload)  # must be serializable as-is
+
+
+def test_evaluate_all_covers_registry(clean_store):
+    reports = evaluate_all(clean_store)
+    assert {r.spec for r in reports} == set(registered_specs())
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _write_store(tmp_path, store, name="store"):
+    target = tmp_path / name
+    store.save(target)
+    return target
+
+
+def test_cli_evaluate_pass(tmp_path, capsys, clean_store):
+    target = _write_store(tmp_path, clean_store)
+    out_json = tmp_path / "report.json"
+    code = main(["evaluate", str(target), "--json", str(out_json)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "PASS theorem5-envelope" in out
+    assert "SKIP claim8-recovery" in out
+    payload = json.loads(out_json.read_text())
+    assert payload["runs"] == clean_store.n_runs
+    assert {r["spec"] for r in payload["reports"]} == set(registered_specs())
+
+
+def test_cli_evaluate_fail_exit_code(tmp_path, capsys, broken_store):
+    target = _write_store(tmp_path, broken_store)
+    code = main(["evaluate", str(target)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL theorem5-envelope" in out
+    assert "worst row" in out
+
+
+def test_cli_evaluate_selected_specs(tmp_path, capsys, broken_store):
+    target = _write_store(tmp_path, broken_store)
+    assert main(["evaluate", str(target), "--spec", "theorem5-accuracy"]) == 0
+    assert main(["evaluate", str(target), "--spec", "theorem5-envelope"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_evaluate_unknown_spec(tmp_path, capsys, clean_store):
+    target = _write_store(tmp_path, clean_store)
+    assert main(["evaluate", str(target), "--spec", "nope"]) == 2
+    assert "unknown evaluation spec" in capsys.readouterr().err
+
+
+def test_cli_evaluate_bad_store(tmp_path, capsys):
+    assert main(["evaluate", str(tmp_path)]) == 2
+    assert "cannot load store" in capsys.readouterr().err
+
+
+def test_cli_evaluate_list(capsys):
+    assert main(["evaluate", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "theorem5-envelope" in out and "claim8-recovery" in out
+
+
+def test_cli_evaluate_no_applicable_spec(tmp_path, capsys, clean_store):
+    target = _write_store(tmp_path, clean_store)
+    code = main(["evaluate", str(target), "--spec", "claim8-recovery"])
+    assert code == 2
+    assert "no spec applied" in capsys.readouterr().err
+
+
+def test_cli_sweep_store_then_evaluate(tmp_path, capsys):
+    """The end-to-end CLI path: sweep --store, then evaluate."""
+    config_file = tmp_path / "configs.json"
+    config_file.write_text(json.dumps([config(11), config(12)]))
+    store_dir = tmp_path / "campaign-store"
+    assert main(["sweep", str(config_file), "--store", str(store_dir)]) == 0
+    assert "results appended to store" in capsys.readouterr().out
+    assert main(["evaluate", str(store_dir)]) == 0
+    assert "PASS e7-resilience" in capsys.readouterr().out

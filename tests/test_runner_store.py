@@ -1,0 +1,381 @@
+"""Unit tests for the columnar result store (repro.runner.store)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import StoreError
+from repro.runner.campaign import Campaign, run_config
+from repro.runner.records import RunRecord
+from repro.runner.store import (
+    ABSENT,
+    HAVE_PYARROW,
+    STORE_FORMAT,
+    Column,
+    ResultStore,
+    append_to_dir,
+    parquet_active,
+    set_parquet,
+)
+
+
+def config(seed: int, f: int = 1, name: str | None = None) -> dict:
+    return {
+        "name": name or f"store-{seed}",
+        "params": {"n": 4, "f": f, "delta": 0.005, "rho": 5e-4, "pi": 2.0},
+        "duration": 2.0,
+        "seed": seed,
+    }
+
+
+@pytest.fixture(scope="module")
+def records() -> list[RunRecord]:
+    return Campaign([config(s) for s in (1, 2, 3)]).run().records
+
+
+@pytest.fixture(scope="module")
+def error_record() -> RunRecord:
+    return RunRecord(index=7, name="broken", config={"name": "broken"},
+                     seed=9, duration=1.0, error="ValueError: boom")
+
+
+# ----------------------------------------------------------------------
+# Column
+# ----------------------------------------------------------------------
+
+
+def test_column_kinds_and_masks():
+    col = Column("x", "f8")
+    col.append(1.5)
+    col.append(ABSENT)
+    col.append(2.5)
+    assert len(col) == 3
+    assert col.get(0) == 1.5
+    assert col.get(1) is None
+    assert not col.present(1) and col.present(2)
+
+
+def test_column_bool_reads_back_as_bool():
+    col = Column("b", "bool")
+    col.append(True)
+    col.append(0)
+    assert col.get(0) is True
+    assert col.get(1) is False
+
+
+def test_column_json_distinguishes_present_none_from_absent():
+    col = Column("j", "json")
+    col.append(None)    # present None
+    col.append(ABSENT)  # hole
+    assert col.present(0) and not col.present(1)
+
+
+def test_column_unknown_kind_rejected():
+    with pytest.raises(StoreError):
+        Column("x", "f4")
+
+
+def test_column_int_overflow_is_store_error():
+    col = Column("i", "i8")
+    with pytest.raises(StoreError):
+        col.append(2 ** 80)
+
+
+# ----------------------------------------------------------------------
+# Building and round-tripping
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_is_lossless(records):
+    store = ResultStore.from_records(records)
+    assert store.n_runs == len(records)
+    assert store.to_records() == list(records)
+
+
+def test_error_records_round_trip(records, error_record):
+    mixed = list(records) + [error_record]
+    store = ResultStore.from_records(mixed)
+    back = store.to_records()
+    assert back == mixed
+    assert back[-1].verdict is None and back[-1].error == "ValueError: boom"
+
+
+def test_config_params_become_columns(records):
+    store = ResultStore.from_records(records)
+    assert store.values("config.params.n") == [4, 4, 4]
+    assert store.values("config.seed") == [1, 2, 3]
+    assert store.values("config.name") == [r.name for r in records]
+
+
+def test_measure_columns_are_float_exact(records):
+    store = ResultStore.from_records(records)
+    assert store.values("verdict.measured_deviation") == \
+        [r.verdict.measured_deviation for r in records]
+    assert store.values("verdict.bound.max_deviation") == \
+        [r.verdict.bounds.max_deviation for r in records]
+
+
+def test_derived_recovery_seconds_column(records):
+    store = ResultStore.from_records(records)
+    for row, record in enumerate(records):
+        expected = (record.verdict.bounds.recovery_intervals
+                    * record.verdict.bounds.t_interval)
+        assert store.columns["verdict.bound.recovery_seconds"].get(row) \
+            == expected
+
+
+def test_non_json_config_rejected(records):
+    bad = RunRecord(index=0, name="bad", config={"fn": object()},
+                    seed=1, duration=1.0, error="x")
+    with pytest.raises(StoreError):
+        ResultStore.from_records([bad])
+
+
+def test_non_record_rejected():
+    with pytest.raises(StoreError):
+        ResultStore.from_records([{"not": "a record"}])
+
+
+def test_schema_evolution_appends_masked_holes(records, error_record):
+    # Error record first: its rows lack config.params.*; appending real
+    # records later must backfill the new columns with holes.
+    store = ResultStore.from_records([error_record])
+    store.append_records(records)
+    assert store.columns["config.params.n"].get(0) is None
+    assert store.columns["config.params.n"].get(1) == 4
+    assert store.to_records() == [error_record] + list(records)
+
+
+def test_values_unknown_column_names_near_misses(records):
+    store = ResultStore.from_records(records)
+    with pytest.raises(StoreError, match="measured_deviation"):
+        store.values("measured_deviation")
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+
+def test_save_load_round_trip(tmp_path, records):
+    store = ResultStore.from_records(records, meta={"origin": "test"})
+    store.save(tmp_path / "s")
+    loaded = ResultStore.load(tmp_path / "s")
+    assert loaded.to_records() == list(records)
+    assert loaded.meta["origin"] == "test"
+
+
+def test_append_to_dir_adds_chunks(tmp_path, records):
+    target = tmp_path / "s"
+    append_to_dir(target, records[:2])
+    append_to_dir(target, records[2:], meta={"note": "second"})
+    loaded = ResultStore.load(target)
+    assert loaded.to_records() == list(records)
+    assert loaded.meta["note"] == "second"
+    manifest = json.loads((target / "manifest.json").read_text())
+    assert len(manifest["chunks"]) == 2
+    assert manifest["store_format"] == STORE_FORMAT
+
+
+def test_load_missing_manifest_is_store_error(tmp_path):
+    with pytest.raises(StoreError, match="manifest"):
+        ResultStore.load(tmp_path)
+
+
+def test_load_newer_format_refused(tmp_path, records):
+    target = tmp_path / "s"
+    ResultStore.from_records(records).save(target)
+    manifest = json.loads((target / "manifest.json").read_text())
+    manifest["store_format"] = STORE_FORMAT + 1
+    (target / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(StoreError, match="format"):
+        ResultStore.load(target)
+    with pytest.raises(StoreError, match="format"):
+        append_to_dir(target, records)
+
+
+def test_save_replaces_stale_chunks(tmp_path, records):
+    target = tmp_path / "s"
+    append_to_dir(target, records[:1])
+    append_to_dir(target, records[1:2])
+    ResultStore.from_records(records).save(target)
+    loaded = ResultStore.load(target)
+    assert loaded.n_runs == len(records)
+    manifest = json.loads((target / "manifest.json").read_text())
+    assert len(manifest["chunks"]) == 1
+
+
+def test_nan_and_inf_survive_disk(tmp_path):
+    record = run_config(config(5))
+    # envelope_occupancy can be nan in general; fabricate one plus an
+    # inf-bearing recovery row through the real dataclasses.
+    import dataclasses
+    from repro.metrics.measures import RecoveryEvent, RecoveryReport
+    weird = dataclasses.replace(
+        record,
+        envelope_occupancy=float("nan"),
+        recovery=RecoveryReport(events=[RecoveryEvent(
+            node=1, released_at=0.5, rejoined_at=float("inf"),
+            initial_distance=3.0)], tolerance=0.1),
+    )
+    store = ResultStore.from_records([weird])
+    store.save(tmp_path / "s")
+    back = ResultStore.load(tmp_path / "s").record(0)
+    assert math.isnan(back.envelope_occupancy)
+    assert back.recovery.events[0].rejoined_at == float("inf")
+    assert not back.recovery.all_recovered
+
+
+def test_parquet_seam_gating():
+    if HAVE_PYARROW:
+        set_parquet(True)
+        assert parquet_active()
+        set_parquet(None)
+    else:
+        with pytest.raises(StoreError, match="pyarrow"):
+            set_parquet(True)
+        set_parquet(False)
+        assert not parquet_active()
+        set_parquet(None)
+        assert not parquet_active()
+
+
+@pytest.mark.skipif(not HAVE_PYARROW, reason="pyarrow not installed")
+def test_parquet_round_trip(tmp_path, records):
+    set_parquet(True)
+    try:
+        store = ResultStore.from_records(records)
+        store.save(tmp_path / "s")
+        assert (tmp_path / "s" / "chunk-000000.parquet").exists()
+        assert ResultStore.load(tmp_path / "s").to_records() == list(records)
+    finally:
+        set_parquet(None)
+
+
+# ----------------------------------------------------------------------
+# Query API
+# ----------------------------------------------------------------------
+
+
+def test_where_ops(records, error_record):
+    store = ResultStore.from_records(list(records) + [error_record])
+    assert store.query().where("error", "isnull").count() == len(records)
+    assert store.query().where("error", "notnull").count() == 1
+    assert store.query().where("seed", "==", 2).count() == 1
+    assert store.query().where("seed", "!=", 2).count() == 3
+    assert store.query().where("seed", "in", [1, 3]).count() == 2
+    assert store.query().where("seed", "not-in", [1, 3]).count() == 2
+    assert store.query().where("seed", ">=", 2).count() == 3
+    assert store.query().where("seed", "<", 2).count() == 1
+
+
+def test_where_absent_cells_only_match_isnull(records, error_record):
+    store = ResultStore.from_records(list(records) + [error_record])
+    # The error record has no verdict: it must not match any comparison.
+    assert store.query().where(
+        "verdict.measured_deviation", ">=", 0.0).count() == len(records)
+    assert store.query().where(
+        "verdict.measured_deviation", "isnull").count() == 1
+
+
+def test_where_type_mismatch_is_no_match(records):
+    store = ResultStore.from_records(records)
+    assert store.query().where("name", "<", 3).count() == 0
+
+
+def test_where_unknown_op(records):
+    store = ResultStore.from_records(records)
+    with pytest.raises(StoreError, match="unknown query op"):
+        store.query().where("seed", "~=", 1)
+
+
+def test_select_aligns_absent_as_none(records, error_record):
+    store = ResultStore.from_records(list(records) + [error_record])
+    out = store.query().select("seed", "verdict.measured_deviation")
+    assert len(out["seed"]) == store.n_runs
+    assert out["verdict.measured_deviation"][-1] is None
+
+
+def test_aggregate(records):
+    store = ResultStore.from_records(records)
+    agg = store.query().aggregate(
+        n=("index", "count"),
+        worst=("verdict.measured_deviation", "max"),
+        best=("verdict.measured_deviation", "min"),
+        mean=("verdict.measured_deviation", "mean"),
+        all_ok=("ok", "all"),
+    )
+    devs = [r.verdict.measured_deviation for r in records]
+    assert agg["n"] == len(records)
+    assert agg["worst"] == max(devs)
+    assert agg["best"] == min(devs)
+    assert agg["mean"] == sum(devs) / len(devs)
+    assert agg["all_ok"] == all(r.ok for r in records)
+
+
+def test_aggregate_empty_selection(records):
+    store = ResultStore.from_records(records)
+    empty = store.query().where("seed", "==", 999)
+    agg = empty.aggregate(n=("index", "count"),
+                          worst=("verdict.measured_deviation", "max"))
+    assert agg == {"n": 0, "worst": None}
+
+
+def test_aggregate_unknown_fn(records):
+    store = ResultStore.from_records(records)
+    with pytest.raises(StoreError, match="unknown aggregate"):
+        store.query().aggregate(x=("seed", "median"))
+
+
+def test_group_by(records):
+    store = ResultStore.from_records(records)
+    rows = store.query().group_by("config.params.f").aggregate(
+        runs=("index", "count"))
+    assert rows == [{"config.params.f": 1, "runs": len(records)}]
+    by_seed = store.query().group_by("seed").aggregate(n=("index", "count"))
+    assert [row["seed"] for row in by_seed] == [1, 2, 3]
+
+
+def test_group_by_requires_keys(records):
+    store = ResultStore.from_records(records)
+    with pytest.raises(StoreError):
+        store.query().group_by()
+
+
+def test_query_records_round_trip(records):
+    store = ResultStore.from_records(records)
+    subset = store.query().where("seed", ">=", 2).records()
+    assert subset == [r for r in records if r.seed >= 2]
+
+
+def test_query_is_immutable(records):
+    store = ResultStore.from_records(records)
+    base = store.query()
+    base.where("seed", "==", 1)
+    assert base.count() == len(records)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+
+
+def test_campaign_store_dir_writes_natively(tmp_path):
+    target = tmp_path / "out"
+    result = Campaign([config(1)], store_dir=target).run()
+    loaded = ResultStore.load(target)
+    assert loaded.to_records() == result.records
+    assert loaded.meta["backend"] == "scalar"
+    # A second campaign appends a chunk instead of clobbering.
+    Campaign([config(2)], store_dir=target).run()
+    assert ResultStore.load(target).n_runs == 2
+
+
+def test_campaign_result_store_helper(records):
+    result = Campaign([config(4)]).run()
+    store = result.store(meta={"k": 1})
+    assert store.to_records() == result.records
+    assert store.meta == {"k": 1}

@@ -99,3 +99,33 @@ def test_collector_flags_substrate_import_from_protocol_layer():
     flagged = {tool.layer_of(target) for _, target in collector.imports
                if tool.layer_of(target) in tool.FORBIDDEN["protocols"]}
     assert flagged == {"sim", "net"}
+
+
+def test_runner_ranks_place_store_and_evaluation_between_core_and_cli():
+    """The results-as-data contract: store sits above execution, the
+    evaluation layer above the store, and the campaign executor on top
+    — so records/store/evaluation are importable without the executor."""
+    tool = _load_tool()
+    ranks = tool.RUNNER_RANKS
+    assert ranks["records"] < ranks["store"]
+    assert ranks["scenario"] < ranks["store"]
+    assert ranks["experiment"] < ranks["store"]
+    assert ranks["vector"] < ranks["store"]
+    assert ranks["store"] < ranks["evaluation"]
+    assert ranks["evaluation"] < ranks["campaign"]
+    assert ranks["stats"] < ranks["campaign"]
+
+
+def test_runner_rank_resolution():
+    tool = _load_tool()
+    assert tool.runner_rank("repro.runner.store") == tool.RUNNER_RANKS["store"]
+    assert tool.runner_rank("repro.runner") is None          # facade is exempt
+    assert tool.runner_rank("repro.core.sync") is None
+    assert tool.runner_rank("repro.runner.store.sub") == tool.RUNNER_RANKS["store"]
+
+
+def test_cli_is_import_terminal():
+    """Only __main__ (and the CLI itself) may import repro.cli."""
+    tool = _load_tool()
+    assert tool.CLI_MODULE == "repro.cli"
+    assert tool.CLI_IMPORTERS_ALLOWED == {"repro.__main__", "repro.cli"}

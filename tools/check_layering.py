@@ -8,6 +8,15 @@ layers (``repro.runner``, ``repro.obs``).  A kernel module that reaches
 up breaks process-pool pickling (workers would drag the whole runner in)
 and reopens the self-monitoring loophole DESIGN.md section 7 forbids.
 
+Two finer-grained contracts ride on the same import graph.  Within
+``repro.runner`` the results pipeline is itself layered
+(records/scenario < execution < store < evaluation < stats < campaign,
+see ``RUNNER_RANKS``): a runner module may import only strictly lower
+ranks, which keeps the store and evaluation layers importable without
+dragging in the executor and structurally prevents cycles.  And nothing
+inside the package may import ``repro.cli`` — the CLI consumes the
+stack, never the other way around (``repro.__main__`` excepted).
+
 The check parses every module under ``src/repro`` with :mod:`ast` and
 records its ``repro.*`` imports.  ``if TYPE_CHECKING:`` blocks are
 skipped — annotation-only references are erased at runtime and carry no
@@ -47,6 +56,33 @@ FORBIDDEN: dict[str, frozenset[str]] = {
     "rt": frozenset({"sim", "net", "runner"}),
 }
 
+# Within repro.runner, results flow strictly upward: the shared record
+# vocabulary and scenario model sit at the bottom, execution above them,
+# the columnar store above execution (it consumes records, never runs
+# them), the declarative evaluation layer above the store, and the
+# campaign executor — which produces records, writes stores, and drives
+# adaptive bisection — on top.  A module may import only runner modules
+# of *strictly lower* rank, so store/evaluation can never grow a cycle
+# back into execution and the CLI stays the only consumer of the whole
+# stack.  ``repro.runner.__init__`` (the facade) is exempt.
+RUNNER_RANKS: dict[str, int] = {
+    "records": 0,
+    "scenario": 0,
+    "experiment": 1,
+    "builders": 1,
+    "config": 2,
+    "vector": 2,
+    "store": 3,
+    "evaluation": 4,
+    "stats": 5,
+    "campaign": 6,
+}
+
+# The CLI is the top of the whole package: nothing imports it back
+# (``repro.__main__`` is the entry point and the one exception).
+CLI_MODULE = f"{PACKAGE}.cli"
+CLI_IMPORTERS_ALLOWED = frozenset({f"{PACKAGE}.__main__", CLI_MODULE})
+
 
 def module_name(path: pathlib.Path) -> str:
     """Dotted module name of a source file under ``src/``."""
@@ -62,6 +98,14 @@ def layer_of(module: str) -> str | None:
     parts = module.split(".")
     if len(parts) >= 2 and parts[0] == PACKAGE:
         return parts[1]
+    return None
+
+
+def runner_rank(module: str) -> int | None:
+    """Rank of a ``repro.runner`` submodule, ``None`` outside the map."""
+    parts = module.split(".")
+    if len(parts) >= 3 and parts[0] == PACKAGE and parts[1] == "runner":
+        return RUNNER_RANKS.get(parts[2])
     return None
 
 
@@ -110,17 +154,33 @@ def check() -> list[str]:
         module = module_name(path)
         source_layer = layer_of(module)
         forbidden = FORBIDDEN.get(source_layer or "", frozenset())
-        if not forbidden:
+        source_rank = runner_rank(module)
+        if not forbidden and source_rank is None \
+                and module in CLI_IMPORTERS_ALLOWED:
             continue
         collector = ImportCollector(module)
         collector.visit(ast.parse(path.read_text(), filename=str(path)))
         for lineno, target in collector.imports:
             target_layer = layer_of(target)
+            where = f"{path.relative_to(SRC.parent)}:{lineno}"
             if target_layer in forbidden:
                 violations.append(
-                    f"{path.relative_to(SRC.parent)}:{lineno}: "
-                    f"{module} ({source_layer} layer) imports {target} "
-                    f"({target_layer} layer)")
+                    f"{where}: {module} ({source_layer} layer) imports "
+                    f"{target} ({target_layer} layer)")
+                continue
+            if (target == CLI_MODULE or target.startswith(CLI_MODULE + ".")) \
+                    and module not in CLI_IMPORTERS_ALLOWED:
+                violations.append(
+                    f"{where}: {module} imports {CLI_MODULE} "
+                    f"(the CLI is the top of the stack)")
+                continue
+            target_rank = runner_rank(target)
+            if (source_rank is not None and target_rank is not None
+                    and target_rank >= source_rank):
+                violations.append(
+                    f"{where}: {module} (runner rank {source_rank}) imports "
+                    f"{target} (rank {target_rank}); runner modules may only "
+                    f"import strictly lower ranks")
     return violations
 
 
@@ -131,10 +191,13 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
         return 1
-    checked = sum(1 for p in (SRC / PACKAGE).rglob("*.py")
-                  if layer_of(module_name(p)) in FORBIDDEN)
-    print(f"layering clean: {checked} kernel modules, "
-          f"no runtime imports of obs/runner")
+    kernel = sum(1 for p in (SRC / PACKAGE).rglob("*.py")
+                 if layer_of(module_name(p)) in FORBIDDEN)
+    ranked = sum(1 for p in (SRC / PACKAGE).rglob("*.py")
+                 if runner_rank(module_name(p)) is not None)
+    print(f"layering clean: {kernel} kernel modules (no runtime imports "
+          f"of obs/runner), {ranked} ranked runner modules (results flow "
+          f"upward), nothing imports the CLI")
     return 0
 
 
